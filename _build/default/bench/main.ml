@@ -1,0 +1,463 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§8) on the simulated deployment, plus the ablations DESIGN.md
+   calls out and a bechamel micro-benchmark suite for the substrate.
+
+   Usage:
+     dune exec bench/main.exe             # everything (reduced scale)
+     dune exec bench/main.exe t1          # §3.2/§5.4 message-delay table
+     dune exec bench/main.exe fig5        # latency/throughput, no failures
+     dune exec bench/main.exe fig6        # Shoal++ ablation breakdown
+     dune exec bench/main.exe fig7        # 1/3 of replicas crashed
+     dune exec bench/main.exe fig8        # message-drop time series
+     dune exec bench/main.exe kdags       # parallel-DAG count ablation
+     dune exec bench/main.exe timeouts    # round-timeout ablation
+     dune exec bench/main.exe micro       # bechamel micro-benchmarks
+   Environment: BENCH_N (replicas, default 16), BENCH_DURATION_S (default 20).
+
+   Numbers will not match the paper's absolute values (its testbed is 100
+   GCP VMs; ours is a discrete-event simulation at reduced n), but the
+   shapes the paper claims are printed in the summaries: who wins, by
+   roughly what factor, and where the crossovers are. EXPERIMENTS.md
+   records a paper-vs-measured comparison for every figure. *)
+
+module E = Shoalpp_runtime.Experiment
+module Report = Shoalpp_runtime.Report
+module Tablefmt = Shoalpp_support.Tablefmt
+
+let bench_n =
+  match Sys.getenv_opt "BENCH_N" with Some s -> int_of_string s | None -> 16
+
+let bench_duration_ms =
+  match Sys.getenv_opt "BENCH_DURATION_S" with
+  | Some s -> 1000.0 *. float_of_string s
+  | None -> 20_000.0
+
+let base_params =
+  {
+    E.default_params with
+    E.n = bench_n;
+    duration_ms = bench_duration_ms;
+    warmup_ms = Float.min 5_000.0 (bench_duration_ms /. 4.0);
+    (* Signature bytes are still charged by the network model; skipping the
+       actual HMAC recomputation keeps large sweeps fast. *)
+    verify_signatures = false;
+  }
+
+let run system params = E.run system params
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+let note fmt = Printf.printf fmt
+
+let row_of_outcome (o : E.outcome) =
+  Report.table_row o.E.report @ [ (if o.E.audit_ok then "ok" else "FAILED") ]
+
+let header = Report.table_header @ [ "audit" ]
+
+(* ------------------------------------------------------------------ *)
+(* T1 — message-delay accounting (§3.2, §5.4). A uniform-delay network
+   (every one-way message = 1 md) at trivial load turns measured end-to-end
+   latency directly into message-delay units. *)
+
+let t1 () =
+  section "T1: end-to-end latency in message delays (uniform 50ms network)";
+  let md = 50.0 in
+  let params =
+    {
+      base_params with
+      E.topology = E.Uniform md;
+      load_tps = 50.0 *. float_of_int bench_n;
+      duration_ms = Float.max 20_000.0 bench_duration_ms;
+      stagger_ms = Some md;
+      (* Noise-free network: measured latency divides exactly into message
+         delays. *)
+      net_config = Some E.clean_net_config;
+      (* A tight round timeout keeps rounds near their 3 md floor (timeouts
+         are performance-only in Shoal++, §5.2). *)
+      round_timeout_ms = Some (3.4 *. md);
+    }
+  in
+  let rows =
+    List.map
+      (fun (sys, paper_md) ->
+        let o = run sys params in
+        [
+          E.system_name sys;
+          Printf.sprintf "%.1f" paper_md;
+          Printf.sprintf "%.1f" (o.E.report.Report.latency_p50 /. md);
+          Printf.sprintf "%.1f" (o.E.report.Report.latency_mean /. md);
+          (if o.E.audit_ok then "ok" else "FAILED");
+        ])
+      [ (E.Shoalpp, 4.5); (E.Shoal, 10.5); (E.Bullshark, 12.0) ]
+  in
+  Tablefmt.print ~header:[ "system"; "paper (md)"; "p50 (md)"; "mean (md)"; "audit" ] rows;
+  note
+    "shape: Shoal++ cuts ~6 md vs Shoal; Bullshark is worst. Simulated values\n\
+     include WAL sync, jitter and queueing that the analytic count omits.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig 5 — latency vs throughput, no failures. *)
+
+let fig5 () =
+  section "Fig 5: latency vs throughput, no failures";
+  note
+    "(n=%d, geo topology, 1 Gbps egress; paper shapes: Jolteon saturates first\n\
+     [single-leader egress], Bullshark/Shoal high latency, Shoal++ & Mysticeti\n\
+     sub-second, 'More DAGs' variants match Shoal++ throughput)\n"
+    bench_n;
+  let loads = [ 500.0; 2_000.0; 8_000.0; 20_000.0; 40_000.0 ] in
+  let systems =
+    [
+      E.Jolteon; E.Bullshark; E.Shoal; E.Bullshark_more_dags; E.Shoal_more_dags; E.Mysticeti;
+      E.Shoalpp;
+    ]
+  in
+  let sat = Hashtbl.create 8 in
+  let rows =
+    List.concat_map
+      (fun system ->
+        List.filter_map
+          (fun load ->
+            (* Bound bench time: once a system saturates, skip far-higher loads. *)
+            let skip =
+              match Hashtbl.find_opt sat (E.system_name system) with
+              | Some cap -> load > 4.0 *. cap
+              | None -> false
+            in
+            if skip then None
+            else begin
+              let o = run system { base_params with E.load_tps = load } in
+              let r = o.E.report in
+              if
+                r.Report.committed_tps < 0.7 *. load
+                && not (Hashtbl.mem sat (E.system_name system))
+              then Hashtbl.replace sat (E.system_name system) r.Report.committed_tps;
+              Some (row_of_outcome o)
+            end)
+          loads)
+      systems
+  in
+  Tablefmt.print ~header rows;
+  Hashtbl.iter (fun name cap -> note "saturation: %s tops out near %.0f tps\n" name cap) sat
+
+(* ------------------------------------------------------------------ *)
+(* Fig 6 — latency-improvement breakdown (Shoal++ ablation). *)
+
+let fig6 () =
+  section "Fig 6: Shoal++ breakdown (each augmentation added to Shoal)";
+  let loads = [ 1_000.0; 5_000.0 ] in
+  let systems =
+    [ E.Shoal; E.Shoalpp_faster_anchors; E.Shoalpp_more_faster_anchors; E.Shoalpp ]
+  in
+  let p50s = Hashtbl.create 8 in
+  let rows =
+    List.concat_map
+      (fun system ->
+        List.map
+          (fun load ->
+            let o = run system { base_params with E.load_tps = load } in
+            Hashtbl.replace p50s (E.system_name system, load) o.E.report.Report.latency_p50;
+            row_of_outcome o)
+          loads)
+      systems
+  in
+  Tablefmt.print ~header rows;
+  let get sys load = try Hashtbl.find p50s (sys, load) with Not_found -> nan in
+  List.iter
+    (fun load ->
+      note
+        "load %.0f: shoal %.0fms -> +fast commit %.0fms -> +multi-anchor %.0fms -> +parallel \
+         DAGs %.0fms\n"
+        load (get "shoal" load)
+        (get "shoal++ faster-anchors" load)
+        (get "shoal++ more-faster-anchors" load)
+        (get "shoal++" load))
+    loads;
+  note "shape: each augmentation reduces latency; multi-anchor is the largest step.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig 7 — crash failures: f of n replicas crashed from t=0. *)
+
+let fig7 () =
+  let f = (bench_n - 1) / 3 in
+  section (Printf.sprintf "Fig 7: %d of %d replicas crashed" f bench_n);
+  let loads = [ 1_000.0; 4_000.0 ] in
+  let systems = [ E.Jolteon; E.Bullshark; E.Shoal; E.Shoalpp; E.Mysticeti ] in
+  let ratios = ref [] in
+  let rows =
+    List.concat_map
+      (fun system ->
+        List.concat_map
+          (fun load ->
+            let clean = run system { base_params with E.load_tps = load } in
+            let crashed = run system { base_params with E.load_tps = load; crashes = f } in
+            let ratio =
+              crashed.E.report.Report.latency_p50 /. clean.E.report.Report.latency_p50
+            in
+            if load = List.hd loads then ratios := (E.system_name system, ratio) :: !ratios;
+            [
+              row_of_outcome clean;
+              (match row_of_outcome crashed with
+              | name :: rest -> (name ^ " +crash") :: rest
+              | [] -> []);
+            ])
+          loads)
+      systems
+  in
+  Tablefmt.print ~header rows;
+  List.iter
+    (fun (name, ratio) -> note "crash latency ratio: %s %.1fx\n" name ratio)
+    (List.rev !ratios);
+  note
+    "shape: Jolteon / Shoal / Shoal++ degrade mildly (reputation routes around\n\
+     crashed replicas); Bullshark and Mysticeti lack reputation and degrade hard.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig 8 — sporadic message drops: Shoal++ (certified) vs Mysticeti
+   (uncertified, critical-path fetching). *)
+
+let fig8 () =
+  section "Fig 8: 1% egress drops on ~5% of replicas, injected mid-run";
+  let inject_at = Float.max 10_000.0 (bench_duration_ms /. 2.0) in
+  let duration = 2.5 *. inject_at in
+  let droppers = max 1 (bench_n / 20) in
+  (* The paper runs this at a loaded operating point; the uncertified DAG's
+     critical-path fetching hurts more as blocks grow. *)
+  let params =
+    {
+      base_params with
+      E.load_tps = 20_000.0;
+      duration_ms = duration;
+      warmup_ms = 2_000.0;
+      drop_spec = Some (droppers, 0.01, inject_at);
+    }
+  in
+  let outcomes =
+    List.map (fun system -> (E.system_name system, run system params)) [ E.Shoalpp; E.Mysticeti ]
+  in
+  List.iter
+    (fun (name, (o : E.outcome)) ->
+      note "%s: committed %.0f tps, audit %s\n" name o.E.report.Report.committed_tps
+        (if o.E.audit_ok then "ok" else "FAILED"))
+    outcomes;
+  let spp = List.assoc "shoal++" outcomes and myst = List.assoc "mysticeti" outcomes in
+  let cell series t fmt =
+    match List.assoc_opt t series with Some v -> Printf.sprintf fmt v | None -> "-"
+  in
+  let rows =
+    List.filter_map
+      (fun (t, _) ->
+        if t < 2_000.0 || Float.rem t 2_000.0 >= 1_000.0 then None
+        else
+          Some
+            [
+              Printf.sprintf "%.0f%s" (t /. 1000.0)
+                (if t >= inject_at && t -. inject_at < 2_000.0 then " <-drops" else "");
+              cell spp.E.latency_series t "%.0f";
+              cell spp.E.throughput_series t "%.0f";
+              cell myst.E.latency_series t "%.0f";
+              cell myst.E.throughput_series t "%.0f";
+            ])
+      spp.E.latency_series
+  in
+  Tablefmt.print
+    ~header:[ "t(s)"; "shoal++ lat(ms)"; "shoal++ tps"; "mysticeti lat(ms)"; "mysticeti tps" ]
+    rows;
+  let baseline (o : E.outcome) =
+    match
+      List.sort compare
+        (List.filter_map
+           (fun (t, v) -> if t >= 2_000.0 && t < inject_at then Some v else None)
+           o.E.latency_series)
+    with
+    | [] -> nan
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  let med_after (o : E.outcome) =
+    match
+      List.sort compare
+        (List.filter_map (fun (t, v) -> if t >= inject_at then Some v else None) o.E.latency_series)
+    with
+    | [] -> nan
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  let peak_after (o : E.outcome) =
+    List.fold_left
+      (fun acc (t, v) -> if t >= inject_at then Float.max acc v else acc)
+      0.0 o.E.latency_series
+  in
+  let summarize name o =
+    note "%s: median degradation %.2fx, peak %.2fx\n" name
+      (med_after o /. baseline o)
+      (peak_after o /. baseline o)
+  in
+  summarize "shoal++" spp;
+  summarize "mysticeti" myst;
+  note
+    "shape: certified Shoal++ stays flat (paper: <=1.3x); uncertified Mysticeti\n\
+     degrades and keeps worsening as missing-block fetches stall its pipeline\n\
+     (paper observed 10x with its coarser timeout-driven synchronizer).\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: number of parallel DAGs (§5.3 diminishing returns). *)
+
+let kdags () =
+  section "Ablation: parallel DAG count k (queuing latency vs interleave cost)";
+  let rows =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun load ->
+            let o = run E.Shoalpp { base_params with E.load_tps = load; num_dags = Some k } in
+            match row_of_outcome o with
+            | name :: rest -> Printf.sprintf "%s k=%d" name k :: rest
+            | [] -> [])
+          [ 2_000.0; 20_000.0 ])
+      [ 1; 2; 3; 4 ]
+  in
+  Tablefmt.print ~header rows;
+  note "shape: k=3 is the paper's sweet spot; returns diminish beyond.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: round timeout (§5.2 lockstep). *)
+
+let timeouts () =
+  section "Ablation: Shoal++ round timeout";
+  let rows =
+    List.map
+      (fun timeout ->
+        let o =
+          run E.Shoalpp { base_params with E.load_tps = 2_000.0; round_timeout_ms = Some timeout }
+        in
+        match row_of_outcome o with
+        | name :: rest -> Printf.sprintf "%s to=%.0fms" name timeout :: rest
+        | [] -> [])
+      [ 150.0; 300.0; 600.0; 1_200.0 ]
+  in
+  Tablefmt.print ~header rows;
+  note
+    "shape: very small timeouts advance rounds before stragglers certify (more\n\
+     indirect commits / skips); very large ones stretch the round cadence.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: all-to-all certification (§5.4): one message delay less per
+   round, quadratic vote traffic. *)
+
+let a2a () =
+  section "Ablation: star vs all-to-all certification (section 5.4)";
+  let committee = Shoalpp_dag.Committee.make ~n:bench_n ~cluster_seed:1 () in
+  let rows =
+    List.map
+      (fun sys ->
+        let o = run sys { base_params with E.load_tps = 2_000.0 } in
+        row_of_outcome o @ [ string_of_int o.E.report.Report.messages_sent ])
+      [
+        E.Shoalpp;
+        E.Custom (Shoalpp_core.Config.with_all_to_all (Shoalpp_core.Config.shoalpp ~committee));
+      ]
+  in
+  Tablefmt.print ~header:(header @ [ "messages" ]) rows;
+  note "shape: ~1 md lower latency for ~an order of magnitude more messages.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks for the substrate. *)
+
+let micro () =
+  section "Micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let committee = Shoalpp_dag.Committee.make ~n:16 () in
+  let module Types = Shoalpp_dag.Types in
+  let module Batch = Shoalpp_workload.Batch in
+  let payload_1k = String.make 1024 'x' in
+  let batch =
+    Batch.make
+      ~txns:
+        (List.init 500 (fun id ->
+             Shoalpp_workload.Transaction.make ~id ~submitted_at:0.0 ~origin:0 ()))
+      ~created_at:0.0
+  in
+  let kp = Shoalpp_dag.Committee.keypair committee 0 in
+  let node =
+    let digest =
+      Types.node_digest ~round:0 ~author:0 ~batch_digest:batch.Batch.digest ~parents:[]
+        ~weak_parents:[]
+    in
+    {
+      Types.round = 0;
+      author = 0;
+      batch;
+      parents = [];
+      weak_parents = [];
+      digest;
+      signature = Shoalpp_crypto.Signer.sign kp (Shoalpp_crypto.Digest32.raw digest);
+      created_at = 0.0;
+    }
+  in
+  let encoded = Types.encode_message (Types.Proposal node) in
+  let sigs =
+    List.init 11 (fun i ->
+        let kp = Shoalpp_dag.Committee.keypair committee i in
+        (i, Shoalpp_crypto.Signer.sign kp "m"))
+  in
+  let tests =
+    Test.make_grouped ~name:"substrate"
+      [
+        Test.make ~name:"sha256-1KiB"
+          (Staged.stage (fun () -> ignore (Shoalpp_crypto.Sha256.digest_string payload_1k)));
+        Test.make ~name:"batch-digest-500tx"
+          (Staged.stage (fun () -> ignore (Batch.make ~txns:batch.Batch.txns ~created_at:0.0)));
+        Test.make ~name:"sign"
+          (Staged.stage (fun () -> ignore (Shoalpp_crypto.Signer.sign kp "message")));
+        Test.make ~name:"multisig-aggregate-11"
+          (Staged.stage (fun () -> ignore (Shoalpp_crypto.Multisig.aggregate ~n:16 sigs)));
+        Test.make ~name:"encode-proposal-500tx"
+          (Staged.stage (fun () -> ignore (Types.encode_message (Types.Proposal node))));
+        Test.make ~name:"decode-proposal-500tx"
+          (Staged.stage (fun () -> ignore (Types.decode_message ~cluster_seed:0 encoded)));
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> rows := [ name; Printf.sprintf "%.0f ns/op" est ] :: !rows
+      | _ -> ())
+    results;
+  Tablefmt.print ~header:[ "operation"; "time" ] (List.sort compare !rows)
+
+let () =
+  Shoalpp_baselines.Register.register ();
+  let which =
+    if Array.length Sys.argv > 1 then Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))
+    else [ "all" ]
+  in
+  let dispatch = function
+    | "t1" -> t1 ()
+    | "fig5" -> fig5 ()
+    | "fig6" -> fig6 ()
+    | "fig7" -> fig7 ()
+    | "fig8" -> fig8 ()
+    | "kdags" -> kdags ()
+    | "timeouts" -> timeouts ()
+    | "a2a" -> a2a ()
+    | "micro" -> micro ()
+    | "all" ->
+      t1 ();
+      fig5 ();
+      fig6 ();
+      fig7 ();
+      fig8 ();
+      kdags ();
+      timeouts ();
+      a2a ();
+      micro ()
+    | other ->
+      Printf.eprintf "unknown bench %S (t1|fig5|fig6|fig7|fig8|kdags|timeouts|a2a|micro|all)\n" other;
+      exit 2
+  in
+  List.iter dispatch which

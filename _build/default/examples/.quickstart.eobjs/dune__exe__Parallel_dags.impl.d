@@ -1,0 +1,1 @@
+examples/parallel_dags.ml: Array Format Fun List Printf Shoalpp_consensus Shoalpp_core Shoalpp_dag Shoalpp_runtime Shoalpp_sim Shoalpp_support Shoalpp_workload String

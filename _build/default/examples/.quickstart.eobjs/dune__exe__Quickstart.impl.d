@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Shoalpp_consensus Shoalpp_core Shoalpp_dag Shoalpp_sim Shoalpp_workload String

@@ -1,0 +1,1 @@
+lib/baselines/jolteon.ml: Array Hashtbl List Printf Queue Shoalpp_crypto Shoalpp_dag Shoalpp_runtime Shoalpp_sim Shoalpp_support Shoalpp_workload String

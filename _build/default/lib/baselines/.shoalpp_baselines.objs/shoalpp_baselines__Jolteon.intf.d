@@ -1,0 +1,1 @@
+lib/baselines/jolteon.mli: Shoalpp_dag Shoalpp_runtime Shoalpp_sim

@@ -1,0 +1,1 @@
+lib/baselines/register.ml: Fun Jolteon List Mysticeti Option Shoalpp_dag Shoalpp_runtime Shoalpp_sim

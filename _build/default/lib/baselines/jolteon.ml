@@ -1,0 +1,452 @@
+module Digest32 = Shoalpp_crypto.Digest32
+module Committee = Shoalpp_dag.Committee
+module Engine = Shoalpp_sim.Engine
+module Netmodel = Shoalpp_sim.Netmodel
+module Topology = Shoalpp_sim.Topology
+module Fault = Shoalpp_sim.Fault
+module Transaction = Shoalpp_workload.Transaction
+module Client = Shoalpp_workload.Client
+module Mempool = Shoalpp_workload.Mempool
+module Metrics = Shoalpp_runtime.Metrics
+module Report = Shoalpp_runtime.Report
+module Rng = Shoalpp_support.Rng
+
+type qc = { qc_round : int; qc_digest : Digest32.t; qc_signers : int list }
+
+type block = {
+  jb_round : int;
+  jb_author : int;
+  jb_txns : Transaction.t list;
+  jb_justify : qc;
+  jb_digest : Digest32.t;
+}
+
+type msg =
+  | Block of block
+  | Vote of { v_round : int; v_digest : Digest32.t; v_voter : int }
+  | Timeout of { t_round : int; t_high_qc : qc; t_voter : int }
+  | Gossip of Transaction.t list
+
+let qc_size q = 8 + 32 + 48 + ((List.length q.qc_signers + 7) / 8)
+
+let message_size = function
+  | Block b ->
+    1 + 8 + 2 + 48
+    + List.fold_left (fun acc tx -> acc + Transaction.wire_size tx) 0 b.jb_txns
+    + qc_size b.jb_justify
+  | Vote _ -> 1 + 8 + 32 + 2 + 48
+  | Timeout t -> 1 + 8 + 2 + 48 + qc_size t.t_high_qc
+  | Gossip txns -> 1 + 4 + List.fold_left (fun acc tx -> acc + Transaction.wire_size tx) 0 txns
+
+let block_digest ~round ~author ~justify ~txns =
+  let ids = List.map (fun (tx : Transaction.t) -> string_of_int tx.Transaction.id) txns in
+  Digest32.of_string
+    (Printf.sprintf "jblock/%d/%d/%s/%s" round author
+       (Digest32.hex justify.qc_digest)
+       (String.concat "," ids))
+
+type setup = {
+  committee : Committee.t;
+  topology : Topology.t;
+  net_config : Netmodel.config;
+  fault : Fault.t;
+  load_tps : float;
+  tx_size : int;
+  warmup_ms : float;
+  round_timeout_ms : float;
+  gossip_interval_ms : float;
+  max_block_txns : int;
+  verify_signatures : bool;
+  seed : int;
+}
+
+let default_setup ~committee =
+  {
+    committee;
+    topology = Topology.gcp10 ();
+    net_config = Netmodel.default_config;
+    fault = Fault.none;
+    load_tps = 1000.0;
+    tx_size = Transaction.default_size;
+    warmup_ms = 1000.0;
+    round_timeout_ms = 1500.0;
+    gossip_interval_ms = 10.0;
+    max_block_txns = 100 * 500;
+    verify_signatures = true;
+    seed = 11;
+  }
+
+(* Per-transaction shared-mempool bookkeeping. *)
+type tx_state = { tx : Transaction.t; mutable included_round : int (* -1 = free *) }
+
+type replica = {
+  id : int;
+  setup : setup;
+  engine : Engine.t;
+  net : msg Netmodel.t;
+  metrics : Metrics.t;
+  genesis_qc : qc;
+  pool : (int, tx_state) Hashtbl.t; (* txid -> state *)
+  pool_order : int Queue.t; (* FIFO of txids for proposal order *)
+  mutable staged : Transaction.t list; (* awaiting next gossip *)
+  blocks : (Digest32.t, block) Hashtbl.t;
+  mutable high_qc : qc;
+  mutable current_round : int;
+  mutable voted_round : int;
+  votes : (int, (Digest32.t, int list ref) Hashtbl.t) Hashtbl.t; (* as next-round leader *)
+  mutable qc_formed : (int, unit) Hashtbl.t; (* rounds for which we aggregated *)
+  timeouts : (int, int list ref) Hashtbl.t;
+  mutable sent_timeout : (int, unit) Hashtbl.t;
+  committed_ids : (int, unit) Hashtbl.t;
+  mutable committed_log : Digest32.t list; (* newest first *)
+  mutable committed_round : int;
+  mutable last_committed : Digest32.t;
+  (* Reputation inputs: (block round, author, qc signers) of committed
+     blocks, newest first. *)
+  mutable committed_meta : (int * int * int list) list;
+  mutable round_timer : Engine.timer option;
+  mutable ntimeouts : int;
+  mutable crashed : bool;
+}
+
+let rep_lag = 6
+let rep_window = 12
+
+(* Deterministic rotating-leader schedule over replicas recently seen alive
+   in the committed chain (QC signers + authors), with a round lag so all
+   replicas agree in steady state. *)
+let leader_of t r =
+  let n = t.setup.committee.Committee.n in
+  let actives =
+    List.fold_left
+      (fun acc (br, author, signers) ->
+        if br <= r - rep_lag && br >= r - rep_lag - rep_window then
+          List.fold_left (fun acc s -> if List.mem s acc then acc else s :: acc)
+            (if List.mem author acc then acc else author :: acc)
+            signers
+        else acc)
+      [] t.committed_meta
+  in
+  match List.sort compare actives with
+  | [] -> r mod n
+  | actives -> List.nth actives (r mod List.length actives)
+
+let quorum t = Committee.quorum t.setup.committee
+
+let broadcast t msg = Netmodel.broadcast t.net ~src:t.id ~size:(message_size msg) msg
+let send t ~dst msg = Netmodel.send t.net ~src:t.id ~dst ~size:(message_size msg) msg
+
+let commit_block t (b : block) =
+  t.committed_log <- b.jb_digest :: t.committed_log;
+  t.committed_round <- max t.committed_round b.jb_round;
+  t.last_committed <- b.jb_digest;
+  (* Keep enough history for any future round's [r - lag - window, r - lag]
+     lookback; prune strictly older entries. *)
+  t.committed_meta <-
+    (b.jb_round, b.jb_author, b.jb_justify.qc_signers)
+    :: List.filter
+         (fun (br, _, _) -> br >= b.jb_round - ((2 * rep_window) + rep_lag))
+         t.committed_meta;
+  let now = Engine.now t.engine in
+  List.iter
+    (fun (tx : Transaction.t) ->
+      if not (Hashtbl.mem t.committed_ids tx.Transaction.id) then begin
+        Hashtbl.replace t.committed_ids tx.Transaction.id ();
+        Metrics.observe_commit t.metrics ~origin_ordered:(tx.Transaction.origin = t.id) ~tx ~now
+      end)
+    b.jb_txns
+
+(* Commit [digest] and all its uncommitted ancestors, oldest first. *)
+let rec commit_chain t digest =
+  if not (Digest32.equal digest t.genesis_qc.qc_digest) then begin
+    match Hashtbl.find_opt t.blocks digest with
+    | None -> ()
+    | Some b ->
+      if b.jb_round > t.committed_round then begin
+        commit_chain t b.jb_justify.qc_digest;
+        commit_block t b
+      end
+  end
+
+let rec enter_round t r =
+  if r > t.current_round then begin
+    t.current_round <- r;
+    (match t.round_timer with Some timer -> Engine.cancel timer | None -> ());
+    t.round_timer <-
+      Some
+        (Engine.schedule t.engine ~after:t.setup.round_timeout_ms (fun () ->
+             if (not t.crashed) && t.current_round = r then begin
+               t.ntimeouts <- t.ntimeouts + 1;
+               send_timeout t r
+             end));
+    if leader_of t r = t.id then propose t r
+  end
+
+and send_timeout t r =
+  if not (Hashtbl.mem t.sent_timeout r) then begin
+    Hashtbl.replace t.sent_timeout r ();
+    broadcast t (Timeout { t_round = r; t_high_qc = t.high_qc; t_voter = t.id })
+  end
+
+and process_qc t (q : qc) =
+  if q.qc_round > t.high_qc.qc_round then t.high_qc <- q;
+  (* 2-chain commit: QC over B' whose parent is from the previous round
+     commits the parent (and its ancestors). *)
+  (match Hashtbl.find_opt t.blocks q.qc_digest with
+  | Some b' when b'.jb_justify.qc_round = b'.jb_round - 1 ->
+    commit_chain t b'.jb_justify.qc_digest
+  | _ -> ());
+  enter_round t (q.qc_round + 1)
+
+and propose t r =
+  (* Pull eligible transactions in arrival order: not committed, not
+     recently included in another (possibly still-pending) block. *)
+  let txns = ref [] in
+  let count = ref 0 in
+  let requeue = ref [] in
+  while !count < t.setup.max_block_txns && not (Queue.is_empty t.pool_order) do
+    let id = Queue.pop t.pool_order in
+    match Hashtbl.find_opt t.pool id with
+    | None -> ()
+    | Some st ->
+      if Hashtbl.mem t.committed_ids id then Hashtbl.remove t.pool id
+      else if st.included_round >= 0 && st.included_round > r - 8 then requeue := id :: !requeue
+      else begin
+        st.included_round <- r;
+        incr count;
+        txns := st.tx :: !txns;
+        requeue := id :: !requeue
+      end
+  done;
+  (* Keep every still-live txn in the queue for later leaders / retries. *)
+  List.iter (fun id -> Queue.push id t.pool_order) (List.rev !requeue);
+  let txns = List.rev !txns in
+  let justify = t.high_qc in
+  let digest = block_digest ~round:r ~author:t.id ~justify ~txns in
+  let b = { jb_round = r; jb_author = t.id; jb_txns = txns; jb_justify = justify; jb_digest = digest } in
+  broadcast t (Block b)
+
+let pool_add t (tx : Transaction.t) =
+  if
+    (not (Hashtbl.mem t.committed_ids tx.Transaction.id))
+    && not (Hashtbl.mem t.pool tx.Transaction.id)
+  then begin
+    Hashtbl.replace t.pool tx.Transaction.id { tx; included_round = -1 };
+    Queue.push tx.Transaction.id t.pool_order
+  end
+
+let handle_block t (b : block) =
+  if b.jb_round >= t.current_round - 1 then begin
+    Hashtbl.replace t.blocks b.jb_digest b;
+    process_qc t b.jb_justify;
+    (* Txns we see in blocks are known to the pool too (so a later leader
+       does not need the gossip to have arrived first). *)
+    List.iter (fun tx -> pool_add t tx) b.jb_txns;
+    if b.jb_round > t.voted_round && leader_of t b.jb_round = b.jb_author then begin
+      t.voted_round <- b.jb_round;
+      enter_round t b.jb_round;
+      let next_leader = leader_of t (b.jb_round + 1) in
+      send t ~dst:next_leader (Vote { v_round = b.jb_round; v_digest = b.jb_digest; v_voter = t.id })
+    end
+  end
+
+let handle_vote t ~v_round ~v_digest ~v_voter =
+  if (not (Hashtbl.mem t.qc_formed v_round)) && leader_of t (v_round + 1) = t.id then begin
+    let per_round =
+      match Hashtbl.find_opt t.votes v_round with
+      | Some h -> h
+      | None ->
+        let h = Hashtbl.create 4 in
+        Hashtbl.replace t.votes v_round h;
+        h
+    in
+    let voters =
+      match Hashtbl.find_opt per_round v_digest with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace per_round v_digest l;
+        l
+    in
+    if not (List.mem v_voter !voters) then begin
+      voters := v_voter :: !voters;
+      if List.length !voters >= quorum t then begin
+        Hashtbl.replace t.qc_formed v_round ();
+        process_qc t { qc_round = v_round; qc_digest = v_digest; qc_signers = !voters }
+      end
+    end
+  end
+
+let handle_timeout t ~t_round ~t_high_qc ~t_voter =
+  process_qc t t_high_qc;
+  if t_round >= t.current_round then begin
+    let voters =
+      match Hashtbl.find_opt t.timeouts t_round with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace t.timeouts t_round l;
+        l
+    in
+    if not (List.mem t_voter !voters) then begin
+      voters := t_voter :: !voters;
+      (* Echo once f+1 peers are timing out, so stragglers converge. *)
+      if List.length !voters >= Committee.weak_quorum t.setup.committee then send_timeout t t_round;
+      if List.length !voters >= quorum t then enter_round t (t_round + 1)
+    end
+  end
+
+let handle_message t msg =
+  if not t.crashed then begin
+    match msg with
+    | Block b -> handle_block t b
+    | Vote { v_round; v_digest; v_voter } -> handle_vote t ~v_round ~v_digest ~v_voter
+    | Timeout { t_round; t_high_qc; t_voter } -> handle_timeout t ~t_round ~t_high_qc ~t_voter
+    | Gossip txns -> List.iter (fun tx -> pool_add t tx) txns
+  end
+
+(* -------------------------------------------------------------------- *)
+(* Cluster wiring.                                                       *)
+
+type cluster = {
+  c_setup : setup;
+  c_engine : Engine.t;
+  c_net : msg Netmodel.t;
+  c_replicas : replica array;
+  c_metrics : Metrics.t;
+  c_clients : Client.t option array;
+  c_mempools : Mempool.t array; (* staging: client -> gossip *)
+  mutable c_fault : Fault.t;
+  mutable c_started : bool;
+}
+
+let create setup =
+  let committee = setup.committee in
+  let n = committee.Committee.n in
+  let engine = Engine.create () in
+  let assignment = Topology.assign_round_robin setup.topology ~n in
+  let net =
+    Netmodel.create ~engine ~topology:setup.topology ~assignment ~fault:setup.fault
+      ~config:setup.net_config ~seed:setup.seed ()
+  in
+  let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
+  let genesis_qc =
+    { qc_round = -1; qc_digest = committee.Committee.genesis; qc_signers = [] }
+  in
+  let replicas =
+    Array.init n (fun id ->
+        {
+          id;
+          setup;
+          engine;
+          net;
+          metrics;
+          genesis_qc;
+          pool = Hashtbl.create 4096;
+          pool_order = Queue.create ();
+          staged = [];
+          blocks = Hashtbl.create 4096;
+          high_qc = genesis_qc;
+          current_round = -1;
+          voted_round = -1;
+          votes = Hashtbl.create 64;
+          qc_formed = Hashtbl.create 64;
+          timeouts = Hashtbl.create 16;
+          sent_timeout = Hashtbl.create 16;
+          committed_ids = Hashtbl.create 4096;
+          committed_log = [];
+          committed_round = -1;
+          last_committed = committee.Committee.genesis;
+          committed_meta = [];
+          round_timer = None;
+          ntimeouts = 0;
+          crashed = false;
+        })
+  in
+  Array.iter (fun r -> Netmodel.set_handler net r.id (fun ~src:_ msg -> handle_message r msg)) replicas;
+  {
+    c_setup = setup;
+    c_engine = engine;
+    c_net = net;
+    c_replicas = replicas;
+    c_metrics = metrics;
+    c_clients = Array.make n None;
+    c_mempools = Array.init n (fun _ -> Mempool.create ());
+    c_fault = setup.fault;
+    c_started = false;
+  }
+
+let rec arm_gossip c i =
+  let r = c.c_replicas.(i) in
+  ignore
+    (Engine.schedule c.c_engine ~after:c.c_setup.gossip_interval_ms (fun () ->
+         if not r.crashed then begin
+           let txns = Mempool.pull c.c_mempools.(i) ~max:max_int in
+           if txns <> [] then begin
+             List.iter (fun tx -> pool_add r tx) txns;
+             broadcast r (Gossip txns)
+           end;
+           arm_gossip c i
+         end))
+
+let start c =
+  if not c.c_started then begin
+    c.c_started <- true;
+    let n = Array.length c.c_replicas in
+    let per_replica = c.c_setup.load_tps /. float_of_int n in
+    let next_id = ref 0 in
+    Array.iteri
+      (fun i r ->
+        if not (Fault.is_crashed c.c_setup.fault ~replica:i ~time:0.0) then begin
+          if per_replica > 0.0 then
+            c.c_clients.(i) <-
+              Some
+                (Client.start ~engine:c.c_engine ~mempool:c.c_mempools.(i) ~origin:i
+                   ~rate_tps:per_replica ~tx_size:c.c_setup.tx_size ~seed:(c.c_setup.seed + i)
+                   ~next_id ());
+          arm_gossip c i
+        end;
+        enter_round r 0)
+      c.c_replicas
+  end
+
+let run c ~duration_ms =
+  start c;
+  Engine.run ~until:duration_ms c.c_engine
+
+let crash_now c i =
+  let now = Engine.now c.c_engine in
+  c.c_fault <- Fault.crash c.c_fault ~replica:i ~at:now;
+  Netmodel.set_fault c.c_net c.c_fault;
+  c.c_replicas.(i).crashed <- true;
+  match c.c_clients.(i) with Some cl -> Client.stop cl | None -> ()
+
+let engine c = c.c_engine
+let metrics c = c.c_metrics
+
+let report c ~duration_ms =
+  let submitted = Array.fold_left (fun acc m -> acc + Mempool.submitted m) 0 c.c_mempools in
+  Report.make ~name:"jolteon" ~n:(Array.length c.c_replicas) ~load_tps:c.c_setup.load_tps
+    ~duration_ms ~submitted ~metrics:c.c_metrics
+    ~direct_commits:
+      (Array.fold_left (fun acc r -> acc + List.length r.committed_log) 0 c.c_replicas)
+    ~messages_sent:(Netmodel.messages_sent c.c_net)
+    ~messages_dropped:(Netmodel.messages_dropped c.c_net)
+    ~bytes_sent:(Netmodel.bytes_sent c.c_net) ()
+
+let committed_consistent c =
+  let logs = Array.map (fun r -> Array.of_list (List.rev r.committed_log)) c.c_replicas in
+  let ok = ref true in
+  let n = Array.length logs in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let common = min (Array.length logs.(a)) (Array.length logs.(b)) in
+      for i = 0 to common - 1 do
+        if not (Digest32.equal logs.(a).(i) logs.(b).(i)) then ok := false
+      done
+    done
+  done;
+  !ok
+
+let timeouts_fired c = Array.fold_left (fun acc r -> acc + r.ntimeouts) 0 c.c_replicas
+let rounds_reached c = Array.fold_left (fun acc r -> max acc r.current_round) 0 c.c_replicas

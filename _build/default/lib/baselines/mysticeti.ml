@@ -1,0 +1,444 @@
+module Digest32 = Shoalpp_crypto.Digest32
+module Signer = Shoalpp_crypto.Signer
+module Multisig = Shoalpp_crypto.Multisig
+module Committee = Shoalpp_dag.Committee
+module Types = Shoalpp_dag.Types
+module Store = Shoalpp_dag.Store
+module Driver = Shoalpp_consensus.Driver
+module Anchors = Shoalpp_consensus.Anchors
+module Engine = Shoalpp_sim.Engine
+module Netmodel = Shoalpp_sim.Netmodel
+module Topology = Shoalpp_sim.Topology
+module Fault = Shoalpp_sim.Fault
+module Batch = Shoalpp_workload.Batch
+module Transaction = Shoalpp_workload.Transaction
+module Client = Shoalpp_workload.Client
+module Mempool = Shoalpp_workload.Mempool
+module Metrics = Shoalpp_runtime.Metrics
+module Report = Shoalpp_runtime.Report
+module Rng = Shoalpp_support.Rng
+
+type msg =
+  | Block of Types.node
+  | Fetch_req of { wanted : Types.node_ref; requester : int }
+  | Fetch_resp of Types.node
+
+let node_size (n : Types.node) =
+  1 + 4 + 2 + 8 + Batch.wire_size n.Types.batch
+  + (List.length n.Types.parents * 36)
+  + Signer.signature_size
+
+let message_size = function
+  | Block b -> node_size b
+  | Fetch_req _ -> 1 + 36 + 2
+  | Fetch_resp b -> 1 + node_size b
+
+type setup = {
+  committee : Committee.t;
+  topology : Topology.t;
+  net_config : Netmodel.config;
+  fault : Fault.t;
+  load_tps : float;
+  tx_size : int;
+  warmup_ms : float;
+  round_timeout_ms : float;
+  batch_cap : int;
+  fetch_retry_ms : float;
+  verify_signatures : bool;
+  seed : int;
+}
+
+let default_setup ~committee =
+  {
+    committee;
+    topology = Topology.gcp10 ();
+    net_config = Netmodel.default_config;
+    fault = Fault.none;
+    load_tps = 1000.0;
+    tx_size = Transaction.default_size;
+    warmup_ms = 1000.0;
+    round_timeout_ms = 1000.0;
+    batch_cap = 500;
+    fetch_retry_ms = 50.0;
+    verify_signatures = true;
+    seed = 13;
+  }
+
+(* Blocks carry an empty dummy certificate so they fit the certified-node
+   shape the shared store and driver expect. *)
+let dummy_cert committee (node : Types.node) =
+  { Types.cert_ref = Types.ref_of_node node; multisig = Multisig.aggregate ~n:committee.Committee.n [] }
+
+type replica = {
+  id : int;
+  setup : setup;
+  engine : Engine.t;
+  net : msg Netmodel.t;
+  metrics : Metrics.t;
+  mempool : Mempool.t;
+  store : Store.t;
+  driver : Driver.t;
+  kp : Signer.keypair;
+  rng : Rng.t;
+  (* Blocks received but not processable: all blocks by digest, plus per
+     missing ancestor, the digests blocked on it. *)
+  received : Types.node Shoalpp_storage.Kvstore.t;
+  waiting : (Digest32.t, Types.node) Hashtbl.t; (* unprocessed, by own digest *)
+  missing_count : (Digest32.t, int ref) Hashtbl.t; (* per waiting block *)
+  dependents : (Digest32.t, Digest32.t list ref) Hashtbl.t; (* parent -> blocked *)
+  fetching : (Digest32.t, Types.node_ref) Hashtbl.t; (* outstanding wants *)
+  mutable proposed_round : int;
+  mutable round_started_at : float;
+  mutable round_timer : Engine.timer option;
+  log : (int * int * int) list ref; (* newest first: dag, round, author of anchors *)
+  mutable fetches : int;
+  mutable stalled : int;
+  mutable crashed : bool;
+}
+
+let quorum r = Committee.quorum r.setup.committee
+
+let broadcast r m = Netmodel.broadcast r.net ~src:r.id ~size:(message_size m) m
+let send r ~dst m = Netmodel.send r.net ~src:r.id ~dst ~size:(message_size m) m
+
+let processed_at r ~round = Store.count_at r.store ~round
+
+let rec propose r round =
+  r.proposed_round <- round;
+  r.round_started_at <- Engine.now r.engine;
+  (match r.round_timer with Some t -> Engine.cancel t | None -> ());
+  let parents =
+    if round = 0 then []
+    else
+      Store.nodes_at r.store ~round:(round - 1)
+      |> List.map (fun (cn : Types.certified_node) -> Types.ref_of_node cn.Types.cn_node)
+  in
+  let txns = Mempool.pull r.mempool ~max:r.setup.batch_cap in
+  let created_at = Engine.now r.engine in
+  let batch = Batch.make ~txns ~created_at in
+  let digest =
+    Types.node_digest ~round ~author:r.id ~batch_digest:batch.Batch.digest ~parents
+      ~weak_parents:[]
+  in
+  let node =
+    {
+      Types.round;
+      author = r.id;
+      batch;
+      parents;
+      weak_parents = [];
+      digest;
+      signature = Signer.sign r.kp (Digest32.raw digest);
+      created_at;
+    }
+  in
+  broadcast r (Block node);
+  r.round_timer <-
+    Some
+      (Engine.schedule r.engine ~after:r.setup.round_timeout_ms (fun () ->
+           if not r.crashed then maybe_advance r))
+
+and maybe_advance r =
+  if (not r.crashed) && r.proposed_round >= 0 then begin
+    let round = r.proposed_round in
+    let have = processed_at r ~round in
+    let timeout_over = Engine.now r.engine >= r.round_started_at +. r.setup.round_timeout_ms in
+    if have >= quorum r && (have >= Store.n r.store || timeout_over) then propose r (round + 1)
+    else begin
+      (* Catch-up when we fell behind the cluster. *)
+      let rec scan q best =
+        if q > Store.highest_round r.store then best
+        else scan (q + 1) (if processed_at r ~round:q >= quorum r then Some q else best)
+      in
+      match scan (round + 1) None with Some q -> propose r (q + 1) | None -> ()
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Critical-path processing: a block enters the DAG only once all of its
+   ancestors have; missing ancestors are fetched immediately and retried
+   round-robin until they arrive (§3.3 / §7 of the paper explain why this
+   is the uncertified design's weakness).                                *)
+
+let rec start_fetch r (wanted : Types.node_ref) =
+  if not (Hashtbl.mem r.fetching wanted.Types.ref_digest) then begin
+    Hashtbl.replace r.fetching wanted.Types.ref_digest wanted;
+    r.fetches <- r.fetches + 1;
+    (* First ask the author, the one replica guaranteed to have it. *)
+    send r ~dst:wanted.Types.ref_author (Fetch_req { wanted; requester = r.id });
+    arm_fetch_retry r wanted
+  end
+
+and arm_fetch_retry r wanted =
+  ignore
+    (Engine.schedule r.engine ~after:r.setup.fetch_retry_ms (fun () ->
+         if (not r.crashed) && Hashtbl.mem r.fetching wanted.Types.ref_digest then begin
+           let n = Store.n r.store in
+           let dst = Rng.int r.rng n in
+           r.fetches <- r.fetches + 1;
+           send r ~dst (Fetch_req { wanted; requester = r.id });
+           arm_fetch_retry r wanted
+         end))
+
+let rec process r (node : Types.node) =
+  let cn = { Types.cn_node = node; cn_cert = dummy_cert r.setup.committee node } in
+  if Store.add_certified r.store cn then begin
+    Hashtbl.remove r.fetching node.Types.digest;
+    Driver.notify r.driver;
+    maybe_advance r;
+    (* Unblock descendants waiting on this block. *)
+    match Hashtbl.find_opt r.dependents node.Types.digest with
+    | None -> ()
+    | Some blocked ->
+      let digests = !blocked in
+      Hashtbl.remove r.dependents node.Types.digest;
+      List.iter
+        (fun d ->
+          match Hashtbl.find_opt r.missing_count d with
+          | None -> ()
+          | Some cnt ->
+            decr cnt;
+            if !cnt <= 0 then begin
+              Hashtbl.remove r.missing_count d;
+              match Hashtbl.find_opt r.waiting d with
+              | Some blocked_node ->
+                Hashtbl.remove r.waiting d;
+                process r blocked_node
+              | None -> ()
+            end)
+        digests
+  end
+
+let on_block r (node : Types.node) =
+  let already =
+    Option.is_some (Store.get r.store ~round:node.Types.round ~author:node.Types.author)
+    || Hashtbl.mem r.waiting node.Types.digest
+  in
+  if not already then begin
+    match
+      Shoalpp_dag.Validation.validate_proposal ~committee:r.setup.committee
+        ~verify_signatures:r.setup.verify_signatures node
+    with
+    | Error _ -> ()
+    | Ok () ->
+      Shoalpp_storage.Kvstore.put r.received node.Types.digest node;
+      let missing =
+        List.filter (fun p -> not (Store.mem_ref r.store p)) node.Types.parents
+      in
+      if missing = [] then process r node
+      else begin
+        r.stalled <- r.stalled + 1;
+        Hashtbl.replace r.waiting node.Types.digest node;
+        Hashtbl.replace r.missing_count node.Types.digest (ref (List.length missing));
+        List.iter
+          (fun (p : Types.node_ref) ->
+            (match Hashtbl.find_opt r.dependents p.Types.ref_digest with
+            | Some l -> l := node.Types.digest :: !l
+            | None -> Hashtbl.replace r.dependents p.Types.ref_digest (ref [ node.Types.digest ]));
+            if not (Hashtbl.mem r.waiting p.Types.ref_digest) then start_fetch r p)
+          missing
+      end
+  end
+
+let handle_message r msg =
+  if not r.crashed then begin
+    match msg with
+    | Block node -> on_block r node
+    | Fetch_req { wanted; requester } -> (
+      match Shoalpp_storage.Kvstore.get r.received wanted.Types.ref_digest with
+      | Some node -> send r ~dst:requester (Fetch_resp node)
+      | None -> ())
+    | Fetch_resp node -> on_block r node
+  end
+
+(* -------------------------------------------------------------------- *)
+(* Cluster wiring.                                                       *)
+
+type cluster = {
+  c_setup : setup;
+  c_engine : Engine.t;
+  c_net : msg Netmodel.t;
+  c_replicas : replica array;
+  c_metrics : Metrics.t;
+  c_clients : Client.t option array;
+  mutable c_fault : Fault.t;
+  mutable c_started : bool;
+}
+
+let make_replica setup ~engine ~net ~metrics id =
+  let committee = setup.committee in
+  let store =
+    Store.create ~n:committee.Committee.n ~genesis_digest:committee.Committee.genesis
+  in
+  let log = ref [] in
+  let replica_ref = ref None in
+  let driver_cfg =
+    {
+      (Driver.default_config ~committee) with
+      Driver.mode = Anchors.All_eligible;
+      fast_commit = false;
+      direct_threshold = Committee.fast_quorum committee;
+      reputation_enabled = false;
+    }
+  in
+  let driver =
+    Driver.create driver_cfg
+      {
+        Driver.now = (fun () -> Engine.now engine);
+        cert_ref =
+          (fun ~round ~author ->
+            Option.map
+              (fun (cn : Types.certified_node) -> Types.ref_of_node cn.Types.cn_node)
+              (Store.get store ~round ~author));
+        request_fetch =
+          (fun wanted ->
+            match !replica_ref with Some r -> start_fetch r wanted | None -> ());
+        on_segment =
+          (fun segment ->
+            let anchor = segment.Driver.anchor in
+            log := (0, anchor.Types.ref_round, anchor.Types.ref_author) :: !log;
+            let now = Engine.now engine in
+            List.iter
+              (fun (cn : Types.certified_node) ->
+                List.iter
+                  (fun (tx : Transaction.t) ->
+                    Metrics.observe_commit metrics
+                      ~origin_ordered:(tx.Transaction.origin = id) ~tx ~now)
+                  cn.Types.cn_node.Types.batch.Batch.txns)
+              segment.Driver.nodes);
+        request_gc = (fun ~round -> ignore (Store.prune_below store ~round));
+        (* Cordial-Miners certificate pattern: a direct decision needs the
+           round r+2 "certificate" blocks to be visible, making the commit
+           path 3 best-effort rounds (proposal, votes, certificates). *)
+        direct_guard =
+          Some
+            (fun ~round ~author:_ ->
+              Store.count_at store ~round:(round + 2) >= Committee.fast_quorum committee);
+      }
+      ~store
+  in
+  let r =
+    {
+      id;
+      setup;
+      engine;
+      net;
+      metrics;
+      mempool = Mempool.create ();
+      store;
+      driver;
+      kp = Committee.keypair committee id;
+      rng = Rng.create (setup.seed + (id * 131));
+      received = Shoalpp_storage.Kvstore.create ();
+      waiting = Hashtbl.create 64;
+      missing_count = Hashtbl.create 64;
+      dependents = Hashtbl.create 64;
+      fetching = Hashtbl.create 64;
+      proposed_round = -1;
+      round_started_at = 0.0;
+      round_timer = None;
+      log;
+      fetches = 0;
+      stalled = 0;
+      crashed = false;
+    }
+  in
+  replica_ref := Some r;
+  r
+
+let create setup =
+  let committee = setup.committee in
+  let n = committee.Committee.n in
+  let engine = Engine.create () in
+  let assignment = Topology.assign_round_robin setup.topology ~n in
+  let net =
+    Netmodel.create ~engine ~topology:setup.topology ~assignment ~fault:setup.fault
+      ~config:setup.net_config ~seed:setup.seed ()
+  in
+  let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
+  let replicas = Array.init n (fun id -> make_replica setup ~engine ~net ~metrics id) in
+  Array.iter
+    (fun r -> Netmodel.set_handler net r.id (fun ~src:_ msg -> handle_message r msg))
+    replicas;
+  {
+    c_setup = setup;
+    c_engine = engine;
+    c_net = net;
+    c_replicas = replicas;
+    c_metrics = metrics;
+    c_clients = Array.make n None;
+    c_fault = setup.fault;
+    c_started = false;
+  }
+
+let start c =
+  if not c.c_started then begin
+    c.c_started <- true;
+    let n = Array.length c.c_replicas in
+    let per_replica = c.c_setup.load_tps /. float_of_int n in
+    let next_id = ref 0 in
+    Array.iteri
+      (fun i r ->
+        if not (Fault.is_crashed c.c_setup.fault ~replica:i ~time:0.0) then begin
+          if per_replica > 0.0 then
+            c.c_clients.(i) <-
+              Some
+                (Client.start ~engine:c.c_engine ~mempool:r.mempool ~origin:i
+                   ~rate_tps:per_replica ~tx_size:c.c_setup.tx_size ~seed:(c.c_setup.seed + i)
+                   ~next_id ())
+        end;
+        propose r 0)
+      c.c_replicas
+  end
+
+let run c ~duration_ms =
+  start c;
+  Engine.run ~until:duration_ms c.c_engine
+
+let crash_now c i =
+  let now = Engine.now c.c_engine in
+  c.c_fault <- Fault.crash c.c_fault ~replica:i ~at:now;
+  Netmodel.set_fault c.c_net c.c_fault;
+  c.c_replicas.(i).crashed <- true;
+  match c.c_clients.(i) with Some cl -> Client.stop cl | None -> ()
+
+let set_fault c fault =
+  c.c_fault <- fault;
+  Netmodel.set_fault c.c_net fault
+
+let engine c = c.c_engine
+let metrics c = c.c_metrics
+
+let report c ~duration_ms =
+  let submitted =
+    Array.fold_left (fun acc r -> acc + Mempool.submitted r.mempool) 0 c.c_replicas
+  in
+  let sum f =
+    Array.fold_left (fun acc r -> acc + f (Driver.stats r.driver)) 0 c.c_replicas
+  in
+  Report.make ~name:"mysticeti" ~n:(Array.length c.c_replicas) ~load_tps:c.c_setup.load_tps
+    ~duration_ms ~submitted ~metrics:c.c_metrics
+    ~direct_commits:(sum (fun s -> s.Driver.direct_commits))
+    ~indirect_commits:(sum (fun s -> s.Driver.indirect_commits))
+    ~skipped_anchors:(sum (fun s -> s.Driver.skipped_anchors))
+    ~messages_sent:(Netmodel.messages_sent c.c_net)
+    ~messages_dropped:(Netmodel.messages_dropped c.c_net)
+    ~bytes_sent:(Netmodel.bytes_sent c.c_net) ()
+
+let logs_consistent c =
+  let logs = Array.map (fun r -> Array.of_list (List.rev !(r.log))) c.c_replicas in
+  let ok = ref true in
+  let n = Array.length logs in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let common = min (Array.length logs.(a)) (Array.length logs.(b)) in
+      for i = 0 to common - 1 do
+        if logs.(a).(i) <> logs.(b).(i) then ok := false
+      done
+    done
+  done;
+  !ok
+
+let fetches_sent c = Array.fold_left (fun acc r -> acc + r.fetches) 0 c.c_replicas
+let blocks_stalled c = Array.fold_left (fun acc r -> acc + r.stalled) 0 c.c_replicas
+let rounds_reached c = Array.fold_left (fun acc r -> max acc r.proposed_round) 0 c.c_replicas

@@ -1,0 +1,84 @@
+module Experiment = Shoalpp_runtime.Experiment
+module Metrics = Shoalpp_runtime.Metrics
+module Committee = Shoalpp_dag.Committee
+module Fault = Shoalpp_sim.Fault
+
+let fault_of (p : Experiment.params) =
+  let fault = Fault.none in
+  let fault =
+    if p.Experiment.crashes > 0 then
+      Fault.crash_many fault
+        ~replicas:(List.init p.Experiment.crashes (fun i -> p.Experiment.n - 1 - i))
+        ~at:0.0
+    else fault
+  in
+  match p.Experiment.drop_spec with
+  | None -> fault
+  | Some (k, rate, from_time) ->
+    Fault.drop_egress fault ~replicas:(List.init k Fun.id) ~rate ~from_time ()
+
+let jolteon_runner (p : Experiment.params) : Experiment.outcome =
+  let committee = Committee.make ~n:p.Experiment.n ~cluster_seed:p.Experiment.seed () in
+  let setup =
+    {
+      (Jolteon.default_setup ~committee) with
+      Jolteon.topology = Experiment.make_topology p.Experiment.topology;
+      net_config =
+        Option.value ~default:Shoalpp_sim.Netmodel.default_config p.Experiment.net_config;
+      fault = fault_of p;
+      load_tps = p.Experiment.load_tps;
+      tx_size = p.Experiment.tx_size;
+      warmup_ms = p.Experiment.warmup_ms;
+      round_timeout_ms =
+        Option.value ~default:1500.0 p.Experiment.round_timeout_ms;
+      verify_signatures = p.Experiment.verify_signatures;
+      seed = p.Experiment.seed;
+    }
+  in
+  let c = Jolteon.create setup in
+  Jolteon.run c ~duration_ms:p.Experiment.duration_ms;
+  {
+    Experiment.report = Jolteon.report c ~duration_ms:p.Experiment.duration_ms;
+    audit_ok = Jolteon.committed_consistent c;
+    throughput_series = Metrics.throughput_series (Jolteon.metrics c);
+    latency_series = Metrics.latency_series (Jolteon.metrics c);
+    requeued = 0;
+  }
+
+let mysticeti_runner (p : Experiment.params) : Experiment.outcome =
+  let committee = Committee.make ~n:p.Experiment.n ~cluster_seed:p.Experiment.seed () in
+  let setup =
+    {
+      (Mysticeti.default_setup ~committee) with
+      Mysticeti.topology = Experiment.make_topology p.Experiment.topology;
+      net_config =
+        Option.value ~default:Shoalpp_sim.Netmodel.default_config p.Experiment.net_config;
+      fault = fault_of p;
+      load_tps = p.Experiment.load_tps;
+      tx_size = p.Experiment.tx_size;
+      warmup_ms = p.Experiment.warmup_ms;
+      batch_cap = p.Experiment.batch_cap;
+      round_timeout_ms =
+        Option.value ~default:1000.0 p.Experiment.round_timeout_ms;
+      verify_signatures = p.Experiment.verify_signatures;
+      seed = p.Experiment.seed;
+    }
+  in
+  let c = Mysticeti.create setup in
+  Mysticeti.run c ~duration_ms:p.Experiment.duration_ms;
+  {
+    Experiment.report = Mysticeti.report c ~duration_ms:p.Experiment.duration_ms;
+    audit_ok = Mysticeti.logs_consistent c;
+    throughput_series = Metrics.throughput_series (Mysticeti.metrics c);
+    latency_series = Metrics.latency_series (Mysticeti.metrics c);
+    requeued = 0;
+  }
+
+let registered = ref false
+
+let register () =
+  if not !registered then begin
+    registered := true;
+    Experiment.register_extra ~name:"jolteon" jolteon_runner;
+    Experiment.register_extra ~name:"mysticeti" mysticeti_runner
+  end

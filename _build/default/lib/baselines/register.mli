@@ -1,0 +1,5 @@
+(** Plugs the Jolteon and Mysticeti runners into
+    {!Shoalpp_runtime.Experiment}'s registry. Call once at program start;
+    idempotent. *)
+
+val register : unit -> unit

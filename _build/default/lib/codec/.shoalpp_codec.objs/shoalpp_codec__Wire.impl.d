@@ -1,0 +1,1 @@
+lib/codec/wire.ml: Buffer Char Int64 List Shoalpp_crypto Shoalpp_support String

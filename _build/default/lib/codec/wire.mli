@@ -1,0 +1,57 @@
+(** Binary wire format: length-prefixed, varint-based writer/reader pair.
+
+    Protocol message modules build their encoders on these primitives. The
+    simulator charges bandwidth for [Writer.size]-many bytes, so encodings
+    deliberately mirror a realistic production format (varints, raw digests,
+    compact bitmaps) rather than OCaml marshaling. *)
+
+module Writer : sig
+  type t
+
+  val create : ?initial:int -> unit -> t
+  val uint : t -> int -> unit
+  (** LEB128 varint; value must be non-negative. *)
+
+  val u8 : t -> int -> unit
+  val u32 : t -> int -> unit
+  (** Fixed 4-byte big-endian. *)
+
+  val u64 : t -> int64 -> unit
+  val float : t -> float -> unit
+  (** IEEE 754 bits as u64. *)
+
+  val bytes : t -> string -> unit
+  (** Length-prefixed byte string. *)
+
+  val raw : t -> string -> unit
+  (** Raw bytes with no prefix (for fixed-size fields like digests). *)
+
+  val digest : t -> Shoalpp_crypto.Digest32.t -> unit
+  val list : t -> ('a -> unit) -> 'a list -> unit
+  (** Count-prefixed sequence; the callback writes each element. *)
+
+  val size : t -> int
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  exception Malformed of string
+  (** Raised by all reads on truncated or invalid input; protocol code treats
+      it as a Byzantine message and drops it. *)
+
+  val of_string : string -> t
+  val uint : t -> int
+  val u8 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int64
+  val float : t -> float
+  val bytes : t -> string
+  val raw : t -> int -> string
+  val digest : t -> Shoalpp_crypto.Digest32.t
+  val list : t -> (t -> 'a) -> 'a list
+  val at_end : t -> bool
+  val expect_end : t -> unit
+  (** @raise Malformed if trailing bytes remain. *)
+end

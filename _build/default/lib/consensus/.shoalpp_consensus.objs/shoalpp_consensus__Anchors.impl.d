@@ -1,0 +1,1 @@
+lib/consensus/anchors.ml: Format Reputation

@@ -1,0 +1,1 @@
+lib/consensus/anchors.mli: Format Reputation

@@ -1,0 +1,1 @@
+lib/consensus/driver.ml: Anchors Hashtbl List Option Reputation Shoalpp_crypto Shoalpp_dag

@@ -1,0 +1,1 @@
+lib/consensus/driver.mli: Anchors Reputation Shoalpp_dag

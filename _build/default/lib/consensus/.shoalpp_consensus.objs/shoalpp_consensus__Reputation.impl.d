@@ -1,0 +1,1 @@
+lib/consensus/reputation.ml: Array Fun List Queue

@@ -1,0 +1,24 @@
+type mode = Every_other_round | One_per_round | All_eligible
+
+let head = function [] -> [] | x :: _ -> [ x ]
+
+let candidates mode reputation ~round =
+  if round <= 0 then []
+  else begin
+    match mode with
+    | Every_other_round ->
+      if round mod 2 = 1 then head (Reputation.eligible reputation ~round ~slot:((round - 1) / 2))
+      else []
+    | One_per_round -> head (Reputation.eligible reputation ~round ~slot:round)
+    | All_eligible -> Reputation.eligible reputation ~round ~slot:round
+  end
+
+let instance_anchor reputation ~round =
+  match Reputation.eligible reputation ~round ~slot:round with
+  | a :: _ -> a
+  | [] -> 0 (* unreachable: eligible never returns empty for n >= 1 *)
+
+let pp_mode fmt = function
+  | Every_other_round -> Format.pp_print_string fmt "every-other-round"
+  | One_per_round -> Format.pp_print_string fmt "one-per-round"
+  | All_eligible -> Format.pp_print_string fmt "all-eligible"

@@ -1,0 +1,24 @@
+(** Anchor scheduling: which DAG positions simulate leaders.
+
+    The three modes correspond to the protocols compared in the paper:
+    Bullshark anchors every other round; Shoal anchors every round
+    (schedule re-interpretation); Shoal++ makes every eligible node of every
+    round an anchor candidate (§5.2). *)
+
+type mode =
+  | Every_other_round  (** Bullshark: one anchor in each odd round *)
+  | One_per_round  (** Shoal *)
+  | All_eligible  (** Shoal++: the whole reputation-eligible vector *)
+
+val candidates : mode -> Reputation.t -> round:int -> int list
+(** Anchor-candidate authors for [round], in resolution order. Empty for
+    non-anchor rounds (round 0 always; even rounds under
+    [Every_other_round]). *)
+
+val instance_anchor : Reputation.t -> round:int -> int
+(** The anchor a one-shot Bullshark instance uses at evaluation round
+    [round] (the head of the eligible vector) — identical for all modes so
+    that indirect resolution is deterministic (§5.2 "Skipping Anchor
+    Candidates"). *)
+
+val pp_mode : Format.formatter -> mode -> unit

@@ -1,0 +1,300 @@
+module Types = Shoalpp_dag.Types
+module Store = Shoalpp_dag.Store
+module Committee = Shoalpp_dag.Committee
+
+type kind = Fast | Direct | Indirect
+
+type segment = {
+  dag_id : int;
+  anchor : Types.node_ref;
+  kind : kind;
+  nodes : Types.certified_node list;
+  committed_at : float;
+}
+
+type config = {
+  committee : Committee.t;
+  dag_id : int;
+  mode : Anchors.mode;
+  fast_commit : bool;
+  direct_threshold : int;
+  reputation_enabled : bool;
+  reputation_window : int;
+  staleness : int;
+  gc_depth : int;
+}
+
+let default_config ~committee =
+  {
+    committee;
+    dag_id = 0;
+    mode = Anchors.All_eligible;
+    fast_commit = true;
+    direct_threshold = Committee.weak_quorum committee;
+    reputation_enabled = true;
+    reputation_window = 64;
+    staleness = 8;
+    gc_depth = 12;
+  }
+
+let bullshark_config ~committee =
+  {
+    (default_config ~committee) with
+    mode = Anchors.Every_other_round;
+    fast_commit = false;
+    reputation_enabled = false;
+  }
+
+let shoal_config ~committee =
+  { (default_config ~committee) with mode = Anchors.One_per_round; fast_commit = false }
+
+type hooks = {
+  now : unit -> float;
+  cert_ref : round:int -> author:int -> Types.node_ref option;
+  request_fetch : Types.node_ref -> unit;
+  on_segment : segment -> unit;
+  request_gc : round:int -> unit;
+  direct_guard : (round:int -> author:int -> bool) option;
+}
+
+type stats = {
+  fast_commits : int;
+  direct_commits : int;
+  indirect_commits : int;
+  skipped_anchors : int;
+  segments : int;
+  nodes_ordered : int;
+}
+
+type t = {
+  cfg : config;
+  hooks : hooks;
+  store : Store.t;
+  rep : Reputation.t;
+  ordered : (int * int, unit) Hashtbl.t;
+  mutable cur_round : int; (* round whose candidate vector is being resolved *)
+  mutable pending : int list; (* remaining candidate authors for cur_round *)
+  mutable in_notify : bool;
+  mutable fast_commits : int;
+  mutable direct_commits : int;
+  mutable indirect_commits : int;
+  mutable skipped_anchors : int;
+  mutable segments : int;
+  mutable nodes_ordered : int;
+}
+
+let create cfg hooks ~store =
+  {
+    cfg;
+    hooks;
+    store;
+    rep =
+      Reputation.create ~n:cfg.committee.Committee.n ~window:cfg.reputation_window
+        ~staleness:cfg.staleness ~enabled:cfg.reputation_enabled ();
+    ordered = Hashtbl.create 1024;
+    cur_round = 0;
+    pending = [];
+    in_notify = false;
+    fast_commits = 0;
+    direct_commits = 0;
+    indirect_commits = 0;
+    skipped_anchors = 0;
+    segments = 0;
+    nodes_ordered = 0;
+  }
+
+let anchors_of_round t round = Anchors.candidates t.cfg.mode t.rep ~round
+let current_anchor_round t = t.cur_round
+let is_ordered t ~round ~author = Hashtbl.mem t.ordered (round, author)
+
+let stats t =
+  {
+    fast_commits = t.fast_commits;
+    direct_commits = t.direct_commits;
+    indirect_commits = t.indirect_commits;
+    skipped_anchors = t.skipped_anchors;
+    segments = t.segments;
+    nodes_ordered = t.nodes_ordered;
+  }
+
+let reputation t = t.rep
+
+let fast_quorum t = Committee.fast_quorum t.cfg.committee
+
+let fetch_position t ~round ~author =
+  (* We know the position must be certified (its children reference it) but
+     never received the certificate: fetch by position (zero digest). *)
+  t.hooks.request_fetch
+    { Types.ref_round = round; ref_author = author; ref_digest = Shoalpp_crypto.Digest32.zero }
+
+(* A position is direct-committable when f+1 certified children reference
+   it, or (fast rule) 2f+1 round r+1 proposals reference it and its own
+   certificate is known. *)
+let direct_kind t ~round ~author =
+  let guard_ok =
+    match t.hooks.direct_guard with None -> true | Some g -> g ~round ~author
+  in
+  if not guard_ok then None
+  else if t.cfg.fast_commit && Store.weak_votes t.store ~round ~author >= fast_quorum t then begin
+    if Option.is_some (t.hooks.cert_ref ~round ~author) then Some Fast
+    else begin
+      (* 2f+1 proposals reference the position, so it is certified somewhere
+         — we just never received the certificate. Recover it. *)
+      fetch_position t ~round ~author;
+      if Store.certified_refs t.store ~round ~author >= t.cfg.direct_threshold then Some Direct
+      else None
+    end
+  end
+  else if Store.certified_refs t.store ~round ~author >= t.cfg.direct_threshold then Some Direct
+  else None
+
+type resolution =
+  | Commit_self of kind
+  | Skip_to of { anchor_round : int; anchor_author : int }
+  | Undecided
+
+(* Check that [anchor_ref]'s (unordered) causal history is fully present
+   locally; request fetches otherwise. Completeness makes the subsequent
+   position_ancestor queries give the same answers at every replica. *)
+let history_complete t anchor_ref =
+  match
+    Store.causal_history t.store anchor_ref ~skip:(fun (r : Types.node_ref) ->
+        Hashtbl.mem t.ordered (r.Types.ref_round, r.Types.ref_author))
+  with
+  | Ok nodes -> Some nodes
+  | Error missing ->
+    List.iter t.hooks.request_fetch missing;
+    None
+
+(* One-shot Bullshark instance above candidate (r, a): instance anchors at
+   rounds r+2, r+4, ...; find the first evaluation round whose anchor
+   direct-commits, walk back to the earliest committed instance anchor, and
+   resolve the candidate against its causal history. *)
+let resolve_indirect t ~round ~author =
+  let horizon = Store.highest_round t.store in
+  let rec scan q =
+    if q > horizon then Undecided
+    else begin
+      let b = Anchors.instance_anchor t.rep ~round:q in
+      match direct_kind t ~round:q ~author:b with
+      | None -> scan (q + 2)
+      | Some _ -> (
+        match t.hooks.cert_ref ~round:q ~author:b with
+        | None ->
+          fetch_position t ~round:q ~author:b;
+          Undecided (* certificate metadata not yet local *)
+        | Some b_ref -> (
+          match history_complete t b_ref with
+          | None -> Undecided (* waiting on fetches *)
+          | Some _ ->
+            (* Backward walk: earliest committed instance anchor. *)
+            let lowest = ref b_ref in
+            let lowest_round = ref q in
+            let q' = ref (q - 2) in
+            while !q' >= round + 2 do
+              let c = Anchors.instance_anchor t.rep ~round:!q' in
+              if Store.position_ancestor t.store ~round:!q' ~author:c ~of_:!lowest then begin
+                match
+                  Store.get t.store ~round:!q' ~author:c
+                with
+                | Some cn ->
+                  lowest := Types.ref_of_node cn.Types.cn_node;
+                  lowest_round := !q'
+                | None -> () (* complete history + ancestor => present; defensive *)
+              end;
+              q' := !q' - 2
+            done;
+            if Store.position_ancestor t.store ~round ~author ~of_:!lowest then Commit_self Indirect
+            else begin
+              let anchor_author = (!lowest).Types.ref_author in
+              Skip_to { anchor_round = !lowest_round; anchor_author }
+            end))
+    end
+  in
+  scan (round + 2)
+
+let resolve_candidate t ~round ~author =
+  match direct_kind t ~round ~author with
+  | Some kind -> Commit_self kind
+  | None -> resolve_indirect t ~round ~author
+
+(* Emit the segment for a committed anchor position. Returns false when node
+   data is still missing (fetches have been requested). *)
+let output_segment t ~round ~author ~kind =
+  match t.hooks.cert_ref ~round ~author with
+  | None ->
+    fetch_position t ~round ~author;
+    false
+  | Some anchor_ref -> (
+    match history_complete t anchor_ref with
+    | None -> false
+    | Some nodes ->
+      List.iter
+        (fun (cn : Types.certified_node) ->
+          let node = cn.Types.cn_node in
+          Hashtbl.replace t.ordered (node.Types.round, node.Types.author) ())
+        nodes;
+      let positions =
+        List.map
+          (fun (cn : Types.certified_node) ->
+            (cn.Types.cn_node.Types.round, cn.Types.cn_node.Types.author))
+          nodes
+      in
+      (* Reputation credit goes to the anchor and its strong parents — the
+         replicas whose timely references committed it. *)
+      let supporters =
+        match Store.get t.store ~round ~author with
+        | Some anchor_cn ->
+          author
+          :: List.map
+               (fun (p : Types.node_ref) -> p.Types.ref_author)
+               anchor_cn.Types.cn_node.Types.parents
+        | None -> [ author ]
+      in
+      Reputation.observe_segment t.rep ~anchor_round:round ~supporters ~node_positions:positions;
+      (match kind with
+      | Fast -> t.fast_commits <- t.fast_commits + 1
+      | Direct -> t.direct_commits <- t.direct_commits + 1
+      | Indirect -> t.indirect_commits <- t.indirect_commits + 1);
+      t.segments <- t.segments + 1;
+      t.nodes_ordered <- t.nodes_ordered + List.length nodes;
+      t.hooks.on_segment
+        { dag_id = t.cfg.dag_id; anchor = anchor_ref; kind; nodes; committed_at = t.hooks.now () };
+      if round - t.cfg.gc_depth > 0 then t.hooks.request_gc ~round:(round - t.cfg.gc_depth);
+      true)
+
+let notify t =
+  if not t.in_notify then begin
+    t.in_notify <- true;
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      (* Refill the candidate vector; anchors only make sense for rounds the
+         local DAG has reached. *)
+      while t.pending = [] && t.cur_round < Store.highest_round t.store do
+        t.cur_round <- t.cur_round + 1;
+        t.pending <- anchors_of_round t t.cur_round
+      done;
+      match t.pending with
+      | [] -> ()
+      | author :: rest -> (
+        match resolve_candidate t ~round:t.cur_round ~author with
+        | Undecided -> ()
+        | Commit_self kind ->
+          if output_segment t ~round:t.cur_round ~author ~kind then begin
+            t.pending <- rest;
+            progress := true
+          end
+        | Skip_to { anchor_round; anchor_author } ->
+          if output_segment t ~round:anchor_round ~author:anchor_author ~kind:Indirect then begin
+            (* All tentative candidates in rounds < anchor_round are skipped
+               (§5.2); resume with the rest of that round's vector. *)
+            t.skipped_anchors <- t.skipped_anchors + 1 + List.length rest;
+            t.cur_round <- anchor_round;
+            t.pending <-
+              List.filter (fun a -> a <> anchor_author) (anchors_of_round t anchor_round);
+            progress := true
+          end)
+    done;
+    t.in_notify <- false
+  end

@@ -1,0 +1,99 @@
+(** The embedded-consensus ordering driver for one DAG instance.
+
+    An incremental, event-driven realization of NEXT_ORDERED_NODES (Alg. 2
+    of the paper): it walks a deterministic sequence of anchor candidates
+    and resolves each by the first applicable rule —
+
+    - {e Fast Direct Commit} (Shoal++, §5.1): 2f+1 weak votes (round r+1
+      {e proposals}) reference the anchor, whose certificate is known;
+    - {e Direct Commit} (Bullshark): f+1 {e certified} round r+1 nodes
+      reference the anchor;
+    - {e Indirect}: a one-shot Bullshark instance with anchors every other
+      round above the candidate; the candidate commits iff it is in the
+      causal history of the instance's first committed anchor, and is
+      skipped otherwise — in which case all tentative candidates below that
+      anchor's round are skipped too (SKIP_TO, §5.2).
+
+    Every resolved anchor emits a log {!segment}: its not-yet-ordered causal
+    history in the deterministic (round, author) order. Segments also feed
+    the reputation state, keeping anchor vectors identical at all correct
+    replicas.
+
+    The driver never blocks: when a candidate is unresolvable or ordering
+    needs node data that has not arrived, it records what it is waiting for
+    (requesting fetches for missing ancestors) and returns; [notify] is
+    called again as the DAG grows. *)
+
+type kind = Fast | Direct | Indirect
+
+type segment = {
+  dag_id : int;
+  anchor : Shoalpp_dag.Types.node_ref;
+  kind : kind;
+  nodes : Shoalpp_dag.Types.certified_node list;
+  committed_at : float;
+}
+
+type config = {
+  committee : Shoalpp_dag.Committee.t;
+  dag_id : int;
+  mode : Anchors.mode;
+  fast_commit : bool;
+  direct_threshold : int;
+      (** certified references required by the Direct Commit rule: f+1 for
+          certified DAGs (Bullshark); 2f+1 when the "certified" nodes are
+          uncertified best-effort blocks (the Mysticeti baseline reuses this
+          driver with that threshold). *)
+  reputation_enabled : bool;
+  reputation_window : int;
+  staleness : int;
+  gc_depth : int;  (** rounds of history kept below the committed anchor *)
+}
+
+val default_config : committee:Shoalpp_dag.Committee.t -> config
+(** Shoal++ preset: all-eligible anchors, fast commit, reputation on. *)
+
+val bullshark_config : committee:Shoalpp_dag.Committee.t -> config
+val shoal_config : committee:Shoalpp_dag.Committee.t -> config
+
+type hooks = {
+  now : unit -> float;
+  cert_ref : round:int -> author:int -> Shoalpp_dag.Types.node_ref option;
+      (** certificate metadata from the DAG instance (data may be missing) *)
+  request_fetch : Shoalpp_dag.Types.node_ref -> unit;
+      (** ask the instance to fetch a missing ancestor *)
+  on_segment : segment -> unit;
+  request_gc : round:int -> unit;
+  direct_guard : (round:int -> author:int -> bool) option;
+      (** extra condition ANDed into the Direct Commit rule. [None] for the
+          certified family; the Mysticeti baseline uses it to require the
+          round r+2 "certificate pattern" of Cordial Miners (commit only
+          once a quorum of r+2 blocks is visible, making the commit path
+          3 best-effort rounds). *)
+}
+
+type t
+
+val create : config -> hooks -> store:Shoalpp_dag.Store.t -> t
+
+val notify : t -> unit
+(** Re-evaluate after any DAG change (new proposal noted, new certified
+    node, new certificate). Emits zero or more segments. *)
+
+val anchors_of_round : t -> int -> int list
+(** Current anchor-candidate vector (for the instance's wait policy). *)
+
+val current_anchor_round : t -> int
+val is_ordered : t -> round:int -> author:int -> bool
+
+type stats = {
+  fast_commits : int;
+  direct_commits : int;
+  indirect_commits : int;
+  skipped_anchors : int;
+  segments : int;
+  nodes_ordered : int;
+}
+
+val stats : t -> stats
+val reputation : t -> Reputation.t

@@ -1,0 +1,79 @@
+type t = {
+  n : int;
+  window : int;
+  staleness : int;
+  enabled : bool;
+  scores : int array; (* segments supported within the window *)
+  last_round : int array; (* highest ordered node round per author; -1 = never *)
+  last_support : int array; (* highest anchor round the author supported *)
+  recent : int list Queue.t; (* per-segment supporter lists, oldest first *)
+  mutable highest_anchor_round : int;
+}
+
+let create ~n ?(window = 64) ?(staleness = 8) ~enabled () =
+  {
+    n;
+    window;
+    staleness;
+    enabled;
+    scores = Array.make n 0;
+    last_round = Array.make n (-1);
+    last_support = Array.make n (-1);
+    recent = Queue.create ();
+    highest_anchor_round = -1;
+  }
+
+(* Supporting a committed anchor — being its author or one of its strong
+   parents — is the signal that a replica is currently fast and well
+   connected. Stragglers' nodes are swept into histories late via weak
+   edges, which must NOT earn anchor candidacy, or the skip cascade of
+   §5.2 fires on them (and indirect resolution can wedge on them). *)
+let observe_segment t ~anchor_round ~supporters ~node_positions =
+  if anchor_round > t.highest_anchor_round then t.highest_anchor_round <- anchor_round;
+  List.iter
+    (fun (round, author) ->
+      if author >= 0 && author < t.n && round > t.last_round.(author) then
+        t.last_round.(author) <- round)
+    node_positions;
+  let supporters = List.sort_uniq compare (List.filter (fun a -> a >= 0 && a < t.n) supporters) in
+  List.iter
+    (fun a ->
+      t.scores.(a) <- t.scores.(a) + 1;
+      if anchor_round > t.last_support.(a) then t.last_support.(a) <- anchor_round)
+    supporters;
+  Queue.push supporters t.recent;
+  if Queue.length t.recent > t.window then begin
+    let evicted = Queue.pop t.recent in
+    List.iter (fun a -> t.scores.(a) <- t.scores.(a) - 1) evicted
+  end
+
+let score t a = t.scores.(a)
+let last_ordered_round t a = t.last_round.(a)
+
+let is_active t ~round a =
+  t.highest_anchor_round < 0 (* cold start: everyone active *)
+  || t.last_support.(a) >= round - t.staleness
+
+let rotate slot l =
+  match l with
+  | [] -> []
+  | _ ->
+    let len = List.length l in
+    let k = ((slot mod len) + len) mod len in
+    let arr = Array.of_list l in
+    List.init len (fun i -> arr.((i + k) mod len))
+
+let eligible t ~round ~slot =
+  let all = List.init t.n Fun.id in
+  if not t.enabled then rotate slot all
+  else begin
+    let active = List.filter (fun a -> is_active t ~round a) all in
+    let pool = if active = [] then all else active in
+    (* Score-descending; equal scores rotate by slot for fairness. *)
+    let rot a = ((a + slot) mod t.n) + (if (a + slot) mod t.n < 0 then t.n else 0) in
+    List.stable_sort
+      (fun a b ->
+        let c = compare t.scores.(b) t.scores.(a) in
+        if c <> 0 then c else compare (rot a) (rot b))
+      pool
+  end

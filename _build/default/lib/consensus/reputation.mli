@@ -1,0 +1,43 @@
+(** Leader (anchor) reputation, after Shoal / Carousel.
+
+    The scheme must be a deterministic function of the committed prefix so
+    that every correct replica computes the same eligible-anchor vectors
+    (Property 3 of the paper). It is fed exactly the ordered segments, in
+    order, and scores each author by how often it {e supports} committed
+    anchors: an author earns credit when it is the anchor itself or the
+    author of one of the anchor's strong parents (the nodes whose references
+    commit the anchor). Well-connected, fast replicas are supporters nearly
+    every segment; stragglers — whose nodes only enter histories late, via
+    weak edges — earn nothing and drop out of the eligible vector until they
+    become prompt again.
+
+    With reputation disabled the vector is the plain round-robin rotation
+    over all n authors — Bullshark's behaviour, which is what makes it
+    suffer under crash faults (Fig 7). *)
+
+type t
+
+val create : n:int -> ?window:int -> ?staleness:int -> enabled:bool -> unit -> t
+(** [window] = number of recent segments scored (default 64); [staleness] =
+    rounds without supporting any anchor before exclusion (default 8). *)
+
+val observe_segment :
+  t -> anchor_round:int -> supporters:int list -> node_positions:(int * int) list -> unit
+(** Feed one ordered segment, in commit order. [supporters] = the anchor's
+    author plus the authors of its strong parents; [node_positions] = the
+    (round, author) of every node the segment ordered (activity tracking). *)
+
+val eligible : t -> round:int -> slot:int -> int list
+(** Deterministic candidate vector for a round. [slot] drives round-robin
+    rotation (callers pass the anchor-opportunity index, e.g. the round
+    number, or round/2 for every-other-round schedules).
+
+    Enabled: recently-supporting authors sorted by support score (desc, ties
+    rotated by slot). Disabled: all n authors rotated by slot. Never empty —
+    before any segment is observed, or if every author went stale, falls
+    back to all authors. *)
+
+val score : t -> int -> int
+val is_active : t -> round:int -> int -> bool
+val last_ordered_round : t -> int -> int
+(** -1 if never ordered. *)

@@ -1,0 +1,1 @@
+lib/core/config.ml: Printf Shoalpp_consensus Shoalpp_dag

@@ -1,0 +1,1 @@
+lib/core/config.mli: Shoalpp_consensus Shoalpp_dag

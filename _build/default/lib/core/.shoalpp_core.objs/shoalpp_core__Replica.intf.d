@@ -1,0 +1,1 @@
+lib/core/replica.mli: Config Shoalpp_consensus Shoalpp_dag Shoalpp_sim Shoalpp_storage Shoalpp_workload

@@ -1,0 +1,52 @@
+(** Protocol configuration and the presets compared in the paper.
+
+    A single parameterized replica implements the whole certified-DAG family;
+    the presets differ in anchor schedule, commit rules, reputation, round
+    wait policy, and the number of parallel DAGs:
+
+    - {!bullshark}: anchors every other round, direct commit only, no
+      reputation, liveness timeout on the round's anchor, k=1.
+    - {!shoal}: anchors every round, reputation, k=1.
+    - {!shoalpp}: all three Shoal++ augmentations — fast direct commit,
+      all-eligible anchors with lockstep timeout, k=3 staggered DAGs.
+    - [with_dags]: the paper's "Bullshark/Shoal More DAGs" variants. *)
+
+type t = {
+  committee : Shoalpp_dag.Committee.t;
+  name : string;
+  num_dags : int;
+  stagger_ms : float;  (** offset between consecutive DAG instances (§5.3) *)
+  batch_cap : int;
+  wait_policy : Shoalpp_dag.Instance.wait_policy;
+  all_to_all_votes : bool;  (** §5.4 variant: quadratic vote broadcast, saves 1 md *)
+  mode : Shoalpp_consensus.Anchors.mode;
+  fast_commit : bool;
+  reputation : bool;
+  verify_signatures : bool;
+  wal_sync_ms : float;
+  fetch_delay_ms : float;
+  gc_depth : int;
+  seed : int;
+}
+
+val shoalpp : committee:Shoalpp_dag.Committee.t -> t
+val shoal : committee:Shoalpp_dag.Committee.t -> t
+val bullshark : committee:Shoalpp_dag.Committee.t -> t
+
+val with_all_to_all : t -> t
+(** The §5.4 all-to-all certification variant of the given protocol
+    (replicas aggregate certificates locally from broadcast votes; one
+    message delay less per round, quadratic vote traffic). *)
+
+val with_dags : t -> int -> t
+(** Run [k] staggered DAG instances of the given protocol ("More DAGs"). *)
+
+val with_name : t -> string -> t
+val without_signature_checks : t -> t
+(** For large benchmark sweeps; tests keep verification on. *)
+
+val round_timeout : t -> float -> t
+(** Replace the wait-policy timeout, keeping the policy's shape. *)
+
+val instance_config : t -> replica:int -> dag_id:int -> Shoalpp_dag.Instance.config
+val driver_config : t -> dag_id:int -> Shoalpp_consensus.Driver.config

@@ -1,0 +1,207 @@
+module Types = Shoalpp_dag.Types
+module Store = Shoalpp_dag.Store
+module Instance = Shoalpp_dag.Instance
+module Driver = Shoalpp_consensus.Driver
+module Engine = Shoalpp_sim.Engine
+module Netmodel = Shoalpp_sim.Netmodel
+module Mempool = Shoalpp_workload.Mempool
+module Wal = Shoalpp_storage.Wal
+module Batch = Shoalpp_workload.Batch
+
+type envelope = { dag_id : int; payload : Types.message }
+
+let envelope_size e = 1 + Types.message_size e.payload
+
+type ordered = { global_seq : int; segment : Driver.segment; ordered_at : float }
+
+type dag_lane = {
+  store : Store.t;
+  instance : Instance.t;
+  driver : Driver.t;
+  ready : Driver.segment Queue.t; (* committed, awaiting interleave *)
+}
+
+type t = {
+  cfg : Config.t;
+  id : int;
+  net : envelope Netmodel.t;
+  engine : Engine.t;
+  mempool : Mempool.t;
+  wal : Wal.t;
+  mutable lanes : dag_lane array;
+  on_ordered : (ordered -> unit) option;
+  mutable next_lane : int; (* round-robin cursor of Alg. 3 *)
+  mutable global_seq : int;
+  mutable txns_ordered : int;
+  mutable requeued : int;
+  committed_own : (int, unit) Hashtbl.t; (* own-origin txn ids already ordered *)
+  mutable crashed : bool;
+}
+
+(* Alg. 3: append exactly one available segment per DAG, cycling; stop at
+   the first DAG whose next segment is not yet available. *)
+let rec drain t =
+  if not t.crashed then begin
+    let lane = t.lanes.(t.next_lane) in
+    if not (Queue.is_empty lane.ready) then begin
+      let segment = Queue.pop lane.ready in
+      let seq = t.global_seq in
+      t.global_seq <- t.global_seq + 1;
+      t.next_lane <- (t.next_lane + 1) mod Array.length t.lanes;
+      let ntx = ref 0 in
+      List.iter
+        (fun (cn : Types.certified_node) ->
+          List.iter
+            (fun (tx : Shoalpp_workload.Transaction.t) ->
+              incr ntx;
+              if tx.Shoalpp_workload.Transaction.origin = t.id then
+                Hashtbl.replace t.committed_own tx.Shoalpp_workload.Transaction.id ())
+            cn.Types.cn_node.Types.batch.Batch.txns)
+        segment.Driver.nodes;
+      t.txns_ordered <- t.txns_ordered + !ntx;
+      (match t.on_ordered with
+      | Some f -> f { global_seq = seq; segment; ordered_at = Engine.now t.engine }
+      | None -> ());
+      drain t
+    end
+  end
+
+let make_lane t dag_id =
+  let cfg = t.cfg in
+  let committee = cfg.Config.committee in
+  let store = Store.create ~n:committee.Shoalpp_dag.Committee.n ~genesis_digest:committee.Shoalpp_dag.Committee.genesis in
+  let ready = Queue.create () in
+  (* The instance and driver reference each other; tie the knot with
+     mutable options resolved before use. *)
+  let instance_ref = ref None in
+  let driver_ref = ref None in
+  let the_instance () = Option.get !instance_ref in
+  let the_driver () = Option.get !driver_ref in
+  let driver =
+    Driver.create
+      (Config.driver_config cfg ~dag_id)
+      {
+        Driver.now = (fun () -> Engine.now t.engine);
+        cert_ref =
+          (fun ~round ~author -> Instance.cert_ref_at (the_instance ()) ~round ~author);
+        request_fetch = (fun node_ref -> Instance.fetch_missing (the_instance ()) node_ref);
+        on_segment =
+          (fun segment ->
+            Queue.push segment ready;
+            drain t);
+        request_gc =
+          (fun ~round ->
+            (* Narwhal-style GC drops unordered nodes below the horizon; a
+               production mempool re-proposes their transactions (quorum-
+               store expiration). Requeue own-origin, still-uncommitted
+               transactions from our orphaned proposals before pruning. *)
+            let lowest = Store.lowest_retained store in
+            for r = lowest to round - 1 do
+              match Store.get store ~round:r ~author:t.id with
+              | Some cn when not (Driver.is_ordered (the_driver ()) ~round:r ~author:t.id) ->
+                List.iter
+                  (fun (tx : Shoalpp_workload.Transaction.t) ->
+                    if not (Hashtbl.mem t.committed_own tx.Shoalpp_workload.Transaction.id)
+                    then begin
+                      t.requeued <- t.requeued + 1;
+                      ignore (Shoalpp_workload.Mempool.submit t.mempool tx)
+                    end)
+                  cn.Types.cn_node.Types.batch.Batch.txns
+              | _ -> ()
+            done;
+            Instance.gc_upto (the_instance ()) ~round);
+        direct_guard = None;
+      }
+      ~store
+  in
+  driver_ref := Some driver;
+  let callbacks =
+    {
+      Instance.broadcast =
+        (fun payload ->
+          let env = { dag_id; payload } in
+          Netmodel.broadcast t.net ~src:t.id ~size:(envelope_size env) env);
+      send =
+        (fun ~dst payload ->
+          let env = { dag_id; payload } in
+          Netmodel.send t.net ~src:t.id ~dst ~size:(envelope_size env) env);
+      now = (fun () -> Engine.now t.engine);
+      schedule = (fun ~after f -> Engine.schedule t.engine ~after f);
+      pull_batch = (fun ~max -> Mempool.pull t.mempool ~max);
+      anchors_of_round = (fun round -> Driver.anchors_of_round (the_driver ()) round);
+      persist = (fun ~size cb -> Wal.append t.wal ~size cb);
+      on_proposal_noted = (fun _node -> Driver.notify (the_driver ()));
+      on_certified = (fun _cn -> Driver.notify (the_driver ()));
+      on_cert_meta = (fun _ref -> Driver.notify (the_driver ()));
+    }
+  in
+  let instance =
+    Instance.create (Config.instance_config cfg ~replica:t.id ~dag_id) callbacks ~store
+  in
+  instance_ref := Some instance;
+  { store; instance; driver; ready }
+
+let create ~config ~replica_id ~net ~mempool ?on_ordered () =
+  let engine = Netmodel.engine net in
+  let t =
+    {
+      cfg = config;
+      id = replica_id;
+      net;
+      engine;
+      mempool;
+      wal = Wal.create ~engine ~sync_latency_ms:config.Config.wal_sync_ms ();
+      lanes = [||];
+      on_ordered;
+      next_lane = 0;
+      global_seq = 0;
+      txns_ordered = 0;
+      requeued = 0;
+      committed_own = Hashtbl.create 4096;
+      crashed = false;
+    }
+  in
+  t.lanes <- Array.init config.Config.num_dags (fun dag_id -> make_lane t dag_id);
+  Netmodel.set_handler net replica_id (fun ~src env ->
+      if not t.crashed then begin
+        let lane = t.lanes.(env.dag_id) in
+        Instance.handle_message lane.instance ~src env.payload
+      end);
+  t
+
+let start t =
+  Array.iteri
+    (fun dag_id lane ->
+      let delay = float_of_int dag_id *. t.cfg.Config.stagger_ms in
+      if delay <= 0.0 then Instance.start lane.instance
+      else ignore (Engine.schedule t.engine ~after:delay (fun () -> Instance.start lane.instance)))
+    t.lanes
+
+let crash t =
+  t.crashed <- true;
+  Array.iter (fun lane -> Instance.crash lane.instance) t.lanes
+
+let replica_id t = t.id
+let config t = t.cfg
+let log_length t = t.global_seq
+let txns_ordered t = t.txns_ordered
+let driver_stats t = Array.to_list (Array.map (fun lane -> Driver.stats lane.driver) t.lanes)
+let store t ~dag_id = t.lanes.(dag_id).store
+let driver t ~dag_id = t.lanes.(dag_id).driver
+
+let instance_stats t =
+  Array.to_list
+    (Array.map
+       (fun lane ->
+         ( Instance.proposals_made lane.instance,
+           Instance.votes_cast lane.instance,
+           Instance.certs_formed lane.instance,
+           Instance.fetches_sent lane.instance ))
+       t.lanes)
+
+let current_rounds t =
+  Array.to_list (Array.map (fun lane -> Instance.proposed_round lane.instance) t.lanes)
+
+let wal t = t.wal
+let requeued t = t.requeued
+let pending_segments t = Array.fold_left (fun acc lane -> acc + Queue.length lane.ready) 0 t.lanes

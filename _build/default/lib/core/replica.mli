@@ -1,0 +1,66 @@
+(** A full Shoal++ replica: [k] staggered certified-DAG instances, each with
+    its own embedded-consensus driver, their committed segments interleaved
+    round-robin into one total order (Alg. 3 of the paper).
+
+    The same type runs Bullshark and Shoal (and their "More DAGs" variants)
+    by preset — see {!Config}. *)
+
+type envelope = { dag_id : int; payload : Shoalpp_dag.Types.message }
+(** What travels on the wire: one DAG instance's message, tagged. *)
+
+val envelope_size : envelope -> int
+
+type ordered = {
+  global_seq : int;  (** position of this segment in the interleaved log *)
+  segment : Shoalpp_consensus.Driver.segment;
+  ordered_at : float;  (** when the segment entered the global log *)
+}
+
+type t
+
+val create :
+  config:Config.t ->
+  replica_id:int ->
+  net:envelope Shoalpp_sim.Netmodel.t ->
+  mempool:Shoalpp_workload.Mempool.t ->
+  ?on_ordered:(ordered -> unit) ->
+  unit ->
+  t
+(** Registers itself as [net]'s handler for [replica_id]. [on_ordered] fires
+    for every segment appended to the replica's global log, in order. *)
+
+val start : t -> unit
+(** Start DAG 0 now and DAG j at [j * stagger_ms]. *)
+
+val crash : t -> unit
+val replica_id : t -> int
+val config : t -> Config.t
+
+val log_length : t -> int
+(** Segments appended to the global log so far. *)
+
+val txns_ordered : t -> int
+
+val driver_stats : t -> Shoalpp_consensus.Driver.stats list
+(** Per-DAG commit-rule statistics. *)
+
+val store : t -> dag_id:int -> Shoalpp_dag.Store.t
+(** The local DAG store of one lane (introspection for tests/tools). *)
+
+val driver : t -> dag_id:int -> Shoalpp_consensus.Driver.t
+
+val instance_stats : t -> (int * int * int * int) list
+(** Per-DAG (proposals, votes, certs formed, fetches). *)
+
+val current_rounds : t -> int list
+(** Per-DAG highest proposed round. *)
+
+val wal : t -> Shoalpp_storage.Wal.t
+
+val requeued : t -> int
+(** Transactions returned to the mempool because their proposal was orphaned
+    (garbage-collected unordered). *)
+
+val pending_segments : t -> int
+(** Committed-but-not-yet-interleaved segments across DAGs (Alg. 3's
+    waiting excess). *)

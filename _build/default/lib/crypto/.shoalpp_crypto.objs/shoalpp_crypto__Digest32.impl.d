@@ -1,0 +1,1 @@
+lib/crypto/digest32.ml: Char Format Sha256 String

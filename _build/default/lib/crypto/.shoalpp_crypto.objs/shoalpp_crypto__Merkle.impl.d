@@ -1,0 +1,1 @@
+lib/crypto/merkle.ml: Array Digest32 List

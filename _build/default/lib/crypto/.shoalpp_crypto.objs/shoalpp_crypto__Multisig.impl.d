@@ -1,0 +1,1 @@
+lib/crypto/multisig.ml: Format List Sha256 Shoalpp_support Signer String

@@ -1,0 +1,1 @@
+lib/crypto/signer.ml: Format Printf Sha256 String

@@ -1,0 +1,58 @@
+type t = { levels : Digest32.t array array; nleaves : int }
+(* levels.(0) = leaves (padded to even sizes as we ascend); last level is the
+   root. Odd nodes are paired with themselves, the classic duplication rule. *)
+
+let combine a b = Digest32.concat [ a; b ]
+
+let of_leaves leaves =
+  let nleaves = List.length leaves in
+  if nleaves = 0 then { levels = [| [| Digest32.zero |] |]; nleaves = 0 }
+  else begin
+    let rec build acc level =
+      if Array.length level <= 1 then List.rev (level :: acc)
+      else begin
+        let n = Array.length level in
+        let next =
+          Array.init ((n + 1) / 2) (fun i ->
+              let l = level.(2 * i) in
+              let r = if (2 * i) + 1 < n then level.((2 * i) + 1) else l in
+              combine l r)
+        in
+        build (level :: acc) next
+      end
+    in
+    { levels = Array.of_list (build [] (Array.of_list leaves)); nleaves }
+  end
+
+let root t =
+  let top = t.levels.(Array.length t.levels - 1) in
+  top.(0)
+
+let size t = t.nleaves
+
+type proof = Digest32.t list
+
+let prove t index =
+  if index < 0 || index >= t.nleaves then invalid_arg "Merkle.prove: index out of range";
+  let acc = ref [] in
+  let idx = ref index in
+  for lvl = 0 to Array.length t.levels - 2 do
+    let level = t.levels.(lvl) in
+    let sib = if !idx land 1 = 0 then !idx + 1 else !idx - 1 in
+    let sib_digest = if sib < Array.length level then level.(sib) else level.(!idx) in
+    acc := sib_digest :: !acc;
+    idx := !idx / 2
+  done;
+  List.rev !acc
+
+let verify_proof ~root ~leaf ~index ~size proof =
+  if index < 0 || index >= size then false
+  else begin
+    let rec go current idx = function
+      | [] -> Digest32.equal current root
+      | sib :: rest ->
+        let next = if idx land 1 = 0 then combine current sib else combine sib current in
+        go next (idx / 2) rest
+    in
+    go leaf index proof
+  end

@@ -1,0 +1,24 @@
+(** Binary Merkle trees over transaction batches.
+
+    Not load-bearing for consensus (proposals carry batches inline, §7
+    "Inline data streaming"), but provided for batch integrity checks and as
+    the digest used in node ids, mirroring production implementations. *)
+
+type t
+
+val of_leaves : Digest32.t list -> t
+(** Build a tree; an empty list yields the tree whose root is
+    [Digest32.zero]. *)
+
+val root : t -> Digest32.t
+val size : t -> int
+(** Number of leaves. *)
+
+type proof = Digest32.t list
+(** Sibling path from leaf to root. *)
+
+val prove : t -> int -> proof
+(** Inclusion proof for the leaf at the given index.
+    @raise Invalid_argument if out of range. *)
+
+val verify_proof : root:Digest32.t -> leaf:Digest32.t -> index:int -> size:int -> proof -> bool

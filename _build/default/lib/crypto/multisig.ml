@@ -1,0 +1,37 @@
+module Bitset = Shoalpp_support.Bitset
+
+type t = { mask : Bitset.t; combined : string }
+
+let combine sigs =
+  let ctx = Sha256.init () in
+  List.iter (fun s -> Sha256.feed_string ctx (Signer.raw s)) sigs;
+  Sha256.finalize ctx
+
+let aggregate ~n sigs =
+  let mask = Bitset.create n in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) sigs in
+  List.iter
+    (fun (pub, _) ->
+      if pub < 0 || pub >= n then invalid_arg "Multisig.aggregate: signer out of range";
+      if Bitset.mem mask pub then invalid_arg "Multisig.aggregate: duplicate signer";
+      Bitset.set mask pub)
+    sorted;
+  { mask; combined = combine (List.map snd sorted) }
+
+let signers t = Bitset.copy t.mask
+let num_signers t = Bitset.count t.mask
+
+let verify ~cluster_seed t msg =
+  (* Recompute what each signer's signature must be (the registry is public
+     within the simulation) and check the combined hash. *)
+  let expected = ref [] in
+  Bitset.iter
+    (fun pub ->
+      let kp = Signer.keygen ~cluster_seed ~replica:pub in
+      expected := Signer.sign kp msg :: !expected)
+    t.mask;
+  String.equal (combine (List.rev !expected)) t.combined
+
+let wire_size t = 48 + ((Bitset.capacity t.mask + 7) / 8)
+
+let pp fmt t = Format.fprintf fmt "multisig%a" Bitset.pp t.mask

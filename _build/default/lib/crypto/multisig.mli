@@ -1,0 +1,26 @@
+(** Simulated BLS multi-signatures: an aggregate over one message with a
+    signer bitmap, as used for DAG node certificates (n-f vote signatures
+    aggregated into one certificate).
+
+    Aggregation combines the individual HMAC signatures by hashing them in
+    signer order; verification recomputes each signer's expected signature,
+    mirroring how a real BLS verifier checks the aggregate against the
+    aggregated public key. Wire size is modeled as one BLS signature plus the
+    bitmap, matching the paper's certificate sizes. *)
+
+type t
+
+val aggregate : n:int -> (Signer.public * Signer.signature) list -> t
+(** [aggregate ~n sigs] over a committee of size [n].
+    @raise Invalid_argument on duplicate signers or out-of-range ids. *)
+
+val signers : t -> Shoalpp_support.Bitset.t
+val num_signers : t -> int
+
+val verify : cluster_seed:int -> t -> string -> bool
+(** All contained signatures must verify over the message. *)
+
+val wire_size : t -> int
+(** Modeled bytes: 48-byte aggregate + ceil(n/8) bitmap. *)
+
+val pp : Format.formatter -> t -> unit

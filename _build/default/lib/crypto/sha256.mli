@@ -1,0 +1,24 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    The sealed build environment has no crypto libraries, so the repository
+    carries its own implementation. It is used for content digests (node ids,
+    batch digests, Merkle trees) and as the PRF behind the simulated
+    signature scheme. *)
+
+type ctx
+
+val init : unit -> ctx
+val feed_string : ctx -> string -> unit
+val feed_bytes : ctx -> bytes -> unit
+
+val finalize : ctx -> string
+(** 32-byte raw digest. The context must not be reused afterwards. *)
+
+val digest_string : string -> string
+(** One-shot convenience: 32-byte raw digest of the input. *)
+
+val hmac : key:string -> string -> string
+(** HMAC-SHA256; the simulated signing primitive. *)
+
+val to_hex : string -> string
+(** Lowercase hex of a raw digest. *)

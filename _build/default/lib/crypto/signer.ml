@@ -1,0 +1,22 @@
+type public = int
+type keypair = { pub : public; secret : string }
+type signature = string
+
+let secret_for ~cluster_seed ~replica =
+  Sha256.digest_string (Printf.sprintf "shoalpp-secret-%d-%d" cluster_seed replica)
+
+let keygen ~cluster_seed ~replica = { pub = replica; secret = secret_for ~cluster_seed ~replica }
+let public kp = kp.pub
+let sign kp msg = Sha256.hmac ~key:kp.secret msg
+
+let verify ~cluster_seed pub msg signature =
+  let secret = secret_for ~cluster_seed ~replica:pub in
+  String.equal (Sha256.hmac ~key:secret msg) signature
+
+let signature_size = 48
+let raw s = s
+
+let of_raw s =
+  if String.length s <> 32 then invalid_arg "Signer.of_raw: need 32 bytes";
+  s
+let pp fmt s = Format.pp_print_string fmt (String.sub (Sha256.to_hex s) 0 8)

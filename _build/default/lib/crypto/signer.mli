@@ -1,0 +1,38 @@
+(** Simulated replica signatures.
+
+    The paper signs node proposals and votes with BLS over BLS12-381. The
+    sealed environment has no pairing library, so signatures here are
+    HMAC-SHA256 under a per-replica secret derived from a cluster seed.
+    Within the simulation this gives the property consensus needs —
+    a correct replica's signature cannot be fabricated by protocol code that
+    does not call [sign] — while remaining interface-compatible with a real
+    scheme. DESIGN.md §2 records the substitution. *)
+
+type keypair
+type public = int
+(** Public keys are replica indices; the registry maps them to secrets. *)
+
+type signature
+
+val keygen : cluster_seed:int -> replica:int -> keypair
+(** Deterministic keypair for [replica] in a cluster. *)
+
+val public : keypair -> public
+
+val sign : keypair -> string -> signature
+(** Sign a message (its raw bytes or digest). *)
+
+val verify : cluster_seed:int -> public -> string -> signature -> bool
+(** Verify against the registry (the verifier knows the cluster seed, as all
+    replicas share the genesis configuration). *)
+
+val signature_size : int
+(** Modeled wire size in bytes (BLS12-381 G1 point: 48 bytes). *)
+
+val raw : signature -> string
+
+val of_raw : string -> signature
+(** Reconstruct a signature from its 32 wire bytes (decoder use).
+    @raise Invalid_argument on wrong length. *)
+
+val pp : Format.formatter -> signature -> unit

@@ -1,0 +1,1 @@
+lib/dag/committee.ml: Format Printf Shoalpp_crypto

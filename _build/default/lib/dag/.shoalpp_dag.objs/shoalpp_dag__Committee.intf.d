@@ -1,0 +1,1 @@
+lib/dag/committee.mli: Format Shoalpp_crypto

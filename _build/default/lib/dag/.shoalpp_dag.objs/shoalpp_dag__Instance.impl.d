@@ -1,0 +1,1 @@
+lib/dag/instance.ml: Committee Fun Hashtbl List Option Shoalpp_crypto Shoalpp_sim Shoalpp_storage Shoalpp_support Shoalpp_workload Store Types Validation

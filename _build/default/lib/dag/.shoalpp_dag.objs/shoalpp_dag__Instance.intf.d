@@ -1,0 +1,1 @@
+lib/dag/instance.mli: Committee Shoalpp_sim Shoalpp_workload Store Types

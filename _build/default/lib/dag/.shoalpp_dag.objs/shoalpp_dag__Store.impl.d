@@ -1,0 +1,1 @@
+lib/dag/store.ml: Array Fun Hashtbl List Option Shoalpp_crypto Types

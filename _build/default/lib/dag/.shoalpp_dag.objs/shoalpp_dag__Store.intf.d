@@ -1,0 +1,1 @@
+lib/dag/store.mli: Shoalpp_crypto Types

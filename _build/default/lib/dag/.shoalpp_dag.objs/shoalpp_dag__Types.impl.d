@@ -1,0 +1,1 @@
+lib/dag/types.ml: Format List Printf Shoalpp_codec Shoalpp_crypto Shoalpp_support Shoalpp_workload

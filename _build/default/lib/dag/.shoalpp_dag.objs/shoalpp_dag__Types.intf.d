@@ -1,0 +1,1 @@
+lib/dag/types.mli: Format Shoalpp_crypto Shoalpp_workload

@@ -1,0 +1,1 @@
+lib/dag/validation.ml: Committee Hashtbl List Printf Result Shoalpp_crypto Shoalpp_workload Types

@@ -1,0 +1,1 @@
+lib/dag/validation.mli: Committee Types

@@ -1,0 +1,25 @@
+(** Static committee configuration: n = 3f+1 replicas, standard BFT
+    assumptions (§2 of the paper). *)
+
+type t = private {
+  n : int;
+  f : int;  (** max Byzantine replicas tolerated: (n-1)/3 *)
+  cluster_seed : int;  (** genesis randomness; derives all keypairs *)
+  genesis : Shoalpp_crypto.Digest32.t;  (** virtual parent digest of round 0 *)
+}
+
+val make : n:int -> ?cluster_seed:int -> unit -> t
+(** @raise Invalid_argument if [n < 4]. *)
+
+val quorum : t -> int
+(** n - f certificates / votes — availability quorum. *)
+
+val weak_quorum : t -> int
+(** f + 1 — at least one correct replica. *)
+
+val fast_quorum : t -> int
+(** 2f + 1 proposals — the Fast Direct Commit threshold (§5.1). *)
+
+val keypair : t -> int -> Shoalpp_crypto.Signer.keypair
+val valid_replica : t -> int -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,537 @@
+module Digest32 = Shoalpp_crypto.Digest32
+module Signer = Shoalpp_crypto.Signer
+module Multisig = Shoalpp_crypto.Multisig
+module Batch = Shoalpp_workload.Batch
+module Engine = Shoalpp_sim.Engine
+module Rng = Shoalpp_support.Rng
+
+type wait_policy = Quorum_only | Anchors_or_timeout of float | All_or_timeout of float
+
+type config = {
+  committee : Committee.t;
+  replica : int;
+  dag_id : int;
+  batch_cap : int;
+  wait_policy : wait_policy;
+  all_to_all_votes : bool;
+  verify_signatures : bool;
+  fetch_delay_ms : float;
+  seed : int;
+}
+
+let default_config ~committee ~replica =
+  {
+    committee;
+    replica;
+    dag_id = 0;
+    batch_cap = 500;
+    wait_policy = All_or_timeout 600.0;
+    all_to_all_votes = false;
+    verify_signatures = true;
+    fetch_delay_ms = 20.0;
+    seed = 1;
+  }
+
+type callbacks = {
+  broadcast : Types.message -> unit;
+  send : dst:int -> Types.message -> unit;
+  now : unit -> float;
+  schedule : after:float -> (unit -> unit) -> Engine.timer;
+  pull_batch : max:int -> Shoalpp_workload.Transaction.t list;
+  anchors_of_round : int -> int list;
+  persist : size:int -> (unit -> unit) -> unit;
+  on_proposal_noted : Types.node -> unit;
+  on_certified : Types.certified_node -> unit;
+  on_cert_meta : Types.node_ref -> unit;
+}
+
+(* Vote accumulation for this replica's own proposal of a round. *)
+type vote_acc = {
+  digest : Digest32.t;
+  mutable sigs : (int * Signer.signature) list;
+  mutable cert_done : bool;
+}
+
+type t = {
+  cfg : config;
+  cb : callbacks;
+  store : Store.t;
+  kp : Signer.keypair;
+  rng : Rng.t;
+  mutable alive : bool;
+  mutable proposed_round : int;
+  mutable round_started_at : float;
+  mutable round_timer : Engine.timer option;
+  mutable lowest_round : int; (* GC horizon *)
+  own_votes : (int, vote_acc) Hashtbl.t; (* by round *)
+  (* All-to-all mode: vote accumulators for every position. *)
+  a2a_votes : (int * int, (Digest32.t, (int * Signer.signature) list ref) Hashtbl.t) Hashtbl.t;
+  voted : (int * int, Digest32.t) Hashtbl.t; (* (round, author) -> digest voted *)
+  data : Types.node Shoalpp_storage.Kvstore.t; (* proposals by digest *)
+  cert_meta : (int * int, Types.node_ref) Hashtbl.t;
+  (* Certificates no node we have seen references yet — candidates for weak
+     edges in our next proposal (DAG-Rider validity mechanism). *)
+  unreferenced : (int * int, Types.node_ref) Hashtbl.t;
+  certs_per_round : (int, int) Hashtbl.t;
+  awaiting_data : (Digest32.t, Types.certificate) Hashtbl.t;
+  (* Refs the consensus driver needs but whose certificates never reached us
+     (e.g. the certificate broadcast itself was dropped). *)
+  fetching_refs : (int * int, unit) Hashtbl.t;
+  mutable proposals_made : int;
+  mutable votes_cast : int;
+  mutable certs_formed : int;
+  mutable fetches_sent : int;
+  mutable invalid_dropped : int;
+}
+
+let create cfg cb ~store =
+  {
+    cfg;
+    cb;
+    store;
+    kp = Committee.keypair cfg.committee cfg.replica;
+    rng = Rng.create (cfg.seed + (cfg.replica * 1009) + (cfg.dag_id * 31));
+    alive = true;
+    proposed_round = -1;
+    round_started_at = 0.0;
+    round_timer = None;
+    lowest_round = 0;
+    own_votes = Hashtbl.create 32;
+    a2a_votes = Hashtbl.create 64;
+    voted = Hashtbl.create 256;
+    data = Shoalpp_storage.Kvstore.create ();
+    cert_meta = Hashtbl.create 256;
+    unreferenced = Hashtbl.create 64;
+    certs_per_round = Hashtbl.create 32;
+    awaiting_data = Hashtbl.create 16;
+    fetching_refs = Hashtbl.create 16;
+    proposals_made = 0;
+    votes_cast = 0;
+    certs_formed = 0;
+    fetches_sent = 0;
+    invalid_dropped = 0;
+  }
+
+let proposed_round t = t.proposed_round
+let cert_known t ~round ~author = Hashtbl.mem t.cert_meta (round, author)
+let cert_ref_at t ~round ~author = Hashtbl.find_opt t.cert_meta (round, author)
+let certs_known_at t ~round = Option.value ~default:0 (Hashtbl.find_opt t.certs_per_round round)
+let proposals_made t = t.proposals_made
+let votes_cast t = t.votes_cast
+let certs_formed t = t.certs_formed
+let fetches_sent t = t.fetches_sent
+let invalid_dropped t = t.invalid_dropped
+let crash t = t.alive <- false
+
+let quorum t = Committee.quorum t.cfg.committee
+
+let mark_referenced t (node : Types.node) =
+  let unref (p : Types.node_ref) =
+    Hashtbl.remove t.unreferenced (p.Types.ref_round, p.Types.ref_author)
+  in
+  List.iter unref node.Types.parents;
+  List.iter unref node.Types.weak_parents
+
+(* ---------------------------------------------------------------- *)
+(* Round advancement.                                                *)
+
+let round_wait_satisfied t round =
+  let have = certs_known_at t ~round in
+  if have >= Store.n t.store then true
+  else begin
+    match t.cfg.wait_policy with
+    | Quorum_only -> true
+    | Anchors_or_timeout timeout ->
+      (* Bullshark's liveness waits: an anchor round holds until the round's
+         anchor certificate arrives; the following (voting) round holds
+         until f+1 of its certificates reference the previous round's
+         anchor — so the anchor can commit directly. Timeout bounds both. *)
+      let anchors_present =
+        List.for_all (fun a -> cert_known t ~round ~author:a) (t.cb.anchors_of_round round)
+      in
+      let votes_present =
+        List.for_all
+          (fun a ->
+            Store.certified_refs t.store ~round:(round - 1) ~author:a
+            >= Committee.weak_quorum t.cfg.committee)
+          (if round = 0 then [] else t.cb.anchors_of_round (round - 1))
+      in
+      (anchors_present && votes_present) || t.cb.now () >= t.round_started_at +. timeout
+    | All_or_timeout timeout -> t.cb.now () >= t.round_started_at +. timeout
+  end
+
+let rec propose t round =
+  t.proposed_round <- round;
+  t.round_started_at <- t.cb.now ();
+  (match t.round_timer with Some timer -> Engine.cancel timer | None -> ());
+  t.round_timer <- None;
+  let parents =
+    if round = 0 then []
+    else
+      List.init (Store.n t.store) (fun a -> Hashtbl.find_opt t.cert_meta (round - 1, a))
+      |> List.filter_map Fun.id
+  in
+  (* Weak edges: adopt certificates that nothing we have seen references,
+     oldest first, so orphaned (slow replicas') nodes still get ordered. *)
+  let weak_parents =
+    if round < 2 then []
+    else begin
+      Hashtbl.fold
+        (fun (r, _) node_ref acc -> if r < round - 1 then node_ref :: acc else acc)
+        t.unreferenced []
+      |> List.sort Types.compare_ref
+      |> List.filteri (fun i _ -> i < Types.max_weak_parents)
+    end
+  in
+  List.iter
+    (fun (p : Types.node_ref) ->
+      Hashtbl.remove t.unreferenced (p.Types.ref_round, p.Types.ref_author))
+    weak_parents;
+  let txns = t.cb.pull_batch ~max:t.cfg.batch_cap in
+  let created_at = t.cb.now () in
+  let batch = Batch.make ~txns ~created_at in
+  let digest =
+    Types.node_digest ~round ~author:t.cfg.replica ~batch_digest:batch.Batch.digest ~parents
+      ~weak_parents
+  in
+  let node =
+    {
+      Types.round;
+      author = t.cfg.replica;
+      batch;
+      parents;
+      weak_parents;
+      digest;
+      signature = Signer.sign t.kp (Digest32.raw digest);
+      created_at;
+    }
+  in
+  t.proposals_made <- t.proposals_made + 1;
+  (* Durably log own proposal (asynchronously; the local vote, like any
+     other vote, is gated on persistence in handle_proposal). *)
+  t.cb.broadcast (Types.Proposal node);
+  (* Arm the round timeout so the wait policy re-fires even with no new
+     certificate arrivals. *)
+  match t.cfg.wait_policy with
+  | Quorum_only -> ()
+  | Anchors_or_timeout timeout | All_or_timeout timeout ->
+    t.round_timer <-
+      Some (t.cb.schedule ~after:timeout (fun () -> if t.alive then maybe_advance t))
+
+and maybe_advance t =
+  if t.alive && t.proposed_round >= 0 then begin
+    (* Catch-up: find the highest round with a certificate quorum at or
+       above our current round, then check its wait policy. *)
+    let rec best r best_so_far =
+      if r > Store.highest_round t.store + 1 && Hashtbl.find_opt t.certs_per_round r = None then
+        best_so_far
+      else begin
+        let next = if certs_known_at t ~round:r >= quorum t then Some r else best_so_far in
+        if r > t.proposed_round + 64 then next else best (r + 1) next
+      end
+    in
+    match best t.proposed_round None with
+    | Some r when r >= t.proposed_round && round_wait_satisfied t r -> propose t (r + 1)
+    | _ -> ()
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Certified-node delivery.                                          *)
+
+let try_deliver t (cert : Types.certificate) =
+  let r = cert.Types.cert_ref in
+  match Shoalpp_storage.Kvstore.get t.data r.Types.ref_digest with
+  | Some node ->
+    Hashtbl.remove t.awaiting_data r.Types.ref_digest;
+    if Store.add_certified t.store { Types.cn_node = node; cn_cert = cert } then
+      t.cb.on_certified { Types.cn_node = node; cn_cert = cert };
+    true
+  | None -> false
+
+let rec arm_fetch t (cert : Types.certificate) =
+  (* Off-critical-path fetch (§7): ask one of the f+1 correct signers that
+     must hold the data; rotate targets on retry to balance load. *)
+  ignore
+    (t.cb.schedule ~after:t.cfg.fetch_delay_ms (fun () ->
+         if t.alive && Hashtbl.mem t.awaiting_data cert.Types.cert_ref.Types.ref_digest then begin
+           let signers = Shoalpp_support.Bitset.to_list (Multisig.signers cert.Types.multisig) in
+           let candidates = List.filter (fun s -> s <> t.cfg.replica) signers in
+           (match candidates with
+           | [] -> ()
+           | _ ->
+             let target = List.nth candidates (Rng.int t.rng (List.length candidates)) in
+             t.fetches_sent <- t.fetches_sent + 1;
+             t.cb.send ~dst:target
+               (Types.Fetch_request { wanted = cert.Types.cert_ref; requester = t.cfg.replica }));
+           arm_fetch t cert
+         end))
+
+(* Recover a node we know only by reference (a parent edge of some received
+   node): ask random peers until the certified node arrives. At least f+1
+   correct replicas hold any certified node, so random polling terminates. *)
+let fetch_missing t (wanted : Types.node_ref) =
+  let key = (wanted.Types.ref_round, wanted.Types.ref_author) in
+  if
+    wanted.Types.ref_round >= t.lowest_round
+    && (not (Hashtbl.mem t.cert_meta key))
+    && not (Hashtbl.mem t.fetching_refs key)
+  then begin
+    Hashtbl.replace t.fetching_refs key ();
+    let rec attempt () =
+      if
+        t.alive
+        && Hashtbl.mem t.fetching_refs key
+        && (not (Hashtbl.mem t.cert_meta key))
+        && wanted.Types.ref_round >= t.lowest_round
+      then begin
+        let n = t.cfg.committee.Committee.n in
+        let dst = (t.cfg.replica + 1 + Rng.int t.rng (n - 1)) mod n in
+        t.fetches_sent <- t.fetches_sent + 1;
+        t.cb.send ~dst (Types.Fetch_request { wanted; requester = t.cfg.replica });
+        ignore (t.cb.schedule ~after:(2.0 *. t.cfg.fetch_delay_ms) attempt)
+      end
+      else Hashtbl.remove t.fetching_refs key
+    in
+    ignore (t.cb.schedule ~after:t.cfg.fetch_delay_ms attempt)
+  end
+
+let accept_certificate t (cert : Types.certificate) =
+  let r = cert.Types.cert_ref in
+  let key = (r.Types.ref_round, r.Types.ref_author) in
+  if (not (Hashtbl.mem t.cert_meta key)) && r.Types.ref_round >= t.lowest_round then begin
+    Hashtbl.replace t.cert_meta key r;
+    Hashtbl.remove t.fetching_refs key;
+    Hashtbl.replace t.unreferenced key r;
+    Hashtbl.replace t.certs_per_round r.Types.ref_round (certs_known_at t ~round:r.Types.ref_round + 1);
+    (* Persist the certificate (group-committed; does not gate progress). *)
+    t.cb.persist ~size:(Types.message_size (Types.Certificate cert)) (fun () -> ());
+    if not (try_deliver t cert) then begin
+      Hashtbl.replace t.awaiting_data r.Types.ref_digest cert;
+      arm_fetch t cert
+    end;
+    t.cb.on_cert_meta r;
+    maybe_advance t
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Message handlers.                                                 *)
+
+let handle_proposal t ~src (node : Types.node) =
+  if src <> node.Types.author then t.invalid_dropped <- t.invalid_dropped + 1
+  else begin
+    match
+      Validation.validate_proposal ~committee:t.cfg.committee
+        ~verify_signatures:t.cfg.verify_signatures node
+    with
+    | Error _ -> t.invalid_dropped <- t.invalid_dropped + 1
+    | Ok () ->
+      if node.Types.round >= t.lowest_round then begin
+        let key = (node.Types.round, node.Types.author) in
+        Shoalpp_storage.Kvstore.put t.data node.Types.digest node;
+        mark_referenced t node;
+        (* Weak votes: only the first proposal per (round, author). *)
+        if Store.note_proposal t.store node then begin
+          t.cb.on_proposal_noted node;
+          (* Efficient fetching (§7): certified edges we have never seen the
+             certificate for are recovered asynchronously, off the critical
+             path — we vote regardless. *)
+          List.iter
+            (fun (p : Types.node_ref) ->
+              if not (Hashtbl.mem t.cert_meta (p.Types.ref_round, p.Types.ref_author)) then
+                fetch_missing t p)
+            node.Types.parents
+        end;
+        (* A certificate may have arrived before the data. *)
+        (match Hashtbl.find_opt t.awaiting_data node.Types.digest with
+        | Some cert -> ignore (try_deliver t cert)
+        | None -> ());
+        (* Vote at most once per position; equivocating second proposals
+           are ignored (§3.1 step 2). The vote is externalized only after
+           the proposal is durably persisted. *)
+        if not (Hashtbl.mem t.voted key) then begin
+          Hashtbl.replace t.voted key node.Types.digest;
+          let preimage =
+            Types.vote_preimage ~round:node.Types.round ~author:node.Types.author
+              ~digest:node.Types.digest
+          in
+          let vote =
+            {
+              Types.vote_round = node.Types.round;
+              vote_author = node.Types.author;
+              vote_digest = node.Types.digest;
+              voter = t.cfg.replica;
+              vote_signature = Signer.sign t.kp preimage;
+            }
+          in
+          t.cb.persist ~size:(Types.message_size (Types.Proposal node)) (fun () ->
+              if t.alive then begin
+                t.votes_cast <- t.votes_cast + 1;
+                if t.cfg.all_to_all_votes then t.cb.broadcast (Types.Vote vote)
+                else t.cb.send ~dst:node.Types.author (Types.Vote vote)
+              end)
+        end
+      end
+  end
+
+(* All-to-all certification (§5.4): every replica aggregates every
+   position's certificate locally from broadcast votes — no certificate
+   forwarding step, saving one message delay per round. *)
+let handle_vote_a2a t (v : Types.vote) =
+  let key = (v.Types.vote_round, v.Types.vote_author) in
+  if (not (Hashtbl.mem t.cert_meta key)) && v.Types.vote_round >= t.lowest_round then begin
+    match
+      Validation.validate_vote ~committee:t.cfg.committee
+        ~verify_signatures:t.cfg.verify_signatures v
+    with
+    | Error _ -> t.invalid_dropped <- t.invalid_dropped + 1
+    | Ok () ->
+      let per_pos =
+        match Hashtbl.find_opt t.a2a_votes key with
+        | Some h -> h
+        | None ->
+          let h = Hashtbl.create 4 in
+          Hashtbl.replace t.a2a_votes key h;
+          h
+      in
+      let sigs =
+        match Hashtbl.find_opt per_pos v.Types.vote_digest with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.replace per_pos v.Types.vote_digest l;
+          l
+      in
+      if not (List.mem_assoc v.Types.voter !sigs) then begin
+        sigs := (v.Types.voter, v.Types.vote_signature) :: !sigs;
+        if List.length !sigs >= quorum t then begin
+          t.certs_formed <- t.certs_formed + 1;
+          Hashtbl.remove t.a2a_votes key;
+          let multisig = Multisig.aggregate ~n:t.cfg.committee.Committee.n !sigs in
+          let cert_ref =
+            {
+              Types.ref_round = v.Types.vote_round;
+              ref_author = v.Types.vote_author;
+              ref_digest = v.Types.vote_digest;
+            }
+          in
+          accept_certificate t { Types.cert_ref; multisig }
+        end
+      end
+  end
+
+let handle_vote t (v : Types.vote) =
+  if t.cfg.all_to_all_votes then handle_vote_a2a t v
+  else if v.Types.vote_author = t.cfg.replica then begin
+    match
+      Validation.validate_vote ~committee:t.cfg.committee
+        ~verify_signatures:t.cfg.verify_signatures v
+    with
+    | Error _ -> t.invalid_dropped <- t.invalid_dropped + 1
+    | Ok () -> (
+      match Hashtbl.find_opt t.own_votes v.Types.vote_round with
+      | Some acc
+        when Digest32.equal acc.digest v.Types.vote_digest
+             && (not acc.cert_done)
+             && not (List.mem_assoc v.Types.voter acc.sigs) ->
+        acc.sigs <- (v.Types.voter, v.Types.vote_signature) :: acc.sigs;
+        if List.length acc.sigs >= quorum t then begin
+          acc.cert_done <- true;
+          t.certs_formed <- t.certs_formed + 1;
+          let multisig = Multisig.aggregate ~n:t.cfg.committee.Committee.n acc.sigs in
+          let cert_ref =
+            {
+              Types.ref_round = v.Types.vote_round;
+              ref_author = t.cfg.replica;
+              ref_digest = acc.digest;
+            }
+          in
+          t.cb.broadcast (Types.Certificate { Types.cert_ref; multisig })
+        end
+      | _ -> ())
+  end
+
+let handle_certificate t (cert : Types.certificate) =
+  match
+    Validation.validate_certificate ~committee:t.cfg.committee
+      ~verify_signatures:t.cfg.verify_signatures cert
+  with
+  | Error _ -> t.invalid_dropped <- t.invalid_dropped + 1
+  | Ok () -> accept_certificate t cert
+
+let handle_fetch_request t ~src (wanted : Types.node_ref) =
+  (* A zero digest means "whatever certified node sits at this position" —
+     used when the requester never received the certificate at all. The
+     certified DAG has at most one node per position, so this is safe, and
+     the requester validates the response's certificate anyway. *)
+  let found =
+    if Digest32.equal wanted.Types.ref_digest Digest32.zero then
+      Store.get t.store ~round:wanted.Types.ref_round ~author:wanted.Types.ref_author
+    else Store.get_by_ref t.store wanted
+  in
+  match found with
+  | Some cn -> t.cb.send ~dst:src (Types.Fetch_response cn)
+  | None -> ()
+
+let handle_fetch_response t (cn : Types.certified_node) =
+  match
+    Validation.validate_certified_node ~committee:t.cfg.committee
+      ~verify_signatures:t.cfg.verify_signatures cn
+  with
+  | Error _ -> t.invalid_dropped <- t.invalid_dropped + 1
+  | Ok () ->
+    let node = cn.Types.cn_node in
+    Shoalpp_storage.Kvstore.put t.data node.Types.digest node;
+    mark_referenced t node;
+    if Store.note_proposal t.store node then t.cb.on_proposal_noted node;
+    accept_certificate t cn.Types.cn_cert;
+    (match Hashtbl.find_opt t.awaiting_data node.Types.digest with
+    | Some cert -> ignore (try_deliver t cert)
+    | None -> ())
+
+let handle_message t ~src msg =
+  if t.alive then begin
+    match msg with
+    | Types.Proposal node ->
+      handle_proposal t ~src node;
+      (* The author votes for its own proposal like everyone else; register
+         our vote accumulator when the loopback copy arrives. *)
+      if node.Types.author = t.cfg.replica && not (Hashtbl.mem t.own_votes node.Types.round) then
+        Hashtbl.replace t.own_votes node.Types.round
+          { digest = node.Types.digest; sigs = []; cert_done = false }
+    | Types.Vote v -> handle_vote t v
+    | Types.Certificate c -> handle_certificate t c
+    | Types.Fetch_request { wanted; requester } ->
+      handle_fetch_request t ~src:requester wanted;
+      ignore src
+    | Types.Fetch_response cn -> handle_fetch_response t cn
+  end
+
+let start t =
+  if t.alive && t.proposed_round < 0 then propose t 0
+
+let gc_upto t ~round =
+  if round > t.lowest_round then begin
+    t.lowest_round <- round;
+    ignore (Store.prune_below t.store ~round);
+    let doomed =
+      Hashtbl.fold (fun (r, a) _ acc -> if r < round then (r, a) :: acc else acc) t.cert_meta []
+    in
+    List.iter (fun k -> Hashtbl.remove t.cert_meta k) doomed;
+    List.iter (fun k -> Hashtbl.remove t.unreferenced k) doomed;
+    let doomed_votes =
+      Hashtbl.fold (fun (r, a) _ acc -> if r < round then (r, a) :: acc else acc) t.voted []
+    in
+    List.iter (fun k -> Hashtbl.remove t.voted k) doomed_votes;
+    let doomed_rounds =
+      Hashtbl.fold (fun r _ acc -> if r < round then r :: acc else acc) t.certs_per_round []
+    in
+    List.iter (fun r -> Hashtbl.remove t.certs_per_round r) doomed_rounds;
+    let doomed_own =
+      Hashtbl.fold (fun r _ acc -> if r < round then r :: acc else acc) t.own_votes []
+    in
+    List.iter (fun r -> Hashtbl.remove t.own_votes r) doomed_own;
+    let doomed_a2a =
+      Hashtbl.fold (fun (r, a) _ acc -> if r < round then (r, a) :: acc else acc) t.a2a_votes []
+    in
+    List.iter (fun k -> Hashtbl.remove t.a2a_votes k) doomed_a2a
+  end

@@ -1,0 +1,258 @@
+module Digest32 = Shoalpp_crypto.Digest32
+module Signer = Shoalpp_crypto.Signer
+module Multisig = Shoalpp_crypto.Multisig
+module Batch = Shoalpp_workload.Batch
+module Transaction = Shoalpp_workload.Transaction
+module Wire = Shoalpp_codec.Wire
+module Bitset = Shoalpp_support.Bitset
+
+type round = int
+type replica = int
+
+type node_ref = { ref_round : round; ref_author : replica; ref_digest : Digest32.t }
+
+type node = {
+  round : round;
+  author : replica;
+  batch : Batch.t;
+  parents : node_ref list;
+  weak_parents : node_ref list;
+  digest : Digest32.t;
+  signature : Signer.signature;
+  created_at : float;
+}
+
+let max_weak_parents = 16
+
+type vote = {
+  vote_round : round;
+  vote_author : replica;
+  vote_digest : Digest32.t;
+  voter : replica;
+  vote_signature : Signer.signature;
+}
+
+type certificate = { cert_ref : node_ref; multisig : Multisig.t }
+
+type certified_node = { cn_node : node; cn_cert : certificate }
+
+type message =
+  | Proposal of node
+  | Vote of vote
+  | Certificate of certificate
+  | Fetch_request of { wanted : node_ref; requester : replica }
+  | Fetch_response of certified_node
+
+let ref_of_node n = { ref_round = n.round; ref_author = n.author; ref_digest = n.digest }
+
+let node_digest ~round ~author ~batch_digest ~parents ~weak_parents =
+  let w = Wire.Writer.create () in
+  Wire.Writer.uint w round;
+  Wire.Writer.uint w author;
+  Wire.Writer.digest w batch_digest;
+  let write_refs refs =
+    Wire.Writer.list w
+      (fun p ->
+        Wire.Writer.uint w p.ref_round;
+        Wire.Writer.uint w p.ref_author;
+        Wire.Writer.digest w p.ref_digest)
+      refs
+  in
+  write_refs parents;
+  write_refs weak_parents;
+  Digest32.of_string (Wire.Writer.contents w)
+
+let vote_preimage ~round ~author ~digest =
+  Printf.sprintf "vote/%d/%d/%s" round author (Digest32.raw digest)
+
+let ref_equal a b =
+  a.ref_round = b.ref_round && a.ref_author = b.ref_author && Digest32.equal a.ref_digest b.ref_digest
+
+let compare_ref a b =
+  let c = compare a.ref_round b.ref_round in
+  if c <> 0 then c
+  else begin
+    let c = compare a.ref_author b.ref_author in
+    if c <> 0 then c else Digest32.compare a.ref_digest b.ref_digest
+  end
+
+let pp_ref fmt r = Format.fprintf fmt "(r%d,a%d,%a)" r.ref_round r.ref_author Digest32.pp r.ref_digest
+
+let pp_node fmt n =
+  Format.fprintf fmt "node(r%d,a%d,%a,%d txns,%d parents)" n.round n.author Digest32.pp n.digest
+    (Batch.length n.batch) (List.length n.parents)
+
+(* ------------------------------------------------------------------ *)
+(* Wire encoding.                                                      *)
+
+let write_ref w (r : node_ref) =
+  Wire.Writer.uint w r.ref_round;
+  Wire.Writer.uint w r.ref_author;
+  Wire.Writer.digest w r.ref_digest
+
+let read_ref rd =
+  let ref_round = Wire.Reader.uint rd in
+  let ref_author = Wire.Reader.uint rd in
+  let ref_digest = Wire.Reader.digest rd in
+  { ref_round; ref_author; ref_digest }
+
+let write_txn w (tx : Transaction.t) =
+  Wire.Writer.uint w tx.id;
+  Wire.Writer.uint w tx.size;
+  Wire.Writer.uint w tx.origin;
+  Wire.Writer.float w tx.submitted_at;
+  (* Payload bytes are synthetic: charge their size without materializing. *)
+  Wire.Writer.uint w tx.size
+
+let read_txn rd : Transaction.t =
+  let id = Wire.Reader.uint rd in
+  let size = Wire.Reader.uint rd in
+  let origin = Wire.Reader.uint rd in
+  let submitted_at = Wire.Reader.float rd in
+  let _payload_len = Wire.Reader.uint rd in
+  Transaction.make ~id ~size ~submitted_at ~origin ()
+
+let write_node w (n : node) =
+  Wire.Writer.uint w n.round;
+  Wire.Writer.uint w n.author;
+  Wire.Writer.float w n.created_at;
+  Wire.Writer.list w (write_txn w) n.batch.Batch.txns;
+  Wire.Writer.list w (write_ref w) n.parents;
+  Wire.Writer.list w (write_ref w) n.weak_parents;
+  Wire.Writer.raw w (Signer.raw n.signature)
+
+let read_node rd =
+  let round = Wire.Reader.uint rd in
+  let author = Wire.Reader.uint rd in
+  let created_at = Wire.Reader.float rd in
+  let txns = Wire.Reader.list rd read_txn in
+  let parents = Wire.Reader.list rd read_ref in
+  let weak_parents = Wire.Reader.list rd read_ref in
+  let signature_raw = Wire.Reader.raw rd 32 in
+  let batch = Batch.make ~txns ~created_at in
+  let digest =
+    node_digest ~round ~author ~batch_digest:batch.Batch.digest ~parents ~weak_parents
+  in
+  {
+    round;
+    author;
+    batch;
+    parents;
+    weak_parents;
+    digest;
+    signature = Signer.of_raw signature_raw;
+    created_at;
+  }
+
+let write_cert w (c : certificate) =
+  write_ref w c.cert_ref;
+  let signers = Multisig.signers c.multisig in
+  Wire.Writer.uint w (Bitset.capacity signers);
+  Wire.Writer.list w (Wire.Writer.uint w) (Bitset.to_list signers)
+
+let encode_message msg =
+  let w = Wire.Writer.create () in
+  (match msg with
+  | Proposal n ->
+    Wire.Writer.u8 w 1;
+    write_node w n
+  | Vote v ->
+    Wire.Writer.u8 w 2;
+    Wire.Writer.uint w v.vote_round;
+    Wire.Writer.uint w v.vote_author;
+    Wire.Writer.digest w v.vote_digest;
+    Wire.Writer.uint w v.voter;
+    Wire.Writer.raw w (Signer.raw v.vote_signature)
+  | Certificate c ->
+    Wire.Writer.u8 w 3;
+    write_cert w c
+  | Fetch_request { wanted; requester } ->
+    Wire.Writer.u8 w 4;
+    write_ref w wanted;
+    Wire.Writer.uint w requester
+  | Fetch_response cn ->
+    Wire.Writer.u8 w 5;
+    write_node w cn.cn_node;
+    write_cert w cn.cn_cert);
+  Wire.Writer.contents w
+
+(* Decoding rebuilds signatures/multisigs through the registry: since the
+   simulated schemes are deterministic given the cluster seed, a decoded
+   message is bit-equivalent to the original if and only if it is
+   authentic. Structural errors surface as [Error _]. *)
+let decode_message ~cluster_seed s =
+  let rd = Wire.Reader.of_string s in
+  try
+    let msg =
+      match Wire.Reader.u8 rd with
+      | 1 -> Proposal (read_node rd)
+      | 2 ->
+        let vote_round = Wire.Reader.uint rd in
+        let vote_author = Wire.Reader.uint rd in
+        let vote_digest = Wire.Reader.digest rd in
+        let voter = Wire.Reader.uint rd in
+        let raw = Wire.Reader.raw rd 32 in
+        Vote { vote_round; vote_author; vote_digest; voter; vote_signature = Signer.of_raw raw }
+      | 3 ->
+        let cert_ref = read_ref rd in
+        let cap = Wire.Reader.uint rd in
+        let signers = Wire.Reader.list rd Wire.Reader.uint in
+        let sigs =
+          List.map
+            (fun signer ->
+              let kp = Signer.keygen ~cluster_seed ~replica:signer in
+              ( signer,
+                Signer.sign kp
+                  (vote_preimage ~round:cert_ref.ref_round ~author:cert_ref.ref_author
+                     ~digest:cert_ref.ref_digest) ))
+            signers
+        in
+        Certificate { cert_ref; multisig = Multisig.aggregate ~n:cap sigs }
+      | 4 ->
+        let wanted = read_ref rd in
+        let requester = Wire.Reader.uint rd in
+        Fetch_request { wanted; requester }
+      | 5 ->
+        let cn_node = read_node rd in
+        let cert_ref = read_ref rd in
+        let cap = Wire.Reader.uint rd in
+        let signers = Wire.Reader.list rd Wire.Reader.uint in
+        let sigs =
+          List.map
+            (fun signer ->
+              let kp = Signer.keygen ~cluster_seed ~replica:signer in
+              ( signer,
+                Signer.sign kp
+                  (vote_preimage ~round:cert_ref.ref_round ~author:cert_ref.ref_author
+                     ~digest:cert_ref.ref_digest) ))
+            signers
+        in
+        Fetch_response { cn_node; cn_cert = { cert_ref; multisig = Multisig.aggregate ~n:cap sigs } }
+      | tag -> failwith (Printf.sprintf "unknown message tag %d" tag)
+    in
+    Wire.Reader.expect_end rd;
+    Ok msg
+  with
+  | Wire.Reader.Malformed m -> Error m
+  | Failure m -> Error m
+  | Invalid_argument m -> Error m
+
+(* Sizes: the proposal dominates (inline batch). We model the batch payload
+   as its true byte size rather than the metadata-only encoding above. *)
+let ref_size = 2 + 2 + 32
+
+let node_size (n : node) =
+  1 (* tag *) + 4 (* round *) + 2 (* author *) + 8 (* timestamp *)
+  + Batch.wire_size n.batch
+  + 2
+  + ((List.length n.parents + List.length n.weak_parents) * ref_size)
+  + Signer.signature_size
+
+let cert_size (c : certificate) = ref_size + Multisig.wire_size c.multisig
+
+let message_size = function
+  | Proposal n -> node_size n
+  | Vote _ -> 1 + 4 + 2 + 32 + 2 + Signer.signature_size
+  | Certificate c -> 1 + cert_size c
+  | Fetch_request _ -> 1 + ref_size + 2
+  | Fetch_response cn -> 1 + node_size cn.cn_node + cert_size cn.cn_cert

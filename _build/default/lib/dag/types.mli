@@ -1,0 +1,85 @@
+(** Core data types of the certified DAG (Narwhal-style, §3.1 of the paper).
+
+    A {e node} is one replica's proposal for one round: a transaction batch
+    plus n-f parent references to certified round r-1 nodes. A node becomes
+    part of the DAG once {e certified} by an n-f quorum of vote signatures
+    aggregated into a {!certificate}. *)
+
+type round = int
+type replica = int
+
+type node_ref = { ref_round : round; ref_author : replica; ref_digest : Shoalpp_crypto.Digest32.t }
+(** Compact reference to a (certified) node: its DAG position and digest. *)
+
+type node = {
+  round : round;
+  author : replica;
+  batch : Shoalpp_workload.Batch.t;
+  parents : node_ref list;  (** refs to certified nodes of [round - 1]; [] only in round 0 *)
+  weak_parents : node_ref list;
+      (** weak edges (DAG-Rider / Bullshark validity mechanism): refs to
+          certified nodes from rounds [< round - 1] that would otherwise be
+          orphaned — they join the causal history (and thus get ordered) but
+          do {e not} count as votes for commit rules *)
+  digest : Shoalpp_crypto.Digest32.t;  (** binds round, author, batch digest and parents *)
+  signature : Shoalpp_crypto.Signer.signature;  (** author's signature over [digest] *)
+  created_at : float;  (** local creation time; informational, not signed *)
+}
+
+type vote = {
+  vote_round : round;
+  vote_author : replica;  (** author of the proposal being voted for *)
+  vote_digest : Shoalpp_crypto.Digest32.t;
+  voter : replica;
+  vote_signature : Shoalpp_crypto.Signer.signature;
+}
+
+type certificate = {
+  cert_ref : node_ref;
+  multisig : Shoalpp_crypto.Multisig.t;  (** >= n-f distinct vote signatures *)
+}
+
+type certified_node = { cn_node : node; cn_cert : certificate }
+
+(** DAG protocol messages. [Proposal] and [Vote] and [Certificate] are the
+    three reliable-broadcast steps; [Fetch_request]/[Fetch_response]
+    implement §7's off-critical-path node fetching. *)
+type message =
+  | Proposal of node
+  | Vote of vote
+  | Certificate of certificate
+  | Fetch_request of { wanted : node_ref; requester : replica }
+  | Fetch_response of certified_node
+
+val ref_of_node : node -> node_ref
+
+val node_digest :
+  round:round ->
+  author:replica ->
+  batch_digest:Shoalpp_crypto.Digest32.t ->
+  parents:node_ref list ->
+  weak_parents:node_ref list ->
+  Shoalpp_crypto.Digest32.t
+(** The canonical signing preimage of a node. *)
+
+val max_weak_parents : int
+(** Per-node cap on weak edges (validation rejects more). *)
+
+val vote_preimage : round:round -> author:replica -> digest:Shoalpp_crypto.Digest32.t -> string
+(** Bytes a voter signs. *)
+
+val ref_equal : node_ref -> node_ref -> bool
+val compare_ref : node_ref -> node_ref -> int
+val pp_ref : Format.formatter -> node_ref -> unit
+val pp_node : Format.formatter -> node -> unit
+
+(** Modeled wire sizes in bytes, derived from the binary encodings. The
+    network charges bandwidth and CPU for these. *)
+
+val message_size : message -> int
+val encode_message : message -> string
+(** Reference binary encoding (validated round-trip in tests; the simulator
+    passes values in memory and charges for [message_size] bytes). *)
+
+val decode_message : cluster_seed:int -> string -> (message, string) result
+(** Decode and structurally validate; does not check signatures. *)

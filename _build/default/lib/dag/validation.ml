@@ -1,0 +1,119 @@
+module Digest32 = Shoalpp_crypto.Digest32
+module Signer = Shoalpp_crypto.Signer
+module Multisig = Shoalpp_crypto.Multisig
+
+let ( let* ) r f = Result.bind r f
+let check cond fmt = Printf.ksprintf (fun m -> if cond then Ok () else Error m) fmt
+
+let validate_parents committee (node : Types.node) =
+  if node.Types.round = 0 then
+    check (node.Types.parents = []) "round-0 node must have no parents"
+  else begin
+    let n_parents = List.length node.Types.parents in
+    let* () =
+      check
+        (n_parents >= Committee.quorum committee)
+        "node has %d parents, need >= %d" n_parents (Committee.quorum committee)
+    in
+    let seen = Hashtbl.create 8 in
+    List.fold_left
+      (fun acc (p : Types.node_ref) ->
+        let* () = acc in
+        let* () =
+          check (p.Types.ref_round = node.Types.round - 1) "parent from round %d, expected %d"
+            p.Types.ref_round (node.Types.round - 1)
+        in
+        let* () =
+          check (Committee.valid_replica committee p.Types.ref_author) "parent author %d invalid"
+            p.Types.ref_author
+        in
+        let* () = check (not (Hashtbl.mem seen p.Types.ref_author)) "duplicate parent author" in
+        Hashtbl.replace seen p.Types.ref_author ();
+        Ok ())
+      (Ok ()) node.Types.parents
+  end
+
+let validate_weak_parents committee (node : Types.node) =
+  let nweak = List.length node.Types.weak_parents in
+  let* () =
+    check (nweak <= Types.max_weak_parents) "%d weak parents, cap is %d" nweak
+      Types.max_weak_parents
+  in
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc (p : Types.node_ref) ->
+      let* () = acc in
+      let* () =
+        check
+          (p.Types.ref_round >= 0 && p.Types.ref_round < node.Types.round - 1)
+          "weak parent from round %d, need < %d" p.Types.ref_round (node.Types.round - 1)
+      in
+      let* () =
+        check (Committee.valid_replica committee p.Types.ref_author) "weak parent author invalid"
+      in
+      let key = (p.Types.ref_round, p.Types.ref_author) in
+      let* () = check (not (Hashtbl.mem seen key)) "duplicate weak parent" in
+      Hashtbl.replace seen key ();
+      Ok ())
+    (Ok ()) node.Types.weak_parents
+
+let validate_proposal ~committee ~verify_signatures (node : Types.node) =
+  let* () = check (Committee.valid_replica committee node.Types.author) "author out of range" in
+  let* () = check (node.Types.round >= 0) "negative round" in
+  let* () = validate_parents committee node in
+  let* () = validate_weak_parents committee node in
+  let expected =
+    Types.node_digest ~round:node.Types.round ~author:node.Types.author
+      ~batch_digest:node.Types.batch.Shoalpp_workload.Batch.digest ~parents:node.Types.parents
+      ~weak_parents:node.Types.weak_parents
+  in
+  let* () = check (Digest32.equal expected node.Types.digest) "digest mismatch" in
+  if verify_signatures then
+    check
+      (Signer.verify ~cluster_seed:committee.Committee.cluster_seed node.Types.author
+         (Digest32.raw node.Types.digest) node.Types.signature)
+      "bad author signature"
+  else Ok ()
+
+let validate_vote ~committee ~verify_signatures (v : Types.vote) =
+  let* () = check (Committee.valid_replica committee v.Types.voter) "voter out of range" in
+  let* () = check (Committee.valid_replica committee v.Types.vote_author) "vote author out of range" in
+  if verify_signatures then begin
+    let preimage =
+      Types.vote_preimage ~round:v.Types.vote_round ~author:v.Types.vote_author
+        ~digest:v.Types.vote_digest
+    in
+    check
+      (Signer.verify ~cluster_seed:committee.Committee.cluster_seed v.Types.voter preimage
+         v.Types.vote_signature)
+      "bad vote signature"
+  end
+  else Ok ()
+
+let validate_certificate ~committee ~verify_signatures (c : Types.certificate) =
+  let nsig = Multisig.num_signers c.Types.multisig in
+  let* () =
+    check (nsig >= Committee.quorum committee) "certificate has %d signers, need >= %d" nsig
+      (Committee.quorum committee)
+  in
+  let* () =
+    check (Committee.valid_replica committee c.Types.cert_ref.Types.ref_author)
+      "certified author out of range"
+  in
+  if verify_signatures then begin
+    let preimage =
+      Types.vote_preimage ~round:c.Types.cert_ref.Types.ref_round
+        ~author:c.Types.cert_ref.Types.ref_author ~digest:c.Types.cert_ref.Types.ref_digest
+    in
+    check
+      (Multisig.verify ~cluster_seed:committee.Committee.cluster_seed c.Types.multisig preimage)
+      "bad certificate multisig"
+  end
+  else Ok ()
+
+let validate_certified_node ~committee ~verify_signatures (cn : Types.certified_node) =
+  let* () = validate_proposal ~committee ~verify_signatures cn.Types.cn_node in
+  let* () = validate_certificate ~committee ~verify_signatures cn.Types.cn_cert in
+  check
+    (Types.ref_equal (Types.ref_of_node cn.Types.cn_node) cn.Types.cn_cert.Types.cert_ref)
+    "certificate does not match node"

@@ -1,0 +1,25 @@
+(** Structural and cryptographic validation of DAG messages.
+
+    Everything a correct replica checks before acting on a message; invalid
+    messages are treated as Byzantine and dropped. Signature checks can be
+    switched off globally for large benchmark runs (the simulated scheme's
+    cost is then still modeled by the network CPU model), but all tests run
+    with them on. *)
+
+val validate_proposal :
+  committee:Committee.t -> verify_signatures:bool -> Types.node -> (unit, string) result
+(** Checks: author in range, round >= 0, parents structure — round 0 nodes
+    have no parents, later rounds have >= n-f parents, all from round-1 with
+    distinct valid authors —, digest binds content, author signature. *)
+
+val validate_vote :
+  committee:Committee.t -> verify_signatures:bool -> Types.vote -> (unit, string) result
+
+val validate_certificate :
+  committee:Committee.t -> verify_signatures:bool -> Types.certificate -> (unit, string) result
+(** Checks: >= n-f distinct signers and multisig validity over the vote
+    preimage. *)
+
+val validate_certified_node :
+  committee:Committee.t -> verify_signatures:bool -> Types.certified_node -> (unit, string) result
+(** Node and certificate valid, and the certificate matches the node. *)

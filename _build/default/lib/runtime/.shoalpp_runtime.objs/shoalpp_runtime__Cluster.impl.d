@@ -1,0 +1,1 @@
+lib/runtime/cluster.ml: Array Hashtbl List Metrics Report Shoalpp_consensus Shoalpp_core Shoalpp_dag Shoalpp_sim Shoalpp_workload

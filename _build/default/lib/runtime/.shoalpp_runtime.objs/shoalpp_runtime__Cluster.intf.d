@@ -1,0 +1,1 @@
+lib/runtime/cluster.mli: Format Metrics Report Shoalpp_core Shoalpp_sim

@@ -1,0 +1,1 @@
+lib/runtime/experiment.ml: Array Cluster Fun Hashtbl List Metrics Option Printf Report Shoalpp_consensus Shoalpp_core Shoalpp_dag Shoalpp_sim Shoalpp_workload

@@ -1,0 +1,1 @@
+lib/runtime/experiment.mli: Report Shoalpp_core Shoalpp_sim

@@ -1,0 +1,1 @@
+lib/runtime/metrics.ml: List Shoalpp_support Shoalpp_workload

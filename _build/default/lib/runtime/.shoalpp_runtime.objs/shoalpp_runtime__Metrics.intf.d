@@ -1,0 +1,1 @@
+lib/runtime/metrics.mli: Shoalpp_support Shoalpp_workload

@@ -1,0 +1,1 @@
+lib/runtime/report.ml: Format Metrics Printf Shoalpp_support

@@ -1,0 +1,214 @@
+module Engine = Shoalpp_sim.Engine
+module Topology = Shoalpp_sim.Topology
+module Netmodel = Shoalpp_sim.Netmodel
+module Fault = Shoalpp_sim.Fault
+module Config = Shoalpp_core.Config
+module Replica = Shoalpp_core.Replica
+module Driver = Shoalpp_consensus.Driver
+module Mempool = Shoalpp_workload.Mempool
+module Client = Shoalpp_workload.Client
+module Transaction = Shoalpp_workload.Transaction
+module Batch = Shoalpp_workload.Batch
+module Types = Shoalpp_dag.Types
+
+type setup = {
+  protocol : Config.t;
+  topology : Topology.t;
+  net_config : Netmodel.config;
+  fault : Fault.t;
+  load_tps : float;
+  tx_size : int;
+  warmup_ms : float;
+  seed : int;
+  track_logs : bool;
+}
+
+let default_setup ~protocol =
+  {
+    protocol;
+    topology = Topology.gcp10 ();
+    net_config = Netmodel.default_config;
+    fault = Fault.none;
+    load_tps = 1000.0;
+    tx_size = Transaction.default_size;
+    warmup_ms = 1000.0;
+    seed = 7;
+    track_logs = true;
+  }
+
+(* A compact identifier for one ordered segment, for the prefix audit. *)
+type seg_id = { sdag : int; sround : int; sauthor : int }
+
+type t = {
+  setup : setup;
+  engine : Engine.t;
+  net : Replica.envelope Netmodel.t;
+  replicas : Replica.t array;
+  mempools : Mempool.t array;
+  clients : Client.t option array;
+  metrics : Metrics.t;
+  logs : seg_id list ref array; (* newest first; only when track_logs *)
+  ordered_seen : (int, unit) Hashtbl.t array; (* per-replica txn dedup *)
+  mutable duplicate_orders : int;
+  mutable started : bool;
+  mutable fault : Fault.t;
+}
+
+let create setup =
+  let committee = setup.protocol.Config.committee in
+  let n = committee.Shoalpp_dag.Committee.n in
+  let engine = Engine.create () in
+  let assignment = Topology.assign_round_robin setup.topology ~n in
+  let net =
+    Netmodel.create ~engine ~topology:setup.topology ~assignment ~fault:setup.fault
+      ~config:setup.net_config ~seed:setup.seed ()
+  in
+  let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
+  let mempools = Array.init n (fun _ -> Mempool.create ()) in
+  let logs = Array.init n (fun _ -> ref []) in
+  let ordered_seen = Array.init n (fun _ -> Hashtbl.create 4096) in
+  let t =
+    {
+      setup;
+      engine;
+      net;
+      replicas = [||];
+      mempools;
+      clients = Array.make n None;
+      metrics;
+      logs;
+      ordered_seen;
+      duplicate_orders = 0;
+      started = false;
+      fault = setup.fault;
+    }
+  in
+  let replicas =
+    Array.init n (fun replica_id ->
+        let on_ordered (o : Replica.ordered) =
+          let seg = o.Replica.segment in
+          if setup.track_logs then begin
+            let anchor = seg.Driver.anchor in
+            logs.(replica_id) :=
+              {
+                sdag = seg.Driver.dag_id;
+                sround = anchor.Types.ref_round;
+                sauthor = anchor.Types.ref_author;
+              }
+              :: !(logs.(replica_id))
+          end;
+          List.iter
+            (fun (cn : Types.certified_node) ->
+              List.iter
+                (fun (tx : Transaction.t) ->
+                  if setup.track_logs then begin
+                    if Hashtbl.mem ordered_seen.(replica_id) tx.Transaction.id then
+                      t.duplicate_orders <- t.duplicate_orders + 1
+                    else Hashtbl.replace ordered_seen.(replica_id) tx.Transaction.id ()
+                  end;
+                  Metrics.observe_commit metrics
+                    ~origin_ordered:(tx.Transaction.origin = replica_id)
+                    ~tx ~now:o.Replica.ordered_at)
+                cn.Types.cn_node.Types.batch.Batch.txns)
+            seg.Driver.nodes
+        in
+        Replica.create ~config:setup.protocol ~replica_id ~net ~mempool:mempools.(replica_id)
+          ~on_ordered ())
+  in
+  let t = { t with replicas } in
+  t
+
+let engine t = t.engine
+let net t = t.net
+let replicas t = t.replicas
+let metrics t = t.metrics
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    let n = Array.length t.replicas in
+    let per_replica_tps = t.setup.load_tps /. float_of_int n in
+    let next_id = ref 0 in
+    Array.iteri
+      (fun i replica ->
+        (* Clients at replicas crashed from t=0 are not started (the paper
+           measures surviving clients). *)
+        if not (Fault.is_crashed t.setup.fault ~replica:i ~time:0.0) then begin
+          if per_replica_tps > 0.0 then
+            t.clients.(i) <-
+              Some
+                (Client.start ~engine:t.engine ~mempool:t.mempools.(i) ~origin:i
+                   ~rate_tps:per_replica_tps ~tx_size:t.setup.tx_size ~seed:(t.setup.seed + i)
+                   ~next_id ())
+        end;
+        Replica.start replica)
+      t.replicas;
+    ignore n
+  end
+
+let run t ~duration_ms =
+  start t;
+  Engine.run ~until:duration_ms t.engine
+
+let crash_now t i =
+  let now = Engine.now t.engine in
+  t.fault <- Fault.crash t.fault ~replica:i ~at:now;
+  Netmodel.set_fault t.net t.fault;
+  Replica.crash t.replicas.(i);
+  match t.clients.(i) with Some c -> Client.stop c | None -> ()
+
+type audit = {
+  consistent_prefixes : bool;
+  prefix_length : int;
+  duplicate_orders : int;
+  total_segments : int;
+}
+
+let audit t =
+  let logs = Array.map (fun l -> Array.of_list (List.rev !l)) t.logs in
+  (* Crashed replicas stop early; audit only live-at-end replicas' pairwise
+     common prefixes plus crashed replicas' prefixes against replica 0. *)
+  let min_len = Array.fold_left (fun acc l -> min acc (Array.length l)) max_int logs in
+  let min_len = if min_len = max_int then 0 else min_len in
+  let consistent = ref true in
+  Array.iter
+    (fun l ->
+      for i = 0 to min (Array.length l) min_len - 1 do
+        if l.(i) <> logs.(0).(i) then consistent := false
+      done)
+    logs;
+  (* Beyond the shortest log, compare every pair up to their common length. *)
+  let n = Array.length logs in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let common = min (Array.length logs.(a)) (Array.length logs.(b)) in
+      for i = 0 to common - 1 do
+        if logs.(a).(i) <> logs.(b).(i) then consistent := false
+      done
+    done
+  done;
+  {
+    consistent_prefixes = !consistent;
+    prefix_length = min_len;
+    duplicate_orders = t.duplicate_orders;
+    total_segments = Array.fold_left (fun acc l -> max acc (Array.length l)) 0 logs;
+  }
+
+let report t ~duration_ms =
+  let sum f =
+    Array.fold_left
+      (fun acc r -> List.fold_left (fun acc s -> acc + f s) acc (Replica.driver_stats r))
+      0 t.replicas
+  in
+  let submitted = Array.fold_left (fun acc m -> acc + Mempool.submitted m) 0 t.mempools in
+  Report.make ~name:t.setup.protocol.Config.name ~n:(Array.length t.replicas)
+    ~load_tps:t.setup.load_tps ~duration_ms ~submitted ~metrics:t.metrics
+    ~fast_commits:(sum (fun s -> s.Driver.fast_commits))
+    ~direct_commits:(sum (fun s -> s.Driver.direct_commits))
+    ~indirect_commits:(sum (fun s -> s.Driver.indirect_commits))
+    ~skipped_anchors:(sum (fun s -> s.Driver.skipped_anchors))
+    ~messages_sent:(Netmodel.messages_sent t.net)
+    ~messages_dropped:(Netmodel.messages_dropped t.net)
+    ~bytes_sent:(Netmodel.bytes_sent t.net) ()
+
+let pp_report = Report.pp

@@ -1,0 +1,212 @@
+module Topology = Shoalpp_sim.Topology
+module Fault = Shoalpp_sim.Fault
+module Committee = Shoalpp_dag.Committee
+module Config = Shoalpp_core.Config
+module Instance = Shoalpp_dag.Instance
+module Anchors = Shoalpp_consensus.Anchors
+module Replica = Shoalpp_core.Replica
+module Transaction = Shoalpp_workload.Transaction
+
+type topology_spec = Gcp10 | Uniform of float | Clique of int * float
+
+type system =
+  | Shoalpp
+  | Shoal
+  | Bullshark
+  | Shoalpp_faster_anchors
+  | Shoalpp_more_faster_anchors
+  | Shoal_more_dags
+  | Bullshark_more_dags
+  | Jolteon
+  | Mysticeti
+  | Custom of Config.t
+
+let system_name = function
+  | Shoalpp -> "shoal++"
+  | Shoal -> "shoal"
+  | Bullshark -> "bullshark"
+  | Shoalpp_faster_anchors -> "shoal++ faster-anchors"
+  | Shoalpp_more_faster_anchors -> "shoal++ more-faster-anchors"
+  | Shoal_more_dags -> "shoal more-dags"
+  | Bullshark_more_dags -> "bullshark more-dags"
+  | Jolteon -> "jolteon"
+  | Mysticeti -> "mysticeti"
+  | Custom c -> c.Config.name
+
+let all_dag_systems =
+  [ Shoalpp; Shoal; Bullshark; Shoalpp_faster_anchors; Shoalpp_more_faster_anchors;
+    Shoal_more_dags; Bullshark_more_dags ]
+
+type params = {
+  n : int;
+  load_tps : float;
+  duration_ms : float;
+  warmup_ms : float;
+  topology : topology_spec;
+  crashes : int;
+  drop_spec : (int * float * float) option;
+  round_timeout_ms : float option;
+  stagger_ms : float option;
+  num_dags : int option;
+  net_config : Shoalpp_sim.Netmodel.config option;
+  verify_signatures : bool;
+  tx_size : int;
+  batch_cap : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    n = 16;
+    load_tps = 1000.0;
+    duration_ms = 30_000.0;
+    warmup_ms = 3_000.0;
+    topology = Gcp10;
+    crashes = 0;
+    drop_spec = None;
+    round_timeout_ms = None;
+    stagger_ms = None;
+    num_dags = None;
+    net_config = None;
+    verify_signatures = true;
+    tx_size = Transaction.default_size;
+    batch_cap = 500;
+    seed = 1;
+  }
+
+let clean_net_config =
+  {
+    Shoalpp_sim.Netmodel.default_config with
+    Shoalpp_sim.Netmodel.jitter_ms = 0.0;
+    epoch_ms = 0.0;
+    epoch_extra_mean_ms = 0.0;
+  }
+
+type outcome = {
+  report : Report.t;
+  audit_ok : bool;
+  throughput_series : (float * float) list;
+  latency_series : (float * float) list;
+  requeued : int;
+}
+
+let make_topology = function
+  | Gcp10 -> Topology.gcp10 ()
+  | Uniform delay_ms -> Topology.uniform ~delay_ms
+  | Clique (regions, one_way_ms) -> Topology.clique ~regions ~one_way_ms
+
+let median_one_way topology =
+  let k = Topology.num_regions topology in
+  let delays = ref [] in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if i <> j then delays := Topology.one_way_ms topology i j :: !delays
+    done
+  done;
+  match List.sort compare !delays with
+  | [] -> Topology.one_way_ms topology 0 0
+  | l -> List.nth l (List.length l / 2)
+
+let fault_of params =
+  let fault = Fault.none in
+  let fault =
+    if params.crashes > 0 then
+      Fault.crash_many fault
+        ~replicas:(List.init params.crashes (fun i -> params.n - 1 - i))
+        ~at:0.0
+    else fault
+  in
+  match params.drop_spec with
+  | None -> fault
+  | Some (k, rate, from_time) ->
+    Fault.drop_egress fault ~replicas:(List.init k Fun.id) ~rate ~from_time ()
+
+let dag_config system params =
+  let committee = Committee.make ~n:params.n ~cluster_seed:params.seed () in
+  let base =
+    match system with
+    | Shoalpp -> Config.shoalpp ~committee
+    | Shoal -> Config.shoal ~committee
+    | Bullshark -> Config.bullshark ~committee
+    | Shoalpp_faster_anchors ->
+      { (Config.shoal ~committee) with Config.fast_commit = true; name = "shoal++ faster-anchors" }
+    | Shoalpp_more_faster_anchors ->
+      {
+        (Config.shoalpp ~committee) with
+        Config.num_dags = 1;
+        name = "shoal++ more-faster-anchors";
+      }
+    | Shoal_more_dags -> Config.with_dags (Config.shoal ~committee) 3
+    | Bullshark_more_dags -> Config.with_dags (Config.bullshark ~committee) 3
+    | Custom c -> c
+    | Jolteon | Mysticeti -> invalid_arg "Experiment.dag_config: not a DAG-family system"
+  in
+  let base = { base with Config.batch_cap = params.batch_cap } in
+  let base =
+    match params.num_dags with Some k -> { (Config.with_dags base k) with Config.name = base.Config.name } | None -> base
+  in
+  let base =
+    match params.round_timeout_ms with Some ms -> Config.round_timeout base ms | None -> base
+  in
+  let topology = make_topology params.topology in
+  let stagger =
+    match params.stagger_ms with Some s -> s | None -> median_one_way topology
+  in
+  let base = { base with Config.stagger_ms = stagger } in
+  if params.verify_signatures then base else Config.without_signature_checks base
+
+(* ------------------------------------------------------------------ *)
+(* Baseline plug-in registry (avoids a dependency cycle with
+   shoalpp_baselines).                                                  *)
+
+type runner = params -> outcome
+
+let extras : (string, runner) Hashtbl.t = Hashtbl.create 4
+
+let register_extra ~name runner = Hashtbl.replace extras name runner
+
+let run_extra ~name params =
+  match Hashtbl.find_opt extras name with
+  | Some runner -> runner params
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Experiment.run_extra: no runner registered for %S (call \
+          Shoalpp_baselines.register () first)"
+         name)
+
+let run_dag system params =
+  let protocol = dag_config system params in
+  let setup =
+    {
+      Cluster.protocol;
+      topology = make_topology params.topology;
+      net_config = Option.value ~default:Shoalpp_sim.Netmodel.default_config params.net_config;
+      fault = fault_of params;
+      load_tps = params.load_tps;
+      tx_size = params.tx_size;
+      warmup_ms = params.warmup_ms;
+      seed = params.seed;
+      track_logs = true;
+    }
+  in
+  let cluster = Cluster.create setup in
+  Cluster.run cluster ~duration_ms:params.duration_ms;
+  let report = Cluster.report cluster ~duration_ms:params.duration_ms in
+  let audit = Cluster.audit cluster in
+  let requeued =
+    Array.fold_left (fun acc r -> acc + Replica.requeued r) 0 (Cluster.replicas cluster)
+  in
+  {
+    report;
+    audit_ok = audit.Cluster.consistent_prefixes && audit.Cluster.duplicate_orders = 0;
+    throughput_series = Metrics.throughput_series (Cluster.metrics cluster);
+    latency_series = Metrics.latency_series (Cluster.metrics cluster);
+    requeued;
+  }
+
+let run system params =
+  match system with
+  | Jolteon -> run_extra ~name:"jolteon" params
+  | Mysticeti -> run_extra ~name:"mysticeti" params
+  | _ -> run_dag system params

@@ -1,0 +1,83 @@
+(** One-call experiment runner: pick a system, a deployment, a load and a
+    fault schedule; get back the paper-style report plus time series and the
+    safety audit. This is the single entry point used by the benchmark
+    harness, the CLI and the examples.
+
+    Baseline systems (Jolteon, Mysticeti) live in [shoalpp_baselines], which
+    depends on this library; their runners plug in through {!register_extra}
+    at program start (see [Shoalpp_baselines.register]). *)
+
+type topology_spec =
+  | Gcp10  (** the paper's 10-region deployment *)
+  | Uniform of float  (** constant one-way delay (md accounting, T1) *)
+  | Clique of int * float  (** regions x one-way ms *)
+
+type system =
+  | Shoalpp  (** full Shoal++: fast commit + multi-anchor + 3 DAGs *)
+  | Shoal
+  | Bullshark
+  | Shoalpp_faster_anchors  (** Fig 6 ablation: Shoal + Fast Direct Commit *)
+  | Shoalpp_more_faster_anchors  (** + multi-anchor rounds (still 1 DAG) *)
+  | Shoal_more_dags  (** Fig 5 "Shoal More DAGs" *)
+  | Bullshark_more_dags
+  | Jolteon
+  | Mysticeti
+  | Custom of Shoalpp_core.Config.t
+      (** any DAG-family configuration (ablations, k-sweeps) *)
+
+val system_name : system -> string
+val all_dag_systems : system list
+
+type params = {
+  n : int;
+  load_tps : float;
+  duration_ms : float;
+  warmup_ms : float;
+  topology : topology_spec;
+  crashes : int;  (** crash this many replicas (highest ids) at t=0 *)
+  drop_spec : (int * float * float) option;
+      (** (replica count, rate, from_ms): egress drops on the first k
+          replicas from a given time — Fig 8's disruption *)
+  round_timeout_ms : float option;
+  stagger_ms : float option;  (** default: the topology's median one-way delay *)
+  num_dags : int option;
+  net_config : Shoalpp_sim.Netmodel.config option;
+      (** [None] = {!Shoalpp_sim.Netmodel.default_config}. Use
+          {!clean_net_config} for analytic experiments (T1) that need a
+          noise-free network. *)
+  verify_signatures : bool;
+  tx_size : int;
+  batch_cap : int;
+  seed : int;
+}
+
+val default_params : params
+(** n=16, 1000 tps, 30 s run / 3 s warmup, gcp10, no faults,
+    signature checks on. *)
+
+val clean_net_config : Shoalpp_sim.Netmodel.config
+(** Default network with jitter and slow epochs disabled — message-delay
+    accounting becomes exact. *)
+
+type outcome = {
+  report : Report.t;
+  audit_ok : bool;  (** log prefix consistency + no duplicate ordering *)
+  throughput_series : (float * float) list;
+  latency_series : (float * float) list;
+  requeued : int;  (** orphaned-then-requeued transactions (DAG family) *)
+}
+
+val run : system -> params -> outcome
+val make_topology : topology_spec -> Shoalpp_sim.Topology.t
+val median_one_way : Shoalpp_sim.Topology.t -> float
+val dag_config : system -> params -> Shoalpp_core.Config.t
+(** The concrete configuration a DAG-family system resolves to.
+    @raise Invalid_argument for [Jolteon] / [Mysticeti]. *)
+
+(** {2 Baseline registration} *)
+
+type runner = params -> outcome
+
+val register_extra : name:string -> runner -> unit
+val run_extra : name:string -> params -> outcome
+(** @raise Invalid_argument when no runner was registered under [name]. *)

@@ -1,0 +1,47 @@
+module Stats = Shoalpp_support.Stats
+module Transaction = Shoalpp_workload.Transaction
+
+type t = {
+  warmup_ms : float;
+  latency : Stats.Summary.t;
+  commits : Stats.Windowed.t; (* count per window *)
+  latency_windows : Stats.Windowed.t; (* sum of latency per window *)
+  mutable committed : int;
+  mutable submitted : int;
+}
+
+let create ?(warmup_ms = 0.0) ?(window_ms = 1000.0) () =
+  {
+    warmup_ms;
+    latency = Stats.Summary.create ();
+    commits = Stats.Windowed.create ~width:window_ms;
+    latency_windows = Stats.Windowed.create ~width:window_ms;
+    committed = 0;
+    submitted = 0;
+  }
+
+let observe_commit t ~origin_ordered ~tx ~now =
+  if origin_ordered then begin
+    let lat = now -. tx.Transaction.submitted_at in
+    if tx.Transaction.submitted_at >= t.warmup_ms then begin
+      t.committed <- t.committed + 1;
+      Stats.Summary.add t.latency lat
+    end;
+    Stats.Windowed.add t.commits ~time:now ~value:1.0;
+    Stats.Windowed.add t.latency_windows ~time:now ~value:lat
+  end
+
+let observe_submitted t = t.submitted <- t.submitted + 1
+let latency t = t.latency
+let committed t = t.committed
+let submitted t = t.submitted
+
+let committed_tps t ~duration_ms =
+  let effective = duration_ms -. t.warmup_ms in
+  if effective <= 0.0 then 0.0 else float_of_int t.committed /. (effective /. 1000.0)
+
+let throughput_series t = Stats.Windowed.rate_series t.commits
+
+let latency_series t =
+  List.map (fun (start, sum, cnt) -> (start, sum /. float_of_int cnt))
+    (Stats.Windowed.series t.latency_windows)

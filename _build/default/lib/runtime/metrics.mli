@@ -1,0 +1,32 @@
+(** Experiment metrics: end-to-end consensus latency and throughput.
+
+    Latency is measured exactly as in the paper (§8): the time between a
+    transaction's arrival at its local replica and the moment that replica
+    appends a segment containing it to its global log. Throughput counts
+    each transaction once, at its origin replica's commit. *)
+
+type t
+
+val create : ?warmup_ms:float -> ?window_ms:float -> unit -> t
+(** Samples whose transaction was submitted before [warmup_ms] (default 0)
+    are excluded from latency statistics; commits before it are excluded
+    from throughput. [window_ms] (default 1000) sizes time-series buckets. *)
+
+val observe_commit : t -> origin_ordered:bool -> tx:Shoalpp_workload.Transaction.t -> now:float -> unit
+(** Record a committed transaction. Latency/throughput count only when
+    [origin_ordered] (the committing replica is the transaction's origin);
+    the total commit counter counts every observation. *)
+
+val observe_submitted : t -> unit
+
+val latency : t -> Shoalpp_support.Stats.Summary.t
+val committed : t -> int
+(** Unique transactions committed at their origin after warmup. *)
+
+val submitted : t -> int
+val committed_tps : t -> duration_ms:float -> float
+val throughput_series : t -> (float * float) list
+(** (window start ms, tx/s) commits per second over time — Fig 8's series. *)
+
+val latency_series : t -> (float * float) list
+(** (window start ms, mean latency ms in that window). *)

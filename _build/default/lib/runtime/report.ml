@@ -1,0 +1,70 @@
+module Stats = Shoalpp_support.Stats
+module Tablefmt = Shoalpp_support.Tablefmt
+
+type t = {
+  name : string;
+  n : int;
+  load_tps : float;
+  duration_ms : float;
+  submitted : int;
+  committed : int;
+  committed_tps : float;
+  latency_p25 : float;
+  latency_p50 : float;
+  latency_p75 : float;
+  latency_mean : float;
+  fast_commits : int;
+  direct_commits : int;
+  indirect_commits : int;
+  skipped_anchors : int;
+  messages_sent : int;
+  messages_dropped : int;
+  bytes_sent : float;
+}
+
+let make ~name ~n ~load_tps ~duration_ms ~submitted ~metrics ?(fast_commits = 0)
+    ?(direct_commits = 0) ?(indirect_commits = 0) ?(skipped_anchors = 0) ~messages_sent
+    ~messages_dropped ~bytes_sent () =
+  let lat = Metrics.latency metrics in
+  let p25, p50, p75 = Stats.Summary.quartiles lat in
+  {
+    name;
+    n;
+    load_tps;
+    duration_ms;
+    submitted;
+    committed = Metrics.committed metrics;
+    committed_tps = Metrics.committed_tps metrics ~duration_ms;
+    latency_p25 = p25;
+    latency_p50 = p50;
+    latency_p75 = p75;
+    latency_mean = Stats.Summary.mean lat;
+    fast_commits;
+    direct_commits;
+    indirect_commits;
+    skipped_anchors;
+    messages_sent;
+    messages_dropped;
+    bytes_sent;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "%s: n=%d load=%.0ftps committed=%d (%.0f tps) latency p50=%.0fms [p25=%.0f p75=%.0f] \
+     commits fast/direct/indirect=%d/%d/%d skipped=%d"
+    r.name r.n r.load_tps r.committed r.committed_tps r.latency_p50 r.latency_p25 r.latency_p75
+    r.fast_commits r.direct_commits r.indirect_commits r.skipped_anchors
+
+let table_header =
+  [ "system"; "load(tps)"; "committed(tps)"; "p25(ms)"; "p50(ms)"; "p75(ms)"; "mean(ms)" ]
+
+let table_row r =
+  [
+    r.name;
+    Printf.sprintf "%.0f" r.load_tps;
+    Printf.sprintf "%.0f" r.committed_tps;
+    Tablefmt.float_cell ~decimals:0 r.latency_p25;
+    Tablefmt.float_cell ~decimals:0 r.latency_p50;
+    Tablefmt.float_cell ~decimals:0 r.latency_p75;
+    Tablefmt.float_cell ~decimals:0 r.latency_mean;
+  ]

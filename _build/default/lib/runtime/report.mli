@@ -1,0 +1,46 @@
+(** Uniform result record for all systems (Shoal++ family and baselines), so
+    figure harnesses can tabulate them side by side. *)
+
+type t = {
+  name : string;
+  n : int;
+  load_tps : float;
+  duration_ms : float;
+  submitted : int;
+  committed : int;
+  committed_tps : float;
+  latency_p25 : float;
+  latency_p50 : float;
+  latency_p75 : float;
+  latency_mean : float;
+  fast_commits : int;
+  direct_commits : int;
+  indirect_commits : int;
+  skipped_anchors : int;
+  messages_sent : int;
+  messages_dropped : int;
+  bytes_sent : float;
+}
+
+val make :
+  name:string ->
+  n:int ->
+  load_tps:float ->
+  duration_ms:float ->
+  submitted:int ->
+  metrics:Metrics.t ->
+  ?fast_commits:int ->
+  ?direct_commits:int ->
+  ?indirect_commits:int ->
+  ?skipped_anchors:int ->
+  messages_sent:int ->
+  messages_dropped:int ->
+  bytes_sent:float ->
+  unit ->
+  t
+
+val pp : Format.formatter -> t -> unit
+
+val table_header : string list
+val table_row : t -> string list
+(** For {!Shoalpp_support.Tablefmt}. *)

@@ -1,0 +1,1 @@
+lib/sim/netmodel.ml: Array Engine Fault Float Shoalpp_support Topology

@@ -1,0 +1,64 @@
+module Heap = Shoalpp_support.Heap
+
+type timer = { at : float; seq : int; mutable action : (unit -> unit) option }
+
+type t = {
+  queue : timer Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable fired : int;
+}
+
+let compare_timer a b =
+  let c = compare a.at b.at in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () = { queue = Heap.create ~cmp:compare_timer; clock = 0.0; next_seq = 0; fired = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~at f =
+  let at = if at < t.clock then t.clock else at in
+  let timer = { at; seq = t.next_seq; action = Some f } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.add t.queue timer;
+  timer
+
+let schedule t ~after f = schedule_at t ~at:(t.clock +. Float.max after 0.0) f
+
+let cancel timer = timer.action <- None
+let is_pending timer = Option.is_some timer.action
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some { action = None; _ } -> step t (* cancelled; skip *)
+  | Some { at; action = Some f; _ } ->
+    t.clock <- at;
+    t.fired <- t.fired + 1;
+    f ();
+    true
+
+let run ?until ?(max_events = max_int) t =
+  let budget = ref max_events in
+  let continue_ () =
+    if !budget = 0 then false
+    else begin
+      match Heap.peek t.queue with
+      | None -> false
+      | Some next -> (
+        match until with
+        | Some horizon when next.at > horizon -> false
+        | _ -> true)
+    end
+  in
+  while continue_ () do
+    decr budget;
+    ignore (step t)
+  done;
+  match until with
+  | Some horizon when t.clock < horizon && !budget > 0 -> t.clock <- horizon
+  | _ -> ()
+
+let pending_events t = Heap.length t.queue
+let events_fired t = t.fired

@@ -1,0 +1,38 @@
+(** Discrete-event simulation engine.
+
+    Simulated time is a [float] in milliseconds starting at 0. Events fire in
+    (time, insertion-order) order, so two events scheduled for the same
+    instant run in the order they were scheduled — this makes whole runs
+    deterministic given deterministic handlers. *)
+
+type t
+
+type timer
+(** Handle for a scheduled event, used to cancel pending timers. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time in milliseconds. *)
+
+val schedule : t -> after:float -> (unit -> unit) -> timer
+(** [schedule t ~after f] runs [f] at [now t +. max after 0.]. *)
+
+val schedule_at : t -> at:float -> (unit -> unit) -> timer
+(** Absolute-time variant; times in the past fire "now". *)
+
+val cancel : timer -> unit
+(** Cancelling an already-fired or cancelled timer is a no-op. *)
+
+val is_pending : timer -> bool
+
+val step : t -> bool
+(** Fire the next event. Returns [false] when the queue is empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the queue. [until] stops once the clock would pass that instant
+    (the clock is left at [until]); [max_events] bounds work as a runaway
+    backstop. *)
+
+val pending_events : t -> int
+val events_fired : t -> int

@@ -1,0 +1,36 @@
+type drop_rule = { replicas : int list; rate : float; from_time : float; until_time : float }
+
+type t = { crashes : (int * float) list; drops : drop_rule list }
+
+let none = { crashes = []; drops = [] }
+
+let crash t ~replica ~at = { t with crashes = (replica, at) :: t.crashes }
+
+let crash_many t ~replicas ~at =
+  List.fold_left (fun t replica -> crash t ~replica ~at) t replicas
+
+let drop_egress t ~replicas ~rate ~from_time ?(until_time = infinity) () =
+  { t with drops = { replicas; rate; from_time; until_time } :: t.drops }
+
+let crash_time t ~replica =
+  List.fold_left
+    (fun acc (r, at) ->
+      if r <> replica then acc
+      else match acc with None -> Some at | Some prev -> Some (Float.min prev at))
+    None t.crashes
+
+let is_crashed t ~replica ~time =
+  match crash_time t ~replica with None -> false | Some at -> time >= at
+
+let egress_drop_rate t ~src ~time =
+  List.fold_left
+    (fun acc rule ->
+      if time >= rule.from_time && time < rule.until_time && List.mem src rule.replicas then
+        (* Independent drop sources combine: 1 - (1-a)(1-b). *)
+        1.0 -. ((1.0 -. acc) *. (1.0 -. rule.rate))
+      else acc)
+    0.0 t.drops
+
+let crashed_replicas t ~time =
+  List.filter_map (fun (r, at) -> if time >= at then Some r else None) t.crashes
+  |> List.sort_uniq compare

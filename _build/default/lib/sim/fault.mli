@@ -1,0 +1,25 @@
+(** Fault schedules: crash failures and sporadic egress message drops, the
+    two disruption types the paper evaluates (§8.3, Figs 7 and 8). *)
+
+type t
+
+val none : t
+
+val crash : t -> replica:int -> at:float -> t
+(** Replica stops sending and receiving from [at] (ms) onward. *)
+
+val crash_many : t -> replicas:int list -> at:float -> t
+
+val drop_egress : t -> replicas:int list -> rate:float -> from_time:float -> ?until_time:float -> unit -> t
+(** Each egress message of the listed replicas is independently dropped with
+    probability [rate] during the window — the paper's "1% egress drops on
+    5 of 100 nodes from t=60 s" scenario. *)
+
+val is_crashed : t -> replica:int -> time:float -> bool
+
+val crash_time : t -> replica:int -> float option
+
+val egress_drop_rate : t -> src:int -> time:float -> float
+(** Combined drop probability for messages leaving [src] at [time]. *)
+
+val crashed_replicas : t -> time:float -> int list

@@ -1,0 +1,177 @@
+module Rng = Shoalpp_support.Rng
+
+type send_order = Fixed_order | Farthest_first | Random_order
+
+type config = {
+  bandwidth_bytes_per_ms : float;
+  jitter_ms : float;
+  epoch_ms : float;
+  epoch_extra_mean_ms : float;
+  cpu_fixed_ms : float;
+  cpu_per_byte_ms : float;
+  loopback_ms : float;
+  send_order : send_order;
+}
+
+let default_config =
+  {
+    bandwidth_bytes_per_ms = 125_000.0;
+    jitter_ms = 2.0;
+    epoch_ms = 2_000.0;
+    epoch_extra_mean_ms = 8.0;
+    cpu_fixed_ms = 0.002;
+    cpu_per_byte_ms = 0.0000004;
+    loopback_ms = 0.01;
+    send_order = Farthest_first;
+  }
+
+type 'msg t = {
+  engine : Engine.t;
+  topology : Topology.t;
+  assignment : int array;
+  mutable fault : Fault.t;
+  config : config;
+  n : int;
+  egress_free_at : float array;
+  cpu_free_at : float array;
+  rngs : Rng.t array;
+  handlers : (src:int -> 'msg -> unit) option array;
+  (* Precomputed broadcast orders per sender: farthest first. *)
+  far_order : int array array;
+  seed : int;
+  (* Memoized slow-epoch extra delay: (epoch index, value) per replica. *)
+  epoch_cache : (int * float) array;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable bytes : float;
+}
+
+let base_delay t ~src ~dst =
+  if src = dst then t.config.loopback_ms
+  else Topology.one_way_ms t.topology t.assignment.(src) t.assignment.(dst)
+
+let create ~engine ~topology ~assignment ~fault ~config ~seed () =
+  let n = Array.length assignment in
+  let master = Rng.create seed in
+  let rngs = Array.init n (fun _ -> Rng.split master) in
+  let far_order =
+    Array.init n (fun src ->
+        let others = Array.init n (fun i -> i) in
+        Array.sort
+          (fun a b ->
+            let da = Topology.one_way_ms topology assignment.(src) assignment.(a) in
+            let db = Topology.one_way_ms topology assignment.(src) assignment.(b) in
+            (* Farthest first; ties by id for determinism. *)
+            let c = compare db da in
+            if c <> 0 then c else compare a b)
+          others;
+        others)
+  in
+  {
+    engine;
+    topology;
+    assignment;
+    fault;
+    config;
+    n;
+    egress_free_at = Array.make n 0.0;
+    cpu_free_at = Array.make n 0.0;
+    rngs;
+    handlers = Array.make n None;
+    far_order;
+    seed;
+    epoch_cache = Array.make n (-1, 0.0);
+    sent = 0;
+    dropped = 0;
+    bytes = 0.0;
+  }
+
+(* Deterministic non-stationary slowness: replica [src]'s extra egress delay
+   is resampled from an exponential each epoch, derived from (seed, src,
+   epoch) so it is independent of message traffic. *)
+let extra_delay_ms t ~src ~time =
+  if t.config.epoch_ms <= 0.0 || t.config.epoch_extra_mean_ms <= 0.0 then 0.0
+  else begin
+    let epoch = int_of_float (time /. t.config.epoch_ms) in
+    let cached_epoch, cached = t.epoch_cache.(src) in
+    if cached_epoch = epoch then cached
+    else begin
+      let rng = Rng.create ((t.seed * 1_000_003) + (src * 7919) + epoch) in
+      let v = Rng.exponential rng t.config.epoch_extra_mean_ms in
+      t.epoch_cache.(src) <- (epoch, v);
+      v
+    end
+  end
+
+let n t = t.n
+let engine t = t.engine
+let region_of t i = t.assignment.(i)
+let set_handler t i f = t.handlers.(i) <- Some f
+let set_fault t fault = t.fault <- fault
+let base_delay_ms t ~src ~dst = base_delay t ~src ~dst
+
+let deliver t ~src ~dst ~size ~at msg =
+  let cb () =
+    if not (Fault.is_crashed t.fault ~replica:dst ~time:(Engine.now t.engine)) then begin
+      match t.handlers.(dst) with
+      | Some handler -> handler ~src msg
+      | None -> ()
+    end
+  in
+  (* Receiver CPU sequencing: processing begins when the core is free. *)
+  let cost = t.config.cpu_fixed_ms +. (float_of_int size *. t.config.cpu_per_byte_ms) in
+  let start = Float.max at t.cpu_free_at.(dst) in
+  let done_at = start +. cost in
+  t.cpu_free_at.(dst) <- done_at;
+  ignore (Engine.schedule_at t.engine ~at:done_at cb)
+
+let send t ~src ~dst ~size msg =
+  let now = Engine.now t.engine in
+  if Fault.is_crashed t.fault ~replica:src ~time:now then ()
+  else if src = dst then begin
+    t.sent <- t.sent + 1;
+    deliver t ~src ~dst ~size ~at:(now +. t.config.loopback_ms) msg
+  end
+  else begin
+    t.sent <- t.sent + 1;
+    t.bytes <- t.bytes +. float_of_int size;
+    let ser = float_of_int size /. t.config.bandwidth_bytes_per_ms in
+    let out_at = Float.max now t.egress_free_at.(src) +. ser in
+    t.egress_free_at.(src) <- out_at;
+    let rng = t.rngs.(src) in
+    let drop_rate = Fault.egress_drop_rate t.fault ~src ~time:out_at in
+    (* Sample jitter unconditionally so drop injection does not perturb the
+       random stream of surviving messages. *)
+    let jitter =
+      if t.config.jitter_ms <= 0.0 then 0.0
+      else Rng.lognormal rng ~mu:(log t.config.jitter_ms) ~sigma:0.5
+    in
+    let dropped = drop_rate > 0.0 && Rng.bernoulli rng drop_rate in
+    if dropped then t.dropped <- t.dropped + 1
+    else begin
+      let at =
+        out_at +. base_delay t ~src ~dst +. jitter +. extra_delay_ms t ~src ~time:out_at
+      in
+      deliver t ~src ~dst ~size ~at msg
+    end
+  end
+
+let broadcast t ~src ~size ?(include_self = true) msg =
+  let order =
+    match t.config.send_order with
+    | Farthest_first -> t.far_order.(src)
+    | Fixed_order -> Array.init t.n (fun i -> i)
+    | Random_order ->
+      let arr = Array.init t.n (fun i -> i) in
+      Rng.shuffle t.rngs.(src) arr;
+      arr
+  in
+  Array.iter
+    (fun dst ->
+      if dst <> src then send t ~src ~dst ~size msg
+      else if include_self then send t ~src ~dst ~size msg)
+    order
+
+let messages_sent t = t.sent
+let messages_dropped t = t.dropped
+let bytes_sent t = t.bytes

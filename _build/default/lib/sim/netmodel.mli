@@ -1,0 +1,79 @@
+(** Point-to-point message network over the simulation engine.
+
+    Models, per message: sender egress serialization (a shared egress pipe of
+    configurable bandwidth — this is what saturates first in the paper's
+    throughput experiments), propagation delay from the topology, lognormal
+    jitter, receiver CPU sequencing (a per-replica processing queue with
+    fixed + per-byte costs), probabilistic egress drops, and crash faults.
+
+    The payload type is a parameter so each protocol keeps its own typed
+    messages; the declared [size] in bytes is what bandwidth and CPU are
+    charged for, and message modules compute it from their wire encodings. *)
+
+type 'msg t
+
+type send_order =
+  | Fixed_order  (** ascending replica id — the naive pattern §7 warns about *)
+  | Farthest_first  (** distance-based priority broadcast (§7) *)
+  | Random_order
+
+type config = {
+  bandwidth_bytes_per_ms : float;  (** egress pipe per replica; e.g. 1 Gbps = 125_000. *)
+  jitter_ms : float;  (** lognormal jitter scale added to propagation; 0 disables. *)
+  epoch_ms : float;
+      (** duration of slow-epoch periods. Real WANs are non-stationary: which
+          replicas are "slow" changes on a seconds timescale (the paper
+          leans on this in §5.2). Each replica gets an extra egress delay,
+          resampled each epoch. 0 disables. *)
+  epoch_extra_mean_ms : float;  (** mean of the per-epoch extra delay (exponential). *)
+  cpu_fixed_ms : float;  (** receiver cost per message. *)
+  cpu_per_byte_ms : float;  (** receiver cost per payload byte. *)
+  loopback_ms : float;  (** self-delivery latency. *)
+  send_order : send_order;
+}
+
+val default_config : config
+(** 1 Gbps egress, 2 ms jitter scale (typical WAN), 2 s slow epochs with
+    8 ms mean extra delay, 2 µs + 0.4 ns/byte CPU, farthest-first sends. *)
+
+val extra_delay_ms : _ t -> src:int -> time:float -> float
+(** The slow-epoch extra delay in force for [src] at [time] (for tests). *)
+
+val create :
+  engine:Engine.t ->
+  topology:Topology.t ->
+  assignment:int array ->
+  fault:Fault.t ->
+  config:config ->
+  seed:int ->
+  unit ->
+  'msg t
+
+val n : _ t -> int
+val engine : _ t -> Engine.t
+val region_of : _ t -> int -> int
+
+val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
+(** Install the receive callback for a replica. Messages arriving for a
+    replica with no handler are counted and discarded. *)
+
+val set_fault : 'msg t -> Fault.t -> unit
+(** Replace the fault schedule mid-run (used by time-series experiments). *)
+
+val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
+(** Queue one message. Crashed senders send nothing; messages to crashed
+    (at delivery time) replicas vanish. *)
+
+val broadcast : 'msg t -> src:int -> size:int -> ?include_self:bool -> 'msg -> unit
+(** Send to every replica in the configured send order. [include_self]
+    (default true) delivers a loopback copy without consuming egress. *)
+
+val base_delay_ms : 'msg t -> src:int -> dst:int -> float
+(** Propagation-only delay (no jitter/bandwidth), for distance ordering and
+    latency probes. *)
+
+(** Counters for reporting. *)
+
+val messages_sent : _ t -> int
+val messages_dropped : _ t -> int
+val bytes_sent : _ t -> float

@@ -1,0 +1,32 @@
+(** Geographic network topologies.
+
+    The paper deploys 100 replicas evenly over 10 GCP regions with inter-
+    region RTTs between 25 ms and 317 ms. [gcp10] encodes a representative
+    RTT matrix for those regions; [uniform] gives the constant-delay network
+    used for message-delay accounting (Table T1); [clique] is a small-n
+    testing topology. *)
+
+type t
+
+val gcp10 : unit -> t
+(** The paper's 10-region GCP deployment. *)
+
+val uniform : delay_ms:float -> t
+(** A single region where every one-way message takes exactly [delay_ms]. *)
+
+val clique : regions:int -> one_way_ms:float -> t
+(** [regions] identical regions, [one_way_ms] between distinct regions, for
+    tests that need small asymmetries. *)
+
+val num_regions : t -> int
+val region_name : t -> int -> string
+
+val one_way_ms : t -> int -> int -> float
+(** Base one-way propagation delay between two regions (RTT/2). Within a
+    region this is small but non-zero. *)
+
+val assign_round_robin : t -> n:int -> int array
+(** Spread [n] replicas evenly across regions, replica [i] in region
+    [i mod num_regions] — the paper's "spread evenly" placement. *)
+
+val max_one_way_ms : t -> float

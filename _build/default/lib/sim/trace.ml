@@ -1,0 +1,46 @@
+type event = { time : float; replica : int; tag : string; detail : string }
+
+type t = {
+  mutable enabled : bool;
+  capacity : int;
+  buf : event option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(enabled = false) ?(capacity = 4096) () =
+  { enabled; capacity; buf = Array.make capacity None; next = 0; total = 0 }
+
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+
+let record t ~time ~replica ~tag detail =
+  if t.enabled then begin
+    t.buf.(t.next) <- Some { time; replica; tag; detail };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.total <- t.total + 1
+  end
+
+let recordf t ~time ~replica ~tag fmt =
+  if t.enabled then
+    Format.kasprintf (fun detail -> record t ~time ~replica ~tag detail) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.std_formatter fmt
+
+let events t =
+  let acc = ref [] in
+  for i = 0 to t.capacity - 1 do
+    let idx = (t.next + i) mod t.capacity in
+    match t.buf.(idx) with Some e -> acc := e :: !acc | None -> ()
+  done;
+  List.rev !acc
+
+let count t = t.total
+let find t ~tag = List.filter (fun e -> String.equal e.tag tag) (events t)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%8.2fms r%d %s] %s" e.time e.replica e.tag e.detail

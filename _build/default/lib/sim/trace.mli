@@ -1,0 +1,30 @@
+(** Lightweight in-memory event tracing.
+
+    Disabled traces cost one branch per call, so protocol code can trace
+    freely. Enabled traces retain the most recent [capacity] events for
+    post-mortem inspection in tests and examples. *)
+
+type t
+
+type event = { time : float; replica : int; tag : string; detail : string }
+
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> time:float -> replica:int -> tag:string -> string -> unit
+
+val recordf :
+  t -> time:float -> replica:int -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the format arguments are not evaluated when tracing is
+    disabled. *)
+
+val events : t -> event list
+(** Oldest first, up to [capacity]. *)
+
+val count : t -> int
+(** Total events recorded (including evicted ones). *)
+
+val find : t -> tag:string -> event list
+val clear : t -> unit
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+lib/storage/kvstore.ml: Hashtbl Shoalpp_crypto

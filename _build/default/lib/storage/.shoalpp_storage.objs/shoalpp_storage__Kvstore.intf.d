@@ -1,0 +1,1 @@
+lib/storage/kvstore.mli: Shoalpp_crypto

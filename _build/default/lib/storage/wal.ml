@@ -1,0 +1,50 @@
+module Engine = Shoalpp_sim.Engine
+
+type pending = { cb : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  sync_latency_ms : float;
+  group_commit : bool;
+  mutable device_busy : bool;
+  mutable queue : pending list; (* reversed arrival order *)
+  mutable appends : int;
+  mutable syncs : int;
+  mutable bytes : float;
+}
+
+let create ~engine ~sync_latency_ms ?(group_commit = true) () =
+  {
+    engine;
+    sync_latency_ms;
+    group_commit;
+    device_busy = false;
+    queue = [];
+    appends = 0;
+    syncs = 0;
+    bytes = 0.0;
+  }
+
+let rec start_sync t =
+  match t.queue with
+  | [] -> t.device_busy <- false
+  | pending ->
+    t.device_busy <- true;
+    (* Group commit: one sync covers everything queued right now. *)
+    let batch = if t.group_commit then List.rev pending else [ List.hd (List.rev pending) ] in
+    t.queue <- (if t.group_commit then [] else List.rev (List.tl (List.rev pending)));
+    t.syncs <- t.syncs + 1;
+    ignore
+      (Engine.schedule t.engine ~after:t.sync_latency_ms (fun () ->
+           List.iter (fun p -> p.cb ()) batch;
+           start_sync t))
+
+let append t ~size cb =
+  t.appends <- t.appends + 1;
+  t.bytes <- t.bytes +. float_of_int size;
+  t.queue <- { cb } :: t.queue;
+  if not t.device_busy then start_sync t
+
+let appends t = t.appends
+let syncs t = t.syncs
+let bytes_written t = t.bytes

@@ -1,0 +1,28 @@
+(** Simulated write-ahead log.
+
+    Stands in for the RocksDB consensus store of the paper's prototype: what
+    matters to consensus latency is that certificate persistence costs a
+    bounded sync delay before a vote/commit may be externalized. Writes to a
+    busy device queue behind each other; concurrent appends issued while a
+    sync is in flight coalesce into the next sync (group commit), which is
+    how production WALs keep persistence off the throughput critical path. *)
+
+type t
+
+val create :
+  engine:Shoalpp_sim.Engine.t -> sync_latency_ms:float -> ?group_commit:bool -> unit -> t
+(** [sync_latency_ms] = 0 models the in-memory configuration (the paper's
+    Mysticeti baseline forgoes persistence). [group_commit] defaults to
+    true. *)
+
+val append : t -> size:int -> (unit -> unit) -> unit
+(** Schedule a durable write of [size] bytes; the callback fires when the
+    write has synced. With zero latency the callback fires on the next
+    engine step (never synchronously, so callers can rely on async order). *)
+
+val appends : t -> int
+val syncs : t -> int
+(** Number of device sync operations; < [appends] when group commit
+    coalesces. *)
+
+val bytes_written : t -> float

@@ -1,0 +1,1 @@
+lib/support/tablefmt.ml: Array Buffer Float List Printf String

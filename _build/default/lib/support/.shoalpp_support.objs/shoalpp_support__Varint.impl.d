@@ -1,0 +1,1 @@
+lib/support/varint.ml: Buffer Char String

@@ -1,0 +1,58 @@
+type t = { cap : int; words : int array }
+
+let words_for cap = (cap + 62) / 63
+
+let create cap =
+  if cap < 0 then invalid_arg "Bitset.create";
+  { cap; words = Array.make (words_for cap) 0 }
+
+let capacity t = t.cap
+
+let check t i =
+  if i < 0 || i >= t.cap then invalid_arg "Bitset: index out of range"
+
+let set t i =
+  check t i;
+  t.words.(i / 63) <- t.words.(i / 63) lor (1 lsl (i mod 63))
+
+let clear_bit t i =
+  check t i;
+  t.words.(i / 63) <- t.words.(i / 63) land lnot (1 lsl (i mod 63))
+
+let mem t i =
+  check t i;
+  t.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+
+let popcount_word w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let count t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let binop op a b =
+  if a.cap <> b.cap then invalid_arg "Bitset: capacity mismatch";
+  { cap = a.cap; words = Array.init (Array.length a.words) (fun i -> op a.words.(i) b.words.(i)) }
+
+let union a b = binop ( lor ) a b
+let inter a b = binop ( land ) a b
+let copy t = { cap = t.cap; words = Array.copy t.words }
+
+let iter f t =
+  for i = 0 to t.cap - 1 do
+    if t.words.(i / 63) land (1 lsl (i mod 63)) <> 0 then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
+
+let of_list cap l =
+  let t = create cap in
+  List.iter (set t) l;
+  t
+
+let equal a b = a.cap = b.cap && a.words = b.words
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}" (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",") Format.pp_print_int) (to_list t)

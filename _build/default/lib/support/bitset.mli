@@ -1,0 +1,30 @@
+(** Fixed-capacity mutable bitset over [0, capacity).
+
+    Used for signer bitmaps in aggregated certificates and for vote
+    accounting: membership, popcount and union are the hot operations. *)
+
+type t
+
+val create : int -> t
+(** All-zero bitset of the given capacity. *)
+
+val capacity : t -> int
+val set : t -> int -> unit
+val clear_bit : t -> int -> unit
+val mem : t -> int -> bool
+val count : t -> int
+(** Number of set bits. *)
+
+val union : t -> t -> t
+(** Fresh bitset; capacities must match. *)
+
+val inter : t -> t -> t
+val copy : t -> t
+val iter : (int -> unit) -> t -> unit
+(** Iterate set indices in increasing order. *)
+
+val to_list : t -> int list
+val of_list : int -> int list -> t
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

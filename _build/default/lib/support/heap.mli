@@ -1,0 +1,30 @@
+(** Imperative binary min-heap.
+
+    Backs the simulator's event queue; hot path, so the implementation is a
+    plain array-based sift-up/sift-down heap with amortized O(log n) insert
+    and pop. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** Insert an element. *)
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument if the heap is empty. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive; O(n log n). Intended for tests and debugging. *)

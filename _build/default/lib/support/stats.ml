@@ -1,0 +1,144 @@
+let percentile_of_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else if n = 1 then sorted.(0)
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+    let idx = p *. float_of_int (n - 1) in
+    let lo = int_of_float (floor idx) in
+    let hi = int_of_float (ceil idx) in
+    if lo = hi then sorted.(lo)
+    else begin
+      let frac = idx -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+    end
+  end
+
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min_v : float;
+    mutable max_v : float;
+    cap : int;
+    rng : Rng.t;
+    mutable samples : float array;
+    mutable nsamples : int;
+    (* Sorted cache, invalidated on add. *)
+    mutable sorted : float array option;
+  }
+
+  let create ?(reservoir = 65536) ?(seed = 0x5747) () =
+    {
+      count = 0;
+      mean = 0.0;
+      m2 = 0.0;
+      min_v = infinity;
+      max_v = neg_infinity;
+      cap = reservoir;
+      rng = Rng.create seed;
+      samples = [||];
+      nsamples = 0;
+      sorted = None;
+    }
+
+  let store t x =
+    if t.nsamples < t.cap then begin
+      if t.nsamples = Array.length t.samples then begin
+        let ncap = Stdlib.max 64 (Stdlib.min t.cap (2 * Stdlib.max 1 t.nsamples)) in
+        let ndata = Array.make ncap 0.0 in
+        Array.blit t.samples 0 ndata 0 t.nsamples;
+        t.samples <- ndata
+      end;
+      t.samples.(t.nsamples) <- x;
+      t.nsamples <- t.nsamples + 1
+    end
+    else begin
+      (* Classic reservoir: replace a random slot with probability cap/count. *)
+      let j = Rng.int t.rng t.count in
+      if j < t.cap then t.samples.(j) <- x
+    end
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x;
+    t.sorted <- None;
+    store t x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then nan else t.mean
+
+  let stddev t =
+    if t.count < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.count - 1))
+
+  let min t = if t.count = 0 then nan else t.min_v
+  let max t = if t.count = 0 then nan else t.max_v
+
+  let sorted_samples t =
+    match t.sorted with
+    | Some s -> s
+    | None ->
+      let s = Array.sub t.samples 0 t.nsamples in
+      Array.sort compare s;
+      t.sorted <- Some s;
+      s
+
+  let percentile t p = percentile_of_sorted (sorted_samples t) p
+
+  let quartiles t = (percentile t 0.25, percentile t 0.5, percentile t 0.75)
+
+  let merge a b =
+    let t = create ~reservoir:(Stdlib.max a.cap b.cap) () in
+    let absorb src =
+      t.count <- t.count + src.count;
+      if src.count > 0 then begin
+        if src.min_v < t.min_v then t.min_v <- src.min_v;
+        if src.max_v > t.max_v then t.max_v <- src.max_v
+      end
+    in
+    (* Chan et al. parallel moments combination. *)
+    let n_a = float_of_int a.count and n_b = float_of_int b.count in
+    let n = n_a +. n_b in
+    if n > 0.0 then begin
+      let delta = b.mean -. a.mean in
+      t.mean <- ((n_a *. a.mean) +. (n_b *. b.mean)) /. n;
+      t.m2 <- a.m2 +. b.m2 +. (delta *. delta *. n_a *. n_b /. n)
+    end;
+    absorb a;
+    absorb b;
+    let push src = for i = 0 to src.nsamples - 1 do store t src.samples.(i) done in
+    push a;
+    push b;
+    t
+end
+
+module Windowed = struct
+  type t = {
+    width : float;
+    tbl : (int, float ref * int ref) Hashtbl.t;
+  }
+
+  let create ~width =
+    if width <= 0.0 then invalid_arg "Windowed.create: width must be positive";
+    { width; tbl = Hashtbl.create 64 }
+
+  let add t ~time ~value =
+    let idx = int_of_float (floor (time /. t.width)) in
+    match Hashtbl.find_opt t.tbl idx with
+    | Some (sum, cnt) ->
+      sum := !sum +. value;
+      incr cnt
+    | None -> Hashtbl.add t.tbl idx (ref value, ref 1)
+
+  let series t =
+    Hashtbl.fold (fun idx (sum, cnt) acc -> (float_of_int idx *. t.width, !sum, !cnt) :: acc) t.tbl []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+  let rate_series t =
+    List.map (fun (start, _, cnt) -> (start, float_of_int cnt /. (t.width /. 1000.0))) (series t)
+end

@@ -1,0 +1,52 @@
+(** Online statistics and latency summaries.
+
+    The runtime records one sample per committed transaction; experiments at
+    paper scale produce millions of samples, so summaries must be O(1) per
+    sample. [Summary] keeps Welford moments plus an exact sample store capped
+    by reservoir sampling for percentiles (the paper reports p25/p50/p75). *)
+
+module Summary : sig
+  type t
+
+  val create : ?reservoir:int -> ?seed:int -> unit -> t
+  (** [reservoir] caps retained samples (default 65536) using uniform
+      reservoir sampling; moments stay exact regardless. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [\[0,1\]], linear interpolation over the
+      retained samples. Returns [nan] when empty. *)
+
+  val quartiles : t -> float * float * float
+  (** (p25, p50, p75) — the error-bar triple used in the paper's plots. *)
+
+  val merge : t -> t -> t
+  (** Combine two summaries (moments exactly; reservoirs by concatenation and
+      re-capping). *)
+end
+
+module Windowed : sig
+  (** Fixed-width time-window counters, for throughput time series (Fig 8). *)
+
+  type t
+
+  val create : width:float -> t
+  (** [width] is the window size in simulated milliseconds. *)
+
+  val add : t -> time:float -> value:float -> unit
+
+  val series : t -> (float * float * int) list
+  (** [(window_start, sum, count)] for each non-empty window, ascending. *)
+
+  val rate_series : t -> (float * float) list
+  (** [(window_start, count / width_in_seconds)] — events per second. *)
+end
+
+val percentile_of_sorted : float array -> float -> float
+(** Linear-interpolated percentile of an already-sorted array. *)

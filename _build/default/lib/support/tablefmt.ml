@@ -1,0 +1,45 @@
+type align = Left | Right
+
+let float_cell ?(decimals = 1) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let pad_row row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map pad_row rows in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | _ -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row -> List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row)
+    rows;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        let w = widths.(i) in
+        let pad = w - String.length cell in
+        if i > 0 then Buffer.add_string buf "  ";
+        (match List.nth aligns i with
+        | Left ->
+          Buffer.add_string buf cell;
+          if i < ncols - 1 then Buffer.add_string buf (String.make pad ' ')
+        | Right ->
+          Buffer.add_string buf (String.make pad ' ');
+          Buffer.add_string buf cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  let sep = List.mapi (fun i _ -> String.make widths.(i) '-') header in
+  emit_row sep;
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?align ~header rows = print_string (render ?align ~header rows)

@@ -1,0 +1,13 @@
+(** Plain-text aligned tables for bench and experiment reports. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] renders an ASCII table with a separator line under
+    the header. Columns default to right-aligned except the first. Rows
+    shorter than the header are padded with empty cells. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point formatting with NaN rendered as ["-"]. *)

@@ -1,0 +1,26 @@
+let encoded_size v =
+  if v < 0 then invalid_arg "Varint.encoded_size: negative";
+  let rec go v n = if v < 0x80 then n else go (v lsr 7) (n + 1) in
+  go v 1
+
+let write buf v =
+  if v < 0 then invalid_arg "Varint.write: negative";
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let read s pos =
+  let len = String.length s in
+  let rec go pos shift acc =
+    if pos >= len then failwith "Varint.read: truncated input";
+    if shift > 62 then failwith "Varint.read: varint too large";
+    let b = Char.code s.[pos] in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0

@@ -1,0 +1,13 @@
+(** LEB128 variable-length integer encoding, used by the wire codec so that
+    simulated message sizes track what a production implementation would put
+    on the wire. *)
+
+val encoded_size : int -> int
+(** Bytes needed to encode a non-negative int. *)
+
+val write : Buffer.t -> int -> unit
+(** Append the LEB128 encoding of a non-negative int. *)
+
+val read : string -> int -> int * int
+(** [read s pos] returns [(value, next_pos)].
+    @raise Failure on truncated or oversized input. *)

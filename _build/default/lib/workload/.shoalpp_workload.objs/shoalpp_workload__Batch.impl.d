@@ -1,0 +1,1 @@
+lib/workload/batch.ml: Format List Shoalpp_codec Shoalpp_crypto Transaction

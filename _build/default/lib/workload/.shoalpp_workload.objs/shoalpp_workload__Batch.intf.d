@@ -1,0 +1,1 @@
+lib/workload/batch.mli: Format Shoalpp_crypto Transaction

@@ -1,0 +1,1 @@
+lib/workload/client.ml: Mempool Shoalpp_sim Shoalpp_support Transaction

@@ -1,0 +1,1 @@
+lib/workload/mempool.ml: List Queue Transaction

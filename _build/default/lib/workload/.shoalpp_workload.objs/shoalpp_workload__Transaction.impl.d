@@ -1,0 +1,1 @@
+lib/workload/transaction.ml: Format

@@ -1,0 +1,24 @@
+module Digest32 = Shoalpp_crypto.Digest32
+module Wire = Shoalpp_codec.Wire
+
+type t = { txns : Transaction.t list; digest : Digest32.t; created_at : float }
+
+let digest_of txns =
+  let w = Wire.Writer.create () in
+  Wire.Writer.list w
+    (fun (tx : Transaction.t) ->
+      Wire.Writer.uint w tx.id;
+      Wire.Writer.uint w tx.size;
+      Wire.Writer.uint w tx.origin)
+    txns;
+  Digest32.of_string (Wire.Writer.contents w)
+
+let make ~txns ~created_at = { txns; digest = digest_of txns; created_at }
+let empty ~created_at = make ~txns:[] ~created_at
+let is_empty t = t.txns = []
+let length t = List.length t.txns
+
+let wire_size t =
+  List.fold_left (fun acc tx -> acc + Transaction.wire_size tx) 4 t.txns
+
+let pp fmt t = Format.fprintf fmt "batch[%d txns, %a]" (length t) Digest32.pp t.digest

@@ -1,0 +1,16 @@
+(** Transaction batches — the payload of a DAG node proposal (one batch per
+    proposal, inline data streaming per §7 of the paper). *)
+
+type t = { txns : Transaction.t list; digest : Shoalpp_crypto.Digest32.t; created_at : float }
+
+val make : txns:Transaction.t list -> created_at:float -> t
+(** Digest commits to the transaction ids and sizes. *)
+
+val empty : created_at:float -> t
+val is_empty : t -> bool
+val length : t -> int
+
+val wire_size : t -> int
+(** Total bytes the batch occupies inside a proposal. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+module Engine = Shoalpp_sim.Engine
+module Rng = Shoalpp_support.Rng
+
+type t = {
+  engine : Engine.t;
+  mempool : Mempool.t;
+  origin : int;
+  mean_interarrival_ms : float;
+  tx_size : int;
+  rng : Rng.t;
+  next_id : int ref;
+  mutable generated : int;
+  mutable stopped : bool;
+}
+
+let rec arm t =
+  if not t.stopped then begin
+    let gap = Rng.exponential t.rng t.mean_interarrival_ms in
+    ignore
+      (Engine.schedule t.engine ~after:gap (fun () ->
+           if not t.stopped then begin
+             let id = !(t.next_id) in
+             incr t.next_id;
+             let tx =
+               Transaction.make ~id ~size:t.tx_size ~submitted_at:(Engine.now t.engine)
+                 ~origin:t.origin ()
+             in
+             ignore (Mempool.submit t.mempool tx);
+             t.generated <- t.generated + 1;
+             arm t
+           end))
+  end
+
+let start ~engine ~mempool ~origin ~rate_tps ?(tx_size = Transaction.default_size) ?(seed = 7)
+    ?(next_id = ref 0) () =
+  if rate_tps <= 0.0 then invalid_arg "Client.start: rate must be positive";
+  let t =
+    {
+      engine;
+      mempool;
+      origin;
+      mean_interarrival_ms = 1000.0 /. rate_tps;
+      tx_size;
+      rng = Rng.create (seed + (origin * 7919));
+      next_id;
+      generated = 0;
+      stopped = false;
+    }
+  in
+  arm t;
+  t
+
+let stop t = t.stopped <- true
+let generated t = t.generated

@@ -1,0 +1,25 @@
+(** Open-loop Poisson clients.
+
+    Each replica gets a local client population generating an aggregate
+    Poisson stream of [rate_tps] transactions per second, submitted directly
+    to the local replica's mempool — the paper's client model ("clients
+    connect to a single (local) replica and issue a continuous stream of
+    dummy transactions"). *)
+
+type t
+
+val start :
+  engine:Shoalpp_sim.Engine.t ->
+  mempool:Mempool.t ->
+  origin:int ->
+  rate_tps:float ->
+  ?tx_size:int ->
+  ?seed:int ->
+  ?next_id:int ref ->
+  unit ->
+  t
+(** Begin submitting immediately; a shared [next_id] counter keeps ids
+    globally unique across replicas. *)
+
+val stop : t -> unit
+val generated : t -> int

@@ -1,0 +1,34 @@
+type t = {
+  q : Transaction.t Queue.t;
+  max_pending : int;
+  mutable submitted : int;
+  mutable rejected : int;
+}
+
+let create ?(max_pending = max_int) () =
+  { q = Queue.create (); max_pending; submitted = 0; rejected = 0 }
+
+let submit t tx =
+  if Queue.length t.q >= t.max_pending then begin
+    t.rejected <- t.rejected + 1;
+    false
+  end
+  else begin
+    Queue.push tx t.q;
+    t.submitted <- t.submitted + 1;
+    true
+  end
+
+let pull t ~max =
+  let rec go acc k =
+    if k = 0 || Queue.is_empty t.q then List.rev acc
+    else go (Queue.pop t.q :: acc) (k - 1)
+  in
+  go [] max
+
+let peek_pending t = Queue.length t.q
+let submitted t = t.submitted
+let rejected t = t.rejected
+
+let oldest_waiting t =
+  match Queue.peek_opt t.q with None -> None | Some tx -> Some tx.Transaction.submitted_at

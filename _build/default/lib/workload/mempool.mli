@@ -1,0 +1,24 @@
+(** Per-replica pending-transaction queue.
+
+    Clients push; the proposer pulls up to a batch size each DAG round. FIFO
+    order preserves arrival order so queuing latency is measured exactly as
+    in the paper (time from arrival at the replica to ordering). *)
+
+type t
+
+val create : ?max_pending:int -> unit -> t
+(** [max_pending] bounds the queue (default unbounded); beyond it,
+    submissions are rejected — back-pressure under overload. *)
+
+val submit : t -> Transaction.t -> bool
+(** [false] iff rejected by the bound. *)
+
+val pull : t -> max:int -> Transaction.t list
+(** Dequeue up to [max] transactions in FIFO order. *)
+
+val peek_pending : t -> int
+val submitted : t -> int
+val rejected : t -> int
+
+val oldest_waiting : t -> float option
+(** Arrival time of the transaction at the head of the queue. *)

@@ -1,0 +1,23 @@
+(** Client transactions.
+
+    The paper's clients submit 310-byte dummy transactions; we track just the
+    metadata the harness needs (size for bandwidth accounting, arrival time
+    for end-to-end latency). *)
+
+type t = {
+  id : int;  (** globally unique *)
+  size : int;  (** payload bytes on the wire *)
+  submitted_at : float;  (** simulated ms when it reached its local replica *)
+  origin : int;  (** replica it was submitted to *)
+}
+
+val default_size : int
+(** 310 bytes, as in the paper's evaluation. *)
+
+val make : id:int -> ?size:int -> submitted_at:float -> origin:int -> unit -> t
+
+val wire_size : t -> int
+(** Bytes this transaction contributes to a proposal: payload + small
+    header. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_agreement.ml: Array Bytes Char List Option QCheck QCheck_alcotest Shoalpp_consensus Shoalpp_crypto Shoalpp_dag Shoalpp_support Shoalpp_workload String

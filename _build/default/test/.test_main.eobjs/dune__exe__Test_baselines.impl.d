@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Printf Shoalpp_baselines Shoalpp_dag Shoalpp_runtime Shoalpp_sim

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest List Option Shoalpp_consensus Shoalpp_crypto Shoalpp_dag Shoalpp_workload

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char Gen List Printf QCheck QCheck_alcotest Shoalpp_codec Shoalpp_crypto Shoalpp_support String

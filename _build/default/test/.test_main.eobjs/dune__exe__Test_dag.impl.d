@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Fun Gen List Option QCheck QCheck_alcotest Shoalpp_crypto Shoalpp_dag Shoalpp_workload

@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Array Hashtbl List Option Printf Shoalpp_crypto Shoalpp_dag Shoalpp_sim Shoalpp_workload

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Printf Shoalpp_crypto Shoalpp_sim Shoalpp_storage

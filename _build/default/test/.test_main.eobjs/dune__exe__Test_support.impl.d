@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Buffer Float Fun Gen Int Int64 List Option Printf QCheck QCheck_alcotest Set Shoalpp_support String

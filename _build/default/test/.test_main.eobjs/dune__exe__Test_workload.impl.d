@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Printf Shoalpp_crypto Shoalpp_sim Shoalpp_workload

@@ -1,0 +1,341 @@
+(* Tests for the crypto substrate: SHA-256 against FIPS vectors, digests,
+   simulated signatures and multi-signatures, Merkle proofs, and the wire
+   codec. *)
+
+module Sha256 = Shoalpp_crypto.Sha256
+module Digest32 = Shoalpp_crypto.Digest32
+module Signer = Shoalpp_crypto.Signer
+module Multisig = Shoalpp_crypto.Multisig
+module Merkle = Shoalpp_crypto.Merkle
+module Bitset = Shoalpp_support.Bitset
+module Wire = Shoalpp_codec.Wire
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256 *)
+
+let test_sha_vectors () =
+  let cases =
+    [
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+      ( String.make 1_000_000 'a',
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0" );
+    ]
+  in
+  List.iter
+    (fun (input, expected) -> checks "vector" expected (Sha256.to_hex (Sha256.digest_string input)))
+    cases
+
+let test_sha_block_boundaries () =
+  (* Lengths around the 64-byte block and padding boundaries. *)
+  List.iter
+    (fun len ->
+      let s = String.init len (fun i -> Char.chr (i land 0xff)) in
+      let ctx = Sha256.init () in
+      Sha256.feed_string ctx s;
+      checks
+        (Printf.sprintf "len %d incremental = one-shot" len)
+        (Sha256.to_hex (Sha256.digest_string s))
+        (Sha256.to_hex (Sha256.finalize ctx)))
+    [ 0; 1; 54; 55; 56; 63; 64; 65; 119; 120; 127; 128; 1000 ]
+
+let prop_sha_incremental =
+  QCheck.Test.make ~name:"chunked feeding matches one-shot" ~count:100
+    QCheck.(pair (string_of_size Gen.(0 -- 300)) (int_bound 64))
+    (fun (s, chunk) ->
+      let chunk = max 1 chunk in
+      let ctx = Sha256.init () in
+      let rec feed pos =
+        if pos < String.length s then begin
+          let len = min chunk (String.length s - pos) in
+          Sha256.feed_string ctx (String.sub s pos len);
+          feed (pos + len)
+        end
+      in
+      feed 0;
+      String.equal (Sha256.finalize ctx) (Sha256.digest_string s))
+
+let test_sha_finalize_twice_raises () =
+  let ctx = Sha256.init () in
+  ignore (Sha256.finalize ctx);
+  Alcotest.check_raises "reuse" (Invalid_argument "Sha256: context already finalized") (fun () ->
+      ignore (Sha256.finalize ctx))
+
+let test_hmac_vectors () =
+  (* RFC 4231 test case 2 and the classic quick-brown-fox vector. *)
+  checks "rfc4231-2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Sha256.to_hex (Sha256.hmac ~key:"Jefe" "what do ya want for nothing?"));
+  checks "fox"
+    "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+    (Sha256.to_hex (Sha256.hmac ~key:"key" "The quick brown fox jumps over the lazy dog"))
+
+let test_hmac_long_key () =
+  (* Keys longer than the block size are pre-hashed; must not raise and must
+     differ from the same message under a different long key. *)
+  let k1 = String.make 100 'k' and k2 = String.make 100 'l' in
+  checkb "long keys distinct" false (String.equal (Sha256.hmac ~key:k1 "m") (Sha256.hmac ~key:k2 "m"))
+
+(* ------------------------------------------------------------------ *)
+(* Digest32 *)
+
+let test_digest32_basics () =
+  let d = Digest32.of_string "hello" in
+  checki "raw length" 32 (String.length (Digest32.raw d));
+  checki "hex length" 64 (String.length (Digest32.hex d));
+  checki "short hex" 8 (String.length (Digest32.short_hex d));
+  checkb "self equal" true (Digest32.equal d d);
+  checkb "zero differs" false (Digest32.equal d Digest32.zero);
+  Alcotest.check_raises "of_raw wrong size" (Invalid_argument "Digest32.of_raw: need 32 bytes")
+    (fun () -> ignore (Digest32.of_raw "short"))
+
+let test_digest32_concat_order_sensitive () =
+  let a = Digest32.of_string "a" and b = Digest32.of_string "b" in
+  checkb "order matters" false (Digest32.equal (Digest32.concat [ a; b ]) (Digest32.concat [ b; a ]))
+
+let prop_digest32_hash_consistent =
+  QCheck.Test.make ~name:"equal digests hash equal" ~count:100 QCheck.string (fun s ->
+      let a = Digest32.of_string s and b = Digest32.of_string s in
+      Digest32.equal a b && Digest32.hash a = Digest32.hash b && Digest32.compare a b = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Signer *)
+
+let test_signer_roundtrip () =
+  let kp = Signer.keygen ~cluster_seed:5 ~replica:3 in
+  let s = Signer.sign kp "message" in
+  checkb "verifies" true (Signer.verify ~cluster_seed:5 3 "message" s);
+  checkb "wrong message" false (Signer.verify ~cluster_seed:5 3 "other" s);
+  checkb "wrong replica" false (Signer.verify ~cluster_seed:5 4 "message" s);
+  checkb "wrong cluster" false (Signer.verify ~cluster_seed:6 3 "message" s)
+
+let test_signer_deterministic_keys () =
+  let a = Signer.keygen ~cluster_seed:1 ~replica:0 in
+  let b = Signer.keygen ~cluster_seed:1 ~replica:0 in
+  checkb "same signature" true (String.equal (Signer.raw (Signer.sign a "m")) (Signer.raw (Signer.sign b "m")))
+
+let test_signer_of_raw () =
+  let kp = Signer.keygen ~cluster_seed:1 ~replica:0 in
+  let s = Signer.sign kp "m" in
+  let s' = Signer.of_raw (Signer.raw s) in
+  checkb "roundtrip verifies" true (Signer.verify ~cluster_seed:1 0 "m" s');
+  Alcotest.check_raises "bad length" (Invalid_argument "Signer.of_raw: need 32 bytes") (fun () ->
+      ignore (Signer.of_raw "xx"))
+
+(* ------------------------------------------------------------------ *)
+(* Multisig *)
+
+let sigs_over ~cluster_seed ~msg replicas =
+  List.map
+    (fun r ->
+      let kp = Signer.keygen ~cluster_seed ~replica:r in
+      (r, Signer.sign kp msg))
+    replicas
+
+let test_multisig_roundtrip () =
+  let msg = "vote preimage" in
+  let agg = Multisig.aggregate ~n:7 (sigs_over ~cluster_seed:9 ~msg [ 0; 2; 5 ]) in
+  checki "signers" 3 (Multisig.num_signers agg);
+  check Alcotest.(list int) "signer ids" [ 0; 2; 5 ] (Bitset.to_list (Multisig.signers agg));
+  checkb "verifies" true (Multisig.verify ~cluster_seed:9 agg msg);
+  checkb "wrong message" false (Multisig.verify ~cluster_seed:9 agg "other")
+
+let test_multisig_order_insensitive () =
+  let msg = "m" in
+  let a = Multisig.aggregate ~n:5 (sigs_over ~cluster_seed:1 ~msg [ 3; 1; 4 ]) in
+  let b = Multisig.aggregate ~n:5 (sigs_over ~cluster_seed:1 ~msg [ 1; 4; 3 ]) in
+  checkb "same aggregate verifies" true (Multisig.verify ~cluster_seed:1 a msg && Multisig.verify ~cluster_seed:1 b msg);
+  check Alcotest.(list int) "same signers" (Bitset.to_list (Multisig.signers a))
+    (Bitset.to_list (Multisig.signers b))
+
+let test_multisig_duplicate_rejected () =
+  let msg = "m" in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Multisig.aggregate: duplicate signer")
+    (fun () -> ignore (Multisig.aggregate ~n:5 (sigs_over ~cluster_seed:1 ~msg [ 2; 2 ])))
+
+let test_multisig_out_of_range_rejected () =
+  let msg = "m" in
+  Alcotest.check_raises "range" (Invalid_argument "Multisig.aggregate: signer out of range")
+    (fun () -> ignore (Multisig.aggregate ~n:3 (sigs_over ~cluster_seed:1 ~msg [ 3 ])))
+
+let test_multisig_forgery_detected () =
+  (* An aggregate built from a signature over a different message must not
+     verify over the claimed message. *)
+  let honest = sigs_over ~cluster_seed:1 ~msg:"real" [ 0; 1 ] in
+  let forged = (2, Signer.sign (Signer.keygen ~cluster_seed:1 ~replica:2) "fake") :: honest in
+  let agg = Multisig.aggregate ~n:4 forged in
+  checkb "forgery rejected" false (Multisig.verify ~cluster_seed:1 agg "real")
+
+let test_multisig_wire_size () =
+  let agg = Multisig.aggregate ~n:100 (sigs_over ~cluster_seed:1 ~msg:"m" [ 0; 99 ]) in
+  checki "48 + ceil(100/8)" (48 + 13) (Multisig.wire_size agg)
+
+(* ------------------------------------------------------------------ *)
+(* Merkle *)
+
+let leaves n = List.init n (fun i -> Digest32.of_string (Printf.sprintf "leaf-%d" i))
+
+let test_merkle_empty () =
+  let t = Merkle.of_leaves [] in
+  checkb "zero root" true (Digest32.equal (Merkle.root t) Digest32.zero);
+  checki "size" 0 (Merkle.size t)
+
+let test_merkle_single () =
+  let l = Digest32.of_string "only" in
+  let t = Merkle.of_leaves [ l ] in
+  checkb "root is leaf" true (Digest32.equal (Merkle.root t) l);
+  checkb "proof verifies" true
+    (Merkle.verify_proof ~root:(Merkle.root t) ~leaf:l ~index:0 ~size:1 (Merkle.prove t 0))
+
+let test_merkle_proofs_all_sizes () =
+  List.iter
+    (fun n ->
+      let ls = leaves n in
+      let t = Merkle.of_leaves ls in
+      List.iteri
+        (fun i leaf ->
+          checkb
+            (Printf.sprintf "n=%d i=%d" n i)
+            true
+            (Merkle.verify_proof ~root:(Merkle.root t) ~leaf ~index:i ~size:n (Merkle.prove t i)))
+        ls)
+    [ 2; 3; 4; 5; 7; 8; 9; 16; 33 ]
+
+let test_merkle_wrong_leaf_fails () =
+  let ls = leaves 8 in
+  let t = Merkle.of_leaves ls in
+  let proof = Merkle.prove t 3 in
+  checkb "wrong leaf" false
+    (Merkle.verify_proof ~root:(Merkle.root t) ~leaf:(Digest32.of_string "evil") ~index:3 ~size:8 proof);
+  checkb "wrong index" false
+    (Merkle.verify_proof ~root:(Merkle.root t) ~leaf:(List.nth ls 3) ~index:4 ~size:8 proof)
+
+let test_merkle_out_of_range () =
+  let t = Merkle.of_leaves (leaves 4) in
+  Alcotest.check_raises "oob" (Invalid_argument "Merkle.prove: index out of range") (fun () ->
+      ignore (Merkle.prove t 4))
+
+let prop_merkle_root_changes_with_leaf =
+  QCheck.Test.make ~name:"changing any leaf changes the root" ~count:50
+    QCheck.(pair (int_range 1 20) (int_bound 19))
+    (fun (n, i) ->
+      let i = i mod n in
+      let ls = leaves n in
+      let modified = List.mapi (fun j l -> if j = i then Digest32.of_string "tampered" else l) ls in
+      not (Digest32.equal (Merkle.root (Merkle.of_leaves ls)) (Merkle.root (Merkle.of_leaves modified))))
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec *)
+
+let test_wire_scalars () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.uint w 300;
+  Wire.Writer.u8 w 0xAB;
+  Wire.Writer.u32 w 0xDEADBEEF;
+  Wire.Writer.u64 w 0x1122334455667788L;
+  Wire.Writer.float w 3.14;
+  Wire.Writer.bytes w "hello";
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  checki "uint" 300 (Wire.Reader.uint r);
+  checki "u8" 0xAB (Wire.Reader.u8 r);
+  checki "u32" 0xDEADBEEF (Wire.Reader.u32 r);
+  check Alcotest.int64 "u64" 0x1122334455667788L (Wire.Reader.u64 r);
+  check (Alcotest.float 1e-12) "float" 3.14 (Wire.Reader.float r);
+  checks "bytes" "hello" (Wire.Reader.bytes r);
+  checkb "at end" true (Wire.Reader.at_end r);
+  Wire.Reader.expect_end r
+
+let test_wire_list () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.list w (Wire.Writer.uint w) [ 1; 2; 3 ];
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  check Alcotest.(list int) "list" [ 1; 2; 3 ] (Wire.Reader.list r Wire.Reader.uint)
+
+let test_wire_truncated () =
+  let r = Wire.Reader.of_string "\x05ab" in
+  (* length prefix says 5, only 2 bytes remain *)
+  checkb "raises malformed" true
+    (match Wire.Reader.bytes r with
+    | exception Wire.Reader.Malformed _ -> true
+    | _ -> false)
+
+let test_wire_trailing_bytes () =
+  let r = Wire.Reader.of_string "\x01\x02" in
+  ignore (Wire.Reader.u8 r);
+  checkb "trailing detected" true
+    (match Wire.Reader.expect_end r with exception Wire.Reader.Malformed _ -> true | () -> false)
+
+let test_wire_digest_roundtrip () =
+  let d = Digest32.of_string "x" in
+  let w = Wire.Writer.create () in
+  Wire.Writer.digest w d;
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  checkb "digest" true (Digest32.equal d (Wire.Reader.digest r))
+
+let prop_wire_string_roundtrip =
+  QCheck.Test.make ~name:"length-prefixed bytes roundtrip" ~count:200 QCheck.string (fun s ->
+      let w = Wire.Writer.create () in
+      Wire.Writer.bytes w s;
+      let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+      String.equal s (Wire.Reader.bytes r) && Wire.Reader.at_end r)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "crypto.sha256",
+      [
+        Alcotest.test_case "FIPS vectors" `Slow test_sha_vectors;
+        Alcotest.test_case "block boundaries" `Quick test_sha_block_boundaries;
+        Alcotest.test_case "finalize twice raises" `Quick test_sha_finalize_twice_raises;
+        Alcotest.test_case "hmac vectors" `Quick test_hmac_vectors;
+        Alcotest.test_case "hmac long key" `Quick test_hmac_long_key;
+      ]
+      @ qsuite [ prop_sha_incremental ] );
+    ( "crypto.digest32",
+      [
+        Alcotest.test_case "basics" `Quick test_digest32_basics;
+        Alcotest.test_case "concat order" `Quick test_digest32_concat_order_sensitive;
+      ]
+      @ qsuite [ prop_digest32_hash_consistent ] );
+    ( "crypto.signer",
+      [
+        Alcotest.test_case "sign/verify" `Quick test_signer_roundtrip;
+        Alcotest.test_case "deterministic keys" `Quick test_signer_deterministic_keys;
+        Alcotest.test_case "of_raw" `Quick test_signer_of_raw;
+      ] );
+    ( "crypto.multisig",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_multisig_roundtrip;
+        Alcotest.test_case "order insensitive" `Quick test_multisig_order_insensitive;
+        Alcotest.test_case "duplicate rejected" `Quick test_multisig_duplicate_rejected;
+        Alcotest.test_case "out of range rejected" `Quick test_multisig_out_of_range_rejected;
+        Alcotest.test_case "forgery detected" `Quick test_multisig_forgery_detected;
+        Alcotest.test_case "wire size" `Quick test_multisig_wire_size;
+      ] );
+    ( "crypto.merkle",
+      [
+        Alcotest.test_case "empty" `Quick test_merkle_empty;
+        Alcotest.test_case "single" `Quick test_merkle_single;
+        Alcotest.test_case "proofs all sizes" `Quick test_merkle_proofs_all_sizes;
+        Alcotest.test_case "wrong leaf fails" `Quick test_merkle_wrong_leaf_fails;
+        Alcotest.test_case "out of range" `Quick test_merkle_out_of_range;
+      ]
+      @ qsuite [ prop_merkle_root_changes_with_leaf ] );
+    ( "codec.wire",
+      [
+        Alcotest.test_case "scalars" `Quick test_wire_scalars;
+        Alcotest.test_case "lists" `Quick test_wire_list;
+        Alcotest.test_case "truncated" `Quick test_wire_truncated;
+        Alcotest.test_case "trailing bytes" `Quick test_wire_trailing_bytes;
+        Alcotest.test_case "digest roundtrip" `Quick test_wire_digest_roundtrip;
+      ]
+      @ qsuite [ prop_wire_string_roundtrip ] );
+  ]

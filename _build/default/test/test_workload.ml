@@ -1,0 +1,123 @@
+(* Tests for transactions, batches, the mempool and Poisson clients. *)
+
+module Engine = Shoalpp_sim.Engine
+module Transaction = Shoalpp_workload.Transaction
+module Batch = Shoalpp_workload.Batch
+module Mempool = Shoalpp_workload.Mempool
+module Client = Shoalpp_workload.Client
+module Digest32 = Shoalpp_crypto.Digest32
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let tx ?(id = 0) ?(size = Transaction.default_size) ?(at = 0.0) ?(origin = 0) () =
+  Transaction.make ~id ~size ~submitted_at:at ~origin ()
+
+let test_transaction_defaults () =
+  let t = tx ~id:7 () in
+  checki "default size is the paper's 310B" 310 t.Transaction.size;
+  checki "wire size adds header" 318 (Transaction.wire_size t)
+
+let test_batch_digest_deterministic () =
+  let txns = [ tx ~id:1 (); tx ~id:2 () ] in
+  let a = Batch.make ~txns ~created_at:0.0 in
+  let b = Batch.make ~txns ~created_at:99.0 in
+  checkb "digest from content only" true (Digest32.equal a.Batch.digest b.Batch.digest);
+  let c = Batch.make ~txns:[ tx ~id:2 (); tx ~id:1 () ] ~created_at:0.0 in
+  checkb "order-sensitive" false (Digest32.equal a.Batch.digest c.Batch.digest)
+
+let test_batch_sizes () =
+  let b = Batch.make ~txns:[ tx ~id:1 (); tx ~id:2 () ] ~created_at:0.0 in
+  checki "length" 2 (Batch.length b);
+  checki "wire size" (4 + (2 * 318)) (Batch.wire_size b);
+  checkb "not empty" false (Batch.is_empty b);
+  checkb "empty" true (Batch.is_empty (Batch.empty ~created_at:0.0))
+
+let test_mempool_fifo () =
+  let m = Mempool.create () in
+  List.iter (fun i -> ignore (Mempool.submit m (tx ~id:i ()))) [ 1; 2; 3; 4; 5 ];
+  checki "pending" 5 (Mempool.peek_pending m);
+  let pulled = Mempool.pull m ~max:3 in
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ]
+    (List.map (fun (t : Transaction.t) -> t.Transaction.id) pulled);
+  checki "remaining" 2 (Mempool.peek_pending m);
+  checki "pull more than available" 2 (List.length (Mempool.pull m ~max:10))
+
+let test_mempool_bound () =
+  let m = Mempool.create ~max_pending:2 () in
+  checkb "accept 1" true (Mempool.submit m (tx ~id:1 ()));
+  checkb "accept 2" true (Mempool.submit m (tx ~id:2 ()));
+  checkb "reject 3" false (Mempool.submit m (tx ~id:3 ()));
+  checki "rejected count" 1 (Mempool.rejected m);
+  checki "submitted count" 2 (Mempool.submitted m)
+
+let test_mempool_oldest_waiting () =
+  let m = Mempool.create () in
+  Alcotest.(check (option (float 1e-9))) "empty" None (Mempool.oldest_waiting m);
+  ignore (Mempool.submit m (tx ~id:1 ~at:42.0 ()));
+  ignore (Mempool.submit m (tx ~id:2 ~at:50.0 ()));
+  Alcotest.(check (option (float 1e-9))) "head arrival" (Some 42.0) (Mempool.oldest_waiting m)
+
+let test_client_rate () =
+  let engine = Engine.create () in
+  let m = Mempool.create () in
+  let c = Client.start ~engine ~mempool:m ~origin:0 ~rate_tps:100.0 ~seed:5 () in
+  Engine.run ~until:60_000.0 engine;
+  Client.stop c;
+  let got = Client.generated c in
+  (* 100 tps for 60 s => ~6000, Poisson sd ~77. *)
+  checkb (Printf.sprintf "poisson rate (got %d)" got) true (got > 5600 && got < 6400);
+  checki "all reached mempool" got (Mempool.submitted m)
+
+let test_client_unique_ids_across_replicas () =
+  let engine = Engine.create () in
+  let next_id = ref 0 in
+  let pools = List.init 3 (fun _ -> Mempool.create ()) in
+  let _clients =
+    List.mapi
+      (fun i m -> Client.start ~engine ~mempool:m ~origin:i ~rate_tps:50.0 ~seed:1 ~next_id ())
+      pools
+  in
+  Engine.run ~until:5_000.0 engine;
+  let all =
+    List.concat_map (fun m -> List.map (fun (t : Transaction.t) -> t.Transaction.id) (Mempool.pull m ~max:max_int)) pools
+  in
+  checki "globally unique ids" (List.length all) (List.length (List.sort_uniq compare all))
+
+let test_client_stop () =
+  let engine = Engine.create () in
+  let m = Mempool.create () in
+  let c = Client.start ~engine ~mempool:m ~origin:0 ~rate_tps:1000.0 ~seed:2 () in
+  Engine.run ~until:1_000.0 engine;
+  Client.stop c;
+  let at_stop = Client.generated c in
+  Engine.run ~until:5_000.0 engine;
+  checki "no more after stop" at_stop (Client.generated c)
+
+let test_client_timestamps_are_submission_times () =
+  let engine = Engine.create () in
+  let m = Mempool.create () in
+  ignore (Client.start ~engine ~mempool:m ~origin:3 ~rate_tps:200.0 ~seed:9 ());
+  Engine.run ~until:2_000.0 engine;
+  List.iter
+    (fun (t : Transaction.t) ->
+      checkb "origin tagged" true (t.Transaction.origin = 3);
+      checkb "timestamp in run" true (t.Transaction.submitted_at > 0.0 && t.Transaction.submitted_at <= 2_000.0))
+    (Mempool.pull m ~max:max_int)
+
+let suite =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "transaction defaults" `Quick test_transaction_defaults;
+        Alcotest.test_case "batch digest deterministic" `Quick test_batch_digest_deterministic;
+        Alcotest.test_case "batch sizes" `Quick test_batch_sizes;
+        Alcotest.test_case "mempool fifo" `Quick test_mempool_fifo;
+        Alcotest.test_case "mempool bound" `Quick test_mempool_bound;
+        Alcotest.test_case "mempool oldest waiting" `Quick test_mempool_oldest_waiting;
+        Alcotest.test_case "client poisson rate" `Slow test_client_rate;
+        Alcotest.test_case "client unique ids" `Quick test_client_unique_ids_across_replicas;
+        Alcotest.test_case "client stop" `Quick test_client_stop;
+        Alcotest.test_case "client timestamps" `Quick test_client_timestamps_are_submission_times;
+      ] );
+  ]
