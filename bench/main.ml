@@ -48,10 +48,22 @@ let run system params = E.run system params
 let section title = Printf.printf "\n=== %s ===\n%!" title
 let note fmt = Printf.printf fmt
 
-let row_of_outcome (o : E.outcome) =
-  Report.table_row o.E.report @ [ (if o.E.audit_ok then "ok" else "FAILED") ]
+let rule_mix_cell (r : Report.t) =
+  let pct rule =
+    match List.assoc_opt rule (Report.rule_mix r) with
+    | Some f -> 100.0 *. f
+    | None -> 0.0
+  in
+  Printf.sprintf "%.0f/%.0f/%.0f"
+    (pct Shoalpp_consensus.Anchors.Fast_direct)
+    (pct Shoalpp_consensus.Anchors.Certified_direct)
+    (pct Shoalpp_consensus.Anchors.Indirect_rule)
 
-let header = Report.table_header @ [ "audit" ]
+let row_of_outcome (o : E.outcome) =
+  Report.table_row o.E.report
+  @ [ rule_mix_cell o.E.report; (if o.E.audit_ok then "ok" else "FAILED") ]
+
+let header = Report.table_header @ [ "fast/cert/ind %"; "audit" ]
 
 (* ------------------------------------------------------------------ *)
 (* T1 — message-delay accounting (§3.2, §5.4). A uniform-delay network

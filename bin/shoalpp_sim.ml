@@ -4,11 +4,21 @@
    Examples:
      dune exec bin/shoalpp_sim.exe -- --system shoal++ --n 16 --load 2000
      dune exec bin/shoalpp_sim.exe -- --system mysticeti --drop 5,0.01,20000 --series
-     dune exec bin/shoalpp_sim.exe -- --system bullshark --crashes 5 --duration 30000 *)
+     dune exec bin/shoalpp_sim.exe -- --system bullshark --crashes 5 --duration 30000
+     dune exec bin/shoalpp_sim.exe -- --trace-out run.jsonl --chrome-out run.trace.json \
+       --metrics-out run.metrics.json *)
 
 module E = Shoalpp_runtime.Experiment
 module Report = Shoalpp_runtime.Report
+module Export = Shoalpp_runtime.Export
 open Cmdliner
+
+let write_file path f =
+  match open_out path with
+  | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+  | exception Sys_error msg ->
+    Printf.eprintf "shoalpp_sim: cannot write %s (%s)\n" path msg;
+    exit 1
 
 let system_conv =
   let parse s =
@@ -64,7 +74,7 @@ let drop_conv =
   Arg.conv (parse, print)
 
 let run system n load duration warmup topology crashes drop timeout dags stagger seed no_verify
-    series =
+    series trace_out chrome_out metrics_out =
   Shoalpp_baselines.Register.register ();
   let params =
     {
@@ -81,15 +91,33 @@ let run system n load duration warmup topology crashes drop timeout dags stagger
       stagger_ms = stagger;
       verify_signatures = not no_verify;
       seed;
+      trace = trace_out <> None || chrome_out <> None;
     }
   in
   let outcome = E.run system params in
-  Format.printf "%a@." Report.pp outcome.E.report;
+  Format.printf "%a@." Report.pp_extended outcome.E.report;
   Format.printf "audit: %s; requeued=%d; messages=%d (dropped %d); %.1f MB sent@."
     (if outcome.E.audit_ok then "consistent logs, no duplicates" else "FAILED")
     outcome.E.requeued outcome.E.report.Report.messages_sent
     outcome.E.report.Report.messages_dropped
     (outcome.E.report.Report.bytes_sent /. 1.0e6);
+  (match trace_out with
+  | Some path ->
+    write_file path (fun oc -> Export.write_jsonl oc outcome.E.events);
+    Format.printf "trace: %d events -> %s@." (List.length outcome.E.events) path
+  | None -> ());
+  (match chrome_out with
+  | Some path ->
+    write_file path (fun oc -> Export.write_chrome_trace oc outcome.E.events);
+    Format.printf "chrome trace: %s (load in Perfetto or chrome://tracing)@." path
+  | None -> ());
+  (match metrics_out with
+  | Some path ->
+    write_file path (fun oc ->
+        Export.write_metrics oc outcome.E.report.Report.telemetry;
+        output_char oc '\n');
+    Format.printf "metrics: %s@." path
+  | None -> ());
   if series then begin
     Format.printf "@.time series (1s windows):@.";
     Shoalpp_support.Tablefmt.print
@@ -137,10 +165,30 @@ let cmd =
     Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip signature verification (faster).")
   in
   let series = Arg.(value & flag & info [ "series" ] ~doc:"Print per-second time series.") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE" ~doc:"Write the typed event trace as JSONL.")
+  in
+  let chrome_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-out" ] ~docv:"FILE"
+          ~doc:"Write the event trace in Chrome trace_event JSON (Perfetto-loadable).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the telemetry snapshot (counters, stage histograms) as JSON.")
+  in
   Cmd.v
     (Cmd.info "shoalpp_sim" ~doc:"Run a simulated BFT consensus deployment (Shoal++ and baselines)")
     Term.(
       const run $ system $ n $ load $ duration $ warmup $ topology $ crashes $ drop $ timeout
-      $ dags $ stagger $ seed $ no_verify $ series)
+      $ dags $ stagger $ seed $ no_verify $ series $ trace_out $ chrome_out $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

@@ -10,6 +10,9 @@ module Mempool = Shoalpp_workload.Mempool
 module Metrics = Shoalpp_runtime.Metrics
 module Report = Shoalpp_runtime.Report
 module Rng = Shoalpp_support.Rng
+module Obs = Shoalpp_sim.Obs
+module Trace = Shoalpp_sim.Trace
+module Telemetry = Shoalpp_support.Telemetry
 
 type qc = { qc_round : int; qc_digest : Digest32.t; qc_signers : int list }
 
@@ -19,6 +22,7 @@ type block = {
   jb_txns : Transaction.t list;
   jb_justify : qc;
   jb_digest : Digest32.t;
+  jb_created_at : float;  (** for stage attribution; not on the wire *)
 }
 
 type msg =
@@ -58,6 +62,7 @@ type setup = {
   max_block_txns : int;
   verify_signatures : bool;
   seed : int;
+  trace : Trace.t option;
 }
 
 let default_setup ~committee =
@@ -74,6 +79,7 @@ let default_setup ~committee =
     max_block_txns = 100 * 500;
     verify_signatures = true;
     seed = 11;
+    trace = None;
   }
 
 (* Per-transaction shared-mempool bookkeeping. *)
@@ -107,6 +113,12 @@ type replica = {
   mutable round_timer : Engine.timer option;
   mutable ntimeouts : int;
   mutable crashed : bool;
+  obs : Obs.t;
+  c_commits : Telemetry.counter option;
+  c_timeouts : Telemetry.counter option;
+  h_submit_block : Telemetry.Histogram.t option;
+  h_block_commit : Telemetry.Histogram.t option;
+  h_e2e : Telemetry.Histogram.t option;
 }
 
 let rep_lag = 6
@@ -148,11 +160,20 @@ let commit_block t (b : block) =
          (fun (br, _, _) -> br >= b.jb_round - ((2 * rep_window) + rep_lag))
          t.committed_meta;
   let now = Engine.now t.engine in
+  Obs.incr_c t.c_commits;
+  Obs.event t.obs ~time:now
+    (Trace.Anchor_direct_certified { round = b.jb_round; anchor = b.jb_author });
   List.iter
     (fun (tx : Transaction.t) ->
       if not (Hashtbl.mem t.committed_ids tx.Transaction.id) then begin
         Hashtbl.replace t.committed_ids tx.Transaction.id ();
-        Metrics.observe_commit t.metrics ~origin_ordered:(tx.Transaction.origin = t.id) ~tx ~now
+        Metrics.observe_commit t.metrics ~origin_ordered:(tx.Transaction.origin = t.id) ~tx ~now;
+        if tx.Transaction.origin = t.id then begin
+          let submitted = tx.Transaction.submitted_at in
+          Obs.observe_h t.h_submit_block (b.jb_created_at -. submitted);
+          Obs.observe_h t.h_block_commit (now -. b.jb_created_at);
+          Obs.observe_h t.h_e2e (now -. submitted)
+        end
       end)
     b.jb_txns
 
@@ -177,6 +198,8 @@ let rec enter_round t r =
         (Engine.schedule t.engine ~after:t.setup.round_timeout_ms (fun () ->
              if (not t.crashed) && t.current_round = r then begin
                t.ntimeouts <- t.ntimeouts + 1;
+               Obs.incr_c t.c_timeouts;
+               Obs.event t.obs ~time:(Engine.now t.engine) (Trace.Timeout_fired { round = r });
                send_timeout t r
              end));
     if leader_of t r = t.id then propose t r
@@ -223,7 +246,18 @@ and propose t r =
   let txns = List.rev !txns in
   let justify = t.high_qc in
   let digest = block_digest ~round:r ~author:t.id ~justify ~txns in
-  let b = { jb_round = r; jb_author = t.id; jb_txns = txns; jb_justify = justify; jb_digest = digest } in
+  let now = Engine.now t.engine in
+  let b =
+    {
+      jb_round = r;
+      jb_author = t.id;
+      jb_txns = txns;
+      jb_justify = justify;
+      jb_digest = digest;
+      jb_created_at = now;
+    }
+  in
+  Obs.event t.obs ~time:now (Trace.Proposal_created { round = r; txns = List.length txns });
   broadcast t (Block b)
 
 let pool_add t (tx : Transaction.t) =
@@ -314,6 +348,7 @@ type cluster = {
   c_net : msg Netmodel.t;
   c_replicas : replica array;
   c_metrics : Metrics.t;
+  c_telemetry : Telemetry.t;
   c_clients : Client.t option array;
   c_mempools : Mempool.t array; (* staging: client -> gossip *)
   mutable c_fault : Fault.t;
@@ -330,11 +365,13 @@ let create setup =
       ~config:setup.net_config ~seed:setup.seed ()
   in
   let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
+  let telemetry = Telemetry.create () in
   let genesis_qc =
     { qc_round = -1; qc_digest = committee.Committee.genesis; qc_signers = [] }
   in
   let replicas =
     Array.init n (fun id ->
+        let obs = Obs.make ?trace:setup.trace ~telemetry ~replica:id ~instance:0 () in
         {
           id;
           setup;
@@ -361,6 +398,12 @@ let create setup =
           round_timer = None;
           ntimeouts = 0;
           crashed = false;
+          obs;
+          c_commits = Obs.counter obs "commit.certified_direct";
+          c_timeouts = Obs.counter obs "dag.timeouts";
+          h_submit_block = Obs.histogram obs "stage.submit_to_batch";
+          h_block_commit = Obs.histogram obs "stage.proposal_to_commit";
+          h_e2e = Obs.histogram obs "latency.e2e";
         })
   in
   Array.iter (fun r -> Netmodel.set_handler net r.id (fun ~src:_ msg -> handle_message r msg)) replicas;
@@ -370,6 +413,7 @@ let create setup =
     c_net = net;
     c_replicas = replicas;
     c_metrics = metrics;
+    c_telemetry = telemetry;
     c_clients = Array.make n None;
     c_mempools = Array.init n (fun _ -> Mempool.create ());
     c_fault = setup.fault;
@@ -423,6 +467,7 @@ let crash_now c i =
 
 let engine c = c.c_engine
 let metrics c = c.c_metrics
+let telemetry c = c.c_telemetry
 
 let report c ~duration_ms =
   let submitted = Array.fold_left (fun acc m -> acc + Mempool.submitted m) 0 c.c_mempools in
@@ -432,7 +477,8 @@ let report c ~duration_ms =
       (Array.fold_left (fun acc r -> acc + List.length r.committed_log) 0 c.c_replicas)
     ~messages_sent:(Netmodel.messages_sent c.c_net)
     ~messages_dropped:(Netmodel.messages_dropped c.c_net)
-    ~bytes_sent:(Netmodel.bytes_sent c.c_net) ()
+    ~bytes_sent:(Netmodel.bytes_sent c.c_net)
+    ~telemetry:(Telemetry.snapshot c.c_telemetry) ()
 
 let committed_consistent c =
   let logs = Array.map (fun r -> Array.of_list (List.rev r.committed_log)) c.c_replicas in

@@ -40,6 +40,7 @@ type setup = {
   max_block_txns : int;  (** paper: up to 100 batches x 500 txns *)
   verify_signatures : bool;
   seed : int;
+  trace : Shoalpp_sim.Trace.t option;  (** shared typed-event trace *)
 }
 
 val default_setup : committee:Shoalpp_dag.Committee.t -> setup
@@ -49,6 +50,12 @@ val run : cluster -> duration_ms:float -> unit
 val crash_now : cluster -> int -> unit
 val engine : cluster -> Shoalpp_sim.Engine.t
 val metrics : cluster -> Shoalpp_runtime.Metrics.t
+
+val telemetry : cluster -> Shoalpp_support.Telemetry.t
+(** Shared registry: [commit.certified_direct] (2-chain commits),
+    [dag.timeouts], and the stage histograms comparable with the DAG family
+    ([stage.submit_to_batch], [stage.proposal_to_commit], [latency.e2e]). *)
+
 val report : cluster -> duration_ms:float -> Shoalpp_runtime.Report.t
 
 val committed_consistent : cluster -> bool

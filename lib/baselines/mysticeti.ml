@@ -17,6 +17,9 @@ module Mempool = Shoalpp_workload.Mempool
 module Metrics = Shoalpp_runtime.Metrics
 module Report = Shoalpp_runtime.Report
 module Rng = Shoalpp_support.Rng
+module Obs = Shoalpp_sim.Obs
+module Trace = Shoalpp_sim.Trace
+module Telemetry = Shoalpp_support.Telemetry
 
 type msg =
   | Block of Types.node
@@ -46,6 +49,7 @@ type setup = {
   fetch_retry_ms : float;
   verify_signatures : bool;
   seed : int;
+  trace : Trace.t option;
 }
 
 let default_setup ~committee =
@@ -62,6 +66,7 @@ let default_setup ~committee =
     fetch_retry_ms = 50.0;
     verify_signatures = true;
     seed = 13;
+    trace = None;
   }
 
 (* Blocks carry an empty dummy certificate so they fit the certified-node
@@ -94,6 +99,13 @@ type replica = {
   mutable fetches : int;
   mutable stalled : int;
   mutable crashed : bool;
+  obs : Obs.t;
+  c_proposals : Telemetry.counter option;
+  c_fetches : Telemetry.counter option;
+  c_timeouts : Telemetry.counter option;
+  h_submit_block : Telemetry.Histogram.t option;
+  h_block_commit : Telemetry.Histogram.t option;
+  h_e2e : Telemetry.Histogram.t option;
 }
 
 let quorum r = Committee.quorum r.setup.committee
@@ -114,6 +126,9 @@ let rec propose r round =
       |> List.map (fun (cn : Types.certified_node) -> Types.ref_of_node cn.Types.cn_node)
   in
   let txns = Mempool.pull r.mempool ~max:r.setup.batch_cap in
+  Obs.incr_c r.c_proposals;
+  Obs.event r.obs ~time:(Engine.now r.engine)
+    (Trace.Proposal_created { round; txns = List.length txns });
   let created_at = Engine.now r.engine in
   let batch = Batch.make ~txns ~created_at in
   let digest =
@@ -136,7 +151,13 @@ let rec propose r round =
   r.round_timer <-
     Some
       (Engine.schedule r.engine ~after:r.setup.round_timeout_ms (fun () ->
-           if not r.crashed then maybe_advance r))
+           if not r.crashed then begin
+             if r.proposed_round = round then begin
+               Obs.incr_c r.c_timeouts;
+               Obs.event r.obs ~time:(Engine.now r.engine) (Trace.Timeout_fired { round })
+             end;
+             maybe_advance r
+           end))
 
 and maybe_advance r =
   if (not r.crashed) && r.proposed_round >= 0 then begin
@@ -164,6 +185,9 @@ let rec start_fetch r (wanted : Types.node_ref) =
   if not (Hashtbl.mem r.fetching wanted.Types.ref_digest) then begin
     Hashtbl.replace r.fetching wanted.Types.ref_digest wanted;
     r.fetches <- r.fetches + 1;
+    Obs.incr_c r.c_fetches;
+    Obs.event r.obs ~time:(Engine.now r.engine)
+      (Trace.Fetch_requested { round = wanted.Types.ref_round; author = wanted.Types.ref_author });
     (* First ask the author, the one replica guaranteed to have it. *)
     send r ~dst:wanted.Types.ref_author (Fetch_req { wanted; requester = r.id });
     arm_fetch_retry r wanted
@@ -176,6 +200,7 @@ and arm_fetch_retry r wanted =
            let n = Store.n r.store in
            let dst = Rng.int r.rng n in
            r.fetches <- r.fetches + 1;
+           Obs.incr_c r.c_fetches;
            send r ~dst (Fetch_req { wanted; requester = r.id });
            arm_fetch_retry r wanted
          end))
@@ -260,16 +285,21 @@ type cluster = {
   c_net : msg Netmodel.t;
   c_replicas : replica array;
   c_metrics : Metrics.t;
+  c_telemetry : Telemetry.t;
   c_clients : Client.t option array;
   mutable c_fault : Fault.t;
   mutable c_started : bool;
 }
 
-let make_replica setup ~engine ~net ~metrics id =
+let make_replica setup ~engine ~net ~metrics ~telemetry id =
   let committee = setup.committee in
   let store =
     Store.create ~n:committee.Committee.n ~genesis_digest:committee.Committee.genesis
   in
+  let obs = Obs.make ?trace:setup.trace ~telemetry ~replica:id ~instance:0 () in
+  let h_submit_block = Obs.histogram obs "stage.submit_to_batch" in
+  let h_block_commit = Obs.histogram obs "stage.proposal_to_commit" in
+  let h_e2e = Obs.histogram obs "latency.e2e" in
   let log = ref [] in
   let replica_ref = ref None in
   let driver_cfg =
@@ -282,7 +312,7 @@ let make_replica setup ~engine ~net ~metrics id =
     }
   in
   let driver =
-    Driver.create driver_cfg
+    Driver.create ~obs driver_cfg
       {
         Driver.now = (fun () -> Engine.now engine);
         cert_ref =
@@ -300,11 +330,19 @@ let make_replica setup ~engine ~net ~metrics id =
             let now = Engine.now engine in
             List.iter
               (fun (cn : Types.certified_node) ->
+                let node = cn.Types.cn_node in
                 List.iter
                   (fun (tx : Transaction.t) ->
                     Metrics.observe_commit metrics
-                      ~origin_ordered:(tx.Transaction.origin = id) ~tx ~now)
-                  cn.Types.cn_node.Types.batch.Batch.txns)
+                      ~origin_ordered:(tx.Transaction.origin = id) ~tx ~now;
+                    if tx.Transaction.origin = id then begin
+                      let submitted = tx.Transaction.submitted_at in
+                      Obs.observe_h h_submit_block
+                        (node.Types.batch.Batch.created_at -. submitted);
+                      Obs.observe_h h_block_commit (now -. node.Types.created_at);
+                      Obs.observe_h h_e2e (now -. submitted)
+                    end)
+                  node.Types.batch.Batch.txns)
               segment.Driver.nodes);
         request_gc = (fun ~round -> ignore (Store.prune_below store ~round));
         (* Cordial-Miners certificate pattern: a direct decision needs the
@@ -341,6 +379,13 @@ let make_replica setup ~engine ~net ~metrics id =
       fetches = 0;
       stalled = 0;
       crashed = false;
+      obs;
+      c_proposals = Obs.counter obs "dag.proposals";
+      c_fetches = Obs.counter obs "dag.fetches";
+      c_timeouts = Obs.counter obs "dag.timeouts";
+      h_submit_block;
+      h_block_commit;
+      h_e2e;
     }
   in
   replica_ref := Some r;
@@ -356,7 +401,10 @@ let create setup =
       ~config:setup.net_config ~seed:setup.seed ()
   in
   let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
-  let replicas = Array.init n (fun id -> make_replica setup ~engine ~net ~metrics id) in
+  let telemetry = Telemetry.create () in
+  let replicas =
+    Array.init n (fun id -> make_replica setup ~engine ~net ~metrics ~telemetry id)
+  in
   Array.iter
     (fun r -> Netmodel.set_handler net r.id (fun ~src:_ msg -> handle_message r msg))
     replicas;
@@ -366,6 +414,7 @@ let create setup =
     c_net = net;
     c_replicas = replicas;
     c_metrics = metrics;
+    c_telemetry = telemetry;
     c_clients = Array.make n None;
     c_fault = setup.fault;
     c_started = false;
@@ -408,6 +457,7 @@ let set_fault c fault =
 
 let engine c = c.c_engine
 let metrics c = c.c_metrics
+let telemetry c = c.c_telemetry
 
 let report c ~duration_ms =
   let submitted =
@@ -423,7 +473,8 @@ let report c ~duration_ms =
     ~skipped_anchors:(sum (fun s -> s.Driver.skipped_anchors))
     ~messages_sent:(Netmodel.messages_sent c.c_net)
     ~messages_dropped:(Netmodel.messages_dropped c.c_net)
-    ~bytes_sent:(Netmodel.bytes_sent c.c_net) ()
+    ~bytes_sent:(Netmodel.bytes_sent c.c_net)
+    ~telemetry:(Telemetry.snapshot c.c_telemetry) ()
 
 let logs_consistent c =
   let logs = Array.map (fun r -> Array.of_list (List.rev !(r.log))) c.c_replicas in

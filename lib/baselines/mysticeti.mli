@@ -41,6 +41,7 @@ type setup = {
   fetch_retry_ms : float;  (** critical-path fetch retry period *)
   verify_signatures : bool;
   seed : int;
+  trace : Shoalpp_sim.Trace.t option;  (** shared typed-event trace *)
 }
 
 val default_setup : committee:Shoalpp_dag.Committee.t -> setup
@@ -50,6 +51,12 @@ val run : cluster -> duration_ms:float -> unit
 val crash_now : cluster -> int -> unit
 val engine : cluster -> Shoalpp_sim.Engine.t
 val metrics : cluster -> Shoalpp_runtime.Metrics.t
+
+val telemetry : cluster -> Shoalpp_support.Telemetry.t
+(** Shared registry: driver [commit.*] rule counters, [dag.proposals],
+    [dag.fetches] (critical-path fetches), [dag.timeouts], and the stage
+    histograms comparable with the DAG family. *)
+
 val report : cluster -> duration_ms:float -> Shoalpp_runtime.Report.t
 val set_fault : cluster -> Shoalpp_sim.Fault.t -> unit
 

@@ -17,8 +17,17 @@ let fault_of (p : Experiment.params) =
   | Some (k, rate, from_time) ->
     Fault.drop_egress fault ~replicas:(List.init k Fun.id) ~rate ~from_time ()
 
+let trace_of (p : Experiment.params) =
+  if p.Experiment.trace then
+    Some
+      (Shoalpp_sim.Trace.create ~enabled:true ~capacity:p.Experiment.trace_capacity ())
+  else None
+
+let events_of_trace = function Some tr -> Shoalpp_sim.Trace.events tr | None -> []
+
 let jolteon_runner (p : Experiment.params) : Experiment.outcome =
   let committee = Committee.make ~n:p.Experiment.n ~cluster_seed:p.Experiment.seed () in
+  let trace = trace_of p in
   let setup =
     {
       (Jolteon.default_setup ~committee) with
@@ -33,6 +42,7 @@ let jolteon_runner (p : Experiment.params) : Experiment.outcome =
         Option.value ~default:1500.0 p.Experiment.round_timeout_ms;
       verify_signatures = p.Experiment.verify_signatures;
       seed = p.Experiment.seed;
+      trace;
     }
   in
   let c = Jolteon.create setup in
@@ -43,10 +53,12 @@ let jolteon_runner (p : Experiment.params) : Experiment.outcome =
     throughput_series = Metrics.throughput_series (Jolteon.metrics c);
     latency_series = Metrics.latency_series (Jolteon.metrics c);
     requeued = 0;
+    events = events_of_trace trace;
   }
 
 let mysticeti_runner (p : Experiment.params) : Experiment.outcome =
   let committee = Committee.make ~n:p.Experiment.n ~cluster_seed:p.Experiment.seed () in
+  let trace = trace_of p in
   let setup =
     {
       (Mysticeti.default_setup ~committee) with
@@ -62,6 +74,7 @@ let mysticeti_runner (p : Experiment.params) : Experiment.outcome =
         Option.value ~default:1000.0 p.Experiment.round_timeout_ms;
       verify_signatures = p.Experiment.verify_signatures;
       seed = p.Experiment.seed;
+      trace;
     }
   in
   let c = Mysticeti.create setup in
@@ -72,6 +85,7 @@ let mysticeti_runner (p : Experiment.params) : Experiment.outcome =
     throughput_series = Metrics.throughput_series (Mysticeti.metrics c);
     latency_series = Metrics.latency_series (Mysticeti.metrics c);
     requeued = 0;
+    events = events_of_trace trace;
   }
 
 let registered = ref false

@@ -22,3 +22,27 @@ let pp_mode fmt = function
   | Every_other_round -> Format.pp_print_string fmt "every-other-round"
   | One_per_round -> Format.pp_print_string fmt "one-per-round"
   | All_eligible -> Format.pp_print_string fmt "all-eligible"
+
+type rule = Fast_direct | Certified_direct | Indirect_rule | Skipped
+
+let all_rules = [ Fast_direct; Certified_direct; Indirect_rule; Skipped ]
+
+let rule_tag = function
+  | Fast_direct -> "fast_direct"
+  | Certified_direct -> "certified_direct"
+  | Indirect_rule -> "indirect"
+  | Skipped -> "skipped"
+
+let counter_name rule = "commit." ^ rule_tag rule
+
+(* Commit-rule mix as fractions of all resolved anchor candidates; an
+   all-zero input yields an all-zero mix rather than NaNs. *)
+let mix ~fast ~direct ~indirect ~skipped =
+  let total = fast + direct + indirect + skipped in
+  let frac c = if total = 0 then 0.0 else float_of_int c /. float_of_int total in
+  [
+    (Fast_direct, frac fast);
+    (Certified_direct, frac direct);
+    (Indirect_rule, frac indirect);
+    (Skipped, frac skipped);
+  ]

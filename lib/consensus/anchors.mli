@@ -22,3 +22,23 @@ val instance_anchor : Reputation.t -> round:int -> int
     Candidates"). *)
 
 val pp_mode : Format.formatter -> mode -> unit
+
+(** How an anchor candidate was resolved — the commit-rule taxonomy used
+    by telemetry counters and the run report's rule mix. *)
+type rule =
+  | Fast_direct  (** §5.1 fast rule: 2f+1 round r+1 proposals reference it *)
+  | Certified_direct  (** Bullshark direct rule: f+1 certified children *)
+  | Indirect_rule
+  | Skipped
+
+val all_rules : rule list
+
+val rule_tag : rule -> string
+(** Stable snake_case name ("fast_direct", ...). *)
+
+val counter_name : rule -> string
+(** Telemetry counter recording commits under [rule] ("commit.fast_direct"). *)
+
+val mix : fast:int -> direct:int -> indirect:int -> skipped:int -> (rule * float) list
+(** Fractions of all resolved anchor candidates per rule; all-zero input
+    yields zero fractions (no NaNs). *)

@@ -1,6 +1,8 @@
 module Types = Shoalpp_dag.Types
 module Store = Shoalpp_dag.Store
 module Committee = Shoalpp_dag.Committee
+module Obs = Shoalpp_sim.Obs
+module Trace = Shoalpp_sim.Trace
 
 type kind = Fast | Direct | Indirect
 
@@ -71,6 +73,12 @@ type t = {
   hooks : hooks;
   store : Store.t;
   rep : Reputation.t;
+  obs : Obs.t;
+  c_fast : Shoalpp_support.Telemetry.counter option;
+  c_cert_direct : Shoalpp_support.Telemetry.counter option;
+  c_indirect : Shoalpp_support.Telemetry.counter option;
+  c_skipped : Shoalpp_support.Telemetry.counter option;
+  c_segments : Shoalpp_support.Telemetry.counter option;
   ordered : (int * int, unit) Hashtbl.t;
   mutable cur_round : int; (* round whose candidate vector is being resolved *)
   mutable pending : int list; (* remaining candidate authors for cur_round *)
@@ -83,7 +91,8 @@ type t = {
   mutable nodes_ordered : int;
 }
 
-let create cfg hooks ~store =
+let create ?(obs = Obs.none) cfg hooks ~store =
+  let obs = Obs.with_instance obs ~instance:cfg.dag_id in
   {
     cfg;
     hooks;
@@ -91,6 +100,12 @@ let create cfg hooks ~store =
     rep =
       Reputation.create ~n:cfg.committee.Committee.n ~window:cfg.reputation_window
         ~staleness:cfg.staleness ~enabled:cfg.reputation_enabled ();
+    obs;
+    c_fast = Obs.counter obs Anchors.(counter_name Fast_direct);
+    c_cert_direct = Obs.counter obs Anchors.(counter_name Certified_direct);
+    c_indirect = Obs.counter obs Anchors.(counter_name Indirect_rule);
+    c_skipped = Obs.counter obs Anchors.(counter_name Skipped);
+    c_segments = Obs.counter obs "dag.segments";
     ordered = Hashtbl.create 1024;
     cur_round = 0;
     pending = [];
@@ -252,12 +267,25 @@ let output_segment t ~round ~author ~kind =
         | None -> [ author ]
       in
       Reputation.observe_segment t.rep ~anchor_round:round ~supporters ~node_positions:positions;
+      let time = t.hooks.now () in
       (match kind with
-      | Fast -> t.fast_commits <- t.fast_commits + 1
-      | Direct -> t.direct_commits <- t.direct_commits + 1
-      | Indirect -> t.indirect_commits <- t.indirect_commits + 1);
+      | Fast ->
+        t.fast_commits <- t.fast_commits + 1;
+        Obs.incr_c t.c_fast;
+        Obs.event t.obs ~time (Trace.Anchor_direct_fast { round; anchor = author })
+      | Direct ->
+        t.direct_commits <- t.direct_commits + 1;
+        Obs.incr_c t.c_cert_direct;
+        Obs.event t.obs ~time (Trace.Anchor_direct_certified { round; anchor = author })
+      | Indirect ->
+        t.indirect_commits <- t.indirect_commits + 1;
+        Obs.incr_c t.c_indirect;
+        Obs.event t.obs ~time (Trace.Anchor_indirect { round; anchor = author }));
       t.segments <- t.segments + 1;
+      Obs.incr_c t.c_segments;
       t.nodes_ordered <- t.nodes_ordered + List.length nodes;
+      Obs.event t.obs ~time
+        (Trace.Segment_committed { round; anchor = author; nodes = List.length nodes });
       t.hooks.on_segment
         { dag_id = t.cfg.dag_id; anchor = anchor_ref; kind; nodes; committed_at = t.hooks.now () };
       if round - t.cfg.gc_depth > 0 then t.hooks.request_gc ~round:(round - t.cfg.gc_depth);
@@ -289,7 +317,14 @@ let notify t =
           if output_segment t ~round:anchor_round ~author:anchor_author ~kind:Indirect then begin
             (* All tentative candidates in rounds < anchor_round are skipped
                (§5.2); resume with the rest of that round's vector. *)
-            t.skipped_anchors <- t.skipped_anchors + 1 + List.length rest;
+            let nskipped = 1 + List.length rest in
+            t.skipped_anchors <- t.skipped_anchors + nskipped;
+            Obs.incr_c ~by:nskipped t.c_skipped;
+            let time = t.hooks.now () in
+            List.iter
+              (fun a ->
+                Obs.event t.obs ~time (Trace.Anchor_skipped { round = t.cur_round; anchor = a }))
+              (author :: rest);
             t.cur_round <- anchor_round;
             t.pending <-
               List.filter (fun a -> a <> anchor_author) (anchors_of_round t anchor_round);

@@ -74,7 +74,12 @@ type hooks = {
 
 type t
 
-val create : config -> hooks -> store:Shoalpp_dag.Store.t -> t
+val create : ?obs:Shoalpp_sim.Obs.t -> config -> hooks -> store:Shoalpp_dag.Store.t -> t
+(** [obs] (default {!Shoalpp_sim.Obs.none}) receives the anchor-resolution
+    trace events ([Anchor_direct_fast] / [Anchor_direct_certified] /
+    [Anchor_indirect] / [Anchor_skipped] / [Segment_committed]) and the
+    [commit.*] rule counters (see {!Anchors.counter_name}); its instance id
+    is overridden with [cfg.dag_id]. *)
 
 val notify : t -> unit
 (** Re-evaluate after any DAG change (new proposal noted, new certified

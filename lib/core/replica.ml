@@ -7,6 +7,9 @@ module Netmodel = Shoalpp_sim.Netmodel
 module Mempool = Shoalpp_workload.Mempool
 module Wal = Shoalpp_storage.Wal
 module Batch = Shoalpp_workload.Batch
+module Obs = Shoalpp_sim.Obs
+module Trace = Shoalpp_sim.Trace
+module Telemetry = Shoalpp_support.Telemetry
 
 type envelope = { dag_id : int; payload : Types.message }
 
@@ -19,6 +22,8 @@ type dag_lane = {
   instance : Instance.t;
   driver : Driver.t;
   ready : Driver.segment Queue.t; (* committed, awaiting interleave *)
+  c_lane_txns : Telemetry.counter option; (* dag<k>.txns, origin-only *)
+  h_lane_latency : Telemetry.Histogram.t option; (* dag<k>.latency, origin-only *)
 }
 
 type t = {
@@ -30,6 +35,15 @@ type t = {
   wal : Wal.t;
   mutable lanes : dag_lane array;
   on_ordered : (ordered -> unit) option;
+  obs : Obs.t;
+  (* Per-stage latency decomposition of the commit path, recorded once per
+     transaction at its origin replica (origin-only: the shared registry
+     sums counters across replicas, so each tx must be counted once). *)
+  h_submit_batch : Telemetry.Histogram.t option; (* submit -> mempool pull *)
+  h_batch_prop : Telemetry.Histogram.t option; (* batch -> DAG proposal *)
+  h_prop_commit : Telemetry.Histogram.t option; (* proposal -> anchor commit *)
+  h_commit_order : Telemetry.Histogram.t option; (* commit -> global order *)
+  h_e2e : Telemetry.Histogram.t option;
   mutable next_lane : int; (* round-robin cursor of Alg. 3 *)
   mutable global_seq : int;
   mutable txns_ordered : int;
@@ -48,19 +62,42 @@ let rec drain t =
       let seq = t.global_seq in
       t.global_seq <- t.global_seq + 1;
       t.next_lane <- (t.next_lane + 1) mod Array.length t.lanes;
+      let ordered_at = Engine.now t.engine in
+      let committed_at = segment.Driver.committed_at in
       let ntx = ref 0 in
       List.iter
         (fun (cn : Types.certified_node) ->
+          let node = cn.Types.cn_node in
+          let batch = node.Types.batch in
           List.iter
             (fun (tx : Shoalpp_workload.Transaction.t) ->
               incr ntx;
-              if tx.Shoalpp_workload.Transaction.origin = t.id then
-                Hashtbl.replace t.committed_own tx.Shoalpp_workload.Transaction.id ())
-            cn.Types.cn_node.Types.batch.Batch.txns)
+              if tx.Shoalpp_workload.Transaction.origin = t.id then begin
+                Hashtbl.replace t.committed_own tx.Shoalpp_workload.Transaction.id ();
+                let submitted = tx.Shoalpp_workload.Transaction.submitted_at in
+                Obs.observe_h t.h_submit_batch (batch.Batch.created_at -. submitted);
+                Obs.observe_h t.h_batch_prop (node.Types.created_at -. batch.Batch.created_at);
+                Obs.observe_h t.h_prop_commit (committed_at -. node.Types.created_at);
+                Obs.observe_h t.h_commit_order (ordered_at -. committed_at);
+                Obs.observe_h t.h_e2e (ordered_at -. submitted);
+                Obs.incr_c lane.c_lane_txns;
+                Obs.observe_h lane.h_lane_latency (ordered_at -. submitted)
+              end)
+            batch.Batch.txns)
         segment.Driver.nodes;
       t.txns_ordered <- t.txns_ordered + !ntx;
+      Obs.event
+        (Obs.with_instance t.obs ~instance:segment.Driver.dag_id)
+        ~time:ordered_at
+        (Trace.Segment_interleaved
+           {
+             global_seq = seq;
+             round = segment.Driver.anchor.Types.ref_round;
+             anchor = segment.Driver.anchor.Types.ref_author;
+             txns = !ntx;
+           });
       (match t.on_ordered with
-      | Some f -> f { global_seq = seq; segment; ordered_at = Engine.now t.engine }
+      | Some f -> f { global_seq = seq; segment; ordered_at }
       | None -> ());
       drain t
     end
@@ -78,7 +115,7 @@ let make_lane t dag_id =
   let the_instance () = Option.get !instance_ref in
   let the_driver () = Option.get !driver_ref in
   let driver =
-    Driver.create
+    Driver.create ~obs:t.obs
       (Config.driver_config cfg ~dag_id)
       {
         Driver.now = (fun () -> Engine.now t.engine);
@@ -136,13 +173,21 @@ let make_lane t dag_id =
     }
   in
   let instance =
-    Instance.create (Config.instance_config cfg ~replica:t.id ~dag_id) callbacks ~store
+    Instance.create ~obs:t.obs (Config.instance_config cfg ~replica:t.id ~dag_id) callbacks ~store
   in
   instance_ref := Some instance;
-  { store; instance; driver; ready }
+  {
+    store;
+    instance;
+    driver;
+    ready;
+    c_lane_txns = Obs.counter t.obs (Printf.sprintf "dag%d.txns" dag_id);
+    h_lane_latency = Obs.histogram t.obs (Printf.sprintf "dag%d.latency" dag_id);
+  }
 
-let create ~config ~replica_id ~net ~mempool ?on_ordered () =
+let create ~config ~replica_id ~net ~mempool ?on_ordered ?trace ?telemetry () =
   let engine = Netmodel.engine net in
+  let obs = Obs.make ?trace ?telemetry ~replica:replica_id ~instance:0 () in
   let t =
     {
       cfg = config;
@@ -153,6 +198,12 @@ let create ~config ~replica_id ~net ~mempool ?on_ordered () =
       wal = Wal.create ~engine ~sync_latency_ms:config.Config.wal_sync_ms ();
       lanes = [||];
       on_ordered;
+      obs;
+      h_submit_batch = Obs.histogram obs "stage.submit_to_batch";
+      h_batch_prop = Obs.histogram obs "stage.batch_to_proposal";
+      h_prop_commit = Obs.histogram obs "stage.proposal_to_commit";
+      h_commit_order = Obs.histogram obs "stage.commit_to_order";
+      h_e2e = Obs.histogram obs "latency.e2e";
       next_lane = 0;
       global_seq = 0;
       txns_ordered = 0;

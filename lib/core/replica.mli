@@ -24,10 +24,18 @@ val create :
   net:envelope Shoalpp_sim.Netmodel.t ->
   mempool:Shoalpp_workload.Mempool.t ->
   ?on_ordered:(ordered -> unit) ->
+  ?trace:Shoalpp_sim.Trace.t ->
+  ?telemetry:Shoalpp_support.Telemetry.t ->
   unit ->
   t
 (** Registers itself as [net]'s handler for [replica_id]. [on_ordered] fires
-    for every segment appended to the replica's global log, in order. *)
+    for every segment appended to the replica's global log, in order.
+
+    [trace]/[telemetry] (usually shared across the cluster) receive the typed
+    event stream and the metric registry. Counters aggregate across replicas;
+    the per-stage latency histograms ([stage.*], [latency.e2e]) and per-DAG
+    [dag<k>.txns]/[dag<k>.latency] are recorded only at each transaction's
+    origin replica, so each transaction is counted exactly once. *)
 
 val start : t -> unit
 (** Start DAG 0 now and DAG j at [j * stagger_ms]. *)

@@ -3,6 +3,8 @@ module Signer = Shoalpp_crypto.Signer
 module Multisig = Shoalpp_crypto.Multisig
 module Batch = Shoalpp_workload.Batch
 module Engine = Shoalpp_sim.Engine
+module Obs = Shoalpp_sim.Obs
+module Trace = Shoalpp_sim.Trace
 module Rng = Shoalpp_support.Rng
 
 type wait_policy = Quorum_only | Anchors_or_timeout of float | All_or_timeout of float
@@ -58,6 +60,13 @@ type t = {
   store : Store.t;
   kp : Signer.keypair;
   rng : Rng.t;
+  obs : Obs.t;
+  c_proposals : Obs.Telemetry.counter option;
+  c_votes : Obs.Telemetry.counter option;
+  c_certs_formed : Obs.Telemetry.counter option;
+  c_certs_received : Obs.Telemetry.counter option;
+  c_timeouts : Obs.Telemetry.counter option;
+  c_fetches : Obs.Telemetry.counter option;
   mutable alive : bool;
   mutable proposed_round : int;
   mutable round_started_at : float;
@@ -84,13 +93,21 @@ type t = {
   mutable invalid_dropped : int;
 }
 
-let create cfg cb ~store =
+let create ?(obs = Obs.none) cfg cb ~store =
+  let obs = Obs.with_instance { obs with Obs.replica = cfg.replica } ~instance:cfg.dag_id in
   {
     cfg;
     cb;
     store;
     kp = Committee.keypair cfg.committee cfg.replica;
     rng = Rng.create (cfg.seed + (cfg.replica * 1009) + (cfg.dag_id * 31));
+    obs;
+    c_proposals = Obs.counter obs "dag.proposals";
+    c_votes = Obs.counter obs "dag.votes";
+    c_certs_formed = Obs.counter obs "dag.certs_formed";
+    c_certs_received = Obs.counter obs "dag.certs_received";
+    c_timeouts = Obs.counter obs "dag.timeouts";
+    c_fetches = Obs.counter obs "dag.fetches";
     alive = true;
     proposed_round = -1;
     round_started_at = 0.0;
@@ -207,6 +224,8 @@ let rec propose t round =
     }
   in
   t.proposals_made <- t.proposals_made + 1;
+  Obs.incr_c t.c_proposals;
+  Obs.event t.obs ~time:created_at (Trace.Proposal_created { round; txns = List.length txns });
   (* Durably log own proposal (asynchronously; the local vote, like any
      other vote, is gated on persistence in handle_proposal). *)
   t.cb.broadcast (Types.Proposal node);
@@ -216,7 +235,14 @@ let rec propose t round =
   | Quorum_only -> ()
   | Anchors_or_timeout timeout | All_or_timeout timeout ->
     t.round_timer <-
-      Some (t.cb.schedule ~after:timeout (fun () -> if t.alive then maybe_advance t))
+      Some
+        (t.cb.schedule ~after:timeout (fun () ->
+             if t.alive then begin
+               Obs.incr_c t.c_timeouts;
+               Obs.event t.obs ~time:(t.cb.now ())
+                 (Trace.Timeout_fired { round = t.proposed_round });
+               maybe_advance t
+             end))
 
 and maybe_advance t =
   if t.alive && t.proposed_round >= 0 then begin
@@ -261,6 +287,7 @@ let rec arm_fetch t (cert : Types.certificate) =
            | _ ->
              let target = List.nth candidates (Rng.int t.rng (List.length candidates)) in
              t.fetches_sent <- t.fetches_sent + 1;
+             Obs.incr_c t.c_fetches;
              t.cb.send ~dst:target
                (Types.Fetch_request { wanted = cert.Types.cert_ref; requester = t.cfg.replica }));
            arm_fetch t cert
@@ -277,6 +304,8 @@ let fetch_missing t (wanted : Types.node_ref) =
     && not (Hashtbl.mem t.fetching_refs key)
   then begin
     Hashtbl.replace t.fetching_refs key ();
+    Obs.event t.obs ~time:(t.cb.now ())
+      (Trace.Fetch_requested { round = wanted.Types.ref_round; author = wanted.Types.ref_author });
     let rec attempt () =
       if
         t.alive
@@ -287,6 +316,7 @@ let fetch_missing t (wanted : Types.node_ref) =
         let n = t.cfg.committee.Committee.n in
         let dst = (t.cfg.replica + 1 + Rng.int t.rng (n - 1)) mod n in
         t.fetches_sent <- t.fetches_sent + 1;
+        Obs.incr_c t.c_fetches;
         t.cb.send ~dst (Types.Fetch_request { wanted; requester = t.cfg.replica });
         ignore (t.cb.schedule ~after:(2.0 *. t.cfg.fetch_delay_ms) attempt)
       end
@@ -299,6 +329,7 @@ let accept_certificate t (cert : Types.certificate) =
   let r = cert.Types.cert_ref in
   let key = (r.Types.ref_round, r.Types.ref_author) in
   if (not (Hashtbl.mem t.cert_meta key)) && r.Types.ref_round >= t.lowest_round then begin
+    Obs.incr_c t.c_certs_received;
     Hashtbl.replace t.cert_meta key r;
     Hashtbl.remove t.fetching_refs key;
     Hashtbl.replace t.unreferenced key r;
@@ -366,6 +397,7 @@ let handle_proposal t ~src (node : Types.node) =
           t.cb.persist ~size:(Types.message_size (Types.Proposal node)) (fun () ->
               if t.alive then begin
                 t.votes_cast <- t.votes_cast + 1;
+                Obs.incr_c t.c_votes;
                 if t.cfg.all_to_all_votes then t.cb.broadcast (Types.Vote vote)
                 else t.cb.send ~dst:node.Types.author (Types.Vote vote)
               end)
@@ -405,6 +437,9 @@ let handle_vote_a2a t (v : Types.vote) =
         sigs := (v.Types.voter, v.Types.vote_signature) :: !sigs;
         if List.length !sigs >= quorum t then begin
           t.certs_formed <- t.certs_formed + 1;
+          Obs.incr_c t.c_certs_formed;
+          Obs.event t.obs ~time:(t.cb.now ())
+            (Trace.Cert_formed { round = v.Types.vote_round; author = v.Types.vote_author });
           Hashtbl.remove t.a2a_votes key;
           let multisig = Multisig.aggregate ~n:t.cfg.committee.Committee.n !sigs in
           let cert_ref =
@@ -437,6 +472,9 @@ let handle_vote t (v : Types.vote) =
         if List.length acc.sigs >= quorum t then begin
           acc.cert_done <- true;
           t.certs_formed <- t.certs_formed + 1;
+          Obs.incr_c t.c_certs_formed;
+          Obs.event t.obs ~time:(t.cb.now ())
+            (Trace.Cert_formed { round = v.Types.vote_round; author = t.cfg.replica });
           let multisig = Multisig.aggregate ~n:t.cfg.committee.Committee.n acc.sigs in
           let cert_ref =
             {
@@ -512,6 +550,7 @@ let start t =
 let gc_upto t ~round =
   if round > t.lowest_round then begin
     t.lowest_round <- round;
+    Obs.event t.obs ~time:(t.cb.now ()) (Trace.Gc_pruned { below = round });
     ignore (Store.prune_below t.store ~round);
     let doomed =
       Hashtbl.fold (fun (r, a) _ acc -> if r < round then (r, a) :: acc else acc) t.cert_meta []

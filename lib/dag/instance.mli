@@ -68,7 +68,10 @@ type callbacks = {
 
 type t
 
-val create : config -> callbacks -> store:Store.t -> t
+val create : ?obs:Shoalpp_sim.Obs.t -> config -> callbacks -> store:Store.t -> t
+(** [obs] (default {!Shoalpp_sim.Obs.none}) receives typed trace events and
+    [dag.*] telemetry counters; its replica/instance ids are overridden with
+    this instance's [replica]/[dag_id]. *)
 
 val start : t -> unit
 (** Propose round 0 and begin advancing. *)

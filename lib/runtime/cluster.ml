@@ -21,6 +21,7 @@ type setup = {
   warmup_ms : float;
   seed : int;
   track_logs : bool;
+  trace : Shoalpp_sim.Trace.t option;
 }
 
 let default_setup ~protocol =
@@ -34,6 +35,7 @@ let default_setup ~protocol =
     warmup_ms = 1000.0;
     seed = 7;
     track_logs = true;
+    trace = None;
   }
 
 (* A compact identifier for one ordered segment, for the prefix audit. *)
@@ -47,6 +49,7 @@ type t = {
   mempools : Mempool.t array;
   clients : Client.t option array;
   metrics : Metrics.t;
+  telemetry : Telemetry.t; (* one registry shared by all replicas *)
   logs : seg_id list ref array; (* newest first; only when track_logs *)
   ordered_seen : (int, unit) Hashtbl.t array; (* per-replica txn dedup *)
   mutable duplicate_orders : int;
@@ -64,6 +67,7 @@ let create setup =
       ~config:setup.net_config ~seed:setup.seed ()
   in
   let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
+  let telemetry = Telemetry.create () in
   let mempools = Array.init n (fun _ -> Mempool.create ()) in
   let logs = Array.init n (fun _ -> ref []) in
   let ordered_seen = Array.init n (fun _ -> Hashtbl.create 4096) in
@@ -76,6 +80,7 @@ let create setup =
       mempools;
       clients = Array.make n None;
       metrics;
+      telemetry;
       logs;
       ordered_seen;
       duplicate_orders = 0;
@@ -113,7 +118,7 @@ let create setup =
             seg.Driver.nodes
         in
         Replica.create ~config:setup.protocol ~replica_id ~net ~mempool:mempools.(replica_id)
-          ~on_ordered ())
+          ~on_ordered ?trace:setup.trace ~telemetry ())
   in
   let t = { t with replicas } in
   t
@@ -122,6 +127,8 @@ let engine t = t.engine
 let net t = t.net
 let replicas t = t.replicas
 let metrics t = t.metrics
+let telemetry t = t.telemetry
+let trace t = t.setup.trace
 
 let start t =
   if not t.started then begin
@@ -209,6 +216,7 @@ let report t ~duration_ms =
     ~skipped_anchors:(sum (fun s -> s.Driver.skipped_anchors))
     ~messages_sent:(Netmodel.messages_sent t.net)
     ~messages_dropped:(Netmodel.messages_dropped t.net)
-    ~bytes_sent:(Netmodel.bytes_sent t.net) ()
+    ~bytes_sent:(Netmodel.bytes_sent t.net)
+    ~telemetry:(Telemetry.snapshot t.telemetry) ()
 
 let pp_report = Report.pp

@@ -18,17 +18,26 @@ type setup = {
   warmup_ms : float;
   seed : int;
   track_logs : bool;  (** retain per-replica logs for the consistency audit *)
+  trace : Shoalpp_sim.Trace.t option;
+      (** shared typed-event trace; [None] (the default) records nothing *)
 }
 
 val default_setup : protocol:Shoalpp_core.Config.t -> setup
 (** gcp10 topology, default net config, no faults, 1000 tps, paper tx size,
-    1 s warmup, log tracking on. *)
+    1 s warmup, log tracking on, no trace. *)
 
 val create : setup -> t
 val engine : t -> Shoalpp_sim.Engine.t
 val net : t -> Shoalpp_core.Replica.envelope Shoalpp_sim.Netmodel.t
 val replicas : t -> Shoalpp_core.Replica.t array
 val metrics : t -> Metrics.t
+
+val telemetry : t -> Telemetry.t
+(** The cluster's shared metric registry (always created; counters aggregate
+    across replicas, per-stage histograms record each transaction once at
+    its origin). *)
+
+val trace : t -> Shoalpp_sim.Trace.t option
 
 val run : t -> duration_ms:float -> unit
 (** Start everything (if not yet started) and run the simulation clock to

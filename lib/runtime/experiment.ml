@@ -53,6 +53,8 @@ type params = {
   tx_size : int;
   batch_cap : int;
   seed : int;
+  trace : bool;
+  trace_capacity : int;
 }
 
 let default_params =
@@ -72,6 +74,8 @@ let default_params =
     tx_size = Transaction.default_size;
     batch_cap = 500;
     seed = 1;
+    trace = false;
+    trace_capacity = 65536;
   }
 
 let clean_net_config =
@@ -88,7 +92,15 @@ type outcome = {
   throughput_series : (float * float) list;
   latency_series : (float * float) list;
   requeued : int;
+  events : Shoalpp_sim.Trace.event list;
 }
+
+let trace_of params =
+  if params.trace then
+    Some (Shoalpp_sim.Trace.create ~enabled:true ~capacity:params.trace_capacity ())
+  else None
+
+let events_of_trace = function Some tr -> Shoalpp_sim.Trace.events tr | None -> []
 
 let make_topology = function
   | Gcp10 -> Topology.gcp10 ()
@@ -177,6 +189,7 @@ let run_extra ~name params =
 
 let run_dag system params =
   let protocol = dag_config system params in
+  let trace = trace_of params in
   let setup =
     {
       Cluster.protocol;
@@ -188,6 +201,7 @@ let run_dag system params =
       warmup_ms = params.warmup_ms;
       seed = params.seed;
       track_logs = true;
+      trace;
     }
   in
   let cluster = Cluster.create setup in
@@ -203,6 +217,7 @@ let run_dag system params =
     throughput_series = Metrics.throughput_series (Cluster.metrics cluster);
     latency_series = Metrics.latency_series (Cluster.metrics cluster);
     requeued;
+    events = events_of_trace trace;
   }
 
 let run system params =

@@ -49,11 +49,13 @@ type params = {
   tx_size : int;
   batch_cap : int;
   seed : int;
+  trace : bool;  (** record a typed event trace (see {!outcome.events}) *)
+  trace_capacity : int;  (** ring size; only the newest events are retained *)
 }
 
 val default_params : params
 (** n=16, 1000 tps, 30 s run / 3 s warmup, gcp10, no faults,
-    signature checks on. *)
+    signature checks on, tracing off (capacity 65536 when enabled). *)
 
 val clean_net_config : Shoalpp_sim.Netmodel.config
 (** Default network with jitter and slow epochs disabled — message-delay
@@ -65,6 +67,10 @@ type outcome = {
   throughput_series : (float * float) list;
   latency_series : (float * float) list;
   requeued : int;  (** orphaned-then-requeued transactions (DAG family) *)
+  events : Shoalpp_sim.Trace.event list;
+      (** the retained trace window, oldest first; empty unless
+          {!params.trace} — export with {!Export.write_jsonl} /
+          {!Export.write_chrome_trace} *)
 }
 
 val run : system -> params -> outcome

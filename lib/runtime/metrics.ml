@@ -43,5 +43,7 @@ let committed_tps t ~duration_ms =
 let throughput_series t = Stats.Windowed.rate_series t.commits
 
 let latency_series t =
-  List.map (fun (start, sum, cnt) -> (start, sum /. float_of_int cnt))
+  (* Skip zero-count windows rather than emitting NaN means. *)
+  List.filter_map
+    (fun (start, sum, cnt) -> if cnt <= 0 then None else Some (start, sum /. float_of_int cnt))
     (Stats.Windowed.series t.latency_windows)

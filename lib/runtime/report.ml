@@ -1,5 +1,6 @@
 module Stats = Shoalpp_support.Stats
 module Tablefmt = Shoalpp_support.Tablefmt
+module Anchors = Shoalpp_consensus.Anchors
 
 type t = {
   name : string;
@@ -20,11 +21,12 @@ type t = {
   messages_sent : int;
   messages_dropped : int;
   bytes_sent : float;
+  telemetry : Shoalpp_support.Telemetry.snapshot;
 }
 
 let make ~name ~n ~load_tps ~duration_ms ~submitted ~metrics ?(fast_commits = 0)
     ?(direct_commits = 0) ?(indirect_commits = 0) ?(skipped_anchors = 0) ~messages_sent
-    ~messages_dropped ~bytes_sent () =
+    ~messages_dropped ~bytes_sent ?(telemetry = Shoalpp_support.Telemetry.empty_snapshot) () =
   let lat = Metrics.latency metrics in
   let p25, p50, p75 = Stats.Summary.quartiles lat in
   {
@@ -46,7 +48,18 @@ let make ~name ~n ~load_tps ~duration_ms ~submitted ~metrics ?(fast_commits = 0)
     messages_sent;
     messages_dropped;
     bytes_sent;
+    telemetry;
   }
+
+let rule_mix r =
+  Anchors.mix ~fast:r.fast_commits ~direct:r.direct_commits ~indirect:r.indirect_commits
+    ~skipped:r.skipped_anchors
+
+let pp_rule_mix fmt r =
+  Format.fprintf fmt "commit rules:";
+  List.iter
+    (fun (rule, frac) -> Format.fprintf fmt " %s=%.1f%%" (Anchors.rule_tag rule) (100.0 *. frac))
+    (rule_mix r)
 
 let pp fmt r =
   Format.fprintf fmt
@@ -54,6 +67,39 @@ let pp fmt r =
      commits fast/direct/indirect=%d/%d/%d skipped=%d"
     r.name r.n r.load_tps r.committed r.committed_tps r.latency_p50 r.latency_p25 r.latency_p75
     r.fast_commits r.direct_commits r.indirect_commits r.skipped_anchors
+
+(* The full observability view: headline numbers, commit-rule mix and (when
+   the run carried a telemetry registry) the per-stage latency breakdown and
+   per-DAG attribution. *)
+let pp_extended fmt r =
+  Format.fprintf fmt "@[<v>%a@,%a" pp r pp_rule_mix r;
+  if r.telemetry <> Shoalpp_support.Telemetry.empty_snapshot then
+    Format.fprintf fmt "@,%a" Telemetry.pp_stages r.telemetry;
+  let dag_hists =
+    List.filter
+      (fun (h : Shoalpp_support.Telemetry.histogram_stats) ->
+        let name = h.Shoalpp_support.Telemetry.hs_name in
+        String.length name > 3 && String.sub name 0 3 = "dag" && h.hs_count > 0
+        &&
+        match String.index_opt name '.' with
+        | Some i -> String.sub name i (String.length name - i) = ".latency"
+        | None -> false)
+      r.telemetry.Shoalpp_support.Telemetry.snap_histograms
+  in
+  List.iter
+    (fun (h : Shoalpp_support.Telemetry.histogram_stats) ->
+      let prefix =
+        match String.index_opt h.hs_name '.' with
+        | Some i -> String.sub h.hs_name 0 i
+        | None -> h.hs_name
+      in
+      let txns = Shoalpp_support.Telemetry.snap_counter r.telemetry (prefix ^ ".txns") in
+      let effective_s = Float.max 0.001 ((r.duration_ms -. 0.0) /. 1000.0) in
+      Format.fprintf fmt "@,%-6s %6.0f tps  p50=%.0fms p99=%.0fms (n=%d)" prefix
+        (float_of_int txns /. effective_s)
+        h.hs_p50 h.hs_p99 h.hs_count)
+    dag_hists;
+  Format.fprintf fmt "@]"
 
 let table_header =
   [ "system"; "load(tps)"; "committed(tps)"; "p25(ms)"; "p50(ms)"; "p75(ms)"; "mean(ms)" ]

@@ -20,6 +20,9 @@ type t = {
   messages_sent : int;
   messages_dropped : int;
   bytes_sent : float;
+  telemetry : Shoalpp_support.Telemetry.snapshot;
+      (** {!Shoalpp_support.Telemetry.empty_snapshot} for runs without a
+          registry *)
 }
 
 val make :
@@ -36,10 +39,20 @@ val make :
   messages_sent:int ->
   messages_dropped:int ->
   bytes_sent:float ->
+  ?telemetry:Shoalpp_support.Telemetry.snapshot ->
   unit ->
   t
 
+val rule_mix : t -> (Shoalpp_consensus.Anchors.rule * float) list
+(** Fractions of anchor resolutions per commit rule (fast-direct /
+    certified-direct / indirect / skipped). *)
+
 val pp : Format.formatter -> t -> unit
+val pp_rule_mix : Format.formatter -> t -> unit
+
+val pp_extended : Format.formatter -> t -> unit
+(** {!pp} plus the commit-rule mix, and — when the run carried a telemetry
+    registry — the per-stage latency breakdown and per-DAG tps/latency. *)
 
 val table_header : string list
 val table_row : t -> string list

@@ -1,0 +1,59 @@
+(* Run-level telemetry surface: the support-layer registry re-exported where
+   experiment harnesses look for it, plus human-readable snapshot rendering
+   (the per-stage latency breakdown and the commit-rule mix of a run). *)
+
+include Shoalpp_support.Telemetry
+module Anchors = Shoalpp_consensus.Anchors
+
+let stage_names =
+  [
+    ("submit->batch", "stage.submit_to_batch");
+    ("batch->proposal", "stage.batch_to_proposal");
+    ("proposal->commit", "stage.proposal_to_commit");
+    ("commit->order", "stage.commit_to_order");
+    ("end-to-end", "latency.e2e");
+  ]
+
+let rule_mix_of_snapshot snap =
+  Anchors.mix
+    ~fast:(snap_counter snap (Anchors.counter_name Anchors.Fast_direct))
+    ~direct:(snap_counter snap (Anchors.counter_name Anchors.Certified_direct))
+    ~indirect:(snap_counter snap (Anchors.counter_name Anchors.Indirect_rule))
+    ~skipped:(snap_counter snap (Anchors.counter_name Anchors.Skipped))
+
+let pp_rule_mix fmt snap =
+  Format.fprintf fmt "commit rules:";
+  List.iter
+    (fun (rule, frac) ->
+      Format.fprintf fmt " %s=%.1f%%" (Anchors.rule_tag rule) (100.0 *. frac))
+    (rule_mix_of_snapshot snap)
+
+let pp_stages fmt snap =
+  Format.fprintf fmt "stage latency (ms, p50/p90/p99 of origin txns):";
+  List.iter
+    (fun (label, metric) ->
+      match snap_histogram snap metric with
+      | Some h when h.hs_count > 0 ->
+        Format.fprintf fmt "@,  %-16s %7.1f /%7.1f /%7.1f  (mean %.1f, n=%d)" label h.hs_p50
+          h.hs_p90 h.hs_p99 h.hs_mean h.hs_count
+      | _ -> Format.fprintf fmt "@,  %-16s -" label)
+    stage_names
+
+let pp_snapshot fmt snap =
+  Format.fprintf fmt "@[<v>";
+  pp_rule_mix fmt snap;
+  Format.fprintf fmt "@,";
+  pp_stages fmt snap;
+  if snap.snap_counters <> [] then begin
+    Format.fprintf fmt "@,counters:";
+    List.iter (fun (k, v) -> Format.fprintf fmt "@,  %-28s %d" k v) snap.snap_counters
+  end;
+  List.iter
+    (fun (h : histogram_stats) ->
+      if not (List.exists (fun (_, m) -> m = h.hs_name) stage_names) then
+        Format.fprintf fmt "@,hist %-23s n=%d p50=%.1f p99=%.1f" h.hs_name h.hs_count h.hs_p50
+          h.hs_p99)
+    snap.snap_histograms;
+  Format.fprintf fmt "@]"
+
+let to_json = Export.metrics_json

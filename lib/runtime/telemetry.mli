@@ -1,0 +1,23 @@
+(** The metric registry as the runtime layer exposes it: everything from
+    {!Shoalpp_support.Telemetry} (registries, counters, gauges, histograms,
+    snapshots) plus run-level rendering — the commit-rule mix and the
+    per-stage latency breakdown of a finished run. *)
+
+include module type of struct
+  include Shoalpp_support.Telemetry
+end
+
+val stage_names : (string * string) list
+(** [(label, metric name)] of the commit-path stage histograms, in pipeline
+    order, ending with end-to-end latency. *)
+
+val rule_mix_of_snapshot : snapshot -> (Shoalpp_consensus.Anchors.rule * float) list
+(** Fractions of anchor resolutions per commit rule, from the [commit.*]
+    counters (zeros when absent). *)
+
+val pp_rule_mix : Format.formatter -> snapshot -> unit
+val pp_stages : Format.formatter -> snapshot -> unit
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+val to_json : snapshot -> string
+(** Same encoding as {!Export.metrics_json}. *)

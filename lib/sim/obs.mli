@@ -1,0 +1,32 @@
+(** Observability context threaded through protocol components.
+
+    Bundles an optional typed {!Trace.t} and an optional
+    {!Shoalpp_support.Telemetry.t} with the identity of the recording
+    component (replica id, parallel-DAG instance id). Components take an
+    [?obs] argument defaulting to {!none}; a disabled context costs one
+    branch per instrumentation site. *)
+
+module Telemetry = Shoalpp_support.Telemetry
+
+type t = {
+  replica : int;
+  instance : int;
+  trace : Trace.t option;
+  telemetry : Telemetry.t option;
+}
+
+val make : ?trace:Trace.t -> ?telemetry:Telemetry.t -> replica:int -> instance:int -> unit -> t
+val none : t
+val with_instance : t -> instance:int -> t
+
+val event : t -> time:float -> Trace.kind -> unit
+val incr : ?by:int -> t -> string -> unit
+val observe : t -> string -> float -> unit
+val set : t -> string -> float -> unit
+
+(** Cached-handle access for hot paths ([None] when telemetry is off). *)
+
+val counter : t -> string -> Telemetry.counter option
+val histogram : t -> string -> Telemetry.Histogram.t option
+val incr_c : ?by:int -> Telemetry.counter option -> unit
+val observe_h : Telemetry.Histogram.t option -> float -> unit

@@ -1,4 +1,124 @@
-type event = { time : float; replica : int; tag : string; detail : string }
+(* Typed in-memory event tracing.
+
+   Events carry a structured [kind] (commit-path attribution: which rule
+   fired, which round, which DAG instance) instead of pre-rendered strings,
+   so exporters and tests can consume them without parsing. A compat string
+   renderer ([tag] / [detail] / [pp_event]) keeps the old textual view. *)
+
+type kind =
+  | Proposal_created of { round : int; txns : int }
+  | Vote_cast of { round : int; author : int }
+  | Cert_formed of { round : int; author : int }
+  | Cert_received of { round : int; author : int }
+  | Anchor_direct_fast of { round : int; anchor : int }
+  | Anchor_direct_certified of { round : int; anchor : int }
+  | Anchor_indirect of { round : int; anchor : int }
+  | Anchor_skipped of { round : int; anchor : int }
+  | Segment_committed of { round : int; anchor : int; nodes : int }
+  | Segment_interleaved of { global_seq : int; round : int; anchor : int; txns : int }
+  | Timeout_fired of { round : int }
+  | Fetch_requested of { round : int; author : int }
+  | Gc_pruned of { below : int }
+  | Custom of { tag : string; detail : string }
+
+let tag = function
+  | Proposal_created _ -> "proposal_created"
+  | Vote_cast _ -> "vote_cast"
+  | Cert_formed _ -> "cert_formed"
+  | Cert_received _ -> "cert_received"
+  | Anchor_direct_fast _ -> "anchor_direct_fast"
+  | Anchor_direct_certified _ -> "anchor_direct_certified"
+  | Anchor_indirect _ -> "anchor_indirect"
+  | Anchor_skipped _ -> "anchor_skipped"
+  | Segment_committed _ -> "segment_committed"
+  | Segment_interleaved _ -> "segment_interleaved"
+  | Timeout_fired _ -> "timeout_fired"
+  | Fetch_requested _ -> "fetch_requested"
+  | Gc_pruned _ -> "gc_pruned"
+  | Custom { tag; _ } -> tag
+
+type field = I of int | S of string
+
+let fields = function
+  | Proposal_created { round; txns } -> [ ("round", I round); ("txns", I txns) ]
+  | Vote_cast { round; author }
+  | Cert_formed { round; author }
+  | Cert_received { round; author }
+  | Fetch_requested { round; author } -> [ ("round", I round); ("author", I author) ]
+  | Anchor_direct_fast { round; anchor }
+  | Anchor_direct_certified { round; anchor }
+  | Anchor_indirect { round; anchor }
+  | Anchor_skipped { round; anchor } -> [ ("round", I round); ("anchor", I anchor) ]
+  | Segment_committed { round; anchor; nodes } ->
+    [ ("round", I round); ("anchor", I anchor); ("nodes", I nodes) ]
+  | Segment_interleaved { global_seq; round; anchor; txns } ->
+    [ ("seq", I global_seq); ("round", I round); ("anchor", I anchor); ("txns", I txns) ]
+  | Timeout_fired { round } -> [ ("round", I round) ]
+  | Gc_pruned { below } -> [ ("below", I below) ]
+  | Custom { detail; _ } -> [ ("detail", S detail) ]
+
+(* Inverse of [tag] + [fields]; used by exporters' round-trip decoding. *)
+let kind_of_fields ~tag:t fs =
+  let int k = match List.assoc_opt k fs with Some (I v) -> Some v | _ -> None in
+  let str k = match List.assoc_opt k fs with Some (S v) -> Some v | _ -> None in
+  let ( let* ) = Option.bind in
+  match t with
+  | "proposal_created" ->
+    let* round = int "round" in
+    let* txns = int "txns" in
+    Some (Proposal_created { round; txns })
+  | "vote_cast" | "cert_formed" | "cert_received" | "fetch_requested" ->
+    let* round = int "round" in
+    let* author = int "author" in
+    Some
+      (match t with
+      | "vote_cast" -> Vote_cast { round; author }
+      | "cert_formed" -> Cert_formed { round; author }
+      | "cert_received" -> Cert_received { round; author }
+      | _ -> Fetch_requested { round; author })
+  | "anchor_direct_fast" | "anchor_direct_certified" | "anchor_indirect" | "anchor_skipped" ->
+    let* round = int "round" in
+    let* anchor = int "anchor" in
+    Some
+      (match t with
+      | "anchor_direct_fast" -> Anchor_direct_fast { round; anchor }
+      | "anchor_direct_certified" -> Anchor_direct_certified { round; anchor }
+      | "anchor_indirect" -> Anchor_indirect { round; anchor }
+      | _ -> Anchor_skipped { round; anchor })
+  | "segment_committed" ->
+    let* round = int "round" in
+    let* anchor = int "anchor" in
+    let* nodes = int "nodes" in
+    Some (Segment_committed { round; anchor; nodes })
+  | "segment_interleaved" ->
+    let* global_seq = int "seq" in
+    let* round = int "round" in
+    let* anchor = int "anchor" in
+    let* txns = int "txns" in
+    Some (Segment_interleaved { global_seq; round; anchor; txns })
+  | "timeout_fired" ->
+    let* round = int "round" in
+    Some (Timeout_fired { round })
+  | "gc_pruned" ->
+    let* below = int "below" in
+    Some (Gc_pruned { below })
+  | tag ->
+    let detail = Option.value ~default:"" (str "detail") in
+    Some (Custom { tag; detail })
+
+let detail kind =
+  match kind with
+  | Custom { detail; _ } -> detail
+  | _ ->
+    String.concat " "
+      (List.map
+         (fun (k, v) ->
+           match v with
+           | I i -> Printf.sprintf "%s=%d" k i
+           | S s -> Printf.sprintf "%s=%s" k s)
+         (fields kind))
+
+type event = { time : float; replica : int; instance : int; kind : kind }
 
 type t = {
   mutable enabled : bool;
@@ -9,33 +129,47 @@ type t = {
 }
 
 let create ?(enabled = false) ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
   { enabled; capacity; buf = Array.make capacity None; next = 0; total = 0 }
 
 let enabled t = t.enabled
 let set_enabled t v = t.enabled <- v
 
-let record t ~time ~replica ~tag detail =
+let record_event t ~time ~replica ?(instance = 0) kind =
   if t.enabled then begin
-    t.buf.(t.next) <- Some { time; replica; tag; detail };
+    t.buf.(t.next) <- Some { time; replica; instance; kind };
     t.next <- (t.next + 1) mod t.capacity;
     t.total <- t.total + 1
   end
 
+let record t ~time ~replica ~tag detail =
+  record_event t ~time ~replica (Custom { tag; detail })
+
+(* Disabled tracing must not pay for formatting: [ikfprintf] consumes the
+   format arguments without rendering them, against a sink formatter that
+   discards everything (never [std_formatter] — sharing its pretty-printer
+   state would not be benign). *)
+let null_formatter = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
 let recordf t ~time ~replica ~tag fmt =
   if t.enabled then
     Format.kasprintf (fun detail -> record t ~time ~replica ~tag detail) fmt
-  else Format.ikfprintf (fun _ -> ()) Format.std_formatter fmt
+  else Format.ikfprintf (fun _ -> ()) null_formatter fmt
 
+(* Only the last [capacity] events are retained; older ones are dropped
+   (see [dropped]). Walk exactly the retained window, oldest first. *)
 let events t =
-  let acc = ref [] in
-  for i = 0 to t.capacity - 1 do
-    let idx = (t.next + i) mod t.capacity in
-    match t.buf.(idx) with Some e -> acc := e :: !acc | None -> ()
-  done;
-  List.rev !acc
+  let retained = min t.total t.capacity in
+  let start = (t.next - retained + t.capacity) mod t.capacity in
+  List.init retained (fun i ->
+      match t.buf.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false (* within the retained window *))
 
 let count t = t.total
-let find t ~tag = List.filter (fun e -> String.equal e.tag tag) (events t)
+let retained t = min t.total t.capacity
+let dropped t = max 0 (t.total - t.capacity)
+let find t ~tag:wanted = List.filter (fun e -> String.equal (tag e.kind) wanted) (events t)
 
 let clear t =
   Array.fill t.buf 0 t.capacity None;
@@ -43,4 +177,5 @@ let clear t =
   t.total <- 0
 
 let pp_event fmt e =
-  Format.fprintf fmt "[%8.2fms r%d %s] %s" e.time e.replica e.tag e.detail
+  Format.fprintf fmt "[%8.2fms r%d/d%d %s] %s" e.time e.replica e.instance (tag e.kind)
+    (detail e.kind)

@@ -1,29 +1,79 @@
-(** Lightweight in-memory event tracing.
+(** Typed in-memory event tracing.
 
     Disabled traces cost one branch per call, so protocol code can trace
     freely. Enabled traces retain the most recent [capacity] events for
-    post-mortem inspection in tests and examples. *)
+    post-mortem inspection, export and tests; older events are dropped
+    (see {!dropped}).
+
+    Events carry a structured {!kind} — the commit-path taxonomy of the
+    paper's latency accounting — rather than pre-rendered strings, so the
+    JSONL / Chrome-trace exporters and tests consume them without parsing.
+    {!tag}, {!detail} and {!pp_event} provide the compat string view. *)
+
+(** Event taxonomy. [instance] on the event identifies the parallel DAG
+    (Shoal++ runs k staggered instances); [anchor]/[author] are replica
+    indices. *)
+type kind =
+  | Proposal_created of { round : int; txns : int }
+  | Vote_cast of { round : int; author : int }
+  | Cert_formed of { round : int; author : int }
+  | Cert_received of { round : int; author : int }
+  | Anchor_direct_fast of { round : int; anchor : int }
+      (** §5.1 fast rule: 2f+1 round r+1 proposals reference the anchor *)
+  | Anchor_direct_certified of { round : int; anchor : int }
+      (** Bullshark direct rule: f+1 certified children *)
+  | Anchor_indirect of { round : int; anchor : int }
+  | Anchor_skipped of { round : int; anchor : int }
+  | Segment_committed of { round : int; anchor : int; nodes : int }
+  | Segment_interleaved of { global_seq : int; round : int; anchor : int; txns : int }
+      (** a committed segment entered the round-robin global log (Alg. 3) *)
+  | Timeout_fired of { round : int }
+  | Fetch_requested of { round : int; author : int }
+  | Gc_pruned of { below : int }
+  | Custom of { tag : string; detail : string }  (** compat escape hatch *)
+
+val tag : kind -> string
+(** Stable snake_case name of the variant ([Custom] returns its tag). *)
+
+val detail : kind -> string
+(** Human-readable field rendering ("round=5 anchor=2"). *)
+
+(** Structured field view for exporters; [kind_of_fields] inverts it
+    (unknown tags decode as [Custom]). *)
+type field = I of int | S of string
+
+val fields : kind -> (string * field) list
+val kind_of_fields : tag:string -> (string * field) list -> kind option
+
+type event = { time : float; replica : int; instance : int; kind : kind }
 
 type t
-
-type event = { time : float; replica : int; tag : string; detail : string }
 
 val create : ?enabled:bool -> ?capacity:int -> unit -> t
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
+val record_event : t -> time:float -> replica:int -> ?instance:int -> kind -> unit
+
 val record : t -> time:float -> replica:int -> tag:string -> string -> unit
+(** Compat: records a [Custom] event with [instance] 0. *)
 
 val recordf :
   t -> time:float -> replica:int -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Formatted variant; the format arguments are not evaluated when tracing is
-    disabled. *)
+(** Formatted compat variant; when tracing is disabled the format arguments
+    are consumed without rendering (no formatting work, no shared-formatter
+    side effects). *)
 
 val events : t -> event list
-(** Oldest first, up to [capacity]. *)
+(** Oldest first; exactly the retained window (the last
+    [min count capacity] events). *)
 
 val count : t -> int
-(** Total events recorded (including evicted ones). *)
+(** Total events recorded, including dropped ones. *)
+
+val retained : t -> int
+val dropped : t -> int
+(** [count - retained]: events evicted by ring-buffer wraparound. *)
 
 val find : t -> tag:string -> event list
 val clear : t -> unit

@@ -1,0 +1,30 @@
+#!/bin/sh
+# CI check: build, run the full test suite, then smoke-test the simulator's
+# observability exports end to end. One command, non-zero exit on any failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+dune exec bin/shoalpp_sim.exe -- \
+  -n 4 --topology clique:4,15 --load 200 --duration 4000 --warmup 500 \
+  --trace-out "$out/run.jsonl" \
+  --chrome-out "$out/run.trace.json" \
+  --metrics-out "$out/run.metrics.json"
+
+# The exports must exist and be non-empty; the JSONL must look like events.
+for f in run.jsonl run.trace.json run.metrics.json; do
+  test -s "$out/$f" || { echo "check failed: $f missing or empty" >&2; exit 1; }
+done
+grep -q '"tag":"proposal_created"' "$out/run.jsonl" \
+  || { echo "check failed: no proposal events in trace" >&2; exit 1; }
+grep -q '"traceEvents"' "$out/run.trace.json" \
+  || { echo "check failed: chrome trace malformed" >&2; exit 1; }
+grep -q '"commit.fast_direct"' "$out/run.metrics.json" \
+  || { echo "check failed: commit-rule counters missing from metrics" >&2; exit 1; }
+
+echo "check: build + tests + observability smoke OK"

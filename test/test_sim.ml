@@ -294,10 +294,61 @@ let test_trace_ring_buffer () =
     Trace.record t ~time:(float_of_int i) ~replica:0 ~tag:"t" (string_of_int i)
   done;
   checki "total" 5 (Trace.count t);
+  checki "retained" 3 (Trace.retained t);
+  checki "dropped" 2 (Trace.dropped t);
   let kept = Trace.events t in
   checki "capacity" 3 (List.length kept);
   Alcotest.(check (list string)) "keeps most recent" [ "3"; "4"; "5" ]
-    (List.map (fun (e : Trace.event) -> e.Trace.detail) kept)
+    (List.map (fun (e : Trace.event) -> Trace.detail e.Trace.kind) kept)
+
+let test_trace_events_before_wraparound () =
+  let t = Trace.create ~enabled:true ~capacity:8 () in
+  for i = 1 to 3 do
+    Trace.record t ~time:(float_of_int i) ~replica:0 ~tag:"t" (string_of_int i)
+  done;
+  checki "dropped" 0 (Trace.dropped t);
+  Alcotest.(check (list string)) "all retained, oldest first" [ "1"; "2"; "3" ]
+    (List.map (fun (e : Trace.event) -> Trace.detail e.Trace.kind) (Trace.events t))
+
+let test_trace_typed_events () =
+  let t = Trace.create ~enabled:true () in
+  Trace.record_event t ~time:1.0 ~replica:2 ~instance:1
+    (Trace.Anchor_direct_fast { round = 5; anchor = 3 });
+  Trace.record_event t ~time:2.0 ~replica:0 (Trace.Timeout_fired { round = 6 });
+  (match Trace.events t with
+  | [ a; b ] ->
+    Alcotest.(check string) "tag" "anchor_direct_fast" (Trace.tag a.Trace.kind);
+    Alcotest.(check string) "detail" "round=5 anchor=3" (Trace.detail a.Trace.kind);
+    checki "instance" 1 a.Trace.instance;
+    checki "default instance" 0 b.Trace.instance
+  | _ -> Alcotest.fail "expected two events");
+  checki "find typed" 1 (List.length (Trace.find t ~tag:"timeout_fired"))
+
+let test_trace_fields_roundtrip () =
+  let kinds =
+    [
+      Trace.Proposal_created { round = 1; txns = 10 };
+      Trace.Vote_cast { round = 2; author = 3 };
+      Trace.Cert_formed { round = 2; author = 1 };
+      Trace.Cert_received { round = 2; author = 0 };
+      Trace.Anchor_direct_fast { round = 4; anchor = 1 };
+      Trace.Anchor_direct_certified { round = 4; anchor = 2 };
+      Trace.Anchor_indirect { round = 6; anchor = 0 };
+      Trace.Anchor_skipped { round = 6; anchor = 3 };
+      Trace.Segment_committed { round = 4; anchor = 1; nodes = 7 };
+      Trace.Segment_interleaved { global_seq = 9; round = 4; anchor = 1; txns = 120 };
+      Trace.Timeout_fired { round = 8 };
+      Trace.Fetch_requested { round = 3; author = 2 };
+      Trace.Gc_pruned { below = 2 };
+      Trace.Custom { tag = "note"; detail = "free text" };
+    ]
+  in
+  List.iter
+    (fun kind ->
+      match Trace.kind_of_fields ~tag:(Trace.tag kind) (Trace.fields kind) with
+      | Some back -> checkb (Trace.tag kind) true (back = kind)
+      | None -> Alcotest.fail (Trace.tag kind ^ ": no decode"))
+    kinds
 
 let test_trace_find_and_clear () =
   let t = Trace.create ~enabled:true () in
@@ -404,6 +455,9 @@ let suite =
       [
         Alcotest.test_case "disabled noop" `Quick test_trace_disabled_is_noop;
         Alcotest.test_case "ring buffer" `Quick test_trace_ring_buffer;
+        Alcotest.test_case "events before wraparound" `Quick test_trace_events_before_wraparound;
+        Alcotest.test_case "typed events" `Quick test_trace_typed_events;
+        Alcotest.test_case "fields roundtrip" `Quick test_trace_fields_roundtrip;
         Alcotest.test_case "find and clear" `Quick test_trace_find_and_clear;
       ] );
     ( "storage.wal",
