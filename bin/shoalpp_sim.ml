@@ -5,6 +5,9 @@
      dune exec bin/shoalpp_sim.exe -- --system shoal++ --n 16 --load 2000
      dune exec bin/shoalpp_sim.exe -- --system mysticeti --drop 5,0.01,20000 --series
      dune exec bin/shoalpp_sim.exe -- --system bullshark --crashes 5 --duration 30000
+     dune exec bin/shoalpp_sim.exe -- --scenario byzantine:count=1,kind=equivocate
+     dune exec bin/shoalpp_sim.exe -- --scenario partition:from=8000,dur=20000 --series
+     dune exec bin/shoalpp_sim.exe -- --scenario crash-recover:at=5000,recover=15000
      dune exec bin/shoalpp_sim.exe -- --trace-out run.jsonl --chrome-out run.trace.json \
        --metrics-out run.metrics.json *)
 
@@ -61,6 +64,14 @@ let topology_conv =
   in
   Arg.conv (parse, print)
 
+let scenario_conv =
+  let parse s =
+    match Shoalpp_sim.Faults.parse s with
+    | Ok sc -> Ok sc
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Shoalpp_sim.Faults.pp)
+
 let drop_conv =
   let parse s =
     match String.split_on_char ',' s with
@@ -73,8 +84,8 @@ let drop_conv =
   let print fmt (k, rate, from) = Format.fprintf fmt "%d,%g,%g" k rate from in
   Arg.conv (parse, print)
 
-let run system n load duration warmup topology crashes drop timeout dags stagger seed no_verify
-    series trace_out chrome_out metrics_out =
+let run system n load duration warmup topology crashes scenario drop timeout dags stagger seed
+    no_verify series trace_out chrome_out metrics_out =
   Shoalpp_baselines.Register.register ();
   let params =
     {
@@ -85,6 +96,7 @@ let run system n load duration warmup topology crashes drop timeout dags stagger
       warmup_ms = warmup;
       topology;
       crashes;
+      scenario;
       drop_spec = drop;
       round_timeout_ms = timeout;
       num_dags = dags;
@@ -150,6 +162,18 @@ let cmd =
   let crashes =
     Arg.(value & opt int 0 & info [ "crashes" ] ~doc:"Crash this many replicas at t=0.")
   in
+  let scenario =
+    Arg.(
+      value
+      & opt scenario_conv Shoalpp_sim.Faults.none
+      & info [ "scenario" ] ~docv:"SPEC"
+          ~doc:
+            "Declarative fault scenario: none | byzantine | partition | crash-recover, \
+             optionally followed by :key=val,... — e.g. \
+             byzantine:count=1,kind=equivocate|silent|delay, \
+             partition:from=8000,dur=20000,minority=5, \
+             crash-recover:count=1,at=5000,recover=15000.")
+  in
   let drop =
     Arg.(value & opt (some drop_conv) None & info [ "drop" ] ~doc:"Egress drops: K,RATE,FROM_MS.")
   in
@@ -188,7 +212,8 @@ let cmd =
   Cmd.v
     (Cmd.info "shoalpp_sim" ~doc:"Run a simulated BFT consensus deployment (Shoal++ and baselines)")
     Term.(
-      const run $ system $ n $ load $ duration $ warmup $ topology $ crashes $ drop $ timeout
-      $ dags $ stagger $ seed $ no_verify $ series $ trace_out $ chrome_out $ metrics_out)
+      const run $ system $ n $ load $ duration $ warmup $ topology $ crashes $ scenario $ drop
+      $ timeout $ dags $ stagger $ seed $ no_verify $ series $ trace_out $ chrome_out
+      $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

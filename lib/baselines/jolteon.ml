@@ -4,6 +4,7 @@ module Engine = Shoalpp_sim.Engine
 module Netmodel = Shoalpp_sim.Netmodel
 module Topology = Shoalpp_sim.Topology
 module Fault = Shoalpp_sim.Fault
+module Faults = Shoalpp_sim.Faults
 module Transaction = Shoalpp_workload.Transaction
 module Client = Shoalpp_workload.Client
 module Mempool = Shoalpp_workload.Mempool
@@ -30,6 +31,8 @@ type msg =
   | Vote of { v_round : int; v_digest : Digest32.t; v_voter : int }
   | Timeout of { t_round : int; t_high_qc : qc; t_voter : int }
   | Gossip of Transaction.t list
+  | Sync_req of { s_digest : Digest32.t; s_requester : int }
+  | Sync_resp of block
 
 let qc_size q = 8 + 32 + 48 + ((List.length q.qc_signers + 7) / 8)
 
@@ -41,6 +44,11 @@ let message_size = function
   | Vote _ -> 1 + 8 + 32 + 2 + 48
   | Timeout t -> 1 + 8 + 2 + 48 + qc_size t.t_high_qc
   | Gossip txns -> 1 + 4 + List.fold_left (fun acc tx -> acc + Transaction.wire_size tx) 0 txns
+  | Sync_req _ -> 1 + 32 + 2
+  | Sync_resp b ->
+    2 + 8 + 2 + 48
+    + List.fold_left (fun acc tx -> acc + Transaction.wire_size tx) 0 b.jb_txns
+    + qc_size b.jb_justify
 
 let block_digest ~round ~author ~justify ~txns =
   let ids = List.map (fun (tx : Transaction.t) -> string_of_int tx.Transaction.id) txns in
@@ -54,6 +62,7 @@ type setup = {
   topology : Topology.t;
   net_config : Netmodel.config;
   fault : Fault.t;
+  scenario : Faults.t;
   load_tps : float;
   tx_size : int;
   warmup_ms : float;
@@ -71,6 +80,7 @@ let default_setup ~committee =
     topology = Topology.gcp10 ();
     net_config = Netmodel.default_config;
     fault = Fault.none;
+    scenario = Faults.none;
     load_tps = 1000.0;
     tx_size = Transaction.default_size;
     warmup_ms = 1000.0;
@@ -113,9 +123,22 @@ type replica = {
   mutable round_timer : Engine.timer option;
   mutable ntimeouts : int;
   mutable crashed : bool;
+  (* State sync: commits whose justify chain has holes (missed while
+     partitioned / crashed / given the other half of an equivocation) wait
+     in [pending_commit] until the missing blocks are synced from peers. *)
+  syncing : (Digest32.t, float) Hashtbl.t; (* digest -> last Sync_req time *)
+  pending_commit : (Digest32.t, unit) Hashtbl.t;
+  (* 2-chain checks deferred because the certified block itself was missing:
+     replayed when the block arrives, or the commit decision would be lost. *)
+  pending_qcs : (Digest32.t, qc) Hashtbl.t;
+  byzantine : float -> Faults.byz_kind option;
   obs : Obs.t;
   c_commits : Telemetry.counter option;
   c_timeouts : Telemetry.counter option;
+  c_equiv : Telemetry.counter option;
+  c_withheld : Telemetry.counter option;
+  c_delayed : Telemetry.counter option;
+  c_syncs : Telemetry.counter option;
   h_submit_block : Telemetry.Histogram.t option;
   h_block_commit : Telemetry.Histogram.t option;
   h_e2e : Telemetry.Histogram.t option;
@@ -147,6 +170,7 @@ let quorum t = Committee.quorum t.setup.committee
 
 let broadcast t msg = Netmodel.broadcast t.net ~src:t.id ~size:(message_size msg) msg
 let send t ~dst msg = Netmodel.send t.net ~src:t.id ~dst ~size:(message_size msg) msg
+let byz_now t = t.byzantine (Engine.now t.engine)
 
 let commit_block t (b : block) =
   t.committed_log <- b.jb_digest :: t.committed_log;
@@ -177,16 +201,60 @@ let commit_block t (b : block) =
       end)
     b.jb_txns
 
-(* Commit [digest] and all its uncommitted ancestors, oldest first. *)
+(* A request in flight during a partition is dropped silently, so dedup
+   must expire: re-ask once a round timeout has passed without a response,
+   or a partitioned minority can never refill its chain holes after the
+   heal (and its [leader_of] view never reconverges with the majority's). *)
+let request_sync t digest =
+  let now = Engine.now t.engine in
+  let due =
+    match Hashtbl.find_opt t.syncing digest with
+    | None -> true
+    | Some last -> now -. last >= t.setup.round_timeout_ms
+  in
+  if due then begin
+    Hashtbl.replace t.syncing digest now;
+    Obs.incr_c t.c_syncs;
+    broadcast t (Sync_req { s_digest = digest; s_requester = t.id })
+  end
+
+(* Every uncommitted ancestor of [digest] is locally available. Missing
+   ones are requested from peers as a side effect. *)
+let rec chain_ready t digest =
+  if Digest32.equal digest t.genesis_qc.qc_digest then true
+  else
+    match Hashtbl.find_opt t.blocks digest with
+    | None ->
+      request_sync t digest;
+      false
+    | Some b ->
+      b.jb_round <= t.committed_round || chain_ready t b.jb_justify.qc_digest
+
+(* Commit [digest] and all its uncommitted ancestors, oldest first. If the
+   chain has holes, park the tip until state sync fills them — committing
+   over a hole would silently diverge this replica's log. *)
 let rec commit_chain t digest =
+  if chain_ready t digest then begin
+    Hashtbl.remove t.pending_commit digest;
+    commit_complete_chain t digest
+  end
+  else Hashtbl.replace t.pending_commit digest ()
+
+and commit_complete_chain t digest =
   if not (Digest32.equal digest t.genesis_qc.qc_digest) then begin
     match Hashtbl.find_opt t.blocks digest with
     | None -> ()
     | Some b ->
       if b.jb_round > t.committed_round then begin
-        commit_chain t b.jb_justify.qc_digest;
+        commit_complete_chain t b.jb_justify.qc_digest;
         commit_block t b
       end
+  end
+
+let retry_pending_commits t =
+  if Hashtbl.length t.pending_commit > 0 then begin
+    let tips = Hashtbl.fold (fun d () acc -> d :: acc) t.pending_commit [] in
+    List.iter (fun d -> commit_chain t d) tips
   end
 
 let rec enter_round t r =
@@ -218,7 +286,16 @@ and process_qc t (q : qc) =
   (match Hashtbl.find_opt t.blocks q.qc_digest with
   | Some b' when b'.jb_justify.qc_round = b'.jb_round - 1 ->
     commit_chain t b'.jb_justify.qc_digest
-  | _ -> ());
+  | Some _ -> ()
+  | None ->
+    (* A certified block we never received (we were partitioned or slow):
+       fetch it and stash the QC so the 2-chain check replays on arrival,
+       walking the hole backwards one block per response. *)
+    if q.qc_round > t.committed_round && not (Digest32.equal q.qc_digest t.genesis_qc.qc_digest)
+    then begin
+      Hashtbl.replace t.pending_qcs q.qc_digest q;
+      request_sync t q.qc_digest
+    end);
   enter_round t (q.qc_round + 1)
 
 and propose t r =
@@ -258,7 +335,25 @@ and propose t r =
     }
   in
   Obs.event t.obs ~time:now (Trace.Proposal_created { round = r; txns = List.length txns });
-  broadcast t (Block b)
+  match byz_now t with
+  | Some Faults.Silent_anchor ->
+    (* Withholding leader: the block exists only locally, so the round can
+       only advance through the pacemaker. *)
+    Obs.incr_c t.c_withheld;
+    Obs.event t.obs ~time:now (Trace.Anchor_withheld { round = r });
+    send t ~dst:t.id (Block b)
+  | Some Faults.Equivocate when txns <> [] ->
+    (* Two signed blocks for the same round: the full one to even-id peers,
+       an empty twin to odd ids. Votes split per digest, so no QC can form
+       from a mixed electorate and at most one version ever commits. *)
+    let twin_digest = block_digest ~round:r ~author:t.id ~justify ~txns:[] in
+    let twin = { b with jb_txns = []; jb_digest = twin_digest } in
+    Obs.incr_c t.c_equiv;
+    Obs.event t.obs ~time:now (Trace.Equivocation_sent { round = r });
+    for dst = 0 to t.setup.committee.Committee.n - 1 do
+      send t ~dst (Block (if dst = t.id || dst mod 2 = 0 then b else twin))
+    done
+  | _ -> broadcast t (Block b)
 
 let pool_add t (tx : Transaction.t) =
   if
@@ -269,9 +364,19 @@ let pool_add t (tx : Transaction.t) =
     Queue.push tx.Transaction.id t.pool_order
   end
 
+let replay_pending_qc t (b : block) =
+  match Hashtbl.find_opt t.pending_qcs b.jb_digest with
+  | Some q ->
+    Hashtbl.remove t.pending_qcs b.jb_digest;
+    process_qc t q
+  | None -> ()
+
 let handle_block t (b : block) =
   if b.jb_round >= t.current_round - 1 then begin
     Hashtbl.replace t.blocks b.jb_digest b;
+    Hashtbl.remove t.syncing b.jb_digest;
+    replay_pending_qc t b;
+    retry_pending_commits t;
     process_qc t b.jb_justify;
     (* Txns we see in blocks are known to the pool too (so a later leader
        does not need the gossip to have arrived first). *)
@@ -280,7 +385,16 @@ let handle_block t (b : block) =
       t.voted_round <- b.jb_round;
       enter_round t b.jb_round;
       let next_leader = leader_of t (b.jb_round + 1) in
-      send t ~dst:next_leader (Vote { v_round = b.jb_round; v_digest = b.jb_digest; v_voter = t.id })
+      let vote = Vote { v_round = b.jb_round; v_digest = b.jb_digest; v_voter = t.id } in
+      match byz_now t with
+      | Some (Faults.Delay_votes delay_ms) ->
+        Obs.incr_c t.c_delayed;
+        Obs.event t.obs ~time:(Engine.now t.engine)
+          (Trace.Votes_delayed { round = b.jb_round; delay_ms = int_of_float delay_ms });
+        ignore
+          (Engine.schedule t.engine ~after:delay_ms (fun () ->
+               if not t.crashed then send t ~dst:next_leader vote))
+      | _ -> send t ~dst:next_leader vote
     end
   end
 
@@ -337,6 +451,22 @@ let handle_message t msg =
     | Vote { v_round; v_digest; v_voter } -> handle_vote t ~v_round ~v_digest ~v_voter
     | Timeout { t_round; t_high_qc; t_voter } -> handle_timeout t ~t_round ~t_high_qc ~t_voter
     | Gossip txns -> List.iter (fun tx -> pool_add t tx) txns
+    | Sync_req { s_digest; s_requester } -> (
+      match Hashtbl.find_opt t.blocks s_digest with
+      | Some b when s_requester <> t.id -> send t ~dst:s_requester (Sync_resp b)
+      | _ -> ())
+    | Sync_resp b ->
+      (* No round recency filter: synced blocks are exactly the old history
+         a lagging replica is missing. *)
+      Hashtbl.replace t.blocks b.jb_digest b;
+      Hashtbl.remove t.syncing b.jb_digest;
+      (* Replay the commit decisions this block unblocks: the QC that was
+         waiting for it, and its own embedded justify QC — this is how a
+         healed minority re-derives commits whose live QC pairs it missed
+         (and so reconverges its reputation-based [leader_of] view). *)
+      replay_pending_qc t b;
+      process_qc t b.jb_justify;
+      retry_pending_commits t
   end
 
 (* -------------------------------------------------------------------- *)
@@ -358,10 +488,14 @@ type cluster = {
 let create setup =
   let committee = setup.committee in
   let n = committee.Committee.n in
+  (* Bind the declarative scenario to this cluster size: crashes, recovery
+     windows and partitions become part of the network fault schedule;
+     Byzantine roles become per-replica closures below. *)
+  let fault = Faults.schedule setup.scenario ~n ~base:setup.fault in
   let engine = Engine.create () in
   let assignment = Topology.assign_round_robin setup.topology ~n in
   let net =
-    Netmodel.create ~engine ~topology:setup.topology ~assignment ~fault:setup.fault
+    Netmodel.create ~engine ~topology:setup.topology ~assignment ~fault
       ~config:setup.net_config ~seed:setup.seed ()
   in
   let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
@@ -398,9 +532,17 @@ let create setup =
           round_timer = None;
           ntimeouts = 0;
           crashed = false;
+          syncing = Hashtbl.create 16;
+          pending_qcs = Hashtbl.create 16;
+          pending_commit = Hashtbl.create 16;
+          byzantine = Faults.byzantine_for setup.scenario ~n ~replica:id;
           obs;
           c_commits = Obs.counter obs "commit.certified_direct";
           c_timeouts = Obs.counter obs "dag.timeouts";
+          c_equiv = Obs.counter obs "fault.equivocations";
+          c_withheld = Obs.counter obs "fault.withheld_proposals";
+          c_delayed = Obs.counter obs "fault.delayed_votes";
+          c_syncs = Obs.counter obs "dag.fetches";
           h_submit_block = Obs.histogram obs "stage.submit_to_batch";
           h_block_commit = Obs.histogram obs "stage.proposal_to_commit";
           h_e2e = Obs.histogram obs "latency.e2e";
@@ -416,7 +558,7 @@ let create setup =
     c_telemetry = telemetry;
     c_clients = Array.make n None;
     c_mempools = Array.init n (fun _ -> Mempool.create ());
-    c_fault = setup.fault;
+    c_fault = fault;
     c_started = false;
   }
 
@@ -433,25 +575,79 @@ let rec arm_gossip c i =
            arm_gossip c i
          end))
 
+let per_replica_tps c = c.c_setup.load_tps /. float_of_int (Array.length c.c_replicas)
+
+let start_client c ~next_id i =
+  if per_replica_tps c > 0.0 then
+    c.c_clients.(i) <-
+      Some
+        (Client.start ~engine:c.c_engine ~mempool:c.c_mempools.(i) ~origin:i
+           ~rate_tps:(per_replica_tps c) ~tx_size:c.c_setup.tx_size ~seed:(c.c_setup.seed + i)
+           ~next_id ())
+
+(* Replica-side crash for a downtime already baked into [c_fault] by
+   [Faults.schedule] (the network side needs no update). *)
+let apply_crash c i =
+  let r = c.c_replicas.(i) in
+  if not r.crashed then begin
+    r.crashed <- true;
+    Telemetry.incr_named c.c_telemetry "fault.crashes";
+    Obs.event r.obs ~time:(Engine.now c.c_engine) (Trace.Replica_crashed { replica = i });
+    match c.c_clients.(i) with Some cl -> Client.stop cl | None -> ()
+  end
+
+(* Warm in-memory resume: Jolteon keeps no WAL, so a recovered replica
+   rejoins with its pre-crash state and catches up from peers' QCs and
+   timeout messages (a documented asymmetry vs Shoal++'s WAL replay). *)
+let recover_now c ~next_id i =
+  let r = c.c_replicas.(i) in
+  if r.crashed then begin
+    let now = Engine.now c.c_engine in
+    c.c_fault <- Fault.recover c.c_fault ~replica:i ~at:now;
+    Netmodel.set_fault c.c_net c.c_fault;
+    r.crashed <- false;
+    Telemetry.incr_named c.c_telemetry "fault.recoveries";
+    Obs.event r.obs ~time:now (Trace.Replica_recovered { replica = i; replayed = 0 });
+    start_client c ~next_id i;
+    arm_gossip c i;
+    send_timeout r r.current_round
+  end
+
+let schedule_scenario c ~next_id =
+  let n = Array.length c.c_replicas in
+  let scenario = c.c_setup.scenario in
+  List.iter
+    (fun (replica, at) ->
+      ignore (Engine.schedule_at c.c_engine ~at (fun () -> apply_crash c replica)))
+    (Faults.timed_crashes scenario ~n);
+  List.iter
+    (fun (replica, _crash_at, recover_at) ->
+      ignore (Engine.schedule_at c.c_engine ~at:recover_at (fun () -> recover_now c ~next_id replica)))
+    (Faults.crash_recoveries scenario ~n);
+  List.iter
+    (fun (from_time, until_time, _minority) ->
+      ignore
+        (Engine.schedule_at c.c_engine ~at:from_time (fun () ->
+             Telemetry.incr_named c.c_telemetry "fault.partitions_opened"));
+      if until_time < infinity then
+        ignore
+          (Engine.schedule_at c.c_engine ~at:until_time (fun () ->
+               Telemetry.incr_named c.c_telemetry "fault.partitions_healed")))
+    (Faults.partition_windows scenario ~n)
+
 let start c =
   if not c.c_started then begin
     c.c_started <- true;
-    let n = Array.length c.c_replicas in
-    let per_replica = c.c_setup.load_tps /. float_of_int n in
     let next_id = ref 0 in
     Array.iteri
       (fun i r ->
-        if not (Fault.is_crashed c.c_setup.fault ~replica:i ~time:0.0) then begin
-          if per_replica > 0.0 then
-            c.c_clients.(i) <-
-              Some
-                (Client.start ~engine:c.c_engine ~mempool:c.c_mempools.(i) ~origin:i
-                   ~rate_tps:per_replica ~tx_size:c.c_setup.tx_size ~seed:(c.c_setup.seed + i)
-                   ~next_id ());
+        if not (Fault.is_crashed c.c_fault ~replica:i ~time:0.0) then begin
+          start_client c ~next_id i;
           arm_gossip c i
         end;
         enter_round r 0)
-      c.c_replicas
+      c.c_replicas;
+    schedule_scenario c ~next_id
   end
 
 let run c ~duration_ms =
@@ -476,7 +672,7 @@ let report c ~duration_ms =
     ~direct_commits:
       (Array.fold_left (fun acc r -> acc + List.length r.committed_log) 0 c.c_replicas)
     ~messages_sent:(Netmodel.messages_sent c.c_net)
-    ~messages_dropped:(Netmodel.messages_dropped c.c_net)
+    ~messages_dropped:(Netmodel.messages_dropped c.c_net + Netmodel.messages_partitioned c.c_net)
     ~bytes_sent:(Netmodel.bytes_sent c.c_net)
     ~telemetry:(Telemetry.snapshot c.c_telemetry) ()
 

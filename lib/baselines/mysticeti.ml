@@ -10,6 +10,7 @@ module Engine = Shoalpp_sim.Engine
 module Netmodel = Shoalpp_sim.Netmodel
 module Topology = Shoalpp_sim.Topology
 module Fault = Shoalpp_sim.Fault
+module Faults = Shoalpp_sim.Faults
 module Batch = Shoalpp_workload.Batch
 module Transaction = Shoalpp_workload.Transaction
 module Client = Shoalpp_workload.Client
@@ -41,6 +42,7 @@ type setup = {
   topology : Topology.t;
   net_config : Netmodel.config;
   fault : Fault.t;
+  scenario : Faults.t;
   load_tps : float;
   tx_size : int;
   warmup_ms : float;
@@ -58,6 +60,7 @@ let default_setup ~committee =
     topology = Topology.gcp10 ();
     net_config = Netmodel.default_config;
     fault = Fault.none;
+    scenario = Faults.none;
     load_tps = 1000.0;
     tx_size = Transaction.default_size;
     warmup_ms = 1000.0;
@@ -99,10 +102,14 @@ type replica = {
   mutable fetches : int;
   mutable stalled : int;
   mutable crashed : bool;
+  byzantine : float -> Faults.byz_kind option;
   obs : Obs.t;
   c_proposals : Telemetry.counter option;
   c_fetches : Telemetry.counter option;
   c_timeouts : Telemetry.counter option;
+  c_equiv : Telemetry.counter option;
+  c_withheld : Telemetry.counter option;
+  c_delayed : Telemetry.counter option;
   h_submit_block : Telemetry.Histogram.t option;
   h_block_commit : Telemetry.Histogram.t option;
   h_e2e : Telemetry.Histogram.t option;
@@ -147,7 +154,56 @@ let rec propose r round =
       created_at;
     }
   in
-  broadcast r (Block node);
+  (match r.byzantine created_at with
+  | Some Faults.Silent_anchor ->
+    (* Withheld block: peers never see this round's proposal and must fetch
+       or time the author out — no certificates soften the miss here. *)
+    Obs.incr_c r.c_withheld;
+    Obs.event r.obs ~time:created_at (Trace.Anchor_withheld { round });
+    send r ~dst:r.id (Block node)
+  | Some Faults.Equivocate when txns <> [] ->
+    (* Two signed blocks for one (round, author) slot: replicas keep the
+       first version they process, so causal references to the other
+       version stall on critical-path fetches (§3.3's weakness). The twin
+       goes to at most f replicas — the store holds one version per slot,
+       so a half/half split would starve both sides of a quorum and
+       deadlock the model, where the real protocol's equivocation-tolerant
+       store merely degrades. Capped at f, the primary version still
+       reaches a quorum and the damage shows up as stalls and fetch storms
+       rather than a total halt. *)
+    let twin_batch = Batch.make ~txns:[] ~created_at in
+    let twin_digest =
+      Types.node_digest ~round ~author:r.id ~batch_digest:twin_batch.Batch.digest ~parents
+        ~weak_parents:[]
+    in
+    let twin =
+      {
+        node with
+        Types.batch = twin_batch;
+        digest = twin_digest;
+        signature = Signer.sign r.kp (Digest32.raw twin_digest);
+      }
+    in
+    Obs.incr_c r.c_equiv;
+    Obs.event r.obs ~time:created_at (Trace.Equivocation_sent { round });
+    let f = (Store.n r.store - 1) / 3 in
+    for dst = 0 to Store.n r.store - 1 do
+      send r ~dst (Block (if dst <> r.id && dst < f then twin else node))
+    done
+  | Some (Faults.Delay_votes delay_ms) ->
+    (* Blocks double as votes in the uncertified design: lagging the
+       broadcast lags every commit rule that counts this replica. *)
+    Obs.incr_c r.c_delayed;
+    Obs.event r.obs ~time:created_at
+      (Trace.Votes_delayed { round; delay_ms = int_of_float delay_ms });
+    send r ~dst:r.id (Block node);
+    ignore
+      (Engine.schedule r.engine ~after:delay_ms (fun () ->
+           if not r.crashed then
+             for dst = 0 to Store.n r.store - 1 do
+               if dst <> r.id then send r ~dst (Block node)
+             done))
+  | _ -> broadcast r (Block node));
   r.round_timer <-
     Some
       (Engine.schedule r.engine ~after:r.setup.round_timeout_ms (fun () ->
@@ -379,10 +435,14 @@ let make_replica setup ~engine ~net ~metrics ~telemetry id =
       fetches = 0;
       stalled = 0;
       crashed = false;
+      byzantine = Faults.byzantine_for setup.scenario ~n:committee.Committee.n ~replica:id;
       obs;
       c_proposals = Obs.counter obs "dag.proposals";
       c_fetches = Obs.counter obs "dag.fetches";
       c_timeouts = Obs.counter obs "dag.timeouts";
+      c_equiv = Obs.counter obs "fault.equivocations";
+      c_withheld = Obs.counter obs "fault.withheld_proposals";
+      c_delayed = Obs.counter obs "fault.delayed_votes";
       h_submit_block;
       h_block_commit;
       h_e2e;
@@ -394,10 +454,12 @@ let make_replica setup ~engine ~net ~metrics ~telemetry id =
 let create setup =
   let committee = setup.committee in
   let n = committee.Committee.n in
+  (* Bind the declarative scenario to this cluster size (see Jolteon). *)
+  let fault = Faults.schedule setup.scenario ~n ~base:setup.fault in
   let engine = Engine.create () in
   let assignment = Topology.assign_round_robin setup.topology ~n in
   let net =
-    Netmodel.create ~engine ~topology:setup.topology ~assignment ~fault:setup.fault
+    Netmodel.create ~engine ~topology:setup.topology ~assignment ~fault
       ~config:setup.net_config ~seed:setup.seed ()
   in
   let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
@@ -416,28 +478,79 @@ let create setup =
     c_metrics = metrics;
     c_telemetry = telemetry;
     c_clients = Array.make n None;
-    c_fault = setup.fault;
+    c_fault = fault;
     c_started = false;
   }
+
+let per_replica_tps c = c.c_setup.load_tps /. float_of_int (Array.length c.c_replicas)
+
+let start_client c ~next_id i =
+  if per_replica_tps c > 0.0 then
+    c.c_clients.(i) <-
+      Some
+        (Client.start ~engine:c.c_engine ~mempool:c.c_replicas.(i).mempool ~origin:i
+           ~rate_tps:(per_replica_tps c) ~tx_size:c.c_setup.tx_size ~seed:(c.c_setup.seed + i)
+           ~next_id ())
+
+(* Replica-side crash for a downtime already baked into [c_fault] by
+   [Faults.schedule] (the network side needs no update). *)
+let apply_crash c i =
+  let r = c.c_replicas.(i) in
+  if not r.crashed then begin
+    r.crashed <- true;
+    Telemetry.incr_named c.c_telemetry "fault.crashes";
+    Obs.event r.obs ~time:(Engine.now c.c_engine) (Trace.Replica_crashed { replica = i });
+    match c.c_clients.(i) with Some cl -> Client.stop cl | None -> ()
+  end
+
+(* Warm in-memory resume: the public Mysticeti prototype forgoes the WAL,
+   so recovery keeps the pre-crash DAG and relies on critical-path fetches
+   to pull the missed rounds (an asymmetry vs Shoal++'s WAL replay). *)
+let recover_now c ~next_id i =
+  let r = c.c_replicas.(i) in
+  if r.crashed then begin
+    let now = Engine.now c.c_engine in
+    c.c_fault <- Fault.recover c.c_fault ~replica:i ~at:now;
+    Netmodel.set_fault c.c_net c.c_fault;
+    r.crashed <- false;
+    Telemetry.incr_named c.c_telemetry "fault.recoveries";
+    Obs.event r.obs ~time:now (Trace.Replica_recovered { replica = i; replayed = 0 });
+    start_client c ~next_id i;
+    propose r (max (r.proposed_round + 1) (Store.highest_round r.store + 1))
+  end
+
+let schedule_scenario c ~next_id =
+  let n = Array.length c.c_replicas in
+  let scenario = c.c_setup.scenario in
+  List.iter
+    (fun (replica, at) ->
+      ignore (Engine.schedule_at c.c_engine ~at (fun () -> apply_crash c replica)))
+    (Faults.timed_crashes scenario ~n);
+  List.iter
+    (fun (replica, _crash_at, recover_at) ->
+      ignore (Engine.schedule_at c.c_engine ~at:recover_at (fun () -> recover_now c ~next_id replica)))
+    (Faults.crash_recoveries scenario ~n);
+  List.iter
+    (fun (from_time, until_time, _minority) ->
+      ignore
+        (Engine.schedule_at c.c_engine ~at:from_time (fun () ->
+             Telemetry.incr_named c.c_telemetry "fault.partitions_opened"));
+      if until_time < infinity then
+        ignore
+          (Engine.schedule_at c.c_engine ~at:until_time (fun () ->
+               Telemetry.incr_named c.c_telemetry "fault.partitions_healed")))
+    (Faults.partition_windows scenario ~n)
 
 let start c =
   if not c.c_started then begin
     c.c_started <- true;
-    let n = Array.length c.c_replicas in
-    let per_replica = c.c_setup.load_tps /. float_of_int n in
     let next_id = ref 0 in
     Array.iteri
       (fun i r ->
-        if not (Fault.is_crashed c.c_setup.fault ~replica:i ~time:0.0) then begin
-          if per_replica > 0.0 then
-            c.c_clients.(i) <-
-              Some
-                (Client.start ~engine:c.c_engine ~mempool:r.mempool ~origin:i
-                   ~rate_tps:per_replica ~tx_size:c.c_setup.tx_size ~seed:(c.c_setup.seed + i)
-                   ~next_id ())
-        end;
+        if not (Fault.is_crashed c.c_fault ~replica:i ~time:0.0) then start_client c ~next_id i;
         propose r 0)
-      c.c_replicas
+      c.c_replicas;
+    schedule_scenario c ~next_id
   end
 
 let run c ~duration_ms =
@@ -472,7 +585,7 @@ let report c ~duration_ms =
     ~indirect_commits:(sum (fun s -> s.Driver.indirect_commits))
     ~skipped_anchors:(sum (fun s -> s.Driver.skipped_anchors))
     ~messages_sent:(Netmodel.messages_sent c.c_net)
-    ~messages_dropped:(Netmodel.messages_dropped c.c_net)
+    ~messages_dropped:(Netmodel.messages_dropped c.c_net + Netmodel.messages_partitioned c.c_net)
     ~bytes_sent:(Netmodel.bytes_sent c.c_net)
     ~telemetry:(Telemetry.snapshot c.c_telemetry) ()
 

@@ -33,6 +33,11 @@ type setup = {
   topology : Shoalpp_sim.Topology.t;
   net_config : Shoalpp_sim.Netmodel.config;
   fault : Shoalpp_sim.Fault.t;
+  scenario : Shoalpp_sim.Faults.t;
+      (** declarative fault scenario, materialized against the committee
+          size on {!create}; Byzantine roles map onto uncertified-DAG
+          behaviours (twin blocks, withheld block, delayed block broadcast)
+          and recovery is a warm in-memory resume (no WAL here) *)
   load_tps : float;
   tx_size : int;
   warmup_ms : float;

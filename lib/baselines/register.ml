@@ -35,6 +35,7 @@ let jolteon_runner (p : Experiment.params) : Experiment.outcome =
       net_config =
         Option.value ~default:Shoalpp_sim.Netmodel.default_config p.Experiment.net_config;
       fault = fault_of p;
+      scenario = p.Experiment.scenario;
       load_tps = p.Experiment.load_tps;
       tx_size = p.Experiment.tx_size;
       warmup_ms = p.Experiment.warmup_ms;
@@ -66,6 +67,7 @@ let mysticeti_runner (p : Experiment.params) : Experiment.outcome =
       net_config =
         Option.value ~default:Shoalpp_sim.Netmodel.default_config p.Experiment.net_config;
       fault = fault_of p;
+      scenario = p.Experiment.scenario;
       load_tps = p.Experiment.load_tps;
       tx_size = p.Experiment.tx_size;
       warmup_ms = p.Experiment.warmup_ms;

@@ -3,7 +3,15 @@
     The three modes correspond to the protocols compared in the paper:
     Bullshark anchors every other round; Shoal anchors every round
     (schedule re-interpretation); Shoal++ makes every eligible node of every
-    round an anchor candidate (§5.2). *)
+    round an anchor candidate (§5.2).
+
+    Invariants:
+    - {!candidates} and {!instance_anchor} are pure functions of the
+      reputation state, which is itself a deterministic function of the
+      committed prefix — every correct replica derives the same anchor
+      schedule (Property 3 of the paper);
+    - {!instance_anchor} is mode-independent, so indirect (one-shot
+      Bullshark) resolution agrees across protocol variants. *)
 
 type mode =
   | Every_other_round  (** Bullshark: one anchor in each odd round *)

@@ -323,7 +323,12 @@ let notify t =
             let time = t.hooks.now () in
             List.iter
               (fun a ->
-                Obs.event t.obs ~time (Trace.Anchor_skipped { round = t.cur_round; anchor = a }))
+                Obs.event t.obs ~time (Trace.Anchor_skipped { round = t.cur_round; anchor = a });
+                (* The skip set is agreed (it is implied by the committed
+                   Skip_to target), so feeding it to reputation keeps the
+                   eligible vectors identical at every correct replica:
+                   repeatedly skipped (silent/withheld) anchors drop out. *)
+                Reputation.observe_skip t.rep ~round:t.cur_round ~author:a)
               (author :: rest);
             t.cur_round <- anchor_round;
             t.pending <-

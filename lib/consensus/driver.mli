@@ -22,7 +22,16 @@
     The driver never blocks: when a candidate is unresolvable or ordering
     needs node data that has not arrived, it records what it is waiting for
     (requesting fetches for missing ancestors) and returns; [notify] is
-    called again as the DAG grows. *)
+    called again as the DAG grows.
+
+    Invariants:
+    - anchor candidates resolve strictly in schedule order; a segment is
+      emitted at most once per anchor, and each node is ordered in at most
+      one segment (the not-yet-ordered filter);
+    - resolution is a deterministic function of the local DAG contents:
+      replicas with the same DAG emit identical segment sequences;
+    - reputation observes exactly the emitted segment / skip sequence, in
+      order, so eligible vectors stay identical at all correct replicas. *)
 
 type kind = Fast | Direct | Indirect
 

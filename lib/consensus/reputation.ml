@@ -7,10 +7,12 @@ type t = {
   last_round : int array; (* highest ordered node round per author; -1 = never *)
   last_support : int array; (* highest anchor round the author supported *)
   recent : int list Queue.t; (* per-segment supporter lists, oldest first *)
+  miss_threshold : int;
+  miss : int array; (* consecutive skipped-anchor streak per author *)
   mutable highest_anchor_round : int;
 }
 
-let create ~n ?(window = 64) ?(staleness = 8) ~enabled () =
+let create ~n ?(window = 64) ?(staleness = 8) ?(miss_threshold = 2) ~enabled () =
   {
     n;
     window;
@@ -20,6 +22,8 @@ let create ~n ?(window = 64) ?(staleness = 8) ~enabled () =
     last_round = Array.make n (-1);
     last_support = Array.make n (-1);
     recent = Queue.create ();
+    miss_threshold;
+    miss = Array.make n 0;
     highest_anchor_round = -1;
   }
 
@@ -39,6 +43,7 @@ let observe_segment t ~anchor_round ~supporters ~node_positions =
   List.iter
     (fun a ->
       t.scores.(a) <- t.scores.(a) + 1;
+      t.miss.(a) <- 0;
       if anchor_round > t.last_support.(a) then t.last_support.(a) <- anchor_round)
     supporters;
   Queue.push supporters t.recent;
@@ -47,12 +52,20 @@ let observe_segment t ~anchor_round ~supporters ~node_positions =
     List.iter (fun a -> t.scores.(a) <- t.scores.(a) - 1) evicted
   end
 
+(* A skipped anchor is part of the committed prefix (the Skip_to decision is
+   final and agreed), so penalizing it keeps the scheme a deterministic
+   function of that prefix. Streaks reset on the next supported segment. *)
+let observe_skip t ~round:_ ~author =
+  if author >= 0 && author < t.n then t.miss.(author) <- t.miss.(author) + 1
+
+let miss_streak t a = t.miss.(a)
 let score t a = t.scores.(a)
 let last_ordered_round t a = t.last_round.(a)
 
 let is_active t ~round a =
-  t.highest_anchor_round < 0 (* cold start: everyone active *)
-  || t.last_support.(a) >= round - t.staleness
+  t.miss.(a) < t.miss_threshold
+  && (t.highest_anchor_round < 0 (* cold start: everyone active *)
+     || t.last_support.(a) >= round - t.staleness)
 
 let rotate slot l =
   match l with

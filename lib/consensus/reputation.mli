@@ -13,13 +13,26 @@
 
     With reputation disabled the vector is the plain round-robin rotation
     over all n authors — Bullshark's behaviour, which is what makes it
-    suffer under crash faults (Fig 7). *)
+    suffer under crash faults (Fig 7).
+
+    Invariants:
+    - state depends only on the sequence of {!observe_segment} /
+      {!observe_skip} calls — no clock, no randomness — so identical
+      committed prefixes yield identical eligible vectors everywhere;
+    - {!eligible} is never empty: before any observation, or when every
+      author has gone stale, it falls back to the full round-robin vector;
+    - a {!miss_threshold} streak of skipped anchors excludes an author, and
+      supporting any later segment readmits it and resets the streak. *)
 
 type t
 
-val create : n:int -> ?window:int -> ?staleness:int -> enabled:bool -> unit -> t
+val create :
+  n:int -> ?window:int -> ?staleness:int -> ?miss_threshold:int -> enabled:bool -> unit -> t
 (** [window] = number of recent segments scored (default 64); [staleness] =
-    rounds without supporting any anchor before exclusion (default 8). *)
+    rounds without supporting any anchor before exclusion (default 8);
+    [miss_threshold] = consecutive anchor skips before exclusion
+    (default 2 — a silent/withheld anchor leaves the eligible vector after
+    two misses and re-enters once it supports a segment again). *)
 
 val observe_segment :
   t -> anchor_round:int -> supporters:int list -> node_positions:(int * int) list -> unit
@@ -36,6 +49,15 @@ val eligible : t -> round:int -> slot:int -> int list
     rotated by slot). Disabled: all n authors rotated by slot. Never empty —
     before any segment is observed, or if every author went stale, falls
     back to all authors. *)
+
+val observe_skip : t -> round:int -> author:int -> unit
+(** Feed one skipped anchor, in commit order. Skips are part of the agreed
+    committed prefix (a [Skip_to] decision), so this input is identical at
+    every correct replica; [miss_threshold] consecutive skips exclude the
+    author from {!eligible} until it supports a segment again. *)
+
+val miss_streak : t -> int -> int
+(** Current consecutive skipped-anchor streak of an author. *)
 
 val score : t -> int -> int
 val is_active : t -> round:int -> int -> bool

@@ -1,15 +1,19 @@
 module Types = Shoalpp_dag.Types
 module Store = Shoalpp_dag.Store
 module Instance = Shoalpp_dag.Instance
+module Committee = Shoalpp_dag.Committee
 module Driver = Shoalpp_consensus.Driver
 module Engine = Shoalpp_sim.Engine
 module Netmodel = Shoalpp_sim.Netmodel
+module Faults = Shoalpp_sim.Faults
 module Mempool = Shoalpp_workload.Mempool
 module Wal = Shoalpp_storage.Wal
 module Batch = Shoalpp_workload.Batch
 module Obs = Shoalpp_sim.Obs
 module Trace = Shoalpp_sim.Trace
 module Telemetry = Shoalpp_support.Telemetry
+module Signer = Shoalpp_crypto.Signer
+module Digest32 = Shoalpp_crypto.Digest32
 
 type envelope = { dag_id : int; payload : Types.message }
 
@@ -50,6 +54,14 @@ type t = {
   mutable requeued : int;
   committed_own : (int, unit) Hashtbl.t; (* own-origin txn ids already ordered *)
   mutable crashed : bool;
+  (* Scenario-driven misbehaviour, queried at send time: None = honest. *)
+  byzantine : float -> Faults.byz_kind option;
+  mutable replaying : bool; (* WAL replay in progress: sends muted, metrics skipped *)
+  c_equivocations : Telemetry.counter option;
+  c_withheld : Telemetry.counter option;
+  c_delayed : Telemetry.counter option;
+  c_crashes : Telemetry.counter option;
+  c_recoveries : Telemetry.counter option;
 }
 
 (* Alg. 3: append exactly one available segment per DAG, cycling; stop at
@@ -74,14 +86,18 @@ let rec drain t =
               incr ntx;
               if tx.Shoalpp_workload.Transaction.origin = t.id then begin
                 Hashtbl.replace t.committed_own tx.Shoalpp_workload.Transaction.id ();
-                let submitted = tx.Shoalpp_workload.Transaction.submitted_at in
-                Obs.observe_h t.h_submit_batch (batch.Batch.created_at -. submitted);
-                Obs.observe_h t.h_batch_prop (node.Types.created_at -. batch.Batch.created_at);
-                Obs.observe_h t.h_prop_commit (committed_at -. node.Types.created_at);
-                Obs.observe_h t.h_commit_order (ordered_at -. committed_at);
-                Obs.observe_h t.h_e2e (ordered_at -. submitted);
-                Obs.incr_c lane.c_lane_txns;
-                Obs.observe_h lane.h_lane_latency (ordered_at -. submitted)
+                (* Replayed re-orderings must not re-observe latency: the
+                   transactions were measured when first committed. *)
+                if not t.replaying then begin
+                  let submitted = tx.Shoalpp_workload.Transaction.submitted_at in
+                  Obs.observe_h t.h_submit_batch (batch.Batch.created_at -. submitted);
+                  Obs.observe_h t.h_batch_prop (node.Types.created_at -. batch.Batch.created_at);
+                  Obs.observe_h t.h_prop_commit (committed_at -. node.Types.created_at);
+                  Obs.observe_h t.h_commit_order (ordered_at -. committed_at);
+                  Obs.observe_h t.h_e2e (ordered_at -. submitted);
+                  Obs.incr_c lane.c_lane_txns;
+                  Obs.observe_h lane.h_lane_latency (ordered_at -. submitted)
+                end
               end)
             batch.Batch.txns)
         segment.Driver.nodes;
@@ -101,6 +117,23 @@ let rec drain t =
       | None -> ());
       drain t
     end
+  end
+
+(* Equivocation twin: same round and parent edges, but an empty batch —
+   hence a different digest — re-signed with our own key, so it passes
+   proposal validation at every correct replica. Skipped when the original
+   batch is already empty (the digests would coincide). *)
+let equivocation_twin t (node : Types.node) =
+  if node.Types.batch.Batch.txns = [] then None
+  else begin
+    let batch = Batch.make ~txns:[] ~created_at:node.Types.batch.Batch.created_at in
+    let digest =
+      Types.node_digest ~round:node.Types.round ~author:node.Types.author
+        ~batch_digest:batch.Batch.digest ~parents:node.Types.parents
+        ~weak_parents:node.Types.weak_parents
+    in
+    let kp = Committee.keypair t.cfg.Config.committee t.id in
+    Some { node with Types.batch; digest; signature = Signer.sign kp (Digest32.raw digest) }
   end
 
 let make_lane t dag_id =
@@ -152,21 +185,89 @@ let make_lane t dag_id =
       ~store
   in
   driver_ref := Some driver;
+  let plain_broadcast payload =
+    let env = { dag_id; payload } in
+    Netmodel.broadcast t.net ~src:t.id ~size:(envelope_size env) env
+  in
+  let plain_send ~dst payload =
+    let env = { dag_id; payload } in
+    Netmodel.send t.net ~src:t.id ~dst ~size:(envelope_size env) env
+  in
+  (* Byzantine misbehaviour is injected at the send boundary so the instance
+     and driver stay honest-path only; during WAL replay all sends are muted
+     (a recovering replica must not re-broadcast history). *)
+  let byz_broadcast payload =
+    if t.replaying then ()
+    else begin
+      let now = Engine.now t.engine in
+      match (payload, t.byzantine now) with
+      | Types.Proposal node, Some Faults.Silent_anchor when node.Types.author = t.id ->
+        (* Withhold our proposal from everyone but ourselves. *)
+        Obs.incr_c t.c_withheld;
+        Obs.event t.obs ~time:now (Trace.Anchor_withheld { round = node.Types.round });
+        plain_send ~dst:t.id payload
+      | Types.Proposal node, Some Faults.Equivocate when node.Types.author = t.id -> (
+        match equivocation_twin t node with
+        | None -> plain_broadcast payload
+        | Some twin ->
+          Obs.incr_c t.c_equivocations;
+          Obs.event t.obs ~time:now (Trace.Equivocation_sent { round = node.Types.round });
+          (* Split the committee: even ids (and ourselves) see the original,
+             odd ids the twin. Vote-once at correct replicas guarantees at
+             most one version certifies. *)
+          let twin_payload = Types.Proposal twin in
+          for dst = 0 to Netmodel.n t.net - 1 do
+            if dst = t.id || dst mod 2 = 0 then plain_send ~dst payload
+            else plain_send ~dst twin_payload
+          done)
+      | Types.Vote v, Some (Faults.Delay_votes delay) ->
+        Obs.incr_c t.c_delayed;
+        Obs.event t.obs ~time:now
+          (Trace.Votes_delayed { round = v.Types.vote_round; delay_ms = int_of_float delay });
+        ignore
+          (Engine.schedule t.engine ~after:delay (fun () ->
+               if not t.crashed then plain_broadcast payload))
+      | _ -> plain_broadcast payload
+    end
+  in
+  let byz_send ~dst payload =
+    if t.replaying then ()
+    else begin
+      let now = Engine.now t.engine in
+      match (payload, t.byzantine now) with
+      | Types.Vote v, Some (Faults.Delay_votes delay) ->
+        Obs.incr_c t.c_delayed;
+        Obs.event t.obs ~time:now
+          (Trace.Votes_delayed { round = v.Types.vote_round; delay_ms = int_of_float delay });
+        ignore
+          (Engine.schedule t.engine ~after:delay (fun () ->
+               if not t.crashed then plain_send ~dst payload))
+      | _ -> plain_send ~dst payload
+    end
+  in
   let callbacks =
     {
-      Instance.broadcast =
-        (fun payload ->
-          let env = { dag_id; payload } in
-          Netmodel.broadcast t.net ~src:t.id ~size:(envelope_size env) env);
-      send =
-        (fun ~dst payload ->
-          let env = { dag_id; payload } in
-          Netmodel.send t.net ~src:t.id ~dst ~size:(envelope_size env) env);
+      Instance.broadcast = byz_broadcast;
+      send = byz_send;
       now = (fun () -> Engine.now t.engine);
       schedule = (fun ~after f -> Engine.schedule t.engine ~after f);
       pull_batch = (fun ~max -> Mempool.pull t.mempool ~max);
       anchors_of_round = (fun round -> Driver.anchors_of_round (the_driver ()) round);
-      persist = (fun ~size cb -> Wal.append t.wal ~size cb);
+      persist =
+        (fun msg cb ->
+          (* During replay the entry is already durable: complete instantly
+             (the voted table was rebuilt before this point, and the muted
+             send layer swallows the re-externalized votes). *)
+          if t.replaying then cb ()
+          else begin
+            let size = Types.message_size msg in
+            if Wal.retains t.wal then
+              let payload =
+                String.make 1 (Char.chr (dag_id land 0xff)) ^ Types.encode_message msg
+              in
+              Wal.append t.wal ~size ~payload cb
+            else Wal.append t.wal ~size cb
+          end);
       on_proposal_noted = (fun _node -> Driver.notify (the_driver ()));
       on_certified = (fun _cn -> Driver.notify (the_driver ()));
       on_cert_meta = (fun _ref -> Driver.notify (the_driver ()));
@@ -185,7 +286,8 @@ let make_lane t dag_id =
     h_lane_latency = Obs.histogram t.obs (Printf.sprintf "dag%d.latency" dag_id);
   }
 
-let create ~config ~replica_id ~net ~mempool ?on_ordered ?trace ?telemetry () =
+let create ~config ~replica_id ~net ~mempool ?on_ordered ?trace ?telemetry
+    ?(byzantine = fun _ -> None) ?(retain_wal = false) () =
   let engine = Netmodel.engine net in
   let obs = Obs.make ?trace ?telemetry ~replica:replica_id ~instance:0 () in
   let t =
@@ -195,7 +297,7 @@ let create ~config ~replica_id ~net ~mempool ?on_ordered ?trace ?telemetry () =
       net;
       engine;
       mempool;
-      wal = Wal.create ~engine ~sync_latency_ms:config.Config.wal_sync_ms ();
+      wal = Wal.create ~engine ~sync_latency_ms:config.Config.wal_sync_ms ~retain:retain_wal ();
       lanes = [||];
       on_ordered;
       obs;
@@ -210,6 +312,13 @@ let create ~config ~replica_id ~net ~mempool ?on_ordered ?trace ?telemetry () =
       requeued = 0;
       committed_own = Hashtbl.create 4096;
       crashed = false;
+      byzantine;
+      replaying = false;
+      c_equivocations = Obs.counter obs "fault.equivocations";
+      c_withheld = Obs.counter obs "fault.withheld_proposals";
+      c_delayed = Obs.counter obs "fault.delayed_votes";
+      c_crashes = Obs.counter obs "fault.crashes";
+      c_recoveries = Obs.counter obs "fault.recoveries";
     }
   in
   t.lanes <- Array.init config.Config.num_dags (fun dag_id -> make_lane t dag_id);
@@ -229,8 +338,56 @@ let start t =
     t.lanes
 
 let crash t =
-  t.crashed <- true;
-  Array.iter (fun lane -> Instance.crash lane.instance) t.lanes
+  if not t.crashed then begin
+    t.crashed <- true;
+    Obs.incr_c t.c_crashes;
+    Obs.event t.obs ~time:(Engine.now t.engine) (Trace.Replica_crashed { replica = t.id });
+    Array.iter (fun lane -> Instance.crash lane.instance) t.lanes
+  end
+
+(* Restart after a crash: rebuild every lane from scratch, then replay the
+   WAL's synced entries through the fresh instances. Replay reconstructs the
+   DAG stores, the vote-once table (so we cannot double-vote positions we
+   voted before the crash), and — via the drivers — the committed prefix,
+   which is a pure function of the replayed DAG. Sends are muted and
+   latency metrics skipped while [replaying] is set. *)
+let recover t =
+  if t.crashed then begin
+    t.crashed <- false;
+    t.next_lane <- 0;
+    t.global_seq <- 0;
+    t.lanes <- Array.init t.cfg.Config.num_dags (fun dag_id -> make_lane t dag_id);
+    t.replaying <- true;
+    let replayed = ref 0 in
+    List.iter
+      (fun entry ->
+        if String.length entry > 1 then begin
+          let dag_id = Char.code entry.[0] in
+          if dag_id < Array.length t.lanes then begin
+            let raw = String.sub entry 1 (String.length entry - 1) in
+            match
+              Types.decode_message
+                ~cluster_seed:t.cfg.Config.committee.Committee.cluster_seed raw
+            with
+            | Ok msg ->
+              incr replayed;
+              (* Proposals must appear to come from their author (the
+                 src/author check of handle_proposal); everything else is
+                 our own durable state. *)
+              let src =
+                match msg with Types.Proposal node -> node.Types.author | _ -> t.id
+              in
+              Instance.handle_message t.lanes.(dag_id).instance ~src msg
+            | Error _ -> ()
+          end
+        end)
+      (Wal.entries t.wal);
+    t.replaying <- false;
+    Obs.incr_c t.c_recoveries;
+    Obs.event t.obs ~time:(Engine.now t.engine)
+      (Trace.Replica_recovered { replica = t.id; replayed = !replayed });
+    Array.iter (fun lane -> Instance.resume lane.instance) t.lanes
+  end
 
 let replica_id t = t.id
 let config t = t.cfg

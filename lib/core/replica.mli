@@ -26,10 +26,18 @@ val create :
   ?on_ordered:(ordered -> unit) ->
   ?trace:Shoalpp_sim.Trace.t ->
   ?telemetry:Shoalpp_support.Telemetry.t ->
+  ?byzantine:(float -> Shoalpp_sim.Faults.byz_kind option) ->
+  ?retain_wal:bool ->
   unit ->
   t
 (** Registers itself as [net]'s handler for [replica_id]. [on_ordered] fires
     for every segment appended to the replica's global log, in order.
+
+    [byzantine] (default: honest) is queried with the current time at every
+    send and injects misbehaviour at the network boundary: equivocating own
+    proposals, withholding them, or delaying votes — each counted under
+    [fault.*] telemetry and traced. [retain_wal] keeps synced WAL payloads
+    in memory so {!recover} can replay them.
 
     [trace]/[telemetry] (usually shared across the cluster) receive the typed
     event stream and the metric registry. Counters aggregate across replicas;
@@ -41,6 +49,16 @@ val start : t -> unit
 (** Start DAG 0 now and DAG j at [j * stagger_ms]. *)
 
 val crash : t -> unit
+(** Stop all lanes and drop the network handler's deliveries. Idempotent;
+    counted under [fault.crashes] and traced. *)
+
+val recover : t -> unit
+(** Restart a crashed replica: rebuild all DAG lanes and replay the WAL's
+    synced entries through them (requires [retain_wal]). Replay rebuilds
+    the stores, the vote-once table and the committed prefix without
+    sending a byte; the replica then resumes proposing strictly above its
+    replayed state. No-op if not crashed. *)
+
 val replica_id : t -> int
 val config : t -> Config.t
 

@@ -41,7 +41,7 @@ type callbacks = {
   schedule : after:float -> (unit -> unit) -> Engine.timer;
   pull_batch : max:int -> Shoalpp_workload.Transaction.t list;
   anchors_of_round : int -> int list;
-  persist : size:int -> (unit -> unit) -> unit;
+  persist : Types.message -> (unit -> unit) -> unit;
   on_proposal_noted : Types.node -> unit;
   on_certified : Types.certified_node -> unit;
   on_cert_meta : Types.node_ref -> unit;
@@ -71,6 +71,7 @@ type t = {
   mutable proposed_round : int;
   mutable round_started_at : float;
   mutable round_timer : Engine.timer option;
+  mutable timeout_backoff : float; (* multiplier on the round timeout *)
   mutable lowest_round : int; (* GC horizon *)
   own_votes : (int, vote_acc) Hashtbl.t; (* by round *)
   (* All-to-all mode: vote accumulators for every position. *)
@@ -112,6 +113,7 @@ let create ?(obs = Obs.none) cfg cb ~store =
     proposed_round = -1;
     round_started_at = 0.0;
     round_timer = None;
+    timeout_backoff = 1.0;
     lowest_round = 0;
     own_votes = Hashtbl.create 32;
     a2a_votes = Hashtbl.create 64;
@@ -180,6 +182,8 @@ let round_wait_satisfied t round =
 let rec propose t round =
   t.proposed_round <- round;
   t.round_started_at <- t.cb.now ();
+  (* Progress: any successful proposal resets the adaptive backoff. *)
+  t.timeout_backoff <- 1.0;
   (match t.round_timer with Some timer -> Engine.cancel timer | None -> ());
   t.round_timer <- None;
   let parents =
@@ -233,16 +237,30 @@ let rec propose t round =
      certificate arrivals. *)
   match t.cfg.wait_policy with
   | Quorum_only -> ()
-  | Anchors_or_timeout timeout | All_or_timeout timeout ->
-    t.round_timer <-
-      Some
-        (t.cb.schedule ~after:timeout (fun () ->
-             if t.alive then begin
-               Obs.incr_c t.c_timeouts;
-               Obs.event t.obs ~time:(t.cb.now ())
-                 (Trace.Timeout_fired { round = t.proposed_round });
-               maybe_advance t
-             end))
+  | Anchors_or_timeout timeout | All_or_timeout timeout -> arm_round_timer t timeout
+
+and arm_round_timer t timeout =
+  t.round_timer <-
+    Some
+      (t.cb.schedule ~after:(timeout *. t.timeout_backoff) (fun () ->
+           if t.alive then begin
+             Obs.incr_c t.c_timeouts;
+             Obs.event t.obs ~time:(t.cb.now ())
+               (Trace.Timeout_fired { round = t.proposed_round });
+             let before = t.proposed_round in
+             maybe_advance t;
+             (* Timeouts are routine under All_or_timeout (rounds close on
+                the timer at low load), so backoff keys on stalling, not on
+                firing: only when the timeout brings no progress at all —
+                no certificate quorum, e.g. the minority side of a
+                partition or repeated anchor misses — double the timer
+                (capped) before re-arming, so a cut-off replica doesn't
+                spin hot while the network is unreachable. *)
+             if t.alive && t.proposed_round = before then begin
+               t.timeout_backoff <- Float.min 8.0 (t.timeout_backoff *. 2.0);
+               arm_round_timer t timeout
+             end
+           end))
 
 and maybe_advance t =
   if t.alive && t.proposed_round >= 0 then begin
@@ -335,7 +353,7 @@ let accept_certificate t (cert : Types.certificate) =
     Hashtbl.replace t.unreferenced key r;
     Hashtbl.replace t.certs_per_round r.Types.ref_round (certs_known_at t ~round:r.Types.ref_round + 1);
     (* Persist the certificate (group-committed; does not gate progress). *)
-    t.cb.persist ~size:(Types.message_size (Types.Certificate cert)) (fun () -> ());
+    t.cb.persist (Types.Certificate cert) (fun () -> ());
     if not (try_deliver t cert) then begin
       Hashtbl.replace t.awaiting_data r.Types.ref_digest cert;
       arm_fetch t cert
@@ -394,7 +412,7 @@ let handle_proposal t ~src (node : Types.node) =
               vote_signature = Signer.sign t.kp preimage;
             }
           in
-          t.cb.persist ~size:(Types.message_size (Types.Proposal node)) (fun () ->
+          t.cb.persist (Types.Proposal node) (fun () ->
               if t.alive then begin
                 t.votes_cast <- t.votes_cast + 1;
                 Obs.incr_c t.c_votes;
@@ -546,6 +564,24 @@ let handle_message t ~src msg =
 
 let start t =
   if t.alive && t.proposed_round < 0 then propose t 0
+
+(* Post-replay restart: propose strictly above everything the replayed WAL
+   reconstructed — our own highest proposal voted on (the [voted] table is
+   rebuilt by replay, so we cannot double-vote), any certificate round, and
+   the store's highest certified round. An empty log resumes at round 0. *)
+let resume t =
+  if t.alive && t.proposed_round < 0 then begin
+    let highest = Store.highest_round t.store in
+    let highest =
+      Hashtbl.fold
+        (fun (r, author) _ acc -> if author = t.cfg.replica then max r acc else acc)
+        t.voted highest
+    in
+    let highest = Hashtbl.fold (fun (r, _) _ acc -> max r acc) t.cert_meta highest in
+    propose t (highest + 1)
+  end
+
+let timeout_backoff t = t.timeout_backoff
 
 let gc_upto t ~round =
   if round > t.lowest_round then begin

@@ -57,9 +57,11 @@ type callbacks = {
   pull_batch : max:int -> Shoalpp_workload.Transaction.t list;
   anchors_of_round : int -> int list;
       (** anchor candidates the wait policy may hold the round open for *)
-  persist : size:int -> (unit -> unit) -> unit;
-      (** durable write; the vote on a proposal is withheld until its
-          persist callback fires (crash-safety of the vote) *)
+  persist : Types.message -> (unit -> unit) -> unit;
+      (** durable write of the message (the callee derives size, and may
+          retain the encoded payload for crash-recovery replay); the vote
+          on a proposal is withheld until its persist callback fires
+          (crash-safety of the vote) *)
   on_proposal_noted : Types.node -> unit;  (** weak-vote counters changed *)
   on_certified : Types.certified_node -> unit;  (** store gained a node *)
   on_cert_meta : Types.node_ref -> unit;
@@ -75,6 +77,18 @@ val create : ?obs:Shoalpp_sim.Obs.t -> config -> callbacks -> store:Store.t -> t
 
 val start : t -> unit
 (** Propose round 0 and begin advancing. *)
+
+val resume : t -> unit
+(** Post-recovery start: propose strictly above every round the replayed
+    WAL reconstructed (own votes, certificates, certified nodes), so a
+    restarted replica re-joins without double-proposing. Equivalent to
+    {!start} on an empty log. *)
+
+val timeout_backoff : t -> float
+(** Current adaptive multiplier on the round timeout: 1.0 while rounds make
+    progress, doubling (capped at 8.0) each time the round timer fires
+    without any advancement — e.g. on the minority side of a partition or
+    under repeated anchor misses. Reset by the next successful proposal. *)
 
 val handle_message : t -> src:int -> Types.message -> unit
 

@@ -2,6 +2,8 @@ module Engine = Shoalpp_sim.Engine
 module Topology = Shoalpp_sim.Topology
 module Netmodel = Shoalpp_sim.Netmodel
 module Fault = Shoalpp_sim.Fault
+module Faults = Shoalpp_sim.Faults
+module Trace = Shoalpp_sim.Trace
 module Config = Shoalpp_core.Config
 module Replica = Shoalpp_core.Replica
 module Driver = Shoalpp_consensus.Driver
@@ -16,6 +18,7 @@ type setup = {
   topology : Topology.t;
   net_config : Netmodel.config;
   fault : Fault.t;
+  scenario : Faults.t;
   load_tps : float;
   tx_size : int;
   warmup_ms : float;
@@ -30,6 +33,7 @@ let default_setup ~protocol =
     topology = Topology.gcp10 ();
     net_config = Netmodel.default_config;
     fault = Fault.none;
+    scenario = Faults.none;
     load_tps = 1000.0;
     tx_size = Transaction.default_size;
     warmup_ms = 1000.0;
@@ -45,13 +49,18 @@ type t = {
   setup : setup;
   engine : Engine.t;
   net : Replica.envelope Netmodel.t;
-  replicas : Replica.t array;
+  mutable replicas : Replica.t array;
   mempools : Mempool.t array;
   clients : Client.t option array;
   metrics : Metrics.t;
   telemetry : Telemetry.t; (* one registry shared by all replicas *)
   logs : seg_id list ref array; (* newest first; only when track_logs *)
   ordered_seen : (int, unit) Hashtbl.t array; (* per-replica txn dedup *)
+  recovering : bool array; (* WAL replay in progress: metrics/dedup muted *)
+  (* Pre-crash log snapshot per recovered replica: the rebuilt log must
+     extend it (crash-recovery safety audit). *)
+  pre_recovery : (int, seg_id list) Hashtbl.t;
+  next_id : int ref; (* shared client tx-id counter (survives restarts) *)
   mutable duplicate_orders : int;
   mutable started : bool;
   mutable fault : Fault.t;
@@ -60,10 +69,13 @@ type t = {
 let create setup =
   let committee = setup.protocol.Config.committee in
   let n = committee.Shoalpp_dag.Committee.n in
+  (* Bind the abstract scenario to this cluster size; from here on a single
+     Fault.t drives both the network and the scheduled replica events. *)
+  let fault = Faults.schedule setup.scenario ~n ~base:setup.fault in
   let engine = Engine.create () in
   let assignment = Topology.assign_round_robin setup.topology ~n in
   let net =
-    Netmodel.create ~engine ~topology:setup.topology ~assignment ~fault:setup.fault
+    Netmodel.create ~engine ~topology:setup.topology ~assignment ~fault
       ~config:setup.net_config ~seed:setup.seed ()
   in
   let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
@@ -71,6 +83,7 @@ let create setup =
   let mempools = Array.init n (fun _ -> Mempool.create ()) in
   let logs = Array.init n (fun _ -> ref []) in
   let ordered_seen = Array.init n (fun _ -> Hashtbl.create 4096) in
+  let recovering = Array.make n false in
   let t =
     {
       setup;
@@ -83,12 +96,18 @@ let create setup =
       telemetry;
       logs;
       ordered_seen;
+      recovering;
+      pre_recovery = Hashtbl.create 4;
+      next_id = ref 0;
       duplicate_orders = 0;
       started = false;
-      fault = setup.fault;
+      fault;
     }
   in
-  let replicas =
+  (* The on_ordered closures capture [t] and mutate its counters, so the
+     replicas are installed by mutation — a functional record copy here
+     would leave the closures updating a dead record. *)
+  t.replicas <-
     Array.init n (fun replica_id ->
         let on_ordered (o : Replica.ordered) =
           let seg = o.Replica.segment in
@@ -107,20 +126,26 @@ let create setup =
               List.iter
                 (fun (tx : Transaction.t) ->
                   if setup.track_logs then begin
-                    if Hashtbl.mem ordered_seen.(replica_id) tx.Transaction.id then
-                      t.duplicate_orders <- t.duplicate_orders + 1
+                    if Hashtbl.mem ordered_seen.(replica_id) tx.Transaction.id then begin
+                      (* WAL replay re-orders history by design; only a
+                         repeat outside recovery is a safety violation. *)
+                      if not recovering.(replica_id) then
+                        t.duplicate_orders <- t.duplicate_orders + 1
+                    end
                     else Hashtbl.replace ordered_seen.(replica_id) tx.Transaction.id ()
                   end;
-                  Metrics.observe_commit metrics
-                    ~origin_ordered:(tx.Transaction.origin = replica_id)
-                    ~tx ~now:o.Replica.ordered_at)
+                  if not recovering.(replica_id) then
+                    Metrics.observe_commit metrics
+                      ~origin_ordered:(tx.Transaction.origin = replica_id)
+                      ~tx ~now:o.Replica.ordered_at)
                 cn.Types.cn_node.Types.batch.Batch.txns)
             seg.Driver.nodes
         in
         Replica.create ~config:setup.protocol ~replica_id ~net ~mempool:mempools.(replica_id)
-          ~on_ordered ?trace:setup.trace ~telemetry ())
-  in
-  let t = { t with replicas } in
+          ~on_ordered ?trace:setup.trace ~telemetry
+          ~byzantine:(Faults.byzantine_for setup.scenario ~n ~replica:replica_id)
+          ~retain_wal:(Faults.has_recovery setup.scenario)
+          ());
   t
 
 let engine t = t.engine
@@ -130,27 +155,78 @@ let metrics t = t.metrics
 let telemetry t = t.telemetry
 let trace t = t.setup.trace
 
+let per_replica_tps t = t.setup.load_tps /. float_of_int (Array.length t.replicas)
+
+let start_client t i =
+  if per_replica_tps t > 0.0 then
+    t.clients.(i) <-
+      Some
+        (Client.start ~engine:t.engine ~mempool:t.mempools.(i) ~origin:i
+           ~rate_tps:(per_replica_tps t) ~tx_size:t.setup.tx_size ~seed:(t.setup.seed + i)
+           ~next_id:t.next_id ())
+
+(* Replica-side crash for a downtime already present in [t.fault] (the
+   network side needs no update). *)
+let apply_crash t i =
+  Replica.crash t.replicas.(i);
+  (match t.clients.(i) with Some c -> Client.stop c | None -> ());
+  t.clients.(i) <- None
+
+let recover_now t i =
+  let now = Engine.now t.engine in
+  t.fault <- Fault.recover t.fault ~replica:i ~at:now;
+  Netmodel.set_fault t.net t.fault;
+  (* The rebuilt log must re-derive everything ordered before the crash:
+     snapshot it for the audit, then let replay repopulate from scratch. *)
+  Hashtbl.replace t.pre_recovery i !(t.logs.(i));
+  t.logs.(i) := [];
+  Hashtbl.reset t.ordered_seen.(i);
+  t.recovering.(i) <- true;
+  Replica.recover t.replicas.(i);
+  t.recovering.(i) <- false;
+  start_client t i
+
+let trace_partition t ~time kind =
+  match t.setup.trace with
+  | Some trace -> Trace.record_event trace ~time ~replica:(-1) kind
+  | None -> ()
+
+let schedule_scenario t =
+  let n = Array.length t.replicas in
+  let scenario = t.setup.scenario in
+  List.iter
+    (fun (replica, at) ->
+      ignore (Engine.schedule_at t.engine ~at (fun () -> apply_crash t replica)))
+    (Faults.timed_crashes scenario ~n);
+  List.iter
+    (fun (replica, _crash_at, recover_at) ->
+      ignore (Engine.schedule_at t.engine ~at:recover_at (fun () -> recover_now t replica)))
+    (Faults.crash_recoveries scenario ~n);
+  List.iter
+    (fun (from_time, until_time, minority) ->
+      let groups = Printf.sprintf "minority=%d" minority in
+      ignore
+        (Engine.schedule_at t.engine ~at:from_time (fun () ->
+             Telemetry.incr_named t.telemetry "fault.partitions_opened";
+             trace_partition t ~time:from_time (Trace.Partition_opened { groups })));
+      if until_time < infinity then
+        ignore
+          (Engine.schedule_at t.engine ~at:until_time (fun () ->
+               Telemetry.incr_named t.telemetry "fault.partitions_healed";
+               trace_partition t ~time:until_time (Trace.Partition_healed { groups }))))
+    (Faults.partition_windows scenario ~n)
+
 let start t =
   if not t.started then begin
     t.started <- true;
-    let n = Array.length t.replicas in
-    let per_replica_tps = t.setup.load_tps /. float_of_int n in
-    let next_id = ref 0 in
     Array.iteri
       (fun i replica ->
         (* Clients at replicas crashed from t=0 are not started (the paper
            measures surviving clients). *)
-        if not (Fault.is_crashed t.setup.fault ~replica:i ~time:0.0) then begin
-          if per_replica_tps > 0.0 then
-            t.clients.(i) <-
-              Some
-                (Client.start ~engine:t.engine ~mempool:t.mempools.(i) ~origin:i
-                   ~rate_tps:per_replica_tps ~tx_size:t.setup.tx_size ~seed:(t.setup.seed + i)
-                   ~next_id ())
-        end;
+        if not (Fault.is_crashed t.fault ~replica:i ~time:0.0) then start_client t i;
         Replica.start replica)
       t.replicas;
-    ignore n
+    schedule_scenario t
   end
 
 let run t ~duration_ms =
@@ -161,14 +237,14 @@ let crash_now t i =
   let now = Engine.now t.engine in
   t.fault <- Fault.crash t.fault ~replica:i ~at:now;
   Netmodel.set_fault t.net t.fault;
-  Replica.crash t.replicas.(i);
-  match t.clients.(i) with Some c -> Client.stop c | None -> ()
+  apply_crash t i
 
 type audit = {
   consistent_prefixes : bool;
   prefix_length : int;
   duplicate_orders : int;
   total_segments : int;
+  recovery_prefix_ok : bool;
 }
 
 let audit t =
@@ -194,11 +270,23 @@ let audit t =
       done
     done
   done;
+  (* Each recovered replica's rebuilt log must extend what it had ordered
+     before the crash — WAL replay may not lose or reorder history. *)
+  let recovery_ok = ref true in
+  Hashtbl.iter
+    (fun i snapshot ->
+      let pre = Array.of_list (List.rev snapshot) in
+      let post = logs.(i) in
+      if Array.length post < Array.length pre then recovery_ok := false
+      else
+        Array.iteri (fun k s -> if post.(k) <> s then recovery_ok := false) pre)
+    t.pre_recovery;
   {
     consistent_prefixes = !consistent;
     prefix_length = min_len;
     duplicate_orders = t.duplicate_orders;
     total_segments = Array.fold_left (fun acc l -> max acc (Array.length l)) 0 logs;
+    recovery_prefix_ok = !recovery_ok;
   }
 
 let report t ~duration_ms =
@@ -215,7 +303,7 @@ let report t ~duration_ms =
     ~indirect_commits:(sum (fun s -> s.Driver.indirect_commits))
     ~skipped_anchors:(sum (fun s -> s.Driver.skipped_anchors))
     ~messages_sent:(Netmodel.messages_sent t.net)
-    ~messages_dropped:(Netmodel.messages_dropped t.net)
+    ~messages_dropped:(Netmodel.messages_dropped t.net + Netmodel.messages_partitioned t.net)
     ~bytes_sent:(Netmodel.bytes_sent t.net)
     ~telemetry:(Telemetry.snapshot t.telemetry) ()
 

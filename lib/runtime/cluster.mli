@@ -1,10 +1,27 @@
 (** Wire up and run a whole deployment: n replicas of a configured protocol,
     geo topology, Poisson clients, fault schedule, metrics.
 
+    The declarative {!Shoalpp_sim.Faults} scenario is bound to the cluster
+    size here: its crashes/partitions/drops extend the base fault schedule,
+    its Byzantine roles become per-replica misbehaviour closures, and its
+    timed events (mid-run crash, WAL-replay recovery, partition open/heal)
+    are scheduled on the engine at {!start} — so one scenario value drives
+    the network view and the replica view consistently.
+
     The cluster also performs the safety audit the paper's correctness
     section promises: after a run, every pair of replicas' global logs must
-    agree on their common prefix, and no replica may order the same
-    transaction twice. *)
+    agree on their common prefix, no replica may order the same transaction
+    twice (outside WAL replay, which re-orders history by design), and a
+    recovered replica's rebuilt log must extend its pre-crash log.
+
+    Invariants:
+    - the scenario is materialized exactly once, at {!create}, against this
+      cluster's size — the network fault view and the replica-side events
+      (crash, WAL-replay recovery, partition traces) derive from the same
+      schedule and cannot disagree;
+    - runs are a pure function of the setup (seed included): re-creating a
+      cluster from equal setups and running to the same horizon yields
+      identical logs, metrics and telemetry. *)
 
 type t
 
@@ -13,6 +30,9 @@ type setup = {
   topology : Shoalpp_sim.Topology.t;
   net_config : Shoalpp_sim.Netmodel.config;
   fault : Shoalpp_sim.Fault.t;
+  scenario : Shoalpp_sim.Faults.t;
+      (** declarative fault scenario, materialized against this cluster's
+          size on {!create}; composes on top of [fault] *)
   load_tps : float;  (** aggregate, split evenly over non-crashed-at-0 replicas *)
   tx_size : int;
   warmup_ms : float;
@@ -23,8 +43,8 @@ type setup = {
 }
 
 val default_setup : protocol:Shoalpp_core.Config.t -> setup
-(** gcp10 topology, default net config, no faults, 1000 tps, paper tx size,
-    1 s warmup, log tracking on, no trace. *)
+(** gcp10 topology, default net config, no faults, no scenario, 1000 tps,
+    paper tx size, 1 s warmup, log tracking on, no trace. *)
 
 val create : setup -> t
 val engine : t -> Shoalpp_sim.Engine.t
@@ -46,11 +66,20 @@ val run : t -> duration_ms:float -> unit
 val crash_now : t -> int -> unit
 (** Crash a replica immediately (also updates the network fault view). *)
 
+val recover_now : t -> int -> unit
+(** Recover a crashed replica immediately: mark it reachable again, replay
+    its WAL through fresh DAG lanes ({!Shoalpp_core.Replica.recover}), and
+    restart its client. The pre-crash log is snapshotted for the
+    [recovery_prefix_ok] audit. *)
+
 type audit = {
   consistent_prefixes : bool;
   prefix_length : int;  (** length of the shortest replica log *)
   duplicate_orders : int;  (** txns ordered twice by the same replica *)
   total_segments : int;
+  recovery_prefix_ok : bool;
+      (** every recovered replica's rebuilt log extends its pre-crash log
+          (vacuously true when nothing recovered) *)
 }
 
 val audit : t -> audit

@@ -44,6 +44,7 @@ type params = {
   warmup_ms : float;
   topology : topology_spec;
   crashes : int;
+  scenario : Shoalpp_sim.Faults.t;
   drop_spec : (int * float * float) option;
   round_timeout_ms : float option;
   stagger_ms : float option;
@@ -65,6 +66,7 @@ let default_params =
     warmup_ms = 3_000.0;
     topology = Gcp10;
     crashes = 0;
+    scenario = Shoalpp_sim.Faults.none;
     drop_spec = None;
     round_timeout_ms = None;
     stagger_ms = None;
@@ -196,6 +198,7 @@ let run_dag system params =
       topology = make_topology params.topology;
       net_config = Option.value ~default:Shoalpp_sim.Netmodel.default_config params.net_config;
       fault = fault_of params;
+      scenario = params.scenario;
       load_tps = params.load_tps;
       tx_size = params.tx_size;
       warmup_ms = params.warmup_ms;
@@ -213,7 +216,10 @@ let run_dag system params =
   in
   {
     report;
-    audit_ok = audit.Cluster.consistent_prefixes && audit.Cluster.duplicate_orders = 0;
+    audit_ok =
+      audit.Cluster.consistent_prefixes
+      && audit.Cluster.duplicate_orders = 0
+      && audit.Cluster.recovery_prefix_ok;
     throughput_series = Metrics.throughput_series (Cluster.metrics cluster);
     latency_series = Metrics.latency_series (Cluster.metrics cluster);
     requeued;

@@ -5,7 +5,14 @@
 
     Baseline systems (Jolteon, Mysticeti) live in [shoalpp_baselines], which
     depends on this library; their runners plug in through {!register_extra}
-    at program start (see [Shoalpp_baselines.register]). *)
+    at program start (see [Shoalpp_baselines.register]).
+
+    Invariants:
+    - {!run} is deterministic: equal [params] (same seed, same scenario)
+      yield identical outcomes, for every system including the registered
+      baselines — fault injection draws no randomness of its own;
+    - [audit_ok] reflects the full safety audit (prefix consistency, no
+      duplicate ordering, recovery prefix extension) for every system. *)
 
 type topology_spec =
   | Gcp10  (** the paper's 10-region deployment *)
@@ -35,6 +42,10 @@ type params = {
   warmup_ms : float;
   topology : topology_spec;
   crashes : int;  (** crash this many replicas (highest ids) at t=0 *)
+  scenario : Shoalpp_sim.Faults.t;
+      (** declarative fault scenario (Byzantine / partition+heal /
+          crash-recover), composed on top of [crashes]/[drop_spec];
+          default {!Shoalpp_sim.Faults.none} *)
   drop_spec : (int * float * float) option;
       (** (replica count, rate, from_ms): egress drops on the first k
           replicas from a given time — Fig 8's disruption *)
@@ -63,7 +74,9 @@ val clean_net_config : Shoalpp_sim.Netmodel.config
 
 type outcome = {
   report : Report.t;
-  audit_ok : bool;  (** log prefix consistency + no duplicate ordering *)
+  audit_ok : bool;
+      (** log prefix consistency + no duplicate ordering + recovered
+          replicas' logs extend their pre-crash prefixes *)
   throughput_series : (float * float) list;
   latency_series : (float * float) list;
   requeued : int;  (** orphaned-then-requeued transactions (DAG family) *)

@@ -316,7 +316,12 @@ let chrome_trace_json events =
     | Trace.Proposal_created _ | Trace.Vote_cast _ | Trace.Cert_formed _ | Trace.Cert_received _
       ->
       "dag"
-    | Trace.Timeout_fired _ | Trace.Fetch_requested _ | Trace.Gc_pruned _ -> "recovery"
+    | Trace.Timeout_fired _ | Trace.Fetch_requested _ | Trace.Gc_pruned _
+    | Trace.Replica_crashed _ | Trace.Replica_recovered _ ->
+      "recovery"
+    | Trace.Partition_opened _ | Trace.Partition_healed _ | Trace.Equivocation_sent _
+    | Trace.Anchor_withheld _ | Trace.Votes_delayed _ ->
+      "fault"
     | Trace.Custom _ -> "custom"
   in
   let trace_events =

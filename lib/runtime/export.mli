@@ -8,7 +8,14 @@
     - {b Chrome trace_event}: instant events with [pid] = replica and
       [tid] = DAG instance, loadable in Perfetto / [chrome://tracing];
     - {b metrics snapshot}: the telemetry registry (counters, gauges,
-      histogram summaries) as one JSON object. *)
+      histogram summaries) as one JSON object.
+
+    Invariants:
+    - exporting is read-only and pure: the same events / snapshot always
+      produce byte-identical output, so exports are diffable across runs;
+    - JSONL round-trips: [events_of_jsonl (jsonl_of_events evs) = evs] for
+      every non-[Custom] event kind; unknown tags decode as [Custom] rather
+      than being dropped. *)
 
 (** Minimal JSON encoder/parser (enough for what this module emits). *)
 module Json : sig

@@ -43,7 +43,10 @@ let committed_tps t ~duration_ms =
 let throughput_series t = Stats.Windowed.rate_series t.commits
 
 let latency_series t =
-  (* Skip zero-count windows rather than emitting NaN means. *)
-  List.filter_map
-    (fun (start, sum, cnt) -> if cnt <= 0 then None else Some (start, sum /. float_of_int cnt))
-    (Stats.Windowed.series t.latency_windows)
+  (* Dense: a window with no commits (crash, partition) reports an explicit
+     0.0 rather than being silently omitted — downstream tables and the
+     §8 failure figures need the stall to be visible. *)
+  List.map
+    (fun (start, sum, cnt) ->
+      (start, if cnt <= 0 then 0.0 else sum /. float_of_int cnt))
+    (Stats.Windowed.series_filled t.latency_windows)

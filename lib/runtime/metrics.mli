@@ -3,7 +3,16 @@
     Latency is measured exactly as in the paper (§8): the time between a
     transaction's arrival at its local replica and the moment that replica
     appends a segment containing it to its global log. Throughput counts
-    each transaction once, at its origin replica's commit. *)
+    each transaction once, at its origin replica's commit.
+
+    Invariants:
+    - each transaction contributes to latency / throughput at most once —
+      at its origin replica's commit, and only when submitted after the
+      warmup cutoff;
+    - both time series are dense over the observed span: a window in which
+      nothing committed (a crash, a partition) appears as an explicit zero
+      row rather than being silently omitted, so fault stalls are visible
+      in the §8 failure figures. *)
 
 type t
 

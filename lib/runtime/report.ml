@@ -79,7 +79,9 @@ let pp_extended fmt r =
     List.filter
       (fun (h : Shoalpp_support.Telemetry.histogram_stats) ->
         let name = h.Shoalpp_support.Telemetry.hs_name in
-        String.length name > 3 && String.sub name 0 3 = "dag" && h.hs_count > 0
+        (* No [hs_count > 0] filter: a lane that committed nothing during a
+           fault window still gets an explicit zero row. *)
+        String.length name > 3 && String.sub name 0 3 = "dag"
         &&
         match String.index_opt name '.' with
         | Some i -> String.sub name i (String.length name - i) = ".latency"
@@ -95,9 +97,10 @@ let pp_extended fmt r =
       in
       let txns = Shoalpp_support.Telemetry.snap_counter r.telemetry (prefix ^ ".txns") in
       let effective_s = Float.max 0.001 ((r.duration_ms -. 0.0) /. 1000.0) in
+      let safe v = if h.hs_count = 0 then 0.0 else v in
       Format.fprintf fmt "@,%-6s %6.0f tps  p50=%.0fms p99=%.0fms (n=%d)" prefix
         (float_of_int txns /. effective_s)
-        h.hs_p50 h.hs_p99 h.hs_count)
+        (safe h.hs_p50) (safe h.hs_p99) h.hs_count)
     dag_hists;
   Format.fprintf fmt "@]"
 

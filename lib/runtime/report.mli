@@ -1,5 +1,11 @@
 (** Uniform result record for all systems (Shoal++ family and baselines), so
-    figure harnesses can tabulate them side by side. *)
+    figure harnesses can tabulate them side by side.
+
+    Invariants:
+    - every field is system-agnostic: baselines without a DAG leave the
+      commit-rule counts at 0 rather than omitting them;
+    - rendering handles empty runs — zero commits print explicit zero rows
+      (stage table, per-DAG attribution), never NaNs or missing lines. *)
 
 type t = {
   name : string;

@@ -36,7 +36,11 @@ let pp_stages fmt snap =
       | Some h when h.hs_count > 0 ->
         Format.fprintf fmt "@,  %-16s %7.1f /%7.1f /%7.1f  (mean %.1f, n=%d)" label h.hs_p50
           h.hs_p90 h.hs_p99 h.hs_mean h.hs_count
-      | _ -> Format.fprintf fmt "@,  %-16s -" label)
+      | _ ->
+        (* Explicit zero row: a stage with no samples (e.g. while every
+           origin commit fell into a fault window) still renders. *)
+        Format.fprintf fmt "@,  %-16s %7.1f /%7.1f /%7.1f  (mean %.1f, n=%d)" label 0.0 0.0 0.0
+          0.0 0)
     stage_names
 
 let pp_snapshot fmt snap =

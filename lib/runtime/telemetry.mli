@@ -1,7 +1,14 @@
 (** The metric registry as the runtime layer exposes it: everything from
     {!Shoalpp_support.Telemetry} (registries, counters, gauges, histograms,
     snapshots) plus run-level rendering — the commit-rule mix and the
-    per-stage latency breakdown of a finished run. *)
+    per-stage latency breakdown of a finished run.
+
+    Invariants:
+    - this module is a strict superset of the support registry: values of
+      [Shoalpp_support.Telemetry.t] and this module's [t] are the same
+      type, so registries cross the layer boundary without conversion;
+    - rendering is total: a stage or lane with no samples prints an
+      explicit zero row, so tables from faulty runs keep their shape. *)
 
 include module type of struct
   include Shoalpp_support.Telemetry

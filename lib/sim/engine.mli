@@ -3,7 +3,14 @@
     Simulated time is a [float] in milliseconds starting at 0. Events fire in
     (time, insertion-order) order, so two events scheduled for the same
     instant run in the order they were scheduled — this makes whole runs
-    deterministic given deterministic handlers. *)
+    deterministic given deterministic handlers.
+
+    Invariants:
+    - the clock never moves backwards: an event scheduled in the past fires
+      at the current time, and [run ~until] leaves the clock exactly at
+      [until] even when the queue drained earlier;
+    - scheduling and cancelling inside a handler is safe; a cancelled or
+      already-fired timer never fires (cancel is an idempotent no-op). *)
 
 type t
 

@@ -43,6 +43,7 @@ type 'msg t = {
   epoch_cache : (int * float) array;
   mutable sent : int;
   mutable dropped : int;
+  mutable partitioned : int;
   mutable bytes : float;
 }
 
@@ -83,6 +84,7 @@ let create ~engine ~topology ~assignment ~fault ~config ~seed () =
     epoch_cache = Array.make n (-1, 0.0);
     sent = 0;
     dropped = 0;
+    partitioned = 0;
     bytes = 0.0;
   }
 
@@ -147,7 +149,13 @@ let send t ~src ~dst ~size msg =
       else Rng.lognormal rng ~mu:(log t.config.jitter_ms) ~sigma:0.5
     in
     let dropped = drop_rate > 0.0 && Rng.bernoulli rng drop_rate in
-    if dropped then t.dropped <- t.dropped + 1
+    (* Partition evaluation is pure (no RNG), checked after jitter/drop
+       sampling so an active partition leaves surviving traffic's random
+       stream untouched. The message is charged for egress — the sender's
+       NIC transmits; the network eats it. *)
+    if not (Fault.reachable t.fault ~src ~dst ~time:out_at) then
+      t.partitioned <- t.partitioned + 1
+    else if dropped then t.dropped <- t.dropped + 1
     else begin
       let at =
         out_at +. base_delay t ~src ~dst +. jitter +. extra_delay_ms t ~src ~time:out_at
@@ -174,4 +182,5 @@ let broadcast t ~src ~size ?(include_self = true) msg =
 
 let messages_sent t = t.sent
 let messages_dropped t = t.dropped
+let messages_partitioned t = t.partitioned
 let bytes_sent t = t.bytes

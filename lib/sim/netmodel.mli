@@ -8,7 +8,16 @@
 
     The payload type is a parameter so each protocol keeps its own typed
     messages; the declared [size] in bytes is what bandwidth and CPU are
-    charged for, and message modules compute it from their wire encodings. *)
+    charged for, and message modules compute it from their wire encodings.
+
+    Invariants:
+    - all randomness (jitter, drops, slow epochs) comes from the network's
+      own seeded stream, and fault checks (crash, partition) are evaluated
+      {e after} the stream draws — injecting or healing a fault never
+      perturbs the delays of unaffected messages;
+    - per-replica delivery order is the engine's deterministic event order;
+      a message is either delivered exactly once or counted in exactly one
+      of the drop counters ({!messages_dropped}, {!messages_partitioned}). *)
 
 type 'msg t
 
@@ -62,7 +71,9 @@ val set_fault : 'msg t -> Fault.t -> unit
 
 val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
 (** Queue one message. Crashed senders send nothing; messages to crashed
-    (at delivery time) replicas vanish. *)
+    (at delivery time) replicas vanish; messages crossing an active
+    partition are blocked (and counted in {!messages_partitioned}) without
+    perturbing the jitter/drop random streams. *)
 
 val broadcast : 'msg t -> src:int -> size:int -> ?include_self:bool -> 'msg -> unit
 (** Send to every replica in the configured send order. [include_self]
@@ -76,4 +87,8 @@ val base_delay_ms : 'msg t -> src:int -> dst:int -> float
 
 val messages_sent : _ t -> int
 val messages_dropped : _ t -> int
+
+val messages_partitioned : _ t -> int
+(** Messages blocked by an active partition (distinct from random drops). *)
+
 val bytes_sent : _ t -> float

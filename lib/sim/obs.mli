@@ -4,7 +4,14 @@
     {!Shoalpp_support.Telemetry.t} with the identity of the recording
     component (replica id, parallel-DAG instance id). Components take an
     [?obs] argument defaulting to {!none}; a disabled context costs one
-    branch per instrumentation site. *)
+    branch per instrumentation site.
+
+    Invariants:
+    - recording through a disabled context ({!none}, or a missing trace /
+      telemetry half) is a silent no-op — protocol behaviour is identical
+      with observability on or off;
+    - every record carries the context's replica and instance ids, so
+      events from k parallel DAG lanes stay attributable. *)
 
 module Telemetry = Shoalpp_support.Telemetry
 

@@ -4,7 +4,13 @@
     region RTTs between 25 ms and 317 ms. [gcp10] encodes a representative
     RTT matrix for those regions; [uniform] gives the constant-delay network
     used for message-delay accounting (Table T1); [clique] is a small-n
-    testing topology. *)
+    testing topology.
+
+    Invariants:
+    - delays are symmetric ([one_way_ms a b = one_way_ms b a]) and strictly
+      positive, including within a region;
+    - topologies are pure values: the same constructor arguments always
+      yield the same matrix and the same round-robin assignment. *)
 
 type t
 

@@ -19,6 +19,13 @@ type kind =
   | Timeout_fired of { round : int }
   | Fetch_requested of { round : int; author : int }
   | Gc_pruned of { below : int }
+  | Partition_opened of { groups : string }
+  | Partition_healed of { groups : string }
+  | Replica_crashed of { replica : int }
+  | Replica_recovered of { replica : int; replayed : int }
+  | Equivocation_sent of { round : int }
+  | Anchor_withheld of { round : int }
+  | Votes_delayed of { round : int; delay_ms : int }
   | Custom of { tag : string; detail : string }
 
 let tag = function
@@ -35,6 +42,13 @@ let tag = function
   | Timeout_fired _ -> "timeout_fired"
   | Fetch_requested _ -> "fetch_requested"
   | Gc_pruned _ -> "gc_pruned"
+  | Partition_opened _ -> "partition_opened"
+  | Partition_healed _ -> "partition_healed"
+  | Replica_crashed _ -> "replica_crashed"
+  | Replica_recovered _ -> "replica_recovered"
+  | Equivocation_sent _ -> "equivocation_sent"
+  | Anchor_withheld _ -> "anchor_withheld"
+  | Votes_delayed _ -> "votes_delayed"
   | Custom { tag; _ } -> tag
 
 type field = I of int | S of string
@@ -55,6 +69,12 @@ let fields = function
     [ ("seq", I global_seq); ("round", I round); ("anchor", I anchor); ("txns", I txns) ]
   | Timeout_fired { round } -> [ ("round", I round) ]
   | Gc_pruned { below } -> [ ("below", I below) ]
+  | Partition_opened { groups } | Partition_healed { groups } -> [ ("groups", S groups) ]
+  | Replica_crashed { replica } -> [ ("replica", I replica) ]
+  | Replica_recovered { replica; replayed } ->
+    [ ("replica", I replica); ("replayed", I replayed) ]
+  | Equivocation_sent { round } | Anchor_withheld { round } -> [ ("round", I round) ]
+  | Votes_delayed { round; delay_ms } -> [ ("round", I round); ("delay_ms", I delay_ms) ]
   | Custom { detail; _ } -> [ ("detail", S detail) ]
 
 (* Inverse of [tag] + [fields]; used by exporters' round-trip decoding. *)
@@ -102,6 +122,27 @@ let kind_of_fields ~tag:t fs =
   | "gc_pruned" ->
     let* below = int "below" in
     Some (Gc_pruned { below })
+  | "partition_opened" | "partition_healed" ->
+    let* groups = str "groups" in
+    Some
+      (if t = "partition_opened" then Partition_opened { groups }
+       else Partition_healed { groups })
+  | "replica_crashed" ->
+    let* replica = int "replica" in
+    Some (Replica_crashed { replica })
+  | "replica_recovered" ->
+    let* replica = int "replica" in
+    let* replayed = int "replayed" in
+    Some (Replica_recovered { replica; replayed })
+  | "equivocation_sent" | "anchor_withheld" ->
+    let* round = int "round" in
+    Some
+      (if t = "equivocation_sent" then Equivocation_sent { round }
+       else Anchor_withheld { round })
+  | "votes_delayed" ->
+    let* round = int "round" in
+    let* delay_ms = int "delay_ms" in
+    Some (Votes_delayed { round; delay_ms })
   | tag ->
     let detail = Option.value ~default:"" (str "detail") in
     Some (Custom { tag; detail })

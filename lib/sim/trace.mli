@@ -8,7 +8,15 @@
     Events carry a structured {!kind} — the commit-path taxonomy of the
     paper's latency accounting — rather than pre-rendered strings, so the
     JSONL / Chrome-trace exporters and tests consume them without parsing.
-    {!tag}, {!detail} and {!pp_event} provide the compat string view. *)
+    {!tag}, {!detail} and {!pp_event} provide the compat string view.
+
+    Invariants:
+    - recording never drops silently: when the ring is full the oldest
+      event is evicted and {!dropped} is incremented, so
+      [recorded = retained + dropped] always holds;
+    - retained events are returned oldest first, in recording order;
+    - [kind_of_fields (tag k) (fields k)] round-trips every non-[Custom]
+      kind, which is what keeps the JSONL export lossless. *)
 
 (** Event taxonomy. [instance] on the event identifies the parallel DAG
     (Shoal++ runs k staggered instances); [anchor]/[author] are replica
@@ -30,6 +38,17 @@ type kind =
   | Timeout_fired of { round : int }
   | Fetch_requested of { round : int; author : int }
   | Gc_pruned of { below : int }
+  | Partition_opened of { groups : string }
+      (** a scheduled partition became active; [groups] renders the split *)
+  | Partition_healed of { groups : string }
+  | Replica_crashed of { replica : int }
+  | Replica_recovered of { replica : int; replayed : int }
+      (** restart finished; [replayed] WAL entries were re-applied *)
+  | Equivocation_sent of { round : int }
+      (** a Byzantine replica sent conflicting proposals for [round] *)
+  | Anchor_withheld of { round : int }
+      (** a Byzantine replica suppressed its own proposal for [round] *)
+  | Votes_delayed of { round : int; delay_ms : int }
   | Custom of { tag : string; detail : string }  (** compat escape hatch *)
 
 val tag : kind -> string

@@ -1,25 +1,29 @@
 module Engine = Shoalpp_sim.Engine
 
-type pending = { cb : unit -> unit }
+type pending = { cb : unit -> unit; payload : string option }
 
 type t = {
   engine : Engine.t;
   sync_latency_ms : float;
   group_commit : bool;
+  retain : bool;
   mutable device_busy : bool;
   mutable queue : pending list; (* reversed arrival order *)
+  mutable log : string list; (* synced retained payloads, reversed *)
   mutable appends : int;
   mutable syncs : int;
   mutable bytes : float;
 }
 
-let create ~engine ~sync_latency_ms ?(group_commit = true) () =
+let create ~engine ~sync_latency_ms ?(group_commit = true) ?(retain = false) () =
   {
     engine;
     sync_latency_ms;
     group_commit;
+    retain;
     device_busy = false;
     queue = [];
+    log = [];
     appends = 0;
     syncs = 0;
     bytes = 0.0;
@@ -36,15 +40,25 @@ let rec start_sync t =
     t.syncs <- t.syncs + 1;
     ignore
       (Engine.schedule t.engine ~after:t.sync_latency_ms (fun () ->
-           List.iter (fun p -> p.cb ()) batch;
+           List.iter
+             (fun p ->
+               (* A payload is durable (replayable on recovery) only once its
+                  sync completes — appends lost mid-sync model a real crash. *)
+               (match p.payload with
+               | Some payload when t.retain -> t.log <- payload :: t.log
+               | _ -> ());
+               p.cb ())
+             batch;
            start_sync t))
 
-let append t ~size cb =
+let append t ~size ?payload cb =
   t.appends <- t.appends + 1;
   t.bytes <- t.bytes +. float_of_int size;
-  t.queue <- { cb } :: t.queue;
+  t.queue <- { cb; payload } :: t.queue;
   if not t.device_busy then start_sync t
 
+let entries t = List.rev t.log
+let retains t = t.retain
 let appends t = t.appends
 let syncs t = t.syncs
 let bytes_written t = t.bytes

@@ -10,15 +10,31 @@
 type t
 
 val create :
-  engine:Shoalpp_sim.Engine.t -> sync_latency_ms:float -> ?group_commit:bool -> unit -> t
+  engine:Shoalpp_sim.Engine.t ->
+  sync_latency_ms:float ->
+  ?group_commit:bool ->
+  ?retain:bool ->
+  unit ->
+  t
 (** [sync_latency_ms] = 0 models the in-memory configuration (the paper's
     Mysticeti baseline forgoes persistence). [group_commit] defaults to
-    true. *)
+    true. [retain] (default false) keeps synced payloads in memory so a
+    recovering replica can replay them ({!entries}); crash-recovery
+    scenarios enable it. *)
 
-val append : t -> size:int -> (unit -> unit) -> unit
+val append : t -> size:int -> ?payload:string -> (unit -> unit) -> unit
 (** Schedule a durable write of [size] bytes; the callback fires when the
     write has synced. With zero latency the callback fires on the next
-    engine step (never synchronously, so callers can rely on async order). *)
+    engine step (never synchronously, so callers can rely on async order).
+    [payload] is retained for replay only if the log was created with
+    [retain] — and only once its sync completes, so appends in flight at a
+    crash are lost, exactly as on a real device. *)
+
+val entries : t -> string list
+(** Synced retained payloads, oldest first (empty unless [retain]). *)
+
+val retains : t -> bool
+(** Whether this log retains payloads (callers skip encoding otherwise). *)
 
 val appends : t -> int
 val syncs : t -> int

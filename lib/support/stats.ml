@@ -139,6 +139,27 @@ module Windowed = struct
     Hashtbl.fold (fun idx (sum, cnt) acc -> (float_of_int idx *. t.width, !sum, !cnt) :: acc) t.tbl []
     |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
+  (* Dense variant: every window between the first and last observation,
+     including empty ones as (start, 0, 0) — a stall (fault window, crash)
+     must show up as an explicit zero row, not a gap. *)
+  let series_filled t =
+    let lo, hi =
+      Hashtbl.fold
+        (fun idx _ (lo, hi) -> (min lo idx, max hi idx))
+        t.tbl (max_int, min_int)
+    in
+    if lo > hi then []
+    else
+      List.init
+        (hi - lo + 1)
+        (fun i ->
+          let idx = lo + i in
+          match Hashtbl.find_opt t.tbl idx with
+          | Some (sum, cnt) -> (float_of_int idx *. t.width, !sum, !cnt)
+          | None -> (float_of_int idx *. t.width, 0.0, 0))
+
   let rate_series t =
-    List.map (fun (start, _, cnt) -> (start, float_of_int cnt /. (t.width /. 1000.0))) (series t)
+    List.map
+      (fun (start, _, cnt) -> (start, float_of_int cnt /. (t.width /. 1000.0)))
+      (series_filled t)
 end

@@ -44,8 +44,14 @@ module Windowed : sig
   val series : t -> (float * float * int) list
   (** [(window_start, sum, count)] for each non-empty window, ascending. *)
 
+  val series_filled : t -> (float * float * int) list
+  (** Like {!series} but dense: every window from the first to the last
+      observation, empty ones included as [(start, 0., 0)]. Stalls (fault
+      windows, crashes) appear as explicit zero rows instead of gaps. *)
+
   val rate_series : t -> (float * float) list
-  (** [(window_start, count / width_in_seconds)] — events per second. *)
+  (** [(window_start, count / width_in_seconds)] — events per second, over
+      the dense {!series_filled} windows (zero-commit windows are 0.0). *)
 end
 
 val percentile_of_sorted : float array -> float -> float

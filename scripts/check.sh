@@ -7,6 +7,14 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 
+# odoc is optional in the dev image; when present, the rendered docs must
+# build cleanly (every .mli carries a doc comment the build will parse).
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc
+else
+  echo "check: odoc not installed, skipping dune build @doc"
+fi
+
 out=$(mktemp -d)
 trap 'rm -rf "$out"' EXIT
 
@@ -27,4 +35,13 @@ grep -q '"traceEvents"' "$out/run.trace.json" \
 grep -q '"commit.fast_direct"' "$out/run.metrics.json" \
   || { echo "check failed: commit-rule counters missing from metrics" >&2; exit 1; }
 
-echo "check: build + tests + observability smoke OK"
+# Fault-scenario smoke: a crash-recover run must stay safe (the sim exits
+# non-zero on a failed audit) and record the injected faults in telemetry.
+dune exec bin/shoalpp_sim.exe -- \
+  -n 4 --topology clique:4,15 --load 200 --duration 10000 --warmup 500 \
+  --scenario crash-recover:at=3000,recover=6000 --no-verify \
+  --metrics-out "$out/faults.metrics.json"
+grep -q '"fault.recoveries"' "$out/faults.metrics.json" \
+  || { echo "check failed: fault counters missing from scenario metrics" >&2; exit 1; }
+
+echo "check: build + tests + docs + observability/scenario smoke OK"

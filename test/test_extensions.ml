@@ -63,7 +63,7 @@ let make_harness ~all_to_all () =
             schedule = (fun ~after f -> Engine.schedule engine ~after f);
             pull_batch = (fun ~max:_ -> []);
             anchors_of_round = (fun _ -> []);
-            persist = (fun ~size:_ cb -> ignore (Engine.schedule engine ~after:0.5 (fun () -> cb ())));
+            persist = (fun _msg cb -> ignore (Engine.schedule engine ~after:0.5 (fun () -> cb ())));
             on_proposal_noted = (fun _ -> ());
             on_certified = (fun _ -> ());
             on_cert_meta = (fun _ -> ());

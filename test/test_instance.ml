@@ -77,7 +77,7 @@ let make_harness ?(wait_policy = Instance.All_or_timeout 600.0) ?(delay = 10.0) 
                     Transaction.make ~id:!next_tx ~submitted_at:(Engine.now engine)
                       ~origin:replica ()));
             anchors_of_round = (fun _ -> []);
-            persist = (fun ~size:_ cb -> ignore (Engine.schedule engine ~after:0.5 (fun () -> cb ())));
+            persist = (fun _msg cb -> ignore (Engine.schedule engine ~after:0.5 (fun () -> cb ())));
             on_proposal_noted =
               (fun node ->
                 if replica = 0 then

@@ -293,9 +293,19 @@ let test_windowed_series () =
     check (Alcotest.float 1e-9) "win2 sum" 3.0 s2;
     checki "win2 count" 1 c2
   | other -> Alcotest.failf "unexpected series length %d" (List.length other));
+  (* Dense variant: the empty middle window is an explicit zero row. *)
+  (match Stats.Windowed.series_filled w with
+  | [ (_, _, c0); (t1, s1, c1); (_, _, c2) ] ->
+    checki "filled win0 count" 2 c0;
+    check (Alcotest.float 1e-9) "filled win1 start" 100.0 t1;
+    check (Alcotest.float 1e-9) "filled win1 sum" 0.0 s1;
+    checki "filled win1 count" 0 c1;
+    checki "filled win2 count" 1 c2
+  | other -> Alcotest.failf "unexpected filled series length %d" (List.length other));
   match Stats.Windowed.rate_series w with
-  | [ (_, r0); (_, r2) ] ->
+  | [ (_, r0); (_, r1); (_, r2) ] ->
     check (Alcotest.float 1e-9) "rate win0 = 2 events / 0.1s" 20.0 r0;
+    check (Alcotest.float 1e-9) "rate win1 (empty) = 0" 0.0 r1;
     check (Alcotest.float 1e-9) "rate win2" 10.0 r2
   | _ -> Alcotest.fail "unexpected rate series"
 
