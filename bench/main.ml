@@ -12,6 +12,7 @@
      dune exec bench/main.exe failures    # Byzantine / partition / crash-recover scenarios
      dune exec bench/main.exe kdags       # parallel-DAG count ablation
      dune exec bench/main.exe timeouts    # round-timeout ablation
+     dune exec bench/main.exe perf        # hot-path sweep -> BENCH_perf.json
      dune exec bench/main.exe micro       # bechamel micro-benchmarks
    Environment: BENCH_N (replicas, default 16), BENCH_DURATION_S (default 20).
 
@@ -440,6 +441,173 @@ let a2a () =
   note "shape: ~1 md lower latency for ~an order of magnitude more messages.\n"
 
 (* ------------------------------------------------------------------ *)
+(* perf — the continuous-benchmark harness: a fixed sweep of Shoal++ runs
+   (n x topology) timed end to end, written to BENCH_perf.json at the repo
+   root. The committed file locks in the hot-path optimizations: re-run the
+   harness after a change and compare against the committed numbers.
+
+   Set BENCH_PERF_BASELINE=<path to a previous BENCH_perf.json> to embed
+   that run verbatim under "baseline" and have per-config speedups and an
+   identity check (same audit, same commit-rule mix — the optimizations must
+   not change behaviour) computed into the new file. BENCH_PERF_OUT
+   overrides the output path (default BENCH_perf.json). *)
+
+let perf () =
+  section "perf: hot-path sweep (wall-clock, events/s, heap)";
+  let module Json = Shoalpp_runtime.Export.Json in
+  let duration_ms = 1000.0 *. Float.min 10.0 (bench_duration_ms /. 1000.0) in
+  let sweep =
+    List.concat_map
+      (fun n ->
+        List.map (fun (tname, topo) -> (n, tname, topo))
+          [ ("clique", E.Clique (4, 25.0)); ("gcp10", E.Gcp10) ])
+      [ 4; 20; 50 ]
+  in
+  let run_one (n, tname, topo) =
+    let params =
+      {
+        base_params with
+        E.n;
+        topology = topo;
+        load_tps = 5_000.0;
+        duration_ms;
+        warmup_ms = 1_000.0;
+        seed = 42;
+      }
+    in
+    (* Per-run allocation delta; a full major before/after also makes
+       live_words comparable across sweep points. *)
+    Gc.full_major ();
+    let s0 = Gc.quick_stat () in
+    let words_before = s0.Gc.minor_words +. s0.Gc.major_words -. s0.Gc.promoted_words in
+    let t0 = Unix.gettimeofday () in
+    let o = run E.Shoalpp params in
+    let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+    let s1 = Gc.quick_stat () in
+    let allocated =
+      s1.Gc.minor_words +. s1.Gc.major_words -. s1.Gc.promoted_words -. words_before
+    in
+    Gc.full_major ();
+    let live_words = (Gc.stat ()).Gc.live_words in
+    let r = o.E.report in
+    let events_per_sec = float_of_int o.E.events_fired /. (wall_ms /. 1000.0) in
+    note "n=%-3d %-6s wall %7.0f ms  %9.0f events/s  %6.1f Mw alloc  audit %s\n" n tname
+      wall_ms events_per_sec (allocated /. 1e6)
+      (if o.E.audit_ok then "ok" else "FAILED");
+    Json.Obj
+      [
+        ("system", Json.Str "shoal++");
+        ("n", Json.Int n);
+        ("topology", Json.Str tname);
+        ("duration_ms", Json.Float duration_ms);
+        ("load_tps", Json.Float params.E.load_tps);
+        ("seed", Json.Int params.E.seed);
+        ("wall_ms", Json.Float wall_ms);
+        ("events_fired", Json.Int o.E.events_fired);
+        ("events_per_sec", Json.Float events_per_sec);
+        ("allocated_words", Json.Float allocated);
+        ("live_words", Json.Int live_words);
+        ("committed", Json.Int r.Report.committed);
+        ("committed_tps", Json.Float r.Report.committed_tps);
+        ("latency_p50_ms", Json.Float r.Report.latency_p50);
+        ("audit_ok", Json.Bool o.E.audit_ok);
+        ( "rule_mix",
+          Json.Obj
+            [
+              ("fast", Json.Int r.Report.fast_commits);
+              ("certified", Json.Int r.Report.direct_commits);
+              ("indirect", Json.Int r.Report.indirect_commits);
+              ("skipped", Json.Int r.Report.skipped_anchors);
+            ] );
+      ]
+  in
+  let runs = List.map run_one sweep in
+  let key j =
+    ( Option.bind (Json.member "n" j) Json.to_int_opt,
+      Option.bind (Json.member "topology" j) Json.to_string_opt )
+  in
+  let baseline =
+    match Sys.getenv_opt "BENCH_PERF_BASELINE" with
+    | None -> None
+    | Some path ->
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Json.parse text with
+      | Some doc -> Some doc
+      | None ->
+        Printf.eprintf "BENCH_PERF_BASELINE %s: not valid JSON, ignoring\n" path;
+        None)
+  in
+  let comparison =
+    match Option.bind baseline (Json.member "runs") with
+    | Some (Json.List base_runs) ->
+      let speedups =
+        List.filter_map
+          (fun cur ->
+            match List.find_opt (fun b -> key b = key cur) base_runs with
+            | None -> None
+            | Some b ->
+              let f k j = Option.bind (Json.member k j) Json.to_float_opt in
+              let name =
+                Printf.sprintf "n%d_%s"
+                  (Option.value ~default:0 (fst (key cur)))
+                  (Option.value ~default:"?" (snd (key cur)))
+              in
+              (* Behaviour identity: the optimizations may only change how
+                 fast we simulate, never what happens in the simulation. *)
+              let same k = Json.member k b = Json.member k cur in
+              let identical =
+                same "committed" && same "audit_ok" && same "rule_mix"
+                && Option.bind (Json.member "audit_ok" cur) (function
+                       | Json.Bool ok -> Some ok
+                       | _ -> None)
+                   = Some true
+              in
+              (match (f "wall_ms" b, f "wall_ms" cur, f "events_per_sec" b, f "events_per_sec" cur) with
+              | Some bw, Some cw, Some be, Some ce when cw > 0.0 && be > 0.0 ->
+                Some
+                  ( name,
+                    Json.Obj
+                      [
+                        ("wall_speedup", Json.Float (bw /. cw));
+                        ("events_per_sec_ratio", Json.Float (ce /. be));
+                        ("identical_behaviour", Json.Bool identical);
+                      ] )
+              | _ -> None))
+          runs
+      in
+      List.iter
+        (fun (name, j) ->
+          match
+            ( Option.bind (Json.member "wall_speedup" j) Json.to_float_opt,
+              Json.member "identical_behaviour" j )
+          with
+          | Some s, Some (Json.Bool id) ->
+            note "speedup %-12s %.2fx wall, behaviour %s\n" name s
+              (if id then "identical" else "DIVERGED")
+          | _ -> ())
+        speedups;
+      [ ("speedup", Json.Obj speedups) ]
+    | _ -> []
+  in
+  let doc =
+    Json.Obj
+      ([
+         ("schema", Json.Str "shoalpp-bench-perf/1");
+         ("runs", Json.List runs);
+       ]
+      @ comparison
+      @ match baseline with Some b -> [ ("baseline", b) ] | None -> [])
+  in
+  let out = Option.value ~default:"BENCH_perf.json" (Sys.getenv_opt "BENCH_PERF_OUT") in
+  let oc = open_out out in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks for the substrate. *)
 
 let micro () =
@@ -527,6 +695,7 @@ let () =
     | "kdags" -> kdags ()
     | "timeouts" -> timeouts ()
     | "a2a" -> a2a ()
+    | "perf" -> perf ()
     | "micro" -> micro ()
     | "all" ->
       t1 ();
@@ -541,7 +710,8 @@ let () =
       micro ()
     | other ->
       Printf.eprintf
-        "unknown bench %S (t1|fig5|fig6|fig7|fig8|failures|kdags|timeouts|a2a|micro|all)\n" other;
+        "unknown bench %S (t1|fig5|fig6|fig7|fig8|failures|kdags|timeouts|a2a|perf|micro|all)\n"
+        other;
       exit 2
   in
   List.iter dispatch which

@@ -54,6 +54,7 @@ let jolteon_runner (p : Experiment.params) : Experiment.outcome =
     throughput_series = Metrics.throughput_series (Jolteon.metrics c);
     latency_series = Metrics.latency_series (Jolteon.metrics c);
     requeued = 0;
+    events_fired = Shoalpp_sim.Engine.events_fired (Jolteon.engine c);
     events = events_of_trace trace;
   }
 
@@ -87,6 +88,7 @@ let mysticeti_runner (p : Experiment.params) : Experiment.outcome =
     throughput_series = Metrics.throughput_series (Mysticeti.metrics c);
     latency_series = Metrics.latency_series (Mysticeti.metrics c);
     requeued = 0;
+    events_fired = Shoalpp_sim.Engine.events_fired (Mysticeti.engine c);
     events = events_of_trace trace;
   }
 

@@ -79,7 +79,17 @@ type t = {
   c_indirect : Shoalpp_support.Telemetry.counter option;
   c_skipped : Shoalpp_support.Telemetry.counter option;
   c_segments : Shoalpp_support.Telemetry.counter option;
-  ordered : (int * int, unit) Hashtbl.t;
+  (* Ordered-position set, keyed by the packed int [round * n + author]:
+     the hot skip test during causal traversal must not allocate a tuple
+     per visited node. *)
+  ordered : (int, unit) Hashtbl.t;
+  (* Memoized last complete [Store.causal_history] answer. A complete
+     history is a pure function of (root, ordered set, store's retained
+     floor): the first two are captured here and the entry is dropped
+     whenever [ordered] grows, the third is revalidated on lookup. This
+     collapses the resolve-then-output double walk over the same anchor. *)
+  mutable history_cache :
+    (Types.node_ref * int (* lowest_retained *) * Types.certified_node list) option;
   mutable cur_round : int; (* round whose candidate vector is being resolved *)
   mutable pending : int list; (* remaining candidate authors for cur_round *)
   mutable in_notify : bool;
@@ -107,6 +117,7 @@ let create ?(obs = Obs.none) cfg hooks ~store =
     c_skipped = Obs.counter obs Anchors.(counter_name Skipped);
     c_segments = Obs.counter obs "dag.segments";
     ordered = Hashtbl.create 1024;
+    history_cache = None;
     cur_round = 0;
     pending = [];
     in_notify = false;
@@ -120,7 +131,8 @@ let create ?(obs = Obs.none) cfg hooks ~store =
 
 let anchors_of_round t round = Anchors.candidates t.cfg.mode t.rep ~round
 let current_anchor_round t = t.cur_round
-let is_ordered t ~round ~author = Hashtbl.mem t.ordered (round, author)
+let pos_key t ~round ~author = (round * t.cfg.committee.Committee.n) + author
+let is_ordered t ~round ~author = Hashtbl.mem t.ordered (pos_key t ~round ~author)
 
 let stats t =
   {
@@ -172,14 +184,21 @@ type resolution =
    locally; request fetches otherwise. Completeness makes the subsequent
    position_ancestor queries give the same answers at every replica. *)
 let history_complete t anchor_ref =
-  match
-    Store.causal_history t.store anchor_ref ~skip:(fun (r : Types.node_ref) ->
-        Hashtbl.mem t.ordered (r.Types.ref_round, r.Types.ref_author))
-  with
-  | Ok nodes -> Some nodes
-  | Error missing ->
-    List.iter t.hooks.request_fetch missing;
-    None
+  match t.history_cache with
+  | Some (root, floor, nodes)
+    when Types.ref_equal root anchor_ref && floor = Store.lowest_retained t.store ->
+    Some nodes
+  | _ -> (
+    match
+      Store.causal_history t.store anchor_ref ~skip:(fun (r : Types.node_ref) ->
+          Hashtbl.mem t.ordered (pos_key t ~round:r.Types.ref_round ~author:r.Types.ref_author))
+    with
+    | Ok nodes ->
+      t.history_cache <- Some (anchor_ref, Store.lowest_retained t.store, nodes);
+      Some nodes
+    | Error missing ->
+      List.iter t.hooks.request_fetch missing;
+      None)
 
 (* One-shot Bullshark instance above candidate (r, a): instance anchors at
    rounds r+2, r+4, ...; find the first evaluation round whose anchor
@@ -247,8 +266,12 @@ let output_segment t ~round ~author ~kind =
       List.iter
         (fun (cn : Types.certified_node) ->
           let node = cn.Types.cn_node in
-          Hashtbl.replace t.ordered (node.Types.round, node.Types.author) ())
+          Hashtbl.replace t.ordered
+            (pos_key t ~round:node.Types.round ~author:node.Types.author)
+            ())
         nodes;
+      (* The ordered set grew: any memoized history is now stale. *)
+      t.history_cache <- None;
       let positions =
         List.map
           (fun (cn : Types.certified_node) ->
@@ -315,24 +338,42 @@ let notify t =
           end
         | Skip_to { anchor_round; anchor_author } ->
           if output_segment t ~round:anchor_round ~author:anchor_author ~kind:Indirect then begin
-            (* All tentative candidates in rounds < anchor_round are skipped
-               (§5.2); resume with the rest of that round's vector. *)
-            let nskipped = 1 + List.length rest in
-            t.skipped_anchors <- t.skipped_anchors + nskipped;
-            Obs.incr_c ~by:nskipped t.c_skipped;
+            (* §5.2 SKIP_TO: committing the target anchor elides every
+               candidate that precedes it in the deterministic schedule —
+               the rest of the current round's vector AND the prefix of
+               [anchor_round]'s own vector up to and including the target.
+               The skip set is agreed (it is implied by the committed
+               Skip_to target and the deterministic vectors), so feeding it
+               to reputation keeps the eligible vectors identical at every
+               correct replica: repeatedly skipped (silent/withheld)
+               anchors drop out. *)
             let time = t.hooks.now () in
-            List.iter
-              (fun a ->
-                Obs.event t.obs ~time (Trace.Anchor_skipped { round = t.cur_round; anchor = a });
-                (* The skip set is agreed (it is implied by the committed
-                   Skip_to target), so feeding it to reputation keeps the
-                   eligible vectors identical at every correct replica:
-                   repeatedly skipped (silent/withheld) anchors drop out. *)
-                Reputation.observe_skip t.rep ~round:t.cur_round ~author:a)
-              (author :: rest);
+            let skip ~round author =
+              t.skipped_anchors <- t.skipped_anchors + 1;
+              Obs.incr_c t.c_skipped;
+              Obs.event t.obs ~time (Trace.Anchor_skipped { round; anchor = author });
+              Reputation.observe_skip t.rep ~round ~author
+            in
+            List.iter (skip ~round:t.cur_round) (author :: rest);
+            (* Note: the vector is recomputed *after* the segment and skips
+               above fed reputation, so the committed anchor need not sit at
+               its head — elide (and count) exactly the prefix before it.
+               If the target is absent from the schedule entirely (possible
+               under Every_other_round, whose slots differ from the
+               instance-anchor slots), no candidate of the round precedes
+               it and the whole vector remains pending. *)
+            let rec split_after acc = function
+              | [] -> None
+              | a :: tl when a = anchor_author -> Some (List.rev acc, tl)
+              | a :: tl -> split_after (a :: acc) tl
+            in
+            let vector = anchors_of_round t anchor_round in
+            (match split_after [] vector with
+            | Some (prefix, suffix) ->
+              List.iter (skip ~round:anchor_round) prefix;
+              t.pending <- suffix
+            | None -> t.pending <- vector);
             t.cur_round <- anchor_round;
-            t.pending <-
-              List.filter (fun a -> a <> anchor_author) (anchors_of_round t anchor_round);
             progress := true
           end)
     done;

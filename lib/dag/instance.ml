@@ -74,19 +74,22 @@ type t = {
   mutable timeout_backoff : float; (* multiplier on the round timeout *)
   mutable lowest_round : int; (* GC horizon *)
   own_votes : (int, vote_acc) Hashtbl.t; (* by round *)
+  (* Position-keyed tables below pack (round, author) into the int
+     [round * n + author]: these are touched on every received message, and
+     int keys make lookups allocation-free (tuple keys cost 3 words each). *)
   (* All-to-all mode: vote accumulators for every position. *)
-  a2a_votes : (int * int, (Digest32.t, (int * Signer.signature) list ref) Hashtbl.t) Hashtbl.t;
-  voted : (int * int, Digest32.t) Hashtbl.t; (* (round, author) -> digest voted *)
+  a2a_votes : (int, (Digest32.t, (int * Signer.signature) list ref) Hashtbl.t) Hashtbl.t;
+  voted : (int, Digest32.t) Hashtbl.t; (* position -> digest voted *)
   data : Types.node Shoalpp_storage.Kvstore.t; (* proposals by digest *)
-  cert_meta : (int * int, Types.node_ref) Hashtbl.t;
+  cert_meta : (int, Types.node_ref) Hashtbl.t;
   (* Certificates no node we have seen references yet — candidates for weak
      edges in our next proposal (DAG-Rider validity mechanism). *)
-  unreferenced : (int * int, Types.node_ref) Hashtbl.t;
+  unreferenced : (int, Types.node_ref) Hashtbl.t;
   certs_per_round : (int, int) Hashtbl.t;
   awaiting_data : (Digest32.t, Types.certificate) Hashtbl.t;
   (* Refs the consensus driver needs but whose certificates never reached us
      (e.g. the certificate broadcast itself was dropped). *)
-  fetching_refs : (int * int, unit) Hashtbl.t;
+  fetching_refs : (int, unit) Hashtbl.t;
   mutable proposals_made : int;
   mutable votes_cast : int;
   mutable certs_formed : int;
@@ -132,8 +135,12 @@ let create ?(obs = Obs.none) cfg cb ~store =
   }
 
 let proposed_round t = t.proposed_round
-let cert_known t ~round ~author = Hashtbl.mem t.cert_meta (round, author)
-let cert_ref_at t ~round ~author = Hashtbl.find_opt t.cert_meta (round, author)
+(* Packed position key; [pos_round] recovers the round from a key. *)
+let pos t ~round ~author = (round * t.cfg.committee.Committee.n) + author
+let pos_round t k = k / t.cfg.committee.Committee.n
+
+let cert_known t ~round ~author = Hashtbl.mem t.cert_meta (pos t ~round ~author)
+let cert_ref_at t ~round ~author = Hashtbl.find_opt t.cert_meta (pos t ~round ~author)
 let certs_known_at t ~round = Option.value ~default:0 (Hashtbl.find_opt t.certs_per_round round)
 let proposals_made t = t.proposals_made
 let votes_cast t = t.votes_cast
@@ -146,7 +153,7 @@ let quorum t = Committee.quorum t.cfg.committee
 
 let mark_referenced t (node : Types.node) =
   let unref (p : Types.node_ref) =
-    Hashtbl.remove t.unreferenced (p.Types.ref_round, p.Types.ref_author)
+    Hashtbl.remove t.unreferenced (pos t ~round:p.Types.ref_round ~author:p.Types.ref_author)
   in
   List.iter unref node.Types.parents;
   List.iter unref node.Types.weak_parents
@@ -189,7 +196,7 @@ let rec propose t round =
   let parents =
     if round = 0 then []
     else
-      List.init (Store.n t.store) (fun a -> Hashtbl.find_opt t.cert_meta (round - 1, a))
+      List.init (Store.n t.store) (fun a -> Hashtbl.find_opt t.cert_meta (pos t ~round:(round - 1) ~author:a))
       |> List.filter_map Fun.id
   in
   (* Weak edges: adopt certificates that nothing we have seen references,
@@ -198,7 +205,7 @@ let rec propose t round =
     if round < 2 then []
     else begin
       Hashtbl.fold
-        (fun (r, _) node_ref acc -> if r < round - 1 then node_ref :: acc else acc)
+        (fun k node_ref acc -> if pos_round t k < round - 1 then node_ref :: acc else acc)
         t.unreferenced []
       |> List.sort Types.compare_ref
       |> List.filteri (fun i _ -> i < Types.max_weak_parents)
@@ -206,7 +213,7 @@ let rec propose t round =
   in
   List.iter
     (fun (p : Types.node_ref) ->
-      Hashtbl.remove t.unreferenced (p.Types.ref_round, p.Types.ref_author))
+      Hashtbl.remove t.unreferenced (pos t ~round:p.Types.ref_round ~author:p.Types.ref_author))
     weak_parents;
   let txns = t.cb.pull_batch ~max:t.cfg.batch_cap in
   let created_at = t.cb.now () in
@@ -315,7 +322,7 @@ let rec arm_fetch t (cert : Types.certificate) =
    node): ask random peers until the certified node arrives. At least f+1
    correct replicas hold any certified node, so random polling terminates. *)
 let fetch_missing t (wanted : Types.node_ref) =
-  let key = (wanted.Types.ref_round, wanted.Types.ref_author) in
+  let key = pos t ~round:wanted.Types.ref_round ~author:wanted.Types.ref_author in
   if
     wanted.Types.ref_round >= t.lowest_round
     && (not (Hashtbl.mem t.cert_meta key))
@@ -345,7 +352,7 @@ let fetch_missing t (wanted : Types.node_ref) =
 
 let accept_certificate t (cert : Types.certificate) =
   let r = cert.Types.cert_ref in
-  let key = (r.Types.ref_round, r.Types.ref_author) in
+  let key = pos t ~round:r.Types.ref_round ~author:r.Types.ref_author in
   if (not (Hashtbl.mem t.cert_meta key)) && r.Types.ref_round >= t.lowest_round then begin
     Obs.incr_c t.c_certs_received;
     Hashtbl.replace t.cert_meta key r;
@@ -375,7 +382,7 @@ let handle_proposal t ~src (node : Types.node) =
     | Error _ -> t.invalid_dropped <- t.invalid_dropped + 1
     | Ok () ->
       if node.Types.round >= t.lowest_round then begin
-        let key = (node.Types.round, node.Types.author) in
+        let key = pos t ~round:node.Types.round ~author:node.Types.author in
         Shoalpp_storage.Kvstore.put t.data node.Types.digest node;
         mark_referenced t node;
         (* Weak votes: only the first proposal per (round, author). *)
@@ -386,8 +393,11 @@ let handle_proposal t ~src (node : Types.node) =
              path — we vote regardless. *)
           List.iter
             (fun (p : Types.node_ref) ->
-              if not (Hashtbl.mem t.cert_meta (p.Types.ref_round, p.Types.ref_author)) then
-                fetch_missing t p)
+              if
+                not
+                  (Hashtbl.mem t.cert_meta
+                     (pos t ~round:p.Types.ref_round ~author:p.Types.ref_author))
+              then fetch_missing t p)
             node.Types.parents
         end;
         (* A certificate may have arrived before the data. *)
@@ -427,7 +437,7 @@ let handle_proposal t ~src (node : Types.node) =
    position's certificate locally from broadcast votes — no certificate
    forwarding step, saving one message delay per round. *)
 let handle_vote_a2a t (v : Types.vote) =
-  let key = (v.Types.vote_round, v.Types.vote_author) in
+  let key = pos t ~round:v.Types.vote_round ~author:v.Types.vote_author in
   if (not (Hashtbl.mem t.cert_meta key)) && v.Types.vote_round >= t.lowest_round then begin
     match
       Validation.validate_vote ~committee:t.cfg.committee
@@ -574,10 +584,12 @@ let resume t =
     let highest = Store.highest_round t.store in
     let highest =
       Hashtbl.fold
-        (fun (r, author) _ acc -> if author = t.cfg.replica then max r acc else acc)
+        (fun k _ acc ->
+          if k mod t.cfg.committee.Committee.n = t.cfg.replica then max (pos_round t k) acc
+          else acc)
         t.voted highest
     in
-    let highest = Hashtbl.fold (fun (r, _) _ acc -> max r acc) t.cert_meta highest in
+    let highest = Hashtbl.fold (fun k _ acc -> max (pos_round t k) acc) t.cert_meta highest in
     propose t (highest + 1)
   end
 
@@ -589,12 +601,12 @@ let gc_upto t ~round =
     Obs.event t.obs ~time:(t.cb.now ()) (Trace.Gc_pruned { below = round });
     ignore (Store.prune_below t.store ~round);
     let doomed =
-      Hashtbl.fold (fun (r, a) _ acc -> if r < round then (r, a) :: acc else acc) t.cert_meta []
+      Hashtbl.fold (fun k _ acc -> if pos_round t k < round then k :: acc else acc) t.cert_meta []
     in
     List.iter (fun k -> Hashtbl.remove t.cert_meta k) doomed;
     List.iter (fun k -> Hashtbl.remove t.unreferenced k) doomed;
     let doomed_votes =
-      Hashtbl.fold (fun (r, a) _ acc -> if r < round then (r, a) :: acc else acc) t.voted []
+      Hashtbl.fold (fun k _ acc -> if pos_round t k < round then k :: acc else acc) t.voted []
     in
     List.iter (fun k -> Hashtbl.remove t.voted k) doomed_votes;
     let doomed_rounds =
@@ -606,7 +618,7 @@ let gc_upto t ~round =
     in
     List.iter (fun r -> Hashtbl.remove t.own_votes r) doomed_own;
     let doomed_a2a =
-      Hashtbl.fold (fun (r, a) _ acc -> if r < round then (r, a) :: acc else acc) t.a2a_votes []
+      Hashtbl.fold (fun k _ acc -> if pos_round t k < round then k :: acc else acc) t.a2a_votes []
     in
     List.iter (fun k -> Hashtbl.remove t.a2a_votes k) doomed_a2a
   end

@@ -98,16 +98,19 @@ let certified_refs t ~round ~author =
 let weak_votes t ~round ~author =
   match slot_opt t round with None -> 0 | Some s -> s.weak.(author)
 
-(* Key for visited sets during traversal. *)
-let key (r : Types.node_ref) = (r.Types.ref_round, r.Types.ref_author)
+(* Key for visited sets during traversal: packed to an immediate int so the
+   per-node membership tests allocate nothing (a tuple key costs 3 words on
+   every [mem]/[replace]). Rounds are bounded far below 2^62 / n. *)
+let key t (r : Types.node_ref) = (r.Types.ref_round * t.n) + r.Types.ref_author
 
 let causal_history t root ~skip =
   let visited = Hashtbl.create 64 in
   let missing = ref [] in
   let collected = ref [] in
   let rec visit (r : Types.node_ref) =
-    if r.Types.ref_round >= t.lowest && (not (Hashtbl.mem visited (key r))) && not (skip r) then begin
-      Hashtbl.replace visited (key r) ();
+    if r.Types.ref_round >= t.lowest && (not (Hashtbl.mem visited (key t r))) && not (skip r)
+    then begin
+      Hashtbl.replace visited (key t r) ();
       match get_by_ref t r with
       | None -> if not (Digest32.equal r.Types.ref_digest t.genesis) then missing := r :: !missing
       | Some cn ->
@@ -137,9 +140,9 @@ let is_ancestor t ~ancestor ~of_ =
     let rec search (r : Types.node_ref) =
       if r.Types.ref_round < ancestor.Types.ref_round then false
       else if Types.ref_equal r ancestor then true
-      else if Hashtbl.mem visited (key r) then false
+      else if Hashtbl.mem visited (key t r) then false
       else begin
-        Hashtbl.replace visited (key r) ();
+        Hashtbl.replace visited (key t r) ();
         match get_by_ref t r with
         | None -> false
         | Some cn ->
@@ -158,9 +161,9 @@ let position_ancestor t ~round ~author ~of_ =
     let rec search (r : Types.node_ref) =
       if r.Types.ref_round < round then false
       else if r.Types.ref_round = round && r.Types.ref_author = author then true
-      else if Hashtbl.mem visited (key r) then false
+      else if Hashtbl.mem visited (key t r) then false
       else begin
-        Hashtbl.replace visited (key r) ();
+        Hashtbl.replace visited (key t r) ();
         match get_by_ref t r with
         | None -> false
         | Some cn ->

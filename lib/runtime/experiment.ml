@@ -94,6 +94,7 @@ type outcome = {
   throughput_series : (float * float) list;
   latency_series : (float * float) list;
   requeued : int;
+  events_fired : int;
   events : Shoalpp_sim.Trace.event list;
 }
 
@@ -223,6 +224,7 @@ let run_dag system params =
     throughput_series = Metrics.throughput_series (Cluster.metrics cluster);
     latency_series = Metrics.latency_series (Cluster.metrics cluster);
     requeued;
+    events_fired = Shoalpp_sim.Engine.events_fired (Cluster.engine cluster);
     events = events_of_trace trace;
   }
 

@@ -80,6 +80,9 @@ type outcome = {
   throughput_series : (float * float) list;
   latency_series : (float * float) list;
   requeued : int;  (** orphaned-then-requeued transactions (DAG family) *)
+  events_fired : int;
+      (** discrete events the engine fired during the run — the
+          denominator-free work measure [bench/main.exe perf] reports *)
   events : Shoalpp_sim.Trace.event list;
       (** the retained trace window, oldest first; empty unless
           {!params.trace} — export with {!Export.write_jsonl} /

@@ -240,6 +240,34 @@ let json_of_event (e : Trace.event) =
            (k, match f with Trace.I i -> Json.Int i | Trace.S s -> Json.Str s))
          (Trace.fields e.Trace.kind))
 
+(* Serialize an event straight into [buf], byte-identical to
+   [Json.to_buf buf (json_of_event e)] but without materializing the
+   intermediate tree — traces run to millions of events and the tree was
+   the exporters' dominant allocation. *)
+let event_to_buf buf (e : Trace.event) =
+  Buffer.add_string buf "{\"ts\":";
+  Buffer.add_string buf (Json.float_repr e.Trace.time);
+  Buffer.add_string buf ",\"replica\":";
+  Buffer.add_string buf (string_of_int e.Trace.replica);
+  Buffer.add_string buf ",\"instance\":";
+  Buffer.add_string buf (string_of_int e.Trace.instance);
+  Buffer.add_string buf ",\"tag\":\"";
+  Json.escape_into buf (Trace.tag e.Trace.kind);
+  Buffer.add_char buf '"';
+  List.iter
+    (fun (k, f) ->
+      Buffer.add_string buf ",\"";
+      Json.escape_into buf k;
+      Buffer.add_string buf "\":";
+      match f with
+      | Trace.I i -> Buffer.add_string buf (string_of_int i)
+      | Trace.S s ->
+        Buffer.add_char buf '"';
+        Json.escape_into buf s;
+        Buffer.add_char buf '"')
+    (Trace.fields e.Trace.kind);
+  Buffer.add_char buf '}'
+
 let event_of_json j =
   let ( let* ) = Option.bind in
   let* ts = Option.bind (Json.member "ts" j) Json.to_float_opt in
@@ -266,7 +294,7 @@ let jsonl_of_events events =
   let buf = Buffer.create 4096 in
   List.iter
     (fun e ->
-      Json.to_buf buf (json_of_event e);
+      event_to_buf buf e;
       Buffer.add_char buf '\n')
     events;
   Buffer.contents buf
@@ -277,12 +305,28 @@ let events_of_jsonl text =
          if String.trim line = "" then None
          else Option.bind (Json.parse line) event_of_json)
 
-let write_jsonl oc events = output_string oc (jsonl_of_events events)
+(* Streaming writers reuse one buffer and drain it to the channel whenever
+   it crosses [flush_threshold], so writing a trace needs O(chunk) memory
+   rather than one string the size of the whole export. *)
+let flush_threshold = 1 lsl 16
+
+let write_jsonl oc events =
+  let buf = Buffer.create flush_threshold in
+  List.iter
+    (fun e ->
+      event_to_buf buf e;
+      Buffer.add_char buf '\n';
+      if Buffer.length buf >= flush_threshold then begin
+        Buffer.output_buffer oc buf;
+        Buffer.clear buf
+      end)
+    events;
+  Buffer.output_buffer oc buf
 
 (* Chrome trace_event format (the JSON Object Format variant): instant
    events on pid = replica, tid = DAG instance, timestamps in microseconds.
    Loads in Perfetto and chrome://tracing. *)
-let chrome_trace_json events =
+let chrome_metadata events =
   let seen_pids = Hashtbl.create 16 in
   let seen_tids = Hashtbl.create 16 in
   List.iter
@@ -296,63 +340,120 @@ let chrome_trace_json events =
       @ (match tid with Some t -> [ ("tid", Json.Int t) ] | None -> [])
       @ [ ("args", Json.Obj [ ("name", Json.Str name) ]) ])
   in
-  let metadata =
-    (Hashtbl.fold
-       (fun pid () acc ->
-         meta_name ~pid ~kind:"process_name" (Printf.sprintf "replica %d" pid) :: acc)
-       seen_pids []
+  (Hashtbl.fold
+     (fun pid () acc ->
+       meta_name ~pid ~kind:"process_name" (Printf.sprintf "replica %d" pid) :: acc)
+     seen_pids []
+  |> List.sort compare)
+  @ (Hashtbl.fold
+       (fun (pid, tid) () acc ->
+         meta_name ~pid ~tid ~kind:"thread_name" (Printf.sprintf "dag %d" tid) :: acc)
+       seen_tids []
     |> List.sort compare)
-    @ (Hashtbl.fold
-         (fun (pid, tid) () acc ->
-           meta_name ~pid ~tid ~kind:"thread_name" (Printf.sprintf "dag %d" tid) :: acc)
-         seen_tids []
-      |> List.sort compare)
-  in
-  let category (e : Trace.event) =
-    match e.Trace.kind with
-    | Trace.Anchor_direct_fast _ | Trace.Anchor_direct_certified _ | Trace.Anchor_indirect _
-    | Trace.Anchor_skipped _ | Trace.Segment_committed _ | Trace.Segment_interleaved _ ->
-      "commit"
-    | Trace.Proposal_created _ | Trace.Vote_cast _ | Trace.Cert_formed _ | Trace.Cert_received _
-      ->
-      "dag"
-    | Trace.Timeout_fired _ | Trace.Fetch_requested _ | Trace.Gc_pruned _
-    | Trace.Replica_crashed _ | Trace.Replica_recovered _ ->
-      "recovery"
-    | Trace.Partition_opened _ | Trace.Partition_healed _ | Trace.Equivocation_sent _
-    | Trace.Anchor_withheld _ | Trace.Votes_delayed _ ->
-      "fault"
-    | Trace.Custom _ -> "custom"
-  in
-  let trace_events =
-    List.map
-      (fun (e : Trace.event) ->
-        Json.Obj
-          [
-            ("name", Json.Str (Trace.tag e.Trace.kind));
-            ("cat", Json.Str (category e));
-            ("ph", Json.Str "i");
-            ("s", Json.Str "t");
-            ("ts", Json.Float (e.Trace.time *. 1000.0)) (* simulated ms -> us *);
-            ("pid", Json.Int e.Trace.replica);
-            ("tid", Json.Int e.Trace.instance);
-            ( "args",
-              Json.Obj
-                (List.map
-                   (fun (k, f) ->
-                     (k, match f with Trace.I i -> Json.Int i | Trace.S s -> Json.Str s))
-                   (Trace.fields e.Trace.kind)) );
-          ])
-      events
-  in
+
+let category (e : Trace.event) =
+  match e.Trace.kind with
+  | Trace.Anchor_direct_fast _ | Trace.Anchor_direct_certified _ | Trace.Anchor_indirect _
+  | Trace.Anchor_skipped _ | Trace.Segment_committed _ | Trace.Segment_interleaved _ ->
+    "commit"
+  | Trace.Proposal_created _ | Trace.Vote_cast _ | Trace.Cert_formed _ | Trace.Cert_received _
+    ->
+    "dag"
+  | Trace.Timeout_fired _ | Trace.Fetch_requested _ | Trace.Gc_pruned _
+  | Trace.Replica_crashed _ | Trace.Replica_recovered _ ->
+    "recovery"
+  | Trace.Partition_opened _ | Trace.Partition_healed _ | Trace.Equivocation_sent _
+  | Trace.Anchor_withheld _ | Trace.Votes_delayed _ ->
+    "fault"
+  | Trace.Custom _ -> "custom"
+
+let chrome_json_of_event (e : Trace.event) =
   Json.Obj
     [
-      ("traceEvents", Json.List (metadata @ trace_events));
+      ("name", Json.Str (Trace.tag e.Trace.kind));
+      ("cat", Json.Str (category e));
+      ("ph", Json.Str "i");
+      ("s", Json.Str "t");
+      ("ts", Json.Float (e.Trace.time *. 1000.0)) (* simulated ms -> us *);
+      ("pid", Json.Int e.Trace.replica);
+      ("tid", Json.Int e.Trace.instance);
+      ( "args",
+        Json.Obj
+          (List.map
+             (fun (k, f) -> (k, match f with Trace.I i -> Json.Int i | Trace.S s -> Json.Str s))
+             (Trace.fields e.Trace.kind)) );
+    ]
+
+let chrome_trace_json events =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (chrome_metadata events @ List.map chrome_json_of_event events));
       ("displayTimeUnit", Json.Str "ms");
     ]
 
-let chrome_trace events = Json.to_string (chrome_trace_json events)
-let write_chrome_trace oc events = output_string oc (chrome_trace events)
+(* Byte-identical to [Json.to_buf buf (chrome_json_of_event e)], minus the
+   tree. *)
+let chrome_event_to_buf buf (e : Trace.event) =
+  Buffer.add_string buf "{\"name\":\"";
+  Json.escape_into buf (Trace.tag e.Trace.kind);
+  Buffer.add_string buf "\",\"cat\":\"";
+  Buffer.add_string buf (category e);
+  Buffer.add_string buf "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+  Buffer.add_string buf (Json.float_repr (e.Trace.time *. 1000.0));
+  Buffer.add_string buf ",\"pid\":";
+  Buffer.add_string buf (string_of_int e.Trace.replica);
+  Buffer.add_string buf ",\"tid\":";
+  Buffer.add_string buf (string_of_int e.Trace.instance);
+  Buffer.add_string buf ",\"args\":{";
+  List.iteri
+    (fun i (k, f) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      Json.escape_into buf k;
+      Buffer.add_string buf "\":";
+      match f with
+      | Trace.I v -> Buffer.add_string buf (string_of_int v)
+      | Trace.S s ->
+        Buffer.add_char buf '"';
+        Json.escape_into buf s;
+        Buffer.add_char buf '"')
+    (Trace.fields e.Trace.kind);
+  Buffer.add_string buf "}}"
+
+(* Shared streaming renderer for both the in-memory and channel variants;
+   [flush] is called between events once the caller's buffer is due a drain. *)
+let chrome_into buf ~flush events =
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_char buf ',' in
+  List.iter
+    (fun m ->
+      sep ();
+      Json.to_buf buf m)
+    (chrome_metadata events);
+  List.iter
+    (fun e ->
+      sep ();
+      chrome_event_to_buf buf e;
+      flush ())
+    events;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}"
+
+let chrome_trace events =
+  let buf = Buffer.create 4096 in
+  chrome_into buf ~flush:(fun () -> ()) events;
+  Buffer.contents buf
+
+let write_chrome_trace oc events =
+  let buf = Buffer.create flush_threshold in
+  chrome_into buf
+    ~flush:(fun () ->
+      if Buffer.length buf >= flush_threshold then begin
+        Buffer.output_buffer oc buf;
+        Buffer.clear buf
+      end)
+    events;
+  Buffer.output_buffer oc buf
 
 let json_of_snapshot (s : Tel.snapshot) =
   let counters = List.map (fun (k, v) -> (k, Json.Int v)) s.Tel.snap_counters in

@@ -7,8 +7,12 @@
 
     Invariants:
     - each transaction contributes to latency / throughput at most once —
-      at its origin replica's commit, and only when submitted after the
-      warmup cutoff;
+      at its origin replica's commit, and only when that commit happens at
+      or after the warmup cutoff;
+    - the warmup rule is single and uniform: the scalar counters
+      ({!committed}, {!latency}) and the windowed series
+      ({!throughput_series}, {!latency_series}) apply the same commit-time
+      cutoff, so they agree exactly over the warmup window;
     - both time series are dense over the observed span: a window in which
       nothing committed (a crash, a partition) appears as an explicit zero
       row rather than being silently omitted, so fault stalls are visible
@@ -17,9 +21,12 @@
 type t
 
 val create : ?warmup_ms:float -> ?window_ms:float -> unit -> t
-(** Samples whose transaction was submitted before [warmup_ms] (default 0)
-    are excluded from latency statistics; commits before it are excluded
-    from throughput. [window_ms] (default 1000) sizes time-series buckets. *)
+(** Commits before [warmup_ms] (default 0) are excluded from every statistic
+    — the cutoff is judged on {e commit time}, not submission time, so the
+    counters and the windowed series cannot disagree (a transaction
+    submitted during warmup but committed after it still measures the
+    steady-state commit path and is included). [window_ms] (default 1000)
+    sizes time-series buckets. *)
 
 val observe_commit : t -> origin_ordered:bool -> tx:Shoalpp_workload.Transaction.t -> now:float -> unit
 (** Record a committed transaction. Latency/throughput count only when

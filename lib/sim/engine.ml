@@ -39,26 +39,46 @@ let rec step t =
     f ();
     true
 
-let run ?until ?(max_events = max_int) t =
+type stop_reason = Horizon_reached | Queue_drained | Budget_exhausted
+
+(* Pop cancelled timers off the top of the queue so [peek] reflects the next
+   event that will actually fire. Without this, a cancelled timer sitting
+   below the horizon could let [run ~until] step past it into an event
+   beyond the horizon. Dropping dead timers costs no budget (they are not
+   events; [step] never counted them as fired either). *)
+let rec drop_cancelled t =
+  match Heap.peek t.queue with
+  | Some { action = None; _ } ->
+    ignore (Heap.pop t.queue);
+    drop_cancelled t
+  | _ -> ()
+
+let run_status ?until ?(max_events = max_int) t =
   let budget = ref max_events in
-  let continue_ () =
-    if !budget = 0 then false
-    else begin
-      match Heap.peek t.queue with
-      | None -> false
-      | Some next -> (
-        match until with
-        | Some horizon when next.at > horizon -> false
-        | _ -> true)
-    end
+  (* The next live event due at or before the horizon, if any. *)
+  let due () =
+    drop_cancelled t;
+    match Heap.peek t.queue with
+    | None -> None
+    | Some next -> (
+      match until with Some horizon when next.at > horizon -> None | _ -> Some next)
   in
-  while continue_ () do
+  while !budget > 0 && Option.is_some (due ()) do
     decr budget;
     ignore (step t)
   done;
-  match until with
-  | Some horizon when t.clock < horizon && !budget > 0 -> t.clock <- horizon
-  | _ -> ()
+  (* Decide on the queue's state, not on leftover budget: a run whose budget
+     expires exactly as the queue drains has still reached the horizon. *)
+  match due () with
+  | Some _ -> Budget_exhausted
+  | None -> (
+    match until with
+    | Some horizon ->
+      if t.clock < horizon then t.clock <- horizon;
+      Horizon_reached
+    | None -> Queue_drained)
+
+let run ?until ?max_events t = ignore (run_status ?until ?max_events t)
 
 let pending_events t = Heap.length t.queue
 let events_fired t = t.fired

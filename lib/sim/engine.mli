@@ -36,10 +36,21 @@ val is_pending : timer -> bool
 val step : t -> bool
 (** Fire the next event. Returns [false] when the queue is empty. *)
 
-val run : ?until:float -> ?max_events:int -> t -> unit
+type stop_reason =
+  | Horizon_reached  (** no live event remains at or before [until]; the clock is at [until] *)
+  | Queue_drained  (** no [until] given and the queue is empty *)
+  | Budget_exhausted  (** [max_events] ran out with due events still pending; the clock stays at the last fired event *)
+
+val run_status : ?until:float -> ?max_events:int -> t -> stop_reason
 (** Drain the queue. [until] stops once the clock would pass that instant
-    (the clock is left at [until]); [max_events] bounds work as a runaway
-    backstop. *)
+    (the clock is left at [until] whenever the horizon is reached, including
+    when the budget expires exactly as the queue drains); [max_events]
+    bounds fired events as a runaway backstop — cancelled timers cost no
+    budget. The result distinguishes "horizon reached" from "budget
+    exhausted". *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** {!run_status} with the result ignored. *)
 
 val pending_events : t -> int
 val events_fired : t -> int

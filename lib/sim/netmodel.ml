@@ -25,6 +25,23 @@ let default_config =
     send_order = Farthest_first;
   }
 
+(* A broadcast's deliveries to one destination region, sorted by delivery
+   time. Exactly one engine timer is live per envelope: it fires the head
+   delivery, then reschedules itself for the next — so a fan-out to n
+   replicas keeps [regions] timers in the queue rather than n, and the
+   per-delivery closure is allocated once per envelope (pooled), not once
+   per message. Delivery times are computed eagerly at broadcast time, so
+   batching changes neither the schedule nor any random draw. *)
+type 'msg envelope = {
+  mutable env_src : int;
+  mutable env_msg : 'msg option; (* [None] while pooled, releasing the payload *)
+  env_dsts : int array;
+  env_times : float array;
+  mutable env_count : int;
+  mutable env_index : int;
+  mutable env_fire : unit -> unit; (* fixed closure over this envelope *)
+}
+
 type 'msg t = {
   engine : Engine.t;
   topology : Topology.t;
@@ -32,6 +49,7 @@ type 'msg t = {
   mutable fault : Fault.t;
   config : config;
   n : int;
+  nregions : int;
   egress_free_at : float array;
   cpu_free_at : float array;
   rngs : Rng.t array;
@@ -41,6 +59,10 @@ type 'msg t = {
   seed : int;
   (* Memoized slow-epoch extra delay: (epoch index, value) per replica. *)
   epoch_cache : (int * float) array;
+  (* Envelope free-list plus per-region scratch for the broadcast in
+     progress (broadcast runs synchronously, so one scratch array is safe). *)
+  mutable env_pool : 'msg envelope list;
+  group_env : 'msg envelope option array; (* by region *)
   mutable sent : int;
   mutable dropped : int;
   mutable partitioned : int;
@@ -68,6 +90,7 @@ let create ~engine ~topology ~assignment ~fault ~config ~seed () =
           others;
         others)
   in
+  let nregions = 1 + Array.fold_left (fun acc r -> if r > acc then r else acc) 0 assignment in
   {
     engine;
     topology;
@@ -75,6 +98,7 @@ let create ~engine ~topology ~assignment ~fault ~config ~seed () =
     fault;
     config;
     n;
+    nregions;
     egress_free_at = Array.make n 0.0;
     cpu_free_at = Array.make n 0.0;
     rngs;
@@ -82,6 +106,8 @@ let create ~engine ~topology ~assignment ~fault ~config ~seed () =
     far_order;
     seed;
     epoch_cache = Array.make n (-1, 0.0);
+    env_pool = [];
+    group_env = Array.make nregions None;
     sent = 0;
     dropped = 0;
     partitioned = 0;
@@ -164,6 +190,66 @@ let send t ~src ~dst ~size msg =
     end
   end
 
+(* Fire the envelope's head delivery (crash checked at delivery time, like
+   [deliver]'s callback), then chain the timer to the next one. *)
+let fire_envelope t env =
+  (match env.env_msg with
+  | None -> ()
+  | Some msg ->
+    let dst = env.env_dsts.(env.env_index) in
+    if not (Fault.is_crashed t.fault ~replica:dst ~time:(Engine.now t.engine)) then (
+      match t.handlers.(dst) with
+      | Some handler -> handler ~src:env.env_src msg
+      | None -> ()));
+  env.env_index <- env.env_index + 1;
+  if env.env_index < env.env_count then
+    ignore (Engine.schedule_at t.engine ~at:env.env_times.(env.env_index) env.env_fire)
+  else begin
+    env.env_msg <- None;
+    t.env_pool <- env :: t.env_pool
+  end
+
+let alloc_envelope t =
+  match t.env_pool with
+  | env :: rest ->
+    t.env_pool <- rest;
+    env
+  | [] ->
+    let env =
+      {
+        env_src = 0;
+        env_msg = None;
+        env_dsts = Array.make t.n 0;
+        env_times = Array.make t.n 0.0;
+        env_count = 0;
+        env_index = 0;
+        env_fire = ignore;
+      }
+    in
+    env.env_fire <- (fun () -> fire_envelope t env);
+    env
+
+(* Stable insertion sort of the (time, dst) pairs — per-receiver CPU queues
+   make delivery times non-monotone in send order, and the chained timer
+   must walk them in time order. Groups hold at most n entries and are
+   typically tiny (replicas per region). *)
+let sort_envelope env =
+  for i = 1 to env.env_count - 1 do
+    let ti = env.env_times.(i) and di = env.env_dsts.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && env.env_times.(!j) > ti do
+      env.env_times.(!j + 1) <- env.env_times.(!j);
+      env.env_dsts.(!j + 1) <- env.env_dsts.(!j);
+      decr j
+    done;
+    env.env_times.(!j + 1) <- ti;
+    env.env_dsts.(!j + 1) <- di
+  done
+
+(* Batched fan-out. Per destination, the egress/jitter/drop/CPU math and the
+   RNG draw order are exactly [send]'s — only the engine scheduling differs:
+   surviving deliveries are grouped by destination region into pooled
+   envelopes, each driven by one chained timer. *)
 let broadcast t ~src ~size ?(include_self = true) msg =
   let order =
     match t.config.send_order with
@@ -174,11 +260,70 @@ let broadcast t ~src ~size ?(include_self = true) msg =
       Rng.shuffle t.rngs.(src) arr;
       arr
   in
-  Array.iter
-    (fun dst ->
-      if dst <> src then send t ~src ~dst ~size msg
-      else if include_self then send t ~src ~dst ~size msg)
-    order
+  let now = Engine.now t.engine in
+  if Fault.is_crashed t.fault ~replica:src ~time:now then ()
+  else begin
+    let ser = float_of_int size /. t.config.bandwidth_bytes_per_ms in
+    let cost = t.config.cpu_fixed_ms +. (float_of_int size *. t.config.cpu_per_byte_ms) in
+    Array.iter
+      (fun dst ->
+        if dst = src then begin
+          if include_self then begin
+            t.sent <- t.sent + 1;
+            deliver t ~src ~dst ~size ~at:(now +. t.config.loopback_ms) msg
+          end
+        end
+        else begin
+          t.sent <- t.sent + 1;
+          t.bytes <- t.bytes +. float_of_int size;
+          let out_at = Float.max now t.egress_free_at.(src) +. ser in
+          t.egress_free_at.(src) <- out_at;
+          let rng = t.rngs.(src) in
+          let drop_rate = Fault.egress_drop_rate t.fault ~src ~time:out_at in
+          let jitter =
+            if t.config.jitter_ms <= 0.0 then 0.0
+            else Rng.lognormal rng ~mu:(log t.config.jitter_ms) ~sigma:0.5
+          in
+          let dropped = drop_rate > 0.0 && Rng.bernoulli rng drop_rate in
+          if not (Fault.reachable t.fault ~src ~dst ~time:out_at) then
+            t.partitioned <- t.partitioned + 1
+          else if dropped then t.dropped <- t.dropped + 1
+          else begin
+            let at =
+              out_at +. base_delay t ~src ~dst +. jitter +. extra_delay_ms t ~src ~time:out_at
+            in
+            (* Receiver CPU sequencing, eagerly, exactly as [deliver] does. *)
+            let start = Float.max at t.cpu_free_at.(dst) in
+            let done_at = start +. cost in
+            t.cpu_free_at.(dst) <- done_at;
+            let region = t.assignment.(dst) in
+            let env =
+              match t.group_env.(region) with
+              | Some env -> env
+              | None ->
+                let env = alloc_envelope t in
+                env.env_src <- src;
+                env.env_msg <- Some msg;
+                env.env_count <- 0;
+                env.env_index <- 0;
+                t.group_env.(region) <- Some env;
+                env
+            in
+            env.env_dsts.(env.env_count) <- dst;
+            env.env_times.(env.env_count) <- done_at;
+            env.env_count <- env.env_count + 1
+          end
+        end)
+      order;
+    for region = 0 to t.nregions - 1 do
+      match t.group_env.(region) with
+      | None -> ()
+      | Some env ->
+        t.group_env.(region) <- None;
+        sort_envelope env;
+        ignore (Engine.schedule_at t.engine ~at:env.env_times.(0) env.env_fire)
+    done
+  end
 
 let messages_sent t = t.sent
 let messages_dropped t = t.dropped

@@ -77,7 +77,14 @@ val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
 
 val broadcast : 'msg t -> src:int -> size:int -> ?include_self:bool -> 'msg -> unit
 (** Send to every replica in the configured send order. [include_self]
-    (default true) delivers a loopback copy without consuming egress. *)
+    (default true) delivers a loopback copy without consuming egress.
+
+    Internally the fan-out is batched: surviving deliveries are grouped by
+    destination region, each group driven by one chained engine timer drawn
+    from a pooled envelope, so a broadcast keeps [regions] timers pending
+    rather than n. Per-destination egress serialization, jitter/drop draws,
+    and delivery times are computed eagerly in send order and are exactly
+    those of n independent {!send}s. *)
 
 val base_delay_ms : 'msg t -> src:int -> dst:int -> float
 (** Propagation-only delay (no jitter/bandwidth), for distance ordering and

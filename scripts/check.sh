@@ -44,4 +44,26 @@ dune exec bin/shoalpp_sim.exe -- \
 grep -q '"fault.recoveries"' "$out/faults.metrics.json" \
   || { echo "check failed: fault counters missing from scenario metrics" >&2; exit 1; }
 
-echo "check: build + tests + docs + observability/scenario smoke OK"
+# Perf-harness smoke: a shortened sweep must finish inside a generous
+# ceiling and emit well-formed BENCH_perf.json (all audits passing). No
+# assertions on absolute wall times — those would make CI flaky.
+BENCH_DURATION_S=2 BENCH_PERF_OUT="$out/perf.json" \
+  timeout 600 ./_build/default/bench/main.exe perf >/dev/null \
+  || { echo "check failed: perf sweep did not complete" >&2; exit 1; }
+test -s "$out/perf.json" || { echo "check failed: BENCH_perf.json missing or empty" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$out/perf.json" <<'EOF' || { echo "check failed: BENCH_perf.json malformed" >&2; exit 1; }
+import json, sys
+d = json.load(open(sys.argv[1]))
+runs = d["runs"]
+assert len(runs) == 6, f"expected 6 runs, got {len(runs)}"
+for r in runs:
+    assert r["audit_ok"] is True, f"audit failed for n={r['n']} {r['topology']}"
+    assert r["wall_ms"] > 0 and r["events_fired"] > 0 and r["committed"] > 0
+EOF
+else
+  grep -q '"audit_ok":true' "$out/perf.json" \
+    || { echo "check failed: BENCH_perf.json has no passing audit" >&2; exit 1; }
+fi
+
+echo "check: build + tests + docs + observability/scenario + perf smoke OK"
