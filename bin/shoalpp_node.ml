@@ -1,0 +1,160 @@
+(* Command-line front end for the real-time deployment: the same Shoal++
+   replicas the simulator runs, on a wall clock over loopback or Unix-domain
+   sockets, with the run's trace and metrics exported on shutdown.
+
+   Examples:
+     dune exec bin/shoalpp_node.exe -- -n 4 --duration 2000 --load 200
+     dune exec bin/shoalpp_node.exe -- --transport uds --duration 2000
+     dune exec bin/shoalpp_node.exe -- --trace-out node.jsonl --metrics-out node.metrics.json *)
+
+module Node = Shoalpp_runtime.Node
+module Report = Shoalpp_runtime.Report
+module Export = Shoalpp_runtime.Export
+module Config = Shoalpp_core.Config
+module Committee = Shoalpp_dag.Committee
+module Trace = Shoalpp_sim.Trace
+open Cmdliner
+
+let write_file path f =
+  match open_out path with
+  | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+  | exception Sys_error msg ->
+    Printf.eprintf "shoalpp_node: cannot write %s (%s)\n" path msg;
+    exit 1
+
+type transport_arg = Inproc | Uds
+
+let transport_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "inproc" | "loopback" -> Ok Inproc
+    | "uds" -> Ok Uds
+    | other -> Error (`Msg (Printf.sprintf "unknown transport %S (inproc | uds)" other))
+  in
+  let print fmt t = Format.pp_print_string fmt (match t with Inproc -> "inproc" | Uds -> "uds") in
+  Arg.conv (parse, print)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let run n duration load warmup timeout link_delay seed no_verify transport uds_dir trace_out
+    metrics_out =
+  let committee = Committee.make ~n ~cluster_seed:seed () in
+  let protocol =
+    let p = Config.shoalpp ~committee in
+    let p = if no_verify then Config.without_signature_checks p else p in
+    match timeout with Some ms -> Config.round_timeout p ms | None -> p
+  in
+  let transport, cleanup =
+    match transport with
+    | Inproc -> (Node.Inproc, fun () -> ())
+    | Uds ->
+      let dir =
+        match uds_dir with
+        | Some d -> d
+        | None -> Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "shoalpp-node-%d" (Unix.getpid ()))
+      in
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o700;
+      (Node.Uds dir, fun () -> rm_rf dir)
+  in
+  let trace = if trace_out <> None then Some (Trace.create ~enabled:true ~capacity:65536 ()) else None in
+  let setup =
+    {
+      (Node.default_setup ~protocol) with
+      Node.load_tps = load;
+      warmup_ms = warmup;
+      seed;
+      transport;
+      link_delay_ms = link_delay;
+      trace;
+    }
+  in
+  let node = Node.create setup in
+  Format.printf "shoalpp_node: %d replicas, %s transport, %.0f tps for %.0f ms@." n
+    (match transport with Node.Inproc -> "loopback" | Node.Uds d -> "uds:" ^ d)
+    load duration;
+  Node.run node ~duration_ms:duration;
+  let report = Node.report node ~duration_ms:duration in
+  Format.printf "%a@." Report.pp_extended report;
+  let audit = Node.audit node in
+  Format.printf "audit: %s; %d segments (common prefix %d); lanes %s@."
+    (if audit.Node.consistent_prefixes && audit.Node.duplicate_orders = 0 then
+       "consistent logs, no duplicates"
+     else "FAILED")
+    audit.Node.total_segments audit.Node.prefix_length
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int audit.Node.anchors_per_lane)));
+  (match trace with
+  | Some tr ->
+    let path = Option.get trace_out in
+    let events = Trace.events tr in
+    write_file path (fun oc -> Export.write_jsonl oc events);
+    Format.printf "trace: %d events -> %s@." (List.length events) path
+  | None -> ());
+  (match metrics_out with
+  | Some path ->
+    write_file path (fun oc ->
+        Export.write_metrics oc report.Report.telemetry;
+        output_char oc '\n');
+    Format.printf "metrics: %s@." path
+  | None -> ());
+  cleanup ();
+  if not (audit.Node.consistent_prefixes && audit.Node.duplicate_orders = 0) then exit 1
+
+let cmd =
+  let n = Arg.(value & opt int 4 & info [ "n"; "replicas" ] ~doc:"Number of replicas.") in
+  let duration =
+    Arg.(value & opt float 2_000.0 & info [ "duration" ] ~doc:"Wall-clock run length, ms.")
+  in
+  let load = Arg.(value & opt float 200.0 & info [ "load" ] ~doc:"Offered load, tx/s.") in
+  let warmup = Arg.(value & opt float 0.0 & info [ "warmup" ] ~doc:"Warmup excluded, ms.") in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~doc:"Round timeout override, ms.")
+  in
+  let link_delay =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "link-delay" ] ~doc:"Loopback transport: artificial per-message delay, ms.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Cluster seed (keys, clients).") in
+  let no_verify =
+    Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip signature verification (faster).")
+  in
+  let transport =
+    Arg.(
+      value
+      & opt transport_conv Inproc
+      & info [ "transport" ] ~doc:"Message transport: inproc (loopback) | uds (Unix sockets).")
+  in
+  let uds_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "uds-dir" ] ~docv:"DIR"
+          ~doc:"Socket directory for --transport uds (default: fresh temp dir, removed on exit).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE" ~doc:"Write the typed event trace as JSONL.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the telemetry snapshot (counters, stage histograms) as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "shoalpp_node"
+       ~doc:"Run a real-time Shoal++ cluster (wall clock, loopback or Unix-domain sockets)")
+    Term.(
+      const run $ n $ duration $ load $ warmup $ timeout $ link_delay $ seed $ no_verify
+      $ transport $ uds_dir $ trace_out $ metrics_out)
+
+let () = exit (Cmd.eval cmd)

@@ -2,7 +2,7 @@
    simulated deployment and print the paper-style report.
 
    Examples:
-     dune exec bin/shoalpp_sim.exe -- --system shoal++ --n 16 --load 2000
+     dune exec bin/shoalpp_sim.exe -- --system shoal++ -n 16 --load 2000
      dune exec bin/shoalpp_sim.exe -- --system mysticeti --drop 5,0.01,20000 --series
      dune exec bin/shoalpp_sim.exe -- --system bullshark --crashes 5 --duration 30000
      dune exec bin/shoalpp_sim.exe -- --scenario byzantine:count=1,kind=equivocate

@@ -14,7 +14,7 @@ module Tablefmt = Shoalpp_support.Tablefmt
 module Engine = Shoalpp_sim.Engine
 module Topology = Shoalpp_sim.Topology
 module Netmodel = Shoalpp_sim.Netmodel
-module Fault = Shoalpp_sim.Fault
+module Fault_schedule = Shoalpp_sim.Fault_schedule
 module Committee = Shoalpp_dag.Committee
 module Config = Shoalpp_core.Config
 module Replica = Shoalpp_core.Replica
@@ -54,15 +54,18 @@ let () =
   let topology = Topology.clique ~regions:4 ~one_way_ms:20.0 in
   let assignment = Topology.assign_round_robin topology ~n:4 in
   let net =
-    Netmodel.create ~engine ~topology ~assignment ~fault:Fault.none
+    Netmodel.create ~engine ~topology ~assignment ~fault:Fault_schedule.none
       ~config:Netmodel.default_config ~seed:3 ()
   in
+  let world = Shoalpp_backend.Backend_sim.of_net net in
   let protocol = { (Config.shoalpp ~committee) with Config.stagger_ms = 20.0 } in
   let mempools = Array.init 4 (fun _ -> Mempool.create ()) in
   let ids = ref [] in
   let replicas =
     Array.init 4 (fun replica_id ->
-        Replica.create ~config:protocol ~replica_id ~net ~mempool:mempools.(replica_id)
+        Replica.create ~config:protocol ~replica_id
+          ~backend:(Shoalpp_backend.Backend_sim.backend world)
+          ~mempool:mempools.(replica_id)
           ?on_ordered:
             (if replica_id = 0 then
                Some

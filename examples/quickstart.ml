@@ -10,7 +10,7 @@
 module Engine = Shoalpp_sim.Engine
 module Topology = Shoalpp_sim.Topology
 module Netmodel = Shoalpp_sim.Netmodel
-module Fault = Shoalpp_sim.Fault
+module Fault_schedule = Shoalpp_sim.Fault_schedule
 module Committee = Shoalpp_dag.Committee
 module Types = Shoalpp_dag.Types
 module Config = Shoalpp_core.Config
@@ -30,9 +30,10 @@ let () =
   let topology = Topology.clique ~regions:4 ~one_way_ms:25.0 in
   let assignment = Topology.assign_round_robin topology ~n:4 in
   let net =
-    Netmodel.create ~engine ~topology ~assignment ~fault:Fault.none
+    Netmodel.create ~engine ~topology ~assignment ~fault:Fault_schedule.none
       ~config:Netmodel.default_config ~seed:7 ()
   in
+  let world = Shoalpp_backend.Backend_sim.of_net net in
 
   (* 3. Four Shoal++ replicas. Replica 0 prints every segment appended to
      its totally ordered log. *)
@@ -63,7 +64,9 @@ let () =
   in
   let replicas =
     Array.init 4 (fun replica_id ->
-        Replica.create ~config:protocol ~replica_id ~net ~mempool:mempools.(replica_id)
+        Replica.create ~config:protocol ~replica_id
+          ~backend:(Shoalpp_backend.Backend_sim.backend world)
+          ~mempool:mempools.(replica_id)
           ?on_ordered:(if replica_id = 0 then Some print_segment else None)
           ())
   in

@@ -1,0 +1,364 @@
+module Heap = Shoalpp_support.Heap
+module Wire = Shoalpp_codec.Wire
+
+type rt_timer = { at : float; seq : int; mutable action : (unit -> unit) option }
+
+let cmp a b =
+  if a.at < b.at then -1 else if a.at > b.at then 1 else compare a.seq b.seq
+
+type t = {
+  mu : Mutex.t;
+  heap : rt_timer Heap.t;
+  mutable next_seq : int;
+  mutable fired : int;
+  origin : float; (* Unix.gettimeofday at create, seconds *)
+  mutable mono : float; (* high-water clock reading, ms *)
+  mutable stopping : bool;
+  mutable running : bool;
+  max_tick_ms : float;
+  pollers : (Unix.file_descr, unit -> unit) Hashtbl.t;
+}
+
+let create ?(max_tick_ms = 50.0) () =
+  {
+    mu = Mutex.create ();
+    heap = Heap.create ~cmp;
+    next_seq = 0;
+    fired = 0;
+    origin = Unix.gettimeofday ();
+    mono = 0.0;
+    stopping = false;
+    running = false;
+    max_tick_ms;
+    pollers = Hashtbl.create 8;
+  }
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
+
+(* Wall time since the origin, clamped so a stepped system clock can never
+   make readings go backwards. *)
+let now_ms t =
+  let w = (Unix.gettimeofday () -. t.origin) *. 1000.0 in
+  with_mu t (fun () ->
+      if w > t.mono then t.mono <- w;
+      t.mono)
+
+let clock t =
+  let now () = now_ms t in
+  { Backend.Clock.now; monotonic = now }
+
+let schedule_abs t ~at f =
+  let tm =
+    with_mu t (fun () ->
+        let tm = { at; seq = t.next_seq; action = Some f } in
+        t.next_seq <- t.next_seq + 1;
+        Heap.add t.heap tm;
+        tm)
+  in
+  {
+    Backend.cancel = (fun () -> with_mu t (fun () -> tm.action <- None));
+    is_pending = (fun () -> tm.action <> None);
+  }
+
+let timers t =
+  {
+    Backend.Timers.schedule =
+      (fun ~after f ->
+        let after = if after > 0.0 then after else 0.0 in
+        schedule_abs t ~at:(now_ms t +. after) f);
+    schedule_at = (fun ~at f -> schedule_abs t ~at f);
+  }
+
+let backend t transport = { Backend.clock = clock t; timers = timers t; transport }
+let events_fired t = t.fired
+let pending_timers t = with_mu t (fun () -> Heap.length t.heap)
+let add_poller t fd f = Hashtbl.replace t.pollers fd f
+let remove_poller t fd = Hashtbl.remove t.pollers fd
+let stop t = t.stopping <- true
+
+(* Both called under the mutex. Cancelled timers are dropped lazily as they
+   surface at the heap root. *)
+let rec pop_due t ~now acc =
+  match Heap.peek t.heap with
+  | Some tm when tm.action = None ->
+    ignore (Heap.pop t.heap);
+    pop_due t ~now acc
+  | Some tm when tm.at <= now ->
+    ignore (Heap.pop t.heap);
+    pop_due t ~now (tm :: acc)
+  | _ -> List.rev acc
+
+let rec next_deadline t =
+  match Heap.peek t.heap with
+  | Some tm when tm.action = None ->
+    ignore (Heap.pop t.heap);
+    next_deadline t
+  | Some tm -> Some tm.at
+  | None -> None
+
+let run_for t ~duration_ms =
+  if t.running then invalid_arg "Backend_realtime.run_for: already running";
+  t.running <- true;
+  t.stopping <- false;
+  let deadline = now_ms t +. duration_ms in
+  (try
+     while (not t.stopping) && now_ms t < deadline do
+       let now = now_ms t in
+       let due = with_mu t (fun () -> pop_due t ~now []) in
+       List.iter
+         (fun tm ->
+           match tm.action with
+           | Some f ->
+             tm.action <- None;
+             t.fired <- t.fired + 1;
+             f ()
+           | None -> ())
+         due;
+       (* Sleep until the next timer (bounded by the tick), or just poll the
+          sockets when this iteration did fire something. *)
+       let gap_ms =
+         if due <> [] then 0.0
+         else begin
+           let now = now_ms t in
+           let horizon =
+             match with_mu t (fun () -> next_deadline t) with
+             | Some at -> at -. now
+             | None -> t.max_tick_ms
+           in
+           Float.max 0.0 (Float.min (Float.min horizon t.max_tick_ms) (deadline -. now))
+         end
+       in
+       let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.pollers [] in
+       if fds = [] then begin
+         if gap_ms > 0.0 then Unix.sleepf (gap_ms /. 1000.0)
+       end
+       else begin
+         match Unix.select fds [] [] (gap_ms /. 1000.0) with
+         | readable, _, _ ->
+           List.iter
+             (fun fd ->
+               match Hashtbl.find_opt t.pollers fd with Some f -> f () | None -> ())
+             readable
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       end
+     done
+   with e ->
+     t.running <- false;
+     raise e);
+  t.running <- false
+
+(* In-process transport: delivery is a zero-(or fixed-)delay timer, so a
+   handler never runs inside [send] and per-sender FIFO order follows from
+   the (due-time, scheduling-order) timer order. *)
+let loopback t ~n ?(delay_ms = 0.0) () =
+  let handlers = Array.make n None in
+  let sent = ref 0 in
+  let bytes = ref 0.0 in
+  let timers = timers t in
+  let deliver ~src ~dst msg =
+    match handlers.(dst) with Some h -> h ~src msg | None -> ()
+  in
+  let post ~src ~dst ~size msg =
+    incr sent;
+    bytes := !bytes +. float_of_int size;
+    ignore (timers.Backend.Timers.schedule ~after:delay_ms (fun () -> deliver ~src ~dst msg))
+  in
+  {
+    Backend.Transport.n;
+    send = (fun ~src ~dst ~size msg -> post ~src ~dst ~size msg);
+    broadcast =
+      (fun ~src ~size ~include_self msg ->
+        for dst = 0 to n - 1 do
+          if include_self || dst <> src then post ~src ~dst ~size msg
+        done);
+    set_handler = (fun replica f -> handlers.(replica) <- Some f);
+    stats =
+      (fun () ->
+        { Backend.Transport.sent = !sent; dropped = 0; partitioned = 0; bytes = !bytes });
+  }
+
+module Framing = struct
+  let max_body = 1 lsl 26 (* 64 MiB: far above any protocol message *)
+
+  let frame ~src payload =
+    let w = Wire.Writer.create () in
+    Wire.Writer.uint w src;
+    Wire.Writer.bytes w payload;
+    let body = Wire.Writer.contents w in
+    let n = String.length body in
+    let out = Bytes.create (4 + n) in
+    Bytes.set_int32_be out 0 (Int32.of_int n);
+    Bytes.blit_string body 0 out 4 n;
+    Bytes.unsafe_to_string out
+
+  type decoder = { buf : Buffer.t }
+
+  let decoder () = { buf = Buffer.create 4096 }
+
+  let feed d chunk len =
+    Buffer.add_subbytes d.buf chunk 0 len;
+    let frames = ref [] in
+    let progress = ref true in
+    while !progress do
+      let avail = Buffer.length d.buf in
+      if avail < 4 then progress := false
+      else begin
+        let body_len = Int32.to_int (String.get_int32_be (Buffer.sub d.buf 0 4) 0) in
+        if body_len < 0 || body_len > max_body then
+          raise (Wire.Reader.Malformed "frame length out of range");
+        if avail < 4 + body_len then progress := false
+        else begin
+          let body = Buffer.sub d.buf 4 body_len in
+          let rest = Buffer.sub d.buf (4 + body_len) (avail - 4 - body_len) in
+          Buffer.clear d.buf;
+          Buffer.add_string d.buf rest;
+          let r = Wire.Reader.of_string body in
+          let src = Wire.Reader.uint r in
+          let payload = Wire.Reader.bytes r in
+          Wire.Reader.expect_end r;
+          frames := (src, payload) :: !frames
+        end
+      end
+    done;
+    List.rev !frames
+end
+
+let socket_path ~dir i = Filename.concat dir (Printf.sprintf "replica-%d.sock" i)
+
+type 'msg uds_state = {
+  exec : t;
+  u_n : int;
+  dir : string;
+  u_encode : 'msg -> string;
+  u_decode : string -> 'msg option;
+  u_handlers : (src:int -> 'msg -> unit) option array;
+  u_out : Unix.file_descr option array; (* lazily dialed, one per destination *)
+  mutable u_sent : int;
+  mutable u_dropped : int;
+  mutable u_bytes : float;
+}
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let uds_close_conn st fd =
+  remove_poller st.exec fd;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* One accepted connection: drain whatever is readable, dispatch complete
+   frames to the owning replica's handler. A corrupt stream (or EOF) tears
+   the connection down; the peer re-dials on its next send. *)
+let uds_on_readable st ~owner conn dec buf () =
+  match Unix.read conn buf 0 (Bytes.length buf) with
+  | 0 -> uds_close_conn st conn
+  | len -> (
+    match Framing.feed dec buf len with
+    | frames ->
+      List.iter
+        (fun (src, payload) ->
+          match st.u_decode payload with
+          | Some msg -> (
+            match st.u_handlers.(owner) with Some h -> h ~src msg | None -> ())
+          | None -> st.u_dropped <- st.u_dropped + 1)
+        frames
+    | exception Wire.Reader.Malformed _ ->
+      st.u_dropped <- st.u_dropped + 1;
+      uds_close_conn st conn)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> uds_close_conn st conn
+
+let uds_listen st i =
+  let path = socket_path ~dir:st.dir i in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  add_poller st.exec fd (fun () ->
+      match Unix.accept fd with
+      | conn, _ ->
+        Unix.set_nonblock conn;
+        let dec = Framing.decoder () in
+        let buf = Bytes.create 65536 in
+        add_poller st.exec conn (uds_on_readable st ~owner:i conn dec buf)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ());
+  fd
+
+let uds_dial st dst =
+  match st.u_out.(dst) with
+  | Some fd -> Some fd
+  | None -> (
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX (socket_path ~dir:st.dir dst)) with
+    | () ->
+      st.u_out.(dst) <- Some fd;
+      Some fd
+    | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None)
+
+let uds_send st ~src ~dst ~size msg =
+  match uds_dial st dst with
+  | None -> st.u_dropped <- st.u_dropped + 1
+  | Some fd -> (
+    let frame = Framing.frame ~src (st.u_encode msg) in
+    match write_all fd frame with
+    | () ->
+      st.u_sent <- st.u_sent + 1;
+      st.u_bytes <- st.u_bytes +. float_of_int size
+    | exception Unix.Unix_error _ ->
+      (* Broken pipe or peer gone: drop the cached connection so the next
+         send re-dials. *)
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      st.u_out.(dst) <- None;
+      st.u_dropped <- st.u_dropped + 1)
+
+let uds t ~n ~dir ~encode ~decode () =
+  let st =
+    {
+      exec = t;
+      u_n = n;
+      dir;
+      u_encode = encode;
+      u_decode = decode;
+      u_handlers = Array.make n None;
+      u_out = Array.make n None;
+      u_sent = 0;
+      u_dropped = 0;
+      u_bytes = 0.0;
+    }
+  in
+  for i = 0 to n - 1 do
+    ignore (uds_listen st i)
+  done;
+  {
+    Backend.Transport.n = st.u_n;
+    send = (fun ~src ~dst ~size msg -> uds_send st ~src ~dst ~size msg);
+    broadcast =
+      (fun ~src ~size ~include_self msg ->
+        for dst = 0 to n - 1 do
+          if include_self || dst <> src then uds_send st ~src ~dst ~size msg
+        done);
+    set_handler = (fun replica f -> st.u_handlers.(replica) <- Some f);
+    stats =
+      (fun () ->
+        {
+          Backend.Transport.sent = st.u_sent;
+          dropped = st.u_dropped;
+          partitioned = 0;
+          bytes = st.u_bytes;
+        });
+  }

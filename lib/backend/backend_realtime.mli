@@ -1,0 +1,100 @@
+(** Wall-clock executor behind {!Backend}.
+
+    Runs the same protocol code as the simulator on real time: a timer
+    wheel over a mutex-protected binary heap ({!Shoalpp_support.Heap}),
+    a monotonic millisecond clock (clamped against system-clock steps),
+    and a choice of transports — in-process loopback dispatching through
+    the timer loop, or Unix-domain sockets with length-prefixed
+    {!Shoalpp_codec.Wire} framing.
+
+    The event loop is single-threaded: {!run_for} fires due timers in
+    (due-time, scheduling-order) order and multiplexes socket readiness
+    with [select] between them. [schedule]/[cancel] are mutex-protected, so
+    timers may be armed from other threads, but transport handlers and
+    timer callbacks always run on the loop thread.
+
+    Invariants:
+    - {!Backend.Clock} readings never decrease; time is ms since
+      {!create};
+    - a message handler is never invoked from inside [send] — loopback
+      deliveries go through a zero-delay timer, socket deliveries through
+      the read side of the loop;
+    - per-sender FIFO order is preserved by both transports (equal
+      due-times fire in scheduling order; stream sockets preserve byte
+      order). *)
+
+type t
+(** The executor: clock origin, timer heap, and I/O poller registry. *)
+
+val create : ?max_tick_ms:float -> unit -> t
+(** [max_tick_ms] (default 50) bounds how long the loop sleeps between
+    timer checks, which also bounds shutdown latency of {!stop}. *)
+
+val now_ms : t -> float
+(** Milliseconds since {!create}, monotonically clamped. *)
+
+val clock : t -> Backend.Clock.t
+val timers : t -> Backend.Timers.t
+
+val backend : t -> 'msg Backend.Transport.t -> 'msg Backend.t
+(** Assemble a full backend from this executor and a transport. *)
+
+val run_for : t -> duration_ms:float -> unit
+(** Drive the loop for [duration_ms] of wall time (or until {!stop}).
+    Re-entrant calls are not allowed. *)
+
+val stop : t -> unit
+(** Ask a running {!run_for} to return after the current iteration. May be
+    called from a timer callback or another thread. *)
+
+val events_fired : t -> int
+val pending_timers : t -> int
+
+(** {2 I/O polling} — used by the socket transport; exposed for future
+    transports. Callbacks run on the loop thread when the descriptor is
+    readable. *)
+
+val add_poller : t -> Unix.file_descr -> (unit -> unit) -> unit
+val remove_poller : t -> Unix.file_descr -> unit
+
+(** {2 Transports} *)
+
+val loopback : t -> n:int -> ?delay_ms:float -> unit -> 'msg Backend.Transport.t
+(** In-process transport: [send] arms a timer [delay_ms] (default 0) ahead
+    that invokes the destination handler. Nothing is serialized; [size] is
+    charged to the byte counter as declared. *)
+
+module Framing : sig
+  (** Length-prefixed frames over a byte stream: a 4-byte big-endian body
+      length, then a {!Shoalpp_codec.Wire} body [(uint src; bytes
+      payload)]. Split out for direct testing. *)
+
+  val frame : src:int -> string -> string
+  (** Encode one payload as a complete frame. *)
+
+  type decoder
+
+  val decoder : unit -> decoder
+
+  val feed : decoder -> Bytes.t -> int -> (int * string) list
+  (** [feed d chunk len] appends [len] bytes and returns every complete
+      [(src, payload)] frame now available, in stream order. Partial frames
+      are buffered across calls.
+      @raise Shoalpp_codec.Wire.Reader.Malformed on a corrupt frame
+      (including bodies over 64 MiB). *)
+end
+
+val uds :
+  t ->
+  n:int ->
+  dir:string ->
+  encode:('msg -> string) ->
+  decode:(string -> 'msg option) ->
+  unit ->
+  'msg Backend.Transport.t
+(** Unix-domain-socket transport: replica [i] listens on
+    [dir/replica-i.sock]; outbound connections are dialed lazily and each
+    frame carries the sender id, so one socket per (process, destination)
+    pair suffices. Messages whose [decode] fails (or that arrive on a
+    corrupt stream) are dropped and counted. All endpoints live in this
+    process today, but nothing in the wire format assumes it. *)

@@ -1,9 +1,9 @@
 module Digest32 = Shoalpp_crypto.Digest32
 module Committee = Shoalpp_dag.Committee
-module Engine = Shoalpp_sim.Engine
-module Netmodel = Shoalpp_sim.Netmodel
+module Backend = Shoalpp_backend.Backend
+module Backend_sim = Shoalpp_backend.Backend_sim
 module Topology = Shoalpp_sim.Topology
-module Fault = Shoalpp_sim.Fault
+module Fault_schedule = Shoalpp_sim.Fault_schedule
 module Faults = Shoalpp_sim.Faults
 module Transaction = Shoalpp_workload.Transaction
 module Client = Shoalpp_workload.Client
@@ -60,8 +60,8 @@ let block_digest ~round ~author ~justify ~txns =
 type setup = {
   committee : Committee.t;
   topology : Topology.t;
-  net_config : Netmodel.config;
-  fault : Fault.t;
+  net_config : Backend_sim.net_config;
+  fault : Fault_schedule.t;
   scenario : Faults.t;
   load_tps : float;
   tx_size : int;
@@ -78,8 +78,8 @@ let default_setup ~committee =
   {
     committee;
     topology = Topology.gcp10 ();
-    net_config = Netmodel.default_config;
-    fault = Fault.none;
+    net_config = Backend_sim.default_net_config;
+    fault = Fault_schedule.none;
     scenario = Faults.none;
     load_tps = 1000.0;
     tx_size = Transaction.default_size;
@@ -98,8 +98,7 @@ type tx_state = { tx : Transaction.t; mutable included_round : int (* -1 = free 
 type replica = {
   id : int;
   setup : setup;
-  engine : Engine.t;
-  net : msg Netmodel.t;
+  backend : msg Backend.t;
   metrics : Metrics.t;
   genesis_qc : qc;
   pool : (int, tx_state) Hashtbl.t; (* txid -> state *)
@@ -120,7 +119,7 @@ type replica = {
   (* Reputation inputs: (block round, author, qc signers) of committed
      blocks, newest first. *)
   mutable committed_meta : (int * int * int list) list;
-  mutable round_timer : Engine.timer option;
+  mutable round_timer : Backend.timer option;
   mutable ntimeouts : int;
   mutable crashed : bool;
   (* State sync: commits whose justify chain has holes (missed while
@@ -168,9 +167,9 @@ let leader_of t r =
 
 let quorum t = Committee.quorum t.setup.committee
 
-let broadcast t msg = Netmodel.broadcast t.net ~src:t.id ~size:(message_size msg) msg
-let send t ~dst msg = Netmodel.send t.net ~src:t.id ~dst ~size:(message_size msg) msg
-let byz_now t = t.byzantine (Engine.now t.engine)
+let broadcast t msg = Backend.broadcast t.backend ~src:t.id ~size:(message_size msg) msg
+let send t ~dst msg = Backend.send t.backend ~src:t.id ~dst ~size:(message_size msg) msg
+let byz_now t = t.byzantine (Backend.now t.backend)
 
 let commit_block t (b : block) =
   t.committed_log <- b.jb_digest :: t.committed_log;
@@ -183,7 +182,7 @@ let commit_block t (b : block) =
     :: List.filter
          (fun (br, _, _) -> br >= b.jb_round - ((2 * rep_window) + rep_lag))
          t.committed_meta;
-  let now = Engine.now t.engine in
+  let now = Backend.now t.backend in
   Obs.incr_c t.c_commits;
   Obs.event t.obs ~time:now
     (Trace.Anchor_direct_certified { round = b.jb_round; anchor = b.jb_author });
@@ -206,7 +205,7 @@ let commit_block t (b : block) =
    or a partitioned minority can never refill its chain holes after the
    heal (and its [leader_of] view never reconverges with the majority's). *)
 let request_sync t digest =
-  let now = Engine.now t.engine in
+  let now = Backend.now t.backend in
   let due =
     match Hashtbl.find_opt t.syncing digest with
     | None -> true
@@ -260,14 +259,14 @@ let retry_pending_commits t =
 let rec enter_round t r =
   if r > t.current_round then begin
     t.current_round <- r;
-    (match t.round_timer with Some timer -> Engine.cancel timer | None -> ());
+    (match t.round_timer with Some timer -> Backend.cancel timer | None -> ());
     t.round_timer <-
       Some
-        (Engine.schedule t.engine ~after:t.setup.round_timeout_ms (fun () ->
+        (Backend.schedule t.backend ~after:t.setup.round_timeout_ms (fun () ->
              if (not t.crashed) && t.current_round = r then begin
                t.ntimeouts <- t.ntimeouts + 1;
                Obs.incr_c t.c_timeouts;
-               Obs.event t.obs ~time:(Engine.now t.engine) (Trace.Timeout_fired { round = r });
+               Obs.event t.obs ~time:(Backend.now t.backend) (Trace.Timeout_fired { round = r });
                send_timeout t r
              end));
     if leader_of t r = t.id then propose t r
@@ -323,7 +322,7 @@ and propose t r =
   let txns = List.rev !txns in
   let justify = t.high_qc in
   let digest = block_digest ~round:r ~author:t.id ~justify ~txns in
-  let now = Engine.now t.engine in
+  let now = Backend.now t.backend in
   let b =
     {
       jb_round = r;
@@ -389,10 +388,10 @@ let handle_block t (b : block) =
       match byz_now t with
       | Some (Faults.Delay_votes delay_ms) ->
         Obs.incr_c t.c_delayed;
-        Obs.event t.obs ~time:(Engine.now t.engine)
+        Obs.event t.obs ~time:(Backend.now t.backend)
           (Trace.Votes_delayed { round = b.jb_round; delay_ms = int_of_float delay_ms });
         ignore
-          (Engine.schedule t.engine ~after:delay_ms (fun () ->
+          (Backend.schedule t.backend ~after:delay_ms (fun () ->
                if not t.crashed then send t ~dst:next_leader vote))
       | _ -> send t ~dst:next_leader vote
     end
@@ -474,14 +473,14 @@ let handle_message t msg =
 
 type cluster = {
   c_setup : setup;
-  c_engine : Engine.t;
-  c_net : msg Netmodel.t;
+  c_world : msg Backend_sim.t;
+  c_backend : msg Backend.t;
   c_replicas : replica array;
   c_metrics : Metrics.t;
   c_telemetry : Telemetry.t;
   c_clients : Client.t option array;
   c_mempools : Mempool.t array; (* staging: client -> gossip *)
-  mutable c_fault : Fault.t;
+  mutable c_fault : Fault_schedule.t;
   mutable c_started : bool;
 }
 
@@ -492,12 +491,12 @@ let create setup =
      windows and partitions become part of the network fault schedule;
      Byzantine roles become per-replica closures below. *)
   let fault = Faults.schedule setup.scenario ~n ~base:setup.fault in
-  let engine = Engine.create () in
   let assignment = Topology.assign_round_robin setup.topology ~n in
-  let net =
-    Netmodel.create ~engine ~topology:setup.topology ~assignment ~fault
-      ~config:setup.net_config ~seed:setup.seed ()
+  let world =
+    Backend_sim.make ~topology:setup.topology ~assignment ~fault ~config:setup.net_config
+      ~seed:setup.seed ()
   in
+  let backend = Backend_sim.backend world in
   let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
   let telemetry = Telemetry.create () in
   let genesis_qc =
@@ -509,8 +508,7 @@ let create setup =
         {
           id;
           setup;
-          engine;
-          net;
+          backend;
           metrics;
           genesis_qc;
           pool = Hashtbl.create 4096;
@@ -548,11 +546,13 @@ let create setup =
           h_e2e = Obs.histogram obs "latency.e2e";
         })
   in
-  Array.iter (fun r -> Netmodel.set_handler net r.id (fun ~src:_ msg -> handle_message r msg)) replicas;
+  Array.iter
+    (fun r -> Backend.set_handler backend r.id (fun ~src:_ msg -> handle_message r msg))
+    replicas;
   {
     c_setup = setup;
-    c_engine = engine;
-    c_net = net;
+    c_world = world;
+    c_backend = backend;
     c_replicas = replicas;
     c_metrics = metrics;
     c_telemetry = telemetry;
@@ -565,7 +565,7 @@ let create setup =
 let rec arm_gossip c i =
   let r = c.c_replicas.(i) in
   ignore
-    (Engine.schedule c.c_engine ~after:c.c_setup.gossip_interval_ms (fun () ->
+    (Backend.schedule c.c_backend ~after:c.c_setup.gossip_interval_ms (fun () ->
          if not r.crashed then begin
            let txns = Mempool.pull c.c_mempools.(i) ~max:max_int in
            if txns <> [] then begin
@@ -581,7 +581,8 @@ let start_client c ~next_id i =
   if per_replica_tps c > 0.0 then
     c.c_clients.(i) <-
       Some
-        (Client.start ~engine:c.c_engine ~mempool:c.c_mempools.(i) ~origin:i
+        (Client.start ~clock:c.c_backend.Backend.clock ~timers:c.c_backend.Backend.timers
+           ~mempool:c.c_mempools.(i) ~origin:i
            ~rate_tps:(per_replica_tps c) ~tx_size:c.c_setup.tx_size ~seed:(c.c_setup.seed + i)
            ~next_id ())
 
@@ -592,7 +593,7 @@ let apply_crash c i =
   if not r.crashed then begin
     r.crashed <- true;
     Telemetry.incr_named c.c_telemetry "fault.crashes";
-    Obs.event r.obs ~time:(Engine.now c.c_engine) (Trace.Replica_crashed { replica = i });
+    Obs.event r.obs ~time:(Backend.now c.c_backend) (Trace.Replica_crashed { replica = i });
     match c.c_clients.(i) with Some cl -> Client.stop cl | None -> ()
   end
 
@@ -602,9 +603,9 @@ let apply_crash c i =
 let recover_now c ~next_id i =
   let r = c.c_replicas.(i) in
   if r.crashed then begin
-    let now = Engine.now c.c_engine in
-    c.c_fault <- Fault.recover c.c_fault ~replica:i ~at:now;
-    Netmodel.set_fault c.c_net c.c_fault;
+    let now = Backend.now c.c_backend in
+    c.c_fault <- Fault_schedule.recover c.c_fault ~replica:i ~at:now;
+    Backend_sim.set_fault c.c_world c.c_fault;
     r.crashed <- false;
     Telemetry.incr_named c.c_telemetry "fault.recoveries";
     Obs.event r.obs ~time:now (Trace.Replica_recovered { replica = i; replayed = 0 });
@@ -618,20 +619,22 @@ let schedule_scenario c ~next_id =
   let scenario = c.c_setup.scenario in
   List.iter
     (fun (replica, at) ->
-      ignore (Engine.schedule_at c.c_engine ~at (fun () -> apply_crash c replica)))
+      ignore (Backend.schedule_at c.c_backend ~at (fun () -> apply_crash c replica)))
     (Faults.timed_crashes scenario ~n);
   List.iter
     (fun (replica, _crash_at, recover_at) ->
-      ignore (Engine.schedule_at c.c_engine ~at:recover_at (fun () -> recover_now c ~next_id replica)))
+      ignore
+        (Backend.schedule_at c.c_backend ~at:recover_at (fun () ->
+             recover_now c ~next_id replica)))
     (Faults.crash_recoveries scenario ~n);
   List.iter
     (fun (from_time, until_time, _minority) ->
       ignore
-        (Engine.schedule_at c.c_engine ~at:from_time (fun () ->
+        (Backend.schedule_at c.c_backend ~at:from_time (fun () ->
              Telemetry.incr_named c.c_telemetry "fault.partitions_opened"));
       if until_time < infinity then
         ignore
-          (Engine.schedule_at c.c_engine ~at:until_time (fun () ->
+          (Backend.schedule_at c.c_backend ~at:until_time (fun () ->
                Telemetry.incr_named c.c_telemetry "fault.partitions_healed")))
     (Faults.partition_windows scenario ~n)
 
@@ -641,7 +644,7 @@ let start c =
     let next_id = ref 0 in
     Array.iteri
       (fun i r ->
-        if not (Fault.is_crashed c.c_fault ~replica:i ~time:0.0) then begin
+        if not (Fault_schedule.is_crashed c.c_fault ~replica:i ~time:0.0) then begin
           start_client c ~next_id i;
           arm_gossip c i
         end;
@@ -652,28 +655,29 @@ let start c =
 
 let run c ~duration_ms =
   start c;
-  Engine.run ~until:duration_ms c.c_engine
+  Backend_sim.run ~until:duration_ms c.c_world
 
 let crash_now c i =
-  let now = Engine.now c.c_engine in
-  c.c_fault <- Fault.crash c.c_fault ~replica:i ~at:now;
-  Netmodel.set_fault c.c_net c.c_fault;
+  let now = Backend.now c.c_backend in
+  c.c_fault <- Fault_schedule.crash c.c_fault ~replica:i ~at:now;
+  Backend_sim.set_fault c.c_world c.c_fault;
   c.c_replicas.(i).crashed <- true;
   match c.c_clients.(i) with Some cl -> Client.stop cl | None -> ()
 
-let engine c = c.c_engine
+let events_fired c = Backend_sim.events_fired c.c_world
 let metrics c = c.c_metrics
 let telemetry c = c.c_telemetry
 
 let report c ~duration_ms =
+  let net_stats = Backend.stats c.c_backend in
   let submitted = Array.fold_left (fun acc m -> acc + Mempool.submitted m) 0 c.c_mempools in
   Report.make ~name:"jolteon" ~n:(Array.length c.c_replicas) ~load_tps:c.c_setup.load_tps
     ~duration_ms ~submitted ~metrics:c.c_metrics
     ~direct_commits:
       (Array.fold_left (fun acc r -> acc + List.length r.committed_log) 0 c.c_replicas)
-    ~messages_sent:(Netmodel.messages_sent c.c_net)
-    ~messages_dropped:(Netmodel.messages_dropped c.c_net + Netmodel.messages_partitioned c.c_net)
-    ~bytes_sent:(Netmodel.bytes_sent c.c_net)
+    ~messages_sent:net_stats.Backend.Transport.sent
+    ~messages_dropped:(net_stats.Backend.Transport.dropped + net_stats.Backend.Transport.partitioned)
+    ~bytes_sent:net_stats.Backend.Transport.bytes
     ~telemetry:(Telemetry.snapshot c.c_telemetry) ()
 
 let committed_consistent c =

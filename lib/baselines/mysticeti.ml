@@ -6,10 +6,10 @@ module Types = Shoalpp_dag.Types
 module Store = Shoalpp_dag.Store
 module Driver = Shoalpp_consensus.Driver
 module Anchors = Shoalpp_consensus.Anchors
-module Engine = Shoalpp_sim.Engine
-module Netmodel = Shoalpp_sim.Netmodel
+module Backend = Shoalpp_backend.Backend
+module Backend_sim = Shoalpp_backend.Backend_sim
 module Topology = Shoalpp_sim.Topology
-module Fault = Shoalpp_sim.Fault
+module Fault_schedule = Shoalpp_sim.Fault_schedule
 module Faults = Shoalpp_sim.Faults
 module Batch = Shoalpp_workload.Batch
 module Transaction = Shoalpp_workload.Transaction
@@ -40,8 +40,8 @@ let message_size = function
 type setup = {
   committee : Committee.t;
   topology : Topology.t;
-  net_config : Netmodel.config;
-  fault : Fault.t;
+  net_config : Backend_sim.net_config;
+  fault : Fault_schedule.t;
   scenario : Faults.t;
   load_tps : float;
   tx_size : int;
@@ -58,8 +58,8 @@ let default_setup ~committee =
   {
     committee;
     topology = Topology.gcp10 ();
-    net_config = Netmodel.default_config;
-    fault = Fault.none;
+    net_config = Backend_sim.default_net_config;
+    fault = Fault_schedule.none;
     scenario = Faults.none;
     load_tps = 1000.0;
     tx_size = Transaction.default_size;
@@ -80,8 +80,7 @@ let dummy_cert committee (node : Types.node) =
 type replica = {
   id : int;
   setup : setup;
-  engine : Engine.t;
-  net : msg Netmodel.t;
+  backend : msg Backend.t;
   metrics : Metrics.t;
   mempool : Mempool.t;
   store : Store.t;
@@ -97,7 +96,7 @@ type replica = {
   fetching : (Digest32.t, Types.node_ref) Hashtbl.t; (* outstanding wants *)
   mutable proposed_round : int;
   mutable round_started_at : float;
-  mutable round_timer : Engine.timer option;
+  mutable round_timer : Backend.timer option;
   log : (int * int * int) list ref; (* newest first: dag, round, author of anchors *)
   mutable fetches : int;
   mutable stalled : int;
@@ -117,15 +116,15 @@ type replica = {
 
 let quorum r = Committee.quorum r.setup.committee
 
-let broadcast r m = Netmodel.broadcast r.net ~src:r.id ~size:(message_size m) m
-let send r ~dst m = Netmodel.send r.net ~src:r.id ~dst ~size:(message_size m) m
+let broadcast r m = Backend.broadcast r.backend ~src:r.id ~size:(message_size m) m
+let send r ~dst m = Backend.send r.backend ~src:r.id ~dst ~size:(message_size m) m
 
 let processed_at r ~round = Store.count_at r.store ~round
 
 let rec propose r round =
   r.proposed_round <- round;
-  r.round_started_at <- Engine.now r.engine;
-  (match r.round_timer with Some t -> Engine.cancel t | None -> ());
+  r.round_started_at <- Backend.now r.backend;
+  (match r.round_timer with Some t -> Backend.cancel t | None -> ());
   let parents =
     if round = 0 then []
     else
@@ -134,9 +133,9 @@ let rec propose r round =
   in
   let txns = Mempool.pull r.mempool ~max:r.setup.batch_cap in
   Obs.incr_c r.c_proposals;
-  Obs.event r.obs ~time:(Engine.now r.engine)
+  Obs.event r.obs ~time:(Backend.now r.backend)
     (Trace.Proposal_created { round; txns = List.length txns });
-  let created_at = Engine.now r.engine in
+  let created_at = Backend.now r.backend in
   let batch = Batch.make ~txns ~created_at in
   let digest =
     Types.node_digest ~round ~author:r.id ~batch_digest:batch.Batch.digest ~parents
@@ -198,7 +197,7 @@ let rec propose r round =
       (Trace.Votes_delayed { round; delay_ms = int_of_float delay_ms });
     send r ~dst:r.id (Block node);
     ignore
-      (Engine.schedule r.engine ~after:delay_ms (fun () ->
+      (Backend.schedule r.backend ~after:delay_ms (fun () ->
            if not r.crashed then
              for dst = 0 to Store.n r.store - 1 do
                if dst <> r.id then send r ~dst (Block node)
@@ -206,11 +205,11 @@ let rec propose r round =
   | _ -> broadcast r (Block node));
   r.round_timer <-
     Some
-      (Engine.schedule r.engine ~after:r.setup.round_timeout_ms (fun () ->
+      (Backend.schedule r.backend ~after:r.setup.round_timeout_ms (fun () ->
            if not r.crashed then begin
              if r.proposed_round = round then begin
                Obs.incr_c r.c_timeouts;
-               Obs.event r.obs ~time:(Engine.now r.engine) (Trace.Timeout_fired { round })
+               Obs.event r.obs ~time:(Backend.now r.backend) (Trace.Timeout_fired { round })
              end;
              maybe_advance r
            end))
@@ -219,7 +218,7 @@ and maybe_advance r =
   if (not r.crashed) && r.proposed_round >= 0 then begin
     let round = r.proposed_round in
     let have = processed_at r ~round in
-    let timeout_over = Engine.now r.engine >= r.round_started_at +. r.setup.round_timeout_ms in
+    let timeout_over = Backend.now r.backend >= r.round_started_at +. r.setup.round_timeout_ms in
     if have >= quorum r && (have >= Store.n r.store || timeout_over) then propose r (round + 1)
     else begin
       (* Catch-up when we fell behind the cluster. *)
@@ -242,7 +241,7 @@ let rec start_fetch r (wanted : Types.node_ref) =
     Hashtbl.replace r.fetching wanted.Types.ref_digest wanted;
     r.fetches <- r.fetches + 1;
     Obs.incr_c r.c_fetches;
-    Obs.event r.obs ~time:(Engine.now r.engine)
+    Obs.event r.obs ~time:(Backend.now r.backend)
       (Trace.Fetch_requested { round = wanted.Types.ref_round; author = wanted.Types.ref_author });
     (* First ask the author, the one replica guaranteed to have it. *)
     send r ~dst:wanted.Types.ref_author (Fetch_req { wanted; requester = r.id });
@@ -251,7 +250,7 @@ let rec start_fetch r (wanted : Types.node_ref) =
 
 and arm_fetch_retry r wanted =
   ignore
-    (Engine.schedule r.engine ~after:r.setup.fetch_retry_ms (fun () ->
+    (Backend.schedule r.backend ~after:r.setup.fetch_retry_ms (fun () ->
          if (not r.crashed) && Hashtbl.mem r.fetching wanted.Types.ref_digest then begin
            let n = Store.n r.store in
            let dst = Rng.int r.rng n in
@@ -337,17 +336,17 @@ let handle_message r msg =
 
 type cluster = {
   c_setup : setup;
-  c_engine : Engine.t;
-  c_net : msg Netmodel.t;
+  c_world : msg Backend_sim.t;
+  c_backend : msg Backend.t;
   c_replicas : replica array;
   c_metrics : Metrics.t;
   c_telemetry : Telemetry.t;
   c_clients : Client.t option array;
-  mutable c_fault : Fault.t;
+  mutable c_fault : Fault_schedule.t;
   mutable c_started : bool;
 }
 
-let make_replica setup ~engine ~net ~metrics ~telemetry id =
+let make_replica setup ~backend ~metrics ~telemetry id =
   let committee = setup.committee in
   let store =
     Store.create ~n:committee.Committee.n ~genesis_digest:committee.Committee.genesis
@@ -370,7 +369,7 @@ let make_replica setup ~engine ~net ~metrics ~telemetry id =
   let driver =
     Driver.create ~obs driver_cfg
       {
-        Driver.now = (fun () -> Engine.now engine);
+        Driver.now = (fun () -> Backend.now backend);
         cert_ref =
           (fun ~round ~author ->
             Option.map
@@ -383,7 +382,7 @@ let make_replica setup ~engine ~net ~metrics ~telemetry id =
           (fun segment ->
             let anchor = segment.Driver.anchor in
             log := (0, anchor.Types.ref_round, anchor.Types.ref_author) :: !log;
-            let now = Engine.now engine in
+            let now = Backend.now backend in
             List.iter
               (fun (cn : Types.certified_node) ->
                 let node = cn.Types.cn_node in
@@ -415,8 +414,7 @@ let make_replica setup ~engine ~net ~metrics ~telemetry id =
     {
       id;
       setup;
-      engine;
-      net;
+      backend;
       metrics;
       mempool = Mempool.create ();
       store;
@@ -456,24 +454,24 @@ let create setup =
   let n = committee.Committee.n in
   (* Bind the declarative scenario to this cluster size (see Jolteon). *)
   let fault = Faults.schedule setup.scenario ~n ~base:setup.fault in
-  let engine = Engine.create () in
   let assignment = Topology.assign_round_robin setup.topology ~n in
-  let net =
-    Netmodel.create ~engine ~topology:setup.topology ~assignment ~fault
-      ~config:setup.net_config ~seed:setup.seed ()
+  let world =
+    Backend_sim.make ~topology:setup.topology ~assignment ~fault ~config:setup.net_config
+      ~seed:setup.seed ()
   in
+  let backend = Backend_sim.backend world in
   let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
   let telemetry = Telemetry.create () in
   let replicas =
-    Array.init n (fun id -> make_replica setup ~engine ~net ~metrics ~telemetry id)
+    Array.init n (fun id -> make_replica setup ~backend ~metrics ~telemetry id)
   in
   Array.iter
-    (fun r -> Netmodel.set_handler net r.id (fun ~src:_ msg -> handle_message r msg))
+    (fun r -> Backend.set_handler backend r.id (fun ~src:_ msg -> handle_message r msg))
     replicas;
   {
     c_setup = setup;
-    c_engine = engine;
-    c_net = net;
+    c_world = world;
+    c_backend = backend;
     c_replicas = replicas;
     c_metrics = metrics;
     c_telemetry = telemetry;
@@ -488,7 +486,8 @@ let start_client c ~next_id i =
   if per_replica_tps c > 0.0 then
     c.c_clients.(i) <-
       Some
-        (Client.start ~engine:c.c_engine ~mempool:c.c_replicas.(i).mempool ~origin:i
+        (Client.start ~clock:c.c_backend.Backend.clock ~timers:c.c_backend.Backend.timers
+           ~mempool:c.c_replicas.(i).mempool ~origin:i
            ~rate_tps:(per_replica_tps c) ~tx_size:c.c_setup.tx_size ~seed:(c.c_setup.seed + i)
            ~next_id ())
 
@@ -499,7 +498,7 @@ let apply_crash c i =
   if not r.crashed then begin
     r.crashed <- true;
     Telemetry.incr_named c.c_telemetry "fault.crashes";
-    Obs.event r.obs ~time:(Engine.now c.c_engine) (Trace.Replica_crashed { replica = i });
+    Obs.event r.obs ~time:(Backend.now c.c_backend) (Trace.Replica_crashed { replica = i });
     match c.c_clients.(i) with Some cl -> Client.stop cl | None -> ()
   end
 
@@ -509,9 +508,9 @@ let apply_crash c i =
 let recover_now c ~next_id i =
   let r = c.c_replicas.(i) in
   if r.crashed then begin
-    let now = Engine.now c.c_engine in
-    c.c_fault <- Fault.recover c.c_fault ~replica:i ~at:now;
-    Netmodel.set_fault c.c_net c.c_fault;
+    let now = Backend.now c.c_backend in
+    c.c_fault <- Fault_schedule.recover c.c_fault ~replica:i ~at:now;
+    Backend_sim.set_fault c.c_world c.c_fault;
     r.crashed <- false;
     Telemetry.incr_named c.c_telemetry "fault.recoveries";
     Obs.event r.obs ~time:now (Trace.Replica_recovered { replica = i; replayed = 0 });
@@ -524,20 +523,22 @@ let schedule_scenario c ~next_id =
   let scenario = c.c_setup.scenario in
   List.iter
     (fun (replica, at) ->
-      ignore (Engine.schedule_at c.c_engine ~at (fun () -> apply_crash c replica)))
+      ignore (Backend.schedule_at c.c_backend ~at (fun () -> apply_crash c replica)))
     (Faults.timed_crashes scenario ~n);
   List.iter
     (fun (replica, _crash_at, recover_at) ->
-      ignore (Engine.schedule_at c.c_engine ~at:recover_at (fun () -> recover_now c ~next_id replica)))
+      ignore
+        (Backend.schedule_at c.c_backend ~at:recover_at (fun () ->
+             recover_now c ~next_id replica)))
     (Faults.crash_recoveries scenario ~n);
   List.iter
     (fun (from_time, until_time, _minority) ->
       ignore
-        (Engine.schedule_at c.c_engine ~at:from_time (fun () ->
+        (Backend.schedule_at c.c_backend ~at:from_time (fun () ->
              Telemetry.incr_named c.c_telemetry "fault.partitions_opened"));
       if until_time < infinity then
         ignore
-          (Engine.schedule_at c.c_engine ~at:until_time (fun () ->
+          (Backend.schedule_at c.c_backend ~at:until_time (fun () ->
                Telemetry.incr_named c.c_telemetry "fault.partitions_healed")))
     (Faults.partition_windows scenario ~n)
 
@@ -547,7 +548,7 @@ let start c =
     let next_id = ref 0 in
     Array.iteri
       (fun i r ->
-        if not (Fault.is_crashed c.c_fault ~replica:i ~time:0.0) then start_client c ~next_id i;
+        if not (Fault_schedule.is_crashed c.c_fault ~replica:i ~time:0.0) then start_client c ~next_id i;
         propose r 0)
       c.c_replicas;
     schedule_scenario c ~next_id
@@ -555,24 +556,25 @@ let start c =
 
 let run c ~duration_ms =
   start c;
-  Engine.run ~until:duration_ms c.c_engine
+  Backend_sim.run ~until:duration_ms c.c_world
 
 let crash_now c i =
-  let now = Engine.now c.c_engine in
-  c.c_fault <- Fault.crash c.c_fault ~replica:i ~at:now;
-  Netmodel.set_fault c.c_net c.c_fault;
+  let now = Backend.now c.c_backend in
+  c.c_fault <- Fault_schedule.crash c.c_fault ~replica:i ~at:now;
+  Backend_sim.set_fault c.c_world c.c_fault;
   c.c_replicas.(i).crashed <- true;
   match c.c_clients.(i) with Some cl -> Client.stop cl | None -> ()
 
 let set_fault c fault =
   c.c_fault <- fault;
-  Netmodel.set_fault c.c_net fault
+  Backend_sim.set_fault c.c_world fault
 
-let engine c = c.c_engine
+let events_fired c = Backend_sim.events_fired c.c_world
 let metrics c = c.c_metrics
 let telemetry c = c.c_telemetry
 
 let report c ~duration_ms =
+  let net_stats = Backend.stats c.c_backend in
   let submitted =
     Array.fold_left (fun acc r -> acc + Mempool.submitted r.mempool) 0 c.c_replicas
   in
@@ -584,9 +586,9 @@ let report c ~duration_ms =
     ~direct_commits:(sum (fun s -> s.Driver.direct_commits))
     ~indirect_commits:(sum (fun s -> s.Driver.indirect_commits))
     ~skipped_anchors:(sum (fun s -> s.Driver.skipped_anchors))
-    ~messages_sent:(Netmodel.messages_sent c.c_net)
-    ~messages_dropped:(Netmodel.messages_dropped c.c_net + Netmodel.messages_partitioned c.c_net)
-    ~bytes_sent:(Netmodel.bytes_sent c.c_net)
+    ~messages_sent:net_stats.Backend.Transport.sent
+    ~messages_dropped:(net_stats.Backend.Transport.dropped + net_stats.Backend.Transport.partitioned)
+    ~bytes_sent:net_stats.Backend.Transport.bytes
     ~telemetry:(Telemetry.snapshot c.c_telemetry) ()
 
 let logs_consistent c =

@@ -31,8 +31,8 @@ type cluster
 type setup = {
   committee : Shoalpp_dag.Committee.t;
   topology : Shoalpp_sim.Topology.t;
-  net_config : Shoalpp_sim.Netmodel.config;
-  fault : Shoalpp_sim.Fault.t;
+  net_config : Shoalpp_backend.Backend_sim.net_config;
+  fault : Shoalpp_sim.Fault_schedule.t;
   scenario : Shoalpp_sim.Faults.t;
       (** declarative fault scenario, materialized against the committee
           size on {!create}; Byzantine roles map onto uncertified-DAG
@@ -54,7 +54,9 @@ val default_setup : committee:Shoalpp_dag.Committee.t -> setup
 val create : setup -> cluster
 val run : cluster -> duration_ms:float -> unit
 val crash_now : cluster -> int -> unit
-val engine : cluster -> Shoalpp_sim.Engine.t
+val events_fired : cluster -> int
+(** Simulation events fired so far (reporting). *)
+
 val metrics : cluster -> Shoalpp_runtime.Metrics.t
 
 val telemetry : cluster -> Shoalpp_support.Telemetry.t
@@ -63,7 +65,7 @@ val telemetry : cluster -> Shoalpp_support.Telemetry.t
     histograms comparable with the DAG family. *)
 
 val report : cluster -> duration_ms:float -> Shoalpp_runtime.Report.t
-val set_fault : cluster -> Shoalpp_sim.Fault.t -> unit
+val set_fault : cluster -> Shoalpp_sim.Fault_schedule.t -> unit
 
 val logs_consistent : cluster -> bool
 val fetches_sent : cluster -> int

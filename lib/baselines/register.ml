@@ -1,13 +1,13 @@
 module Experiment = Shoalpp_runtime.Experiment
 module Metrics = Shoalpp_runtime.Metrics
 module Committee = Shoalpp_dag.Committee
-module Fault = Shoalpp_sim.Fault
+module Fault_schedule = Shoalpp_sim.Fault_schedule
 
 let fault_of (p : Experiment.params) =
-  let fault = Fault.none in
+  let fault = Fault_schedule.none in
   let fault =
     if p.Experiment.crashes > 0 then
-      Fault.crash_many fault
+      Fault_schedule.crash_many fault
         ~replicas:(List.init p.Experiment.crashes (fun i -> p.Experiment.n - 1 - i))
         ~at:0.0
     else fault
@@ -15,7 +15,7 @@ let fault_of (p : Experiment.params) =
   match p.Experiment.drop_spec with
   | None -> fault
   | Some (k, rate, from_time) ->
-    Fault.drop_egress fault ~replicas:(List.init k Fun.id) ~rate ~from_time ()
+    Fault_schedule.drop_egress fault ~replicas:(List.init k Fun.id) ~rate ~from_time ()
 
 let trace_of (p : Experiment.params) =
   if p.Experiment.trace then
@@ -33,7 +33,8 @@ let jolteon_runner (p : Experiment.params) : Experiment.outcome =
       (Jolteon.default_setup ~committee) with
       Jolteon.topology = Experiment.make_topology p.Experiment.topology;
       net_config =
-        Option.value ~default:Shoalpp_sim.Netmodel.default_config p.Experiment.net_config;
+        Option.value ~default:Shoalpp_backend.Backend_sim.default_net_config
+        p.Experiment.net_config;
       fault = fault_of p;
       scenario = p.Experiment.scenario;
       load_tps = p.Experiment.load_tps;
@@ -54,7 +55,7 @@ let jolteon_runner (p : Experiment.params) : Experiment.outcome =
     throughput_series = Metrics.throughput_series (Jolteon.metrics c);
     latency_series = Metrics.latency_series (Jolteon.metrics c);
     requeued = 0;
-    events_fired = Shoalpp_sim.Engine.events_fired (Jolteon.engine c);
+    events_fired = Jolteon.events_fired c;
     events = events_of_trace trace;
   }
 
@@ -66,7 +67,8 @@ let mysticeti_runner (p : Experiment.params) : Experiment.outcome =
       (Mysticeti.default_setup ~committee) with
       Mysticeti.topology = Experiment.make_topology p.Experiment.topology;
       net_config =
-        Option.value ~default:Shoalpp_sim.Netmodel.default_config p.Experiment.net_config;
+        Option.value ~default:Shoalpp_backend.Backend_sim.default_net_config
+        p.Experiment.net_config;
       fault = fault_of p;
       scenario = p.Experiment.scenario;
       load_tps = p.Experiment.load_tps;
@@ -88,7 +90,7 @@ let mysticeti_runner (p : Experiment.params) : Experiment.outcome =
     throughput_series = Metrics.throughput_series (Mysticeti.metrics c);
     latency_series = Metrics.latency_series (Mysticeti.metrics c);
     requeued = 0;
-    events_fired = Shoalpp_sim.Engine.events_fired (Mysticeti.engine c);
+    events_fired = Mysticeti.events_fired c;
     events = events_of_trace trace;
   }
 

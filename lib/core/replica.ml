@@ -3,8 +3,7 @@ module Store = Shoalpp_dag.Store
 module Instance = Shoalpp_dag.Instance
 module Committee = Shoalpp_dag.Committee
 module Driver = Shoalpp_consensus.Driver
-module Engine = Shoalpp_sim.Engine
-module Netmodel = Shoalpp_sim.Netmodel
+module Backend = Shoalpp_backend.Backend
 module Faults = Shoalpp_sim.Faults
 module Mempool = Shoalpp_workload.Mempool
 module Wal = Shoalpp_storage.Wal
@@ -33,8 +32,7 @@ type dag_lane = {
 type t = {
   cfg : Config.t;
   id : int;
-  net : envelope Netmodel.t;
-  engine : Engine.t;
+  backend : envelope Backend.t;
   mempool : Mempool.t;
   wal : Wal.t;
   mutable lanes : dag_lane array;
@@ -74,7 +72,7 @@ let rec drain t =
       let seq = t.global_seq in
       t.global_seq <- t.global_seq + 1;
       t.next_lane <- (t.next_lane + 1) mod Array.length t.lanes;
-      let ordered_at = Engine.now t.engine in
+      let ordered_at = Backend.now t.backend in
       let committed_at = segment.Driver.committed_at in
       let ntx = ref 0 in
       List.iter
@@ -151,7 +149,7 @@ let make_lane t dag_id =
     Driver.create ~obs:t.obs
       (Config.driver_config cfg ~dag_id)
       {
-        Driver.now = (fun () -> Engine.now t.engine);
+        Driver.now = (fun () -> Backend.now t.backend);
         cert_ref =
           (fun ~round ~author -> Instance.cert_ref_at (the_instance ()) ~round ~author);
         request_fetch = (fun node_ref -> Instance.fetch_missing (the_instance ()) node_ref);
@@ -187,11 +185,11 @@ let make_lane t dag_id =
   driver_ref := Some driver;
   let plain_broadcast payload =
     let env = { dag_id; payload } in
-    Netmodel.broadcast t.net ~src:t.id ~size:(envelope_size env) env
+    Backend.broadcast t.backend ~src:t.id ~size:(envelope_size env) env
   in
   let plain_send ~dst payload =
     let env = { dag_id; payload } in
-    Netmodel.send t.net ~src:t.id ~dst ~size:(envelope_size env) env
+    Backend.send t.backend ~src:t.id ~dst ~size:(envelope_size env) env
   in
   (* Byzantine misbehaviour is injected at the send boundary so the instance
      and driver stay honest-path only; during WAL replay all sends are muted
@@ -199,7 +197,7 @@ let make_lane t dag_id =
   let byz_broadcast payload =
     if t.replaying then ()
     else begin
-      let now = Engine.now t.engine in
+      let now = Backend.now t.backend in
       match (payload, t.byzantine now) with
       | Types.Proposal node, Some Faults.Silent_anchor when node.Types.author = t.id ->
         (* Withhold our proposal from everyone but ourselves. *)
@@ -216,7 +214,7 @@ let make_lane t dag_id =
              odd ids the twin. Vote-once at correct replicas guarantees at
              most one version certifies. *)
           let twin_payload = Types.Proposal twin in
-          for dst = 0 to Netmodel.n t.net - 1 do
+          for dst = 0 to Backend.n t.backend - 1 do
             if dst = t.id || dst mod 2 = 0 then plain_send ~dst payload
             else plain_send ~dst twin_payload
           done)
@@ -225,7 +223,7 @@ let make_lane t dag_id =
         Obs.event t.obs ~time:now
           (Trace.Votes_delayed { round = v.Types.vote_round; delay_ms = int_of_float delay });
         ignore
-          (Engine.schedule t.engine ~after:delay (fun () ->
+          (Backend.schedule t.backend ~after:delay (fun () ->
                if not t.crashed then plain_broadcast payload))
       | _ -> plain_broadcast payload
     end
@@ -233,14 +231,14 @@ let make_lane t dag_id =
   let byz_send ~dst payload =
     if t.replaying then ()
     else begin
-      let now = Engine.now t.engine in
+      let now = Backend.now t.backend in
       match (payload, t.byzantine now) with
       | Types.Vote v, Some (Faults.Delay_votes delay) ->
         Obs.incr_c t.c_delayed;
         Obs.event t.obs ~time:now
           (Trace.Votes_delayed { round = v.Types.vote_round; delay_ms = int_of_float delay });
         ignore
-          (Engine.schedule t.engine ~after:delay (fun () ->
+          (Backend.schedule t.backend ~after:delay (fun () ->
                if not t.crashed then plain_send ~dst payload))
       | _ -> plain_send ~dst payload
     end
@@ -249,8 +247,8 @@ let make_lane t dag_id =
     {
       Instance.broadcast = byz_broadcast;
       send = byz_send;
-      now = (fun () -> Engine.now t.engine);
-      schedule = (fun ~after f -> Engine.schedule t.engine ~after f);
+      now = (fun () -> Backend.now t.backend);
+      schedule = (fun ~after f -> Backend.schedule t.backend ~after f);
       pull_batch = (fun ~max -> Mempool.pull t.mempool ~max);
       anchors_of_round = (fun round -> Driver.anchors_of_round (the_driver ()) round);
       persist =
@@ -286,18 +284,18 @@ let make_lane t dag_id =
     h_lane_latency = Obs.histogram t.obs (Printf.sprintf "dag%d.latency" dag_id);
   }
 
-let create ~config ~replica_id ~net ~mempool ?on_ordered ?trace ?telemetry
+let create ~config ~replica_id ~backend ~mempool ?on_ordered ?trace ?telemetry
     ?(byzantine = fun _ -> None) ?(retain_wal = false) () =
-  let engine = Netmodel.engine net in
   let obs = Obs.make ?trace ?telemetry ~replica:replica_id ~instance:0 () in
   let t =
     {
       cfg = config;
       id = replica_id;
-      net;
-      engine;
+      backend;
       mempool;
-      wal = Wal.create ~engine ~sync_latency_ms:config.Config.wal_sync_ms ~retain:retain_wal ();
+      wal =
+        Wal.create ~timers:backend.Backend.timers
+          ~sync_latency_ms:config.Config.wal_sync_ms ~retain:retain_wal ();
       lanes = [||];
       on_ordered;
       obs;
@@ -322,7 +320,7 @@ let create ~config ~replica_id ~net ~mempool ?on_ordered ?trace ?telemetry
     }
   in
   t.lanes <- Array.init config.Config.num_dags (fun dag_id -> make_lane t dag_id);
-  Netmodel.set_handler net replica_id (fun ~src env ->
+  Backend.set_handler backend replica_id (fun ~src env ->
       if not t.crashed then begin
         let lane = t.lanes.(env.dag_id) in
         Instance.handle_message lane.instance ~src env.payload
@@ -334,14 +332,14 @@ let start t =
     (fun dag_id lane ->
       let delay = float_of_int dag_id *. t.cfg.Config.stagger_ms in
       if delay <= 0.0 then Instance.start lane.instance
-      else ignore (Engine.schedule t.engine ~after:delay (fun () -> Instance.start lane.instance)))
+      else ignore (Backend.schedule t.backend ~after:delay (fun () -> Instance.start lane.instance)))
     t.lanes
 
 let crash t =
   if not t.crashed then begin
     t.crashed <- true;
     Obs.incr_c t.c_crashes;
-    Obs.event t.obs ~time:(Engine.now t.engine) (Trace.Replica_crashed { replica = t.id });
+    Obs.event t.obs ~time:(Backend.now t.backend) (Trace.Replica_crashed { replica = t.id });
     Array.iter (fun lane -> Instance.crash lane.instance) t.lanes
   end
 
@@ -384,7 +382,7 @@ let recover t =
       (Wal.entries t.wal);
     t.replaying <- false;
     Obs.incr_c t.c_recoveries;
-    Obs.event t.obs ~time:(Engine.now t.engine)
+    Obs.event t.obs ~time:(Backend.now t.backend)
       (Trace.Replica_recovered { replica = t.id; replayed = !replayed });
     Array.iter (fun lane -> Instance.resume lane.instance) t.lanes
   end

@@ -21,7 +21,7 @@ type t
 val create :
   config:Config.t ->
   replica_id:int ->
-  net:envelope Shoalpp_sim.Netmodel.t ->
+  backend:envelope Shoalpp_backend.Backend.t ->
   mempool:Shoalpp_workload.Mempool.t ->
   ?on_ordered:(ordered -> unit) ->
   ?trace:Shoalpp_sim.Trace.t ->
@@ -30,8 +30,12 @@ val create :
   ?retain_wal:bool ->
   unit ->
   t
-(** Registers itself as [net]'s handler for [replica_id]. [on_ordered] fires
-    for every segment appended to the replica's global log, in order.
+(** Registers itself as the [backend] transport's handler for [replica_id].
+    All clock reads, timers, and sends go through [backend], so the same
+    replica runs under the deterministic simulator
+    ({!Shoalpp_backend.Backend_sim}) or on a wall clock
+    ({!Shoalpp_backend.Backend_realtime}). [on_ordered] fires for every
+    segment appended to the replica's global log, in order.
 
     [byzantine] (default: honest) is queried with the current time at every
     send and injects misbehaviour at the network boundary: equivocating own

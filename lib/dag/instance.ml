@@ -2,7 +2,7 @@ module Digest32 = Shoalpp_crypto.Digest32
 module Signer = Shoalpp_crypto.Signer
 module Multisig = Shoalpp_crypto.Multisig
 module Batch = Shoalpp_workload.Batch
-module Engine = Shoalpp_sim.Engine
+module Backend = Shoalpp_backend.Backend
 module Obs = Shoalpp_sim.Obs
 module Trace = Shoalpp_sim.Trace
 module Rng = Shoalpp_support.Rng
@@ -38,7 +38,7 @@ type callbacks = {
   broadcast : Types.message -> unit;
   send : dst:int -> Types.message -> unit;
   now : unit -> float;
-  schedule : after:float -> (unit -> unit) -> Engine.timer;
+  schedule : after:float -> (unit -> unit) -> Backend.timer;
   pull_batch : max:int -> Shoalpp_workload.Transaction.t list;
   anchors_of_round : int -> int list;
   persist : Types.message -> (unit -> unit) -> unit;
@@ -70,7 +70,7 @@ type t = {
   mutable alive : bool;
   mutable proposed_round : int;
   mutable round_started_at : float;
-  mutable round_timer : Engine.timer option;
+  mutable round_timer : Backend.timer option;
   mutable timeout_backoff : float; (* multiplier on the round timeout *)
   mutable lowest_round : int; (* GC horizon *)
   own_votes : (int, vote_acc) Hashtbl.t; (* by round *)
@@ -191,7 +191,7 @@ let rec propose t round =
   t.round_started_at <- t.cb.now ();
   (* Progress: any successful proposal resets the adaptive backoff. *)
   t.timeout_backoff <- 1.0;
-  (match t.round_timer with Some timer -> Engine.cancel timer | None -> ());
+  (match t.round_timer with Some timer -> Backend.cancel timer | None -> ());
   t.round_timer <- None;
   let parents =
     if round = 0 then []

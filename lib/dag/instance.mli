@@ -53,7 +53,7 @@ type callbacks = {
   broadcast : Types.message -> unit;
   send : dst:int -> Types.message -> unit;
   now : unit -> float;
-  schedule : after:float -> (unit -> unit) -> Shoalpp_sim.Engine.timer;
+  schedule : after:float -> (unit -> unit) -> Shoalpp_backend.Backend.timer;
   pull_batch : max:int -> Shoalpp_workload.Transaction.t list;
   anchors_of_round : int -> int list;
       (** anchor candidates the wait policy may hold the round open for *)

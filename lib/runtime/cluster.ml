@@ -1,7 +1,7 @@
-module Engine = Shoalpp_sim.Engine
 module Topology = Shoalpp_sim.Topology
-module Netmodel = Shoalpp_sim.Netmodel
-module Fault = Shoalpp_sim.Fault
+module Backend = Shoalpp_backend.Backend
+module Backend_sim = Shoalpp_backend.Backend_sim
+module Fault_schedule = Shoalpp_sim.Fault_schedule
 module Faults = Shoalpp_sim.Faults
 module Trace = Shoalpp_sim.Trace
 module Config = Shoalpp_core.Config
@@ -12,12 +12,13 @@ module Client = Shoalpp_workload.Client
 module Transaction = Shoalpp_workload.Transaction
 module Batch = Shoalpp_workload.Batch
 module Types = Shoalpp_dag.Types
+module Telemetry = Shoalpp_support.Telemetry
 
 type setup = {
   protocol : Config.t;
   topology : Topology.t;
-  net_config : Netmodel.config;
-  fault : Fault.t;
+  net_config : Backend_sim.net_config;
+  fault : Fault_schedule.t;
   scenario : Faults.t;
   load_tps : float;
   tx_size : int;
@@ -31,8 +32,8 @@ let default_setup ~protocol =
   {
     protocol;
     topology = Topology.gcp10 ();
-    net_config = Netmodel.default_config;
-    fault = Fault.none;
+    net_config = Backend_sim.default_net_config;
+    fault = Fault_schedule.none;
     scenario = Faults.none;
     load_tps = 1000.0;
     tx_size = Transaction.default_size;
@@ -47,8 +48,8 @@ type seg_id = { sdag : int; sround : int; sauthor : int }
 
 type t = {
   setup : setup;
-  engine : Engine.t;
-  net : Replica.envelope Netmodel.t;
+  world : Replica.envelope Backend_sim.t;
+  backend : Replica.envelope Backend.t;
   mutable replicas : Replica.t array;
   mempools : Mempool.t array;
   clients : Client.t option array;
@@ -63,21 +64,21 @@ type t = {
   next_id : int ref; (* shared client tx-id counter (survives restarts) *)
   mutable duplicate_orders : int;
   mutable started : bool;
-  mutable fault : Fault.t;
+  mutable fault : Fault_schedule.t;
 }
 
 let create setup =
   let committee = setup.protocol.Config.committee in
   let n = committee.Shoalpp_dag.Committee.n in
   (* Bind the abstract scenario to this cluster size; from here on a single
-     Fault.t drives both the network and the scheduled replica events. *)
+     Fault_schedule.t drives both the network and the scheduled replica events. *)
   let fault = Faults.schedule setup.scenario ~n ~base:setup.fault in
-  let engine = Engine.create () in
   let assignment = Topology.assign_round_robin setup.topology ~n in
-  let net =
-    Netmodel.create ~engine ~topology:setup.topology ~assignment ~fault
-      ~config:setup.net_config ~seed:setup.seed ()
+  let world =
+    Backend_sim.make ~topology:setup.topology ~assignment ~fault ~config:setup.net_config
+      ~seed:setup.seed ()
   in
+  let backend = Backend_sim.backend world in
   let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
   let telemetry = Telemetry.create () in
   let mempools = Array.init n (fun _ -> Mempool.create ()) in
@@ -87,8 +88,8 @@ let create setup =
   let t =
     {
       setup;
-      engine;
-      net;
+      world;
+      backend;
       replicas = [||];
       mempools;
       clients = Array.make n None;
@@ -141,15 +142,18 @@ let create setup =
                 cn.Types.cn_node.Types.batch.Batch.txns)
             seg.Driver.nodes
         in
-        Replica.create ~config:setup.protocol ~replica_id ~net ~mempool:mempools.(replica_id)
+        Replica.create ~config:setup.protocol ~replica_id ~backend
+          ~mempool:mempools.(replica_id)
           ~on_ordered ?trace:setup.trace ~telemetry
           ~byzantine:(Faults.byzantine_for setup.scenario ~n ~replica:replica_id)
           ~retain_wal:(Faults.has_recovery setup.scenario)
           ());
   t
 
-let engine t = t.engine
-let net t = t.net
+let engine t = t.world.Backend_sim.engine
+let net t = t.world.Backend_sim.net
+let backend t = t.backend
+let events_fired t = Backend_sim.events_fired t.world
 let replicas t = t.replicas
 let metrics t = t.metrics
 let telemetry t = t.telemetry
@@ -161,7 +165,8 @@ let start_client t i =
   if per_replica_tps t > 0.0 then
     t.clients.(i) <-
       Some
-        (Client.start ~engine:t.engine ~mempool:t.mempools.(i) ~origin:i
+        (Client.start ~clock:t.backend.Backend.clock ~timers:t.backend.Backend.timers
+           ~mempool:t.mempools.(i) ~origin:i
            ~rate_tps:(per_replica_tps t) ~tx_size:t.setup.tx_size ~seed:(t.setup.seed + i)
            ~next_id:t.next_id ())
 
@@ -173,9 +178,9 @@ let apply_crash t i =
   t.clients.(i) <- None
 
 let recover_now t i =
-  let now = Engine.now t.engine in
-  t.fault <- Fault.recover t.fault ~replica:i ~at:now;
-  Netmodel.set_fault t.net t.fault;
+  let now = Backend.now t.backend in
+  t.fault <- Fault_schedule.recover t.fault ~replica:i ~at:now;
+  Backend_sim.set_fault t.world t.fault;
   (* The rebuilt log must re-derive everything ordered before the crash:
      snapshot it for the audit, then let replay repopulate from scratch. *)
   Hashtbl.replace t.pre_recovery i !(t.logs.(i));
@@ -196,22 +201,22 @@ let schedule_scenario t =
   let scenario = t.setup.scenario in
   List.iter
     (fun (replica, at) ->
-      ignore (Engine.schedule_at t.engine ~at (fun () -> apply_crash t replica)))
+      ignore (Backend.schedule_at t.backend ~at (fun () -> apply_crash t replica)))
     (Faults.timed_crashes scenario ~n);
   List.iter
     (fun (replica, _crash_at, recover_at) ->
-      ignore (Engine.schedule_at t.engine ~at:recover_at (fun () -> recover_now t replica)))
+      ignore (Backend.schedule_at t.backend ~at:recover_at (fun () -> recover_now t replica)))
     (Faults.crash_recoveries scenario ~n);
   List.iter
     (fun (from_time, until_time, minority) ->
       let groups = Printf.sprintf "minority=%d" minority in
       ignore
-        (Engine.schedule_at t.engine ~at:from_time (fun () ->
+        (Backend.schedule_at t.backend ~at:from_time (fun () ->
              Telemetry.incr_named t.telemetry "fault.partitions_opened";
              trace_partition t ~time:from_time (Trace.Partition_opened { groups })));
       if until_time < infinity then
         ignore
-          (Engine.schedule_at t.engine ~at:until_time (fun () ->
+          (Backend.schedule_at t.backend ~at:until_time (fun () ->
                Telemetry.incr_named t.telemetry "fault.partitions_healed";
                trace_partition t ~time:until_time (Trace.Partition_healed { groups }))))
     (Faults.partition_windows scenario ~n)
@@ -223,7 +228,7 @@ let start t =
       (fun i replica ->
         (* Clients at replicas crashed from t=0 are not started (the paper
            measures surviving clients). *)
-        if not (Fault.is_crashed t.fault ~replica:i ~time:0.0) then start_client t i;
+        if not (Fault_schedule.is_crashed t.fault ~replica:i ~time:0.0) then start_client t i;
         Replica.start replica)
       t.replicas;
     schedule_scenario t
@@ -231,12 +236,12 @@ let start t =
 
 let run t ~duration_ms =
   start t;
-  Engine.run ~until:duration_ms t.engine
+  Backend_sim.run ~until:duration_ms t.world
 
 let crash_now t i =
-  let now = Engine.now t.engine in
-  t.fault <- Fault.crash t.fault ~replica:i ~at:now;
-  Netmodel.set_fault t.net t.fault;
+  let now = Backend.now t.backend in
+  t.fault <- Fault_schedule.crash t.fault ~replica:i ~at:now;
+  Backend_sim.set_fault t.world t.fault;
   apply_crash t i
 
 type audit = {
@@ -290,6 +295,7 @@ let audit t =
   }
 
 let report t ~duration_ms =
+  let net_stats = Backend.stats t.backend in
   let sum f =
     Array.fold_left
       (fun acc r -> List.fold_left (fun acc s -> acc + f s) acc (Replica.driver_stats r))
@@ -302,9 +308,9 @@ let report t ~duration_ms =
     ~direct_commits:(sum (fun s -> s.Driver.direct_commits))
     ~indirect_commits:(sum (fun s -> s.Driver.indirect_commits))
     ~skipped_anchors:(sum (fun s -> s.Driver.skipped_anchors))
-    ~messages_sent:(Netmodel.messages_sent t.net)
-    ~messages_dropped:(Netmodel.messages_dropped t.net + Netmodel.messages_partitioned t.net)
-    ~bytes_sent:(Netmodel.bytes_sent t.net)
+    ~messages_sent:net_stats.Backend.Transport.sent
+    ~messages_dropped:(net_stats.Backend.Transport.dropped + net_stats.Backend.Transport.partitioned)
+    ~bytes_sent:net_stats.Backend.Transport.bytes
     ~telemetry:(Telemetry.snapshot t.telemetry) ()
 
 let pp_report = Report.pp

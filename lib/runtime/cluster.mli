@@ -28,8 +28,8 @@ type t
 type setup = {
   protocol : Shoalpp_core.Config.t;
   topology : Shoalpp_sim.Topology.t;
-  net_config : Shoalpp_sim.Netmodel.config;
-  fault : Shoalpp_sim.Fault.t;
+  net_config : Shoalpp_backend.Backend_sim.net_config;
+  fault : Shoalpp_sim.Fault_schedule.t;
   scenario : Shoalpp_sim.Faults.t;
       (** declarative fault scenario, materialized against this cluster's
           size on {!create}; composes on top of [fault] *)
@@ -49,10 +49,17 @@ val default_setup : protocol:Shoalpp_core.Config.t -> setup
 val create : setup -> t
 val engine : t -> Shoalpp_sim.Engine.t
 val net : t -> Shoalpp_core.Replica.envelope Shoalpp_sim.Netmodel.t
+
+val backend : t -> Shoalpp_core.Replica.envelope Shoalpp_backend.Backend.t
+(** The backend view the replicas run against. *)
+
+val events_fired : t -> int
+(** Simulation events fired so far (reporting). *)
+
 val replicas : t -> Shoalpp_core.Replica.t array
 val metrics : t -> Metrics.t
 
-val telemetry : t -> Telemetry.t
+val telemetry : t -> Shoalpp_support.Telemetry.t
 (** The cluster's shared metric registry (always created; counters aggregate
     across replicas, per-stage histograms record each transaction once at
     its origin). *)

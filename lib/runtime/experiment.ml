@@ -1,5 +1,5 @@
 module Topology = Shoalpp_sim.Topology
-module Fault = Shoalpp_sim.Fault
+module Fault_schedule = Shoalpp_sim.Fault_schedule
 module Committee = Shoalpp_dag.Committee
 module Config = Shoalpp_core.Config
 module Instance = Shoalpp_dag.Instance
@@ -123,10 +123,10 @@ let median_one_way topology =
   | l -> List.nth l (List.length l / 2)
 
 let fault_of params =
-  let fault = Fault.none in
+  let fault = Fault_schedule.none in
   let fault =
     if params.crashes > 0 then
-      Fault.crash_many fault
+      Fault_schedule.crash_many fault
         ~replicas:(List.init params.crashes (fun i -> params.n - 1 - i))
         ~at:0.0
     else fault
@@ -134,7 +134,7 @@ let fault_of params =
   match params.drop_spec with
   | None -> fault
   | Some (k, rate, from_time) ->
-    Fault.drop_egress fault ~replicas:(List.init k Fun.id) ~rate ~from_time ()
+    Fault_schedule.drop_egress fault ~replicas:(List.init k Fun.id) ~rate ~from_time ()
 
 let dag_config system params =
   let committee = Committee.make ~n:params.n ~cluster_seed:params.seed () in
@@ -224,7 +224,7 @@ let run_dag system params =
     throughput_series = Metrics.throughput_series (Cluster.metrics cluster);
     latency_series = Metrics.latency_series (Cluster.metrics cluster);
     requeued;
-    events_fired = Shoalpp_sim.Engine.events_fired (Cluster.engine cluster);
+    events_fired = Cluster.events_fired cluster;
     events = events_of_trace trace;
   }
 

@@ -1,0 +1,232 @@
+module Backend = Shoalpp_backend.Backend
+module Realtime = Shoalpp_backend.Backend_realtime
+module Trace = Shoalpp_sim.Trace
+module Config = Shoalpp_core.Config
+module Replica = Shoalpp_core.Replica
+module Driver = Shoalpp_consensus.Driver
+module Types = Shoalpp_dag.Types
+module Committee = Shoalpp_dag.Committee
+module Mempool = Shoalpp_workload.Mempool
+module Client = Shoalpp_workload.Client
+module Transaction = Shoalpp_workload.Transaction
+module Batch = Shoalpp_workload.Batch
+module Telemetry = Shoalpp_support.Telemetry
+
+type transport = Inproc | Uds of string
+
+type setup = {
+  protocol : Config.t;
+  load_tps : float;
+  tx_size : int;
+  warmup_ms : float;
+  seed : int;
+  transport : transport;
+  link_delay_ms : float;
+  trace : Trace.t option;
+}
+
+let default_setup ~protocol =
+  {
+    protocol;
+    load_tps = 200.0;
+    tx_size = Transaction.default_size;
+    warmup_ms = 0.0;
+    seed = 1;
+    transport = Inproc;
+    link_delay_ms = 0.0;
+    trace = None;
+  }
+
+(* Anchor identity of one ordered segment — what the consistency audit
+   compares across replicas (node sets differ only transiently). *)
+type seg_id = { sdag : int; sround : int; sauthor : int }
+
+type t = {
+  setup : setup;
+  exec : Realtime.t;
+  backend : Replica.envelope Backend.t;
+  mutable replicas : Replica.t array;
+  mempools : Mempool.t array;
+  clients : Client.t option array;
+  metrics : Metrics.t;
+  telemetry : Telemetry.t;
+  logs : seg_id list ref array;
+  ordered_seen : (int, unit) Hashtbl.t array;
+  mutable duplicate_orders : int;
+  mutable started : bool;
+}
+
+(* One-byte DAG tag, then the signed protocol message — the same bytes
+   whether the peers share a process (loopback skips this) or not. *)
+let encode_envelope (e : Replica.envelope) =
+  let body = Types.encode_message e.Replica.payload in
+  let b = Buffer.create (String.length body + 1) in
+  Buffer.add_char b (Char.chr (e.Replica.dag_id land 0xff));
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let decode_envelope ~cluster_seed s =
+  if String.length s < 1 then None
+  else
+    match Types.decode_message ~cluster_seed (String.sub s 1 (String.length s - 1)) with
+    | Ok payload -> Some { Replica.dag_id = Char.code s.[0]; payload }
+    | Error _ -> None
+
+let create setup =
+  let committee = setup.protocol.Config.committee in
+  let n = committee.Committee.n in
+  let exec = Realtime.create () in
+  let transport =
+    match setup.transport with
+    | Inproc -> Realtime.loopback exec ~n ~delay_ms:setup.link_delay_ms ()
+    | Uds dir ->
+      Realtime.uds exec ~n ~dir ~encode:encode_envelope
+        ~decode:(decode_envelope ~cluster_seed:committee.Committee.cluster_seed)
+        ()
+  in
+  let backend = Realtime.backend exec transport in
+  let mempools = Array.init n (fun _ -> Mempool.create ()) in
+  let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
+  let telemetry = Telemetry.create () in
+  let logs = Array.init n (fun _ -> ref []) in
+  let ordered_seen = Array.init n (fun _ -> Hashtbl.create 256) in
+  let t =
+    {
+      setup;
+      exec;
+      backend;
+      replicas = [||];
+      mempools;
+      clients = Array.make n None;
+      metrics;
+      telemetry;
+      logs;
+      ordered_seen;
+      duplicate_orders = 0;
+      started = false;
+    }
+  in
+  (* The on_ordered closures capture [t] and mutate its counters, so the
+     replicas are installed by mutation — a functional record copy here
+     would leave the closures updating a dead record. *)
+  t.replicas <-
+    Array.init n (fun replica_id ->
+        let on_ordered (o : Replica.ordered) =
+          let seg = o.Replica.segment in
+          let anchor = seg.Driver.anchor in
+          logs.(replica_id) :=
+            {
+              sdag = seg.Driver.dag_id;
+              sround = anchor.Types.ref_round;
+              sauthor = anchor.Types.ref_author;
+            }
+            :: !(logs.(replica_id));
+          List.iter
+            (fun (cn : Types.certified_node) ->
+              List.iter
+                (fun (tx : Transaction.t) ->
+                  if Hashtbl.mem ordered_seen.(replica_id) tx.Transaction.id then
+                    t.duplicate_orders <- t.duplicate_orders + 1
+                  else Hashtbl.replace ordered_seen.(replica_id) tx.Transaction.id ();
+                  Metrics.observe_commit metrics
+                    ~origin_ordered:(tx.Transaction.origin = replica_id)
+                    ~tx ~now:o.Replica.ordered_at)
+                cn.Types.cn_node.Types.batch.Batch.txns)
+            seg.Driver.nodes
+        in
+        Replica.create ~config:setup.protocol ~replica_id ~backend
+          ~mempool:mempools.(replica_id) ~on_ordered ?trace:setup.trace ~telemetry ());
+  t
+
+let per_replica_tps t = t.setup.load_tps /. float_of_int (Array.length t.replicas)
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Array.iter Replica.start t.replicas;
+    if per_replica_tps t > 0.0 then begin
+      let next_id = ref 0 in
+      Array.iteri
+        (fun i m ->
+          t.clients.(i) <-
+            Some
+              (Client.start ~clock:t.backend.Backend.clock ~timers:t.backend.Backend.timers
+                 ~mempool:m ~origin:i ~rate_tps:(per_replica_tps t) ~tx_size:t.setup.tx_size
+                 ~seed:(t.setup.seed + i) ~next_id ()))
+        t.mempools
+    end
+  end
+
+let run t ~duration_ms =
+  start t;
+  Realtime.run_for t.exec ~duration_ms;
+  (* Clean shutdown: no new transactions, and any timer already armed fires
+     into a stopped client / a loop that is no longer running. *)
+  Array.iter (function Some c -> Client.stop c | None -> ()) t.clients
+
+let stop t = Realtime.stop t.exec
+let executor t = t.exec
+let backend t = t.backend
+let replicas t = t.replicas
+let metrics t = t.metrics
+let telemetry t = t.telemetry
+let trace t = t.setup.trace
+let now_ms t = Realtime.now_ms t.exec
+
+type audit = {
+  consistent_prefixes : bool;
+  prefix_length : int;  (** length of the shortest replica log *)
+  total_segments : int;
+  duplicate_orders : int;
+  anchors_per_lane : int array;
+      (** segments replica 0 committed per DAG lane — every lane of a
+          healthy run shows at least one *)
+}
+
+let audit t =
+  let logs = Array.map (fun l -> Array.of_list (List.rev !l)) t.logs in
+  let min_len = Array.fold_left (fun acc l -> min acc (Array.length l)) max_int logs in
+  let min_len = if min_len = max_int then 0 else min_len in
+  let consistent = ref true in
+  let n = Array.length logs in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let common = min (Array.length logs.(a)) (Array.length logs.(b)) in
+      for i = 0 to common - 1 do
+        if logs.(a).(i) <> logs.(b).(i) then consistent := false
+      done
+    done
+  done;
+  let lanes = Array.make (max 1 t.setup.protocol.Config.num_dags) 0 in
+  Array.iter
+    (fun s -> if s.sdag < Array.length lanes then lanes.(s.sdag) <- lanes.(s.sdag) + 1)
+    logs.(0);
+  {
+    consistent_prefixes = !consistent;
+    prefix_length = min_len;
+    total_segments = Array.fold_left (fun acc l -> acc + Array.length l) 0 logs;
+    duplicate_orders = t.duplicate_orders;
+    anchors_per_lane = lanes;
+  }
+
+let report t ~duration_ms =
+  let net_stats = Backend.stats t.backend in
+  let sum f =
+    Array.fold_left
+      (fun acc r -> List.fold_left (fun acc s -> acc + f s) acc (Replica.driver_stats r))
+      0 t.replicas
+  in
+  let submitted = Array.fold_left (fun acc m -> acc + Mempool.submitted m) 0 t.mempools in
+  Report.make
+    ~name:(t.setup.protocol.Config.name ^ "/realtime")
+    ~n:(Array.length t.replicas) ~load_tps:t.setup.load_tps ~duration_ms ~submitted
+    ~metrics:t.metrics
+    ~fast_commits:(sum (fun s -> s.Driver.fast_commits))
+    ~direct_commits:(sum (fun s -> s.Driver.direct_commits))
+    ~indirect_commits:(sum (fun s -> s.Driver.indirect_commits))
+    ~skipped_anchors:(sum (fun s -> s.Driver.skipped_anchors))
+    ~messages_sent:net_stats.Backend.Transport.sent
+    ~messages_dropped:
+      (net_stats.Backend.Transport.dropped + net_stats.Backend.Transport.partitioned)
+    ~bytes_sent:net_stats.Backend.Transport.bytes
+    ~telemetry:(Telemetry.snapshot t.telemetry) ()

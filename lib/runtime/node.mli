@@ -1,0 +1,83 @@
+(** A real-time Shoal++ deployment: the same {!Shoalpp_core.Replica}s the
+    simulator runs, executed on a wall clock over a real transport.
+
+    This is the sans-I/O payoff made concrete — {!Cluster} and [Node] build
+    the {e identical} protocol objects and differ only in the
+    {!Shoalpp_backend.Backend} they pass in: the deterministic simulator
+    there, {!Shoalpp_backend.Backend_realtime} here (in-process loopback or
+    Unix-domain sockets with length-prefixed signed messages).
+
+    All replicas live in this process today; nothing in the harness or the
+    wire format assumes it.
+
+    Invariants:
+    - no protocol module is re-parameterized: replicas, clients, WALs and
+      telemetry are constructed exactly as under the simulator;
+    - {!audit} applies the same safety checks as the simulated cluster's:
+      pairwise common-prefix agreement of the replicas' ordered logs and
+      no transaction ordered twice by one replica. *)
+
+type transport =
+  | Inproc  (** in-process loopback; nothing is serialized *)
+  | Uds of string
+      (** Unix-domain sockets in the given directory; every message crosses
+          the codec (encode, frame, decode + signature re-check) *)
+
+type setup = {
+  protocol : Shoalpp_core.Config.t;
+  load_tps : float;  (** aggregate Poisson load, split evenly over replicas *)
+  tx_size : int;
+  warmup_ms : float;
+  seed : int;
+  transport : transport;
+  link_delay_ms : float;  (** loopback only: artificial per-message delay *)
+  trace : Shoalpp_sim.Trace.t option;
+}
+
+val default_setup : protocol:Shoalpp_core.Config.t -> setup
+(** 200 tps, paper tx size, no warmup, loopback transport, no trace. *)
+
+val encode_envelope : Shoalpp_core.Replica.envelope -> string
+val decode_envelope : cluster_seed:int -> string -> Shoalpp_core.Replica.envelope option
+(** The socket wire format: one DAG-id byte, then the signed protocol
+    message ({!Shoalpp_dag.Types.encode_message}). Exposed for tests. *)
+
+type t
+
+val create : setup -> t
+
+val start : t -> unit
+(** Start replicas and clients (idempotent). Timers arm immediately but
+    only fire once {!run} drives the loop. *)
+
+val run : t -> duration_ms:float -> unit
+(** {!start} if needed, then drive the wall-clock loop for [duration_ms]
+    real milliseconds; stops the clients on return. Can be called again to
+    extend the run. *)
+
+val stop : t -> unit
+(** Make a concurrent {!run} return after its current iteration. *)
+
+val executor : t -> Shoalpp_backend.Backend_realtime.t
+val backend : t -> Shoalpp_core.Replica.envelope Shoalpp_backend.Backend.t
+val replicas : t -> Shoalpp_core.Replica.t array
+val metrics : t -> Metrics.t
+val telemetry : t -> Shoalpp_support.Telemetry.t
+val trace : t -> Shoalpp_sim.Trace.t option
+
+val now_ms : t -> float
+(** Wall milliseconds since the executor was created. *)
+
+type audit = {
+  consistent_prefixes : bool;
+  prefix_length : int;  (** length of the shortest replica log *)
+  total_segments : int;
+  duplicate_orders : int;  (** txns ordered twice by the same replica *)
+  anchors_per_lane : int array;
+      (** segments replica 0 committed per DAG lane — every lane of a
+          healthy run shows at least one *)
+}
+
+val audit : t -> audit
+
+val report : t -> duration_ms:float -> Report.t

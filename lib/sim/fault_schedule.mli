@@ -2,6 +2,12 @@
     run injects — crash (and optional recovery) times, sporadic egress
     message drops, and timed network partitions (§8.3, Figs 7 and 8).
 
+    This is the {e materialized} counterpart of {!Faults}: a declarative,
+    size-independent {!Faults.t} scenario is bound to a concrete cluster
+    size by {!Faults.schedule}, which produces a value of this module's
+    type. Harness code composes schedules directly only for hand-built
+    experiments; everything scenario-driven goes through {!Faults}.
+
     This module is purely declarative: it answers point-in-time queries
     ([is_crashed], [egress_drop_rate], [reachable]) and never touches the
     engine. {!Netmodel} consults it on every send/delivery, and

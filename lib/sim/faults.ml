@@ -146,18 +146,18 @@ let schedule t ~n ~base =
       match spec with
       | Crash { count; at; recover_at } ->
         let replicas = top_ids ~n count in
-        let fault = Fault.crash_many fault ~replicas ~at in
+        let fault = Fault_schedule.crash_many fault ~replicas ~at in
         (match recover_at with
         | None -> fault
-        | Some r -> List.fold_left (fun f replica -> Fault.recover f ~replica ~at:r) fault replicas)
+        | Some r -> List.fold_left (fun f replica -> Fault_schedule.recover f ~replica ~at:r) fault replicas)
       | Partition { minority; from_time; until_time } ->
         let m = minority_size ~n minority in
         let cut = top_ids ~n m in
         let rest = List.filter (fun i -> not (List.mem i cut)) (List.init n Fun.id) in
-        Fault.partition fault ~groups:[ rest; cut ] ~from_time ~until_time
+        Fault_schedule.partition fault ~groups:[ rest; cut ] ~from_time ~until_time
       | Byzantine _ -> fault (* behavioural; injected at the replica layer *)
       | Drop { count; rate; from_time; until_time } ->
-        Fault.drop_egress fault ~replicas:(List.init (min count n) Fun.id) ~rate ~from_time
+        Fault_schedule.drop_egress fault ~replicas:(List.init (min count n) Fun.id) ~rate ~from_time
           ~until_time ())
     base t.specs
 

@@ -6,16 +6,19 @@
     [--scenario name:key=val,...] CLI syntax. Binding to concrete replica
     ids happens only at {!schedule}/{!byzantine_for} time, against the
     actual cluster size [n], so one scenario string sweeps every system and
-    committee size in [bench/main.ml].
+    committee size in [bench/main.ml]. {!schedule} materializes a scenario
+    into a concrete {!Fault_schedule.t} timeline — the network and the
+    cluster harness both consume that single materialization, never the
+    scenario itself, so their fault views cannot disagree.
 
     Invariants:
     - parsing and materialization are pure: the same spec string and [n]
-      always yield the same {!Fault.t} schedule and role assignment, keeping
+      always yield the same {!Fault_schedule.t} schedule and role assignment, keeping
       runs a deterministic function of the seed;
     - faulty roles are assigned from the highest replica ids downward
       (matching the [--crashes] convention), and every preset keeps the
       faulty count within [f = (n-1)/3];
-    - {!Byzantine} specs never appear in the materialized {!Fault.t} — they
+    - {!Byzantine} specs never appear in the materialized {!Fault_schedule.t} — they
       are behavioural and injected at the replica layer via
       {!byzantine_for}. *)
 
@@ -63,7 +66,7 @@ val pp : Format.formatter -> t -> unit
 
 val name : t -> string
 
-val schedule : t -> n:int -> base:Fault.t -> Fault.t
+val schedule : t -> n:int -> base:Fault_schedule.t -> Fault_schedule.t
 (** Materialize the scenario's crashes, recoveries, partitions and drops on
     top of [base] for a cluster of [n] replicas. Byzantine specs are
     excluded (see {!byzantine_for}). *)

@@ -46,7 +46,7 @@ type 'msg t = {
   engine : Engine.t;
   topology : Topology.t;
   assignment : int array;
-  mutable fault : Fault.t;
+  mutable fault : Fault_schedule.t;
   config : config;
   n : int;
   nregions : int;
@@ -140,7 +140,7 @@ let base_delay_ms t ~src ~dst = base_delay t ~src ~dst
 
 let deliver t ~src ~dst ~size ~at msg =
   let cb () =
-    if not (Fault.is_crashed t.fault ~replica:dst ~time:(Engine.now t.engine)) then begin
+    if not (Fault_schedule.is_crashed t.fault ~replica:dst ~time:(Engine.now t.engine)) then begin
       match t.handlers.(dst) with
       | Some handler -> handler ~src msg
       | None -> ()
@@ -155,7 +155,7 @@ let deliver t ~src ~dst ~size ~at msg =
 
 let send t ~src ~dst ~size msg =
   let now = Engine.now t.engine in
-  if Fault.is_crashed t.fault ~replica:src ~time:now then ()
+  if Fault_schedule.is_crashed t.fault ~replica:src ~time:now then ()
   else if src = dst then begin
     t.sent <- t.sent + 1;
     deliver t ~src ~dst ~size ~at:(now +. t.config.loopback_ms) msg
@@ -167,7 +167,7 @@ let send t ~src ~dst ~size msg =
     let out_at = Float.max now t.egress_free_at.(src) +. ser in
     t.egress_free_at.(src) <- out_at;
     let rng = t.rngs.(src) in
-    let drop_rate = Fault.egress_drop_rate t.fault ~src ~time:out_at in
+    let drop_rate = Fault_schedule.egress_drop_rate t.fault ~src ~time:out_at in
     (* Sample jitter unconditionally so drop injection does not perturb the
        random stream of surviving messages. *)
     let jitter =
@@ -179,7 +179,7 @@ let send t ~src ~dst ~size msg =
        sampling so an active partition leaves surviving traffic's random
        stream untouched. The message is charged for egress — the sender's
        NIC transmits; the network eats it. *)
-    if not (Fault.reachable t.fault ~src ~dst ~time:out_at) then
+    if not (Fault_schedule.reachable t.fault ~src ~dst ~time:out_at) then
       t.partitioned <- t.partitioned + 1
     else if dropped then t.dropped <- t.dropped + 1
     else begin
@@ -197,7 +197,7 @@ let fire_envelope t env =
   | None -> ()
   | Some msg ->
     let dst = env.env_dsts.(env.env_index) in
-    if not (Fault.is_crashed t.fault ~replica:dst ~time:(Engine.now t.engine)) then (
+    if not (Fault_schedule.is_crashed t.fault ~replica:dst ~time:(Engine.now t.engine)) then (
       match t.handlers.(dst) with
       | Some handler -> handler ~src:env.env_src msg
       | None -> ()));
@@ -261,7 +261,7 @@ let broadcast t ~src ~size ?(include_self = true) msg =
       arr
   in
   let now = Engine.now t.engine in
-  if Fault.is_crashed t.fault ~replica:src ~time:now then ()
+  if Fault_schedule.is_crashed t.fault ~replica:src ~time:now then ()
   else begin
     let ser = float_of_int size /. t.config.bandwidth_bytes_per_ms in
     let cost = t.config.cpu_fixed_ms +. (float_of_int size *. t.config.cpu_per_byte_ms) in
@@ -279,13 +279,13 @@ let broadcast t ~src ~size ?(include_self = true) msg =
           let out_at = Float.max now t.egress_free_at.(src) +. ser in
           t.egress_free_at.(src) <- out_at;
           let rng = t.rngs.(src) in
-          let drop_rate = Fault.egress_drop_rate t.fault ~src ~time:out_at in
+          let drop_rate = Fault_schedule.egress_drop_rate t.fault ~src ~time:out_at in
           let jitter =
             if t.config.jitter_ms <= 0.0 then 0.0
             else Rng.lognormal rng ~mu:(log t.config.jitter_ms) ~sigma:0.5
           in
           let dropped = drop_rate > 0.0 && Rng.bernoulli rng drop_rate in
-          if not (Fault.reachable t.fault ~src ~dst ~time:out_at) then
+          if not (Fault_schedule.reachable t.fault ~src ~dst ~time:out_at) then
             t.partitioned <- t.partitioned + 1
           else if dropped then t.dropped <- t.dropped + 1
           else begin

@@ -52,7 +52,7 @@ val create :
   engine:Engine.t ->
   topology:Topology.t ->
   assignment:int array ->
-  fault:Fault.t ->
+  fault:Fault_schedule.t ->
   config:config ->
   seed:int ->
   unit ->
@@ -66,7 +66,7 @@ val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
 (** Install the receive callback for a replica. Messages arriving for a
     replica with no handler are counted and discarded. *)
 
-val set_fault : 'msg t -> Fault.t -> unit
+val set_fault : 'msg t -> Fault_schedule.t -> unit
 (** Replace the fault schedule mid-run (used by time-series experiments). *)
 
 val send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit

@@ -1,9 +1,9 @@
-module Engine = Shoalpp_sim.Engine
+module Backend = Shoalpp_backend.Backend
 
 type pending = { cb : unit -> unit; payload : string option }
 
 type t = {
-  engine : Engine.t;
+  timers : Backend.Timers.t;
   sync_latency_ms : float;
   group_commit : bool;
   retain : bool;
@@ -15,9 +15,9 @@ type t = {
   mutable bytes : float;
 }
 
-let create ~engine ~sync_latency_ms ?(group_commit = true) ?(retain = false) () =
+let create ~timers ~sync_latency_ms ?(group_commit = true) ?(retain = false) () =
   {
-    engine;
+    timers;
     sync_latency_ms;
     group_commit;
     retain;
@@ -39,7 +39,7 @@ let rec start_sync t =
     t.queue <- (if t.group_commit then [] else List.rev (List.tl (List.rev pending)));
     t.syncs <- t.syncs + 1;
     ignore
-      (Engine.schedule t.engine ~after:t.sync_latency_ms (fun () ->
+      (t.timers.Backend.Timers.schedule ~after:t.sync_latency_ms (fun () ->
            List.iter
              (fun p ->
                (* A payload is durable (replayable on recovery) only once its

@@ -5,12 +5,16 @@
     bounded sync delay before a vote/commit may be externalized. Writes to a
     busy device queue behind each other; concurrent appends issued while a
     sync is in flight coalesce into the next sync (group commit), which is
-    how production WALs keep persistence off the throughput critical path. *)
+    how production WALs keep persistence off the throughput critical path.
+
+    Sync completion is driven by a {!Shoalpp_backend.Backend.Timers}
+    handle, so the same log runs under the simulator or the wall-clock
+    executor. *)
 
 type t
 
 val create :
-  engine:Shoalpp_sim.Engine.t ->
+  timers:Shoalpp_backend.Backend.Timers.t ->
   sync_latency_ms:float ->
   ?group_commit:bool ->
   ?retain:bool ->

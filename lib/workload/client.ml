@@ -1,8 +1,9 @@
-module Engine = Shoalpp_sim.Engine
+module Backend = Shoalpp_backend.Backend
 module Rng = Shoalpp_support.Rng
 
 type t = {
-  engine : Engine.t;
+  clock : Backend.Clock.t;
+  timers : Backend.Timers.t;
   mempool : Mempool.t;
   origin : int;
   mean_interarrival_ms : float;
@@ -17,12 +18,13 @@ let rec arm t =
   if not t.stopped then begin
     let gap = Rng.exponential t.rng t.mean_interarrival_ms in
     ignore
-      (Engine.schedule t.engine ~after:gap (fun () ->
+      (t.timers.Backend.Timers.schedule ~after:gap (fun () ->
            if not t.stopped then begin
              let id = !(t.next_id) in
              incr t.next_id;
              let tx =
-               Transaction.make ~id ~size:t.tx_size ~submitted_at:(Engine.now t.engine)
+               Transaction.make ~id ~size:t.tx_size
+                 ~submitted_at:(t.clock.Backend.Clock.now ())
                  ~origin:t.origin ()
              in
              ignore (Mempool.submit t.mempool tx);
@@ -31,12 +33,13 @@ let rec arm t =
            end))
   end
 
-let start ~engine ~mempool ~origin ~rate_tps ?(tx_size = Transaction.default_size) ?(seed = 7)
-    ?(next_id = ref 0) () =
+let start ~clock ~timers ~mempool ~origin ~rate_tps ?(tx_size = Transaction.default_size)
+    ?(seed = 7) ?(next_id = ref 0) () =
   if rate_tps <= 0.0 then invalid_arg "Client.start: rate must be positive";
   let t =
     {
-      engine;
+      clock;
+      timers;
       mempool;
       origin;
       mean_interarrival_ms = 1000.0 /. rate_tps;

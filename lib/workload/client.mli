@@ -9,7 +9,8 @@
 type t
 
 val start :
-  engine:Shoalpp_sim.Engine.t ->
+  clock:Shoalpp_backend.Backend.Clock.t ->
+  timers:Shoalpp_backend.Backend.Timers.t ->
   mempool:Mempool.t ->
   origin:int ->
   rate_tps:float ->

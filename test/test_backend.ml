@@ -1,0 +1,199 @@
+(* Tests for the backend abstraction (the sans-I/O seam):
+
+   - conformance: full experiment runs routed through {!Backend_sim} must
+     reproduce the pinned golden digests byte-for-byte (the indirection is
+     pure delegation), and a second seed must be deterministic across
+     repeated runs, for Shoal++ and both baselines;
+   - the wall-clock executor: timer ordering, cancellation, monotonic
+     clock, length-prefixed framing (incremental decode, corrupt input);
+   - a short real-time cluster run (the same replicas the simulator runs,
+     over the loopback transport) passing the safety audit with at least
+     one committed anchor on every DAG lane. *)
+
+module Backend = Shoalpp_backend.Backend
+module Backend_sim = Shoalpp_backend.Backend_sim
+module Realtime = Shoalpp_backend.Backend_realtime
+module Engine = Shoalpp_sim.Engine
+module E = Shoalpp_runtime.Experiment
+module Report = Shoalpp_runtime.Report
+module Export = Shoalpp_runtime.Export
+module Node = Shoalpp_runtime.Node
+module Config = Shoalpp_core.Config
+module Committee = Shoalpp_dag.Committee
+module Wire = Shoalpp_codec.Wire
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Backend_sim conformance: experiment runs (cluster and baselines alike
+   now construct their replicas against a Backend) must stay on the golden
+   digests pinned before the backend refactor, and stay deterministic on a
+   second seed. *)
+
+let run_digest system ~seed =
+  Shoalpp_baselines.Register.register ();
+  let params =
+    {
+      E.default_params with
+      E.n = 4;
+      load_tps = 500.0;
+      duration_ms = 3_000.0;
+      warmup_ms = 500.0;
+      seed;
+      verify_signatures = false;
+      trace = true;
+      trace_capacity = 262_144;
+    }
+  in
+  let o = E.run system params in
+  let r = o.E.report in
+  let summary =
+    Printf.sprintf "committed=%d fast=%d direct=%d indirect=%d skipped=%d audit=%b"
+      r.Report.committed r.Report.fast_commits r.Report.direct_commits r.Report.indirect_commits
+      r.Report.skipped_anchors o.E.audit_ok
+  in
+  Shoalpp_crypto.Sha256.to_hex
+    (Shoalpp_crypto.Sha256.digest_string (Export.jsonl_of_events o.E.events ^ "\n" ^ summary))
+
+(* Same constants as test_perf_fixes: captured on the pre-backend code. *)
+let golden =
+  [
+    ("shoal++", E.Shoalpp, "80b8a19140a933935f53514982a7f09980e71ab01771b99ee0c3455b56cd268d");
+    ("jolteon", E.Jolteon, "2a5c05b857fd76d4c69cb435246f01d94b1cd9068b56808e11bc7991646f01f6");
+    ("mysticeti", E.Mysticeti, "c2dc2dda8eeb7a9e265243ef23ca96245e446352a399bb63c347d4308e450efe");
+  ]
+
+let test_sim_reproduces_golden_traces () =
+  List.iter
+    (fun (name, system, expected) -> checks (name ^ " golden") expected (run_digest system ~seed:11))
+    golden
+
+let test_sim_deterministic_on_second_seed () =
+  List.iter
+    (fun (name, system, _) ->
+      checks (name ^ " seed 12 deterministic") (run_digest system ~seed:12)
+        (run_digest system ~seed:12))
+    golden
+
+(* ------------------------------------------------------------------ *)
+(* The wall-clock executor's timer wheel. *)
+
+let test_realtime_timer_order () =
+  let exec = Realtime.create () in
+  let timers = Realtime.timers exec in
+  let fired = ref [] in
+  let note tag () = fired := tag :: !fired in
+  ignore (timers.Backend.Timers.schedule ~after:5.0 (note "c"));
+  ignore (timers.Backend.Timers.schedule ~after:1.0 (note "a"));
+  ignore (timers.Backend.Timers.schedule ~after:3.0 (note "b"));
+  (* Equal due-times must fire in scheduling order. *)
+  ignore (timers.Backend.Timers.schedule ~after:3.0 (note "b2"));
+  Realtime.run_for exec ~duration_ms:80.0;
+  Alcotest.(check (list string)) "due-time then FIFO order" [ "a"; "b"; "b2"; "c" ]
+    (List.rev !fired);
+  checki "events fired" 4 (Realtime.events_fired exec);
+  checki "heap drained" 0 (Realtime.pending_timers exec)
+
+let test_realtime_timer_cancel () =
+  let exec = Realtime.create () in
+  let timers = Realtime.timers exec in
+  let fired = ref 0 in
+  let t1 = timers.Backend.Timers.schedule ~after:2.0 (fun () -> incr fired) in
+  let t2 = timers.Backend.Timers.schedule ~after:4.0 (fun () -> incr fired) in
+  Backend.cancel t1;
+  checkb "cancelled not pending" false (Backend.is_pending t1);
+  checkb "live timer pending" true (Backend.is_pending t2);
+  Realtime.run_for exec ~duration_ms:50.0;
+  checki "only the live timer fired" 1 !fired;
+  checkb "fired timer no longer pending" false (Backend.is_pending t2)
+
+let test_realtime_clock_monotonic () =
+  let exec = Realtime.create () in
+  let clock = Realtime.clock exec in
+  let last = ref (clock.Backend.Clock.now ()) in
+  for _ = 1 to 1000 do
+    let now = clock.Backend.Clock.now () in
+    checkb "non-decreasing" true (now >= !last);
+    last := now
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Socket framing: 4-byte length prefix + (src, payload) body. *)
+
+let test_framing_roundtrip_chunked () =
+  let frames = [ (0, "hello"); (3, ""); (200, String.make 1000 'x') ] in
+  let stream =
+    String.concat "" (List.map (fun (src, p) -> Realtime.Framing.frame ~src p) frames)
+  in
+  (* All at once. *)
+  let d = Realtime.Framing.decoder () in
+  let all = Realtime.Framing.feed d (Bytes.of_string stream) (String.length stream) in
+  Alcotest.(check (list (pair int string))) "one chunk" frames all;
+  (* Byte by byte: partial frames must buffer across feeds. *)
+  let d = Realtime.Framing.decoder () in
+  let got = ref [] in
+  String.iter
+    (fun c -> List.iter (fun f -> got := f :: !got) (Realtime.Framing.feed d (Bytes.make 1 c) 1))
+    stream;
+  Alcotest.(check (list (pair int string))) "byte at a time" frames (List.rev !got)
+
+let test_framing_rejects_corrupt_stream () =
+  let d = Realtime.Framing.decoder () in
+  (* A length prefix of 0xFFFFFFFF: far over the 64 MiB body bound. *)
+  let junk = Bytes.make 4 '\xff' in
+  (match Realtime.Framing.feed d junk 4 with
+  | _ -> Alcotest.fail "expected Malformed on oversized frame"
+  | exception Wire.Reader.Malformed _ -> ());
+  (* A plausible length followed by a body that is not a Wire message. *)
+  let d = Realtime.Framing.decoder () in
+  let body = "\xff\xff\xff\xff" in
+  let framed = Bytes.create (4 + String.length body) in
+  Bytes.set_int32_be framed 0 (Int32.of_int (String.length body));
+  Bytes.blit_string body 0 framed 4 (String.length body);
+  (match Realtime.Framing.feed d framed (Bytes.length framed) with
+  | _ -> Alcotest.fail "expected Malformed on corrupt body"
+  | exception Wire.Reader.Malformed _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* A real-time cluster: the simulator's replicas on a wall clock. Short
+   wall-time run, then the same safety audit the simulated cluster gets. *)
+
+let test_realtime_cluster_run () =
+  let committee = Committee.make ~n:4 ~cluster_seed:21 () in
+  let protocol = Config.without_signature_checks (Config.shoalpp ~committee) in
+  let setup =
+    { (Node.default_setup ~protocol) with Node.load_tps = 200.0; seed = 21 }
+  in
+  let node = Node.create setup in
+  Node.run node ~duration_ms:1_000.0;
+  let audit = Node.audit node in
+  checkb "consistent prefixes" true audit.Node.consistent_prefixes;
+  checki "no duplicate orders" 0 audit.Node.duplicate_orders;
+  checkb "progress" true (audit.Node.total_segments > 0);
+  checki "all lanes present" protocol.Config.num_dags (Array.length audit.Node.anchors_per_lane);
+  Array.iteri
+    (fun lane count ->
+      checkb (Printf.sprintf "lane %d committed an anchor (got %d)" lane count) true (count >= 1))
+    audit.Node.anchors_per_lane;
+  let report = Node.report node ~duration_ms:1_000.0 in
+  checkb "transactions committed" true (report.Report.committed > 0)
+
+let suite =
+  [
+    ( "backend.sim",
+      [
+        Alcotest.test_case "golden traces byte-for-byte" `Quick test_sim_reproduces_golden_traces;
+        Alcotest.test_case "second seed deterministic" `Quick test_sim_deterministic_on_second_seed;
+      ] );
+    ( "backend.realtime",
+      [
+        Alcotest.test_case "timer order" `Quick test_realtime_timer_order;
+        Alcotest.test_case "timer cancel" `Quick test_realtime_timer_cancel;
+        Alcotest.test_case "clock monotonic" `Quick test_realtime_clock_monotonic;
+        Alcotest.test_case "framing roundtrip" `Quick test_framing_roundtrip_chunked;
+        Alcotest.test_case "framing rejects corrupt input" `Quick test_framing_rejects_corrupt_stream;
+        Alcotest.test_case "cluster run + safety audit" `Quick test_realtime_cluster_run;
+      ] );
+  ]

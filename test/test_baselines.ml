@@ -9,14 +9,14 @@ module E = Shoalpp_runtime.Experiment
 module Report = Shoalpp_runtime.Report
 module Committee = Shoalpp_dag.Committee
 module Topology = Shoalpp_sim.Topology
-module Fault = Shoalpp_sim.Fault
+module Fault_schedule = Shoalpp_sim.Fault_schedule
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 
 let committee = Committee.make ~n:4 ~cluster_seed:21 ()
 
-let jolteon_setup ?(fault = Fault.none) ?(load = 200.0) () =
+let jolteon_setup ?(fault = Fault_schedule.none) ?(load = 200.0) () =
   {
     (Jolteon.default_setup ~committee) with
     Jolteon.topology = Topology.clique ~regions:4 ~one_way_ms:20.0;
@@ -25,7 +25,7 @@ let jolteon_setup ?(fault = Fault.none) ?(load = 200.0) () =
     warmup_ms = 500.0;
   }
 
-let mysticeti_setup ?(fault = Fault.none) ?(load = 200.0) () =
+let mysticeti_setup ?(fault = Fault_schedule.none) ?(load = 200.0) () =
   {
     (Mysticeti.default_setup ~committee) with
     Mysticeti.topology = Topology.clique ~regions:4 ~one_way_ms:20.0;
@@ -85,7 +85,7 @@ let test_jolteon_reputation_excludes_crashed () =
     true (late_timeouts <= 12)
 
 let test_jolteon_crash_f_keeps_liveness () =
-  let fault = Fault.crash Fault.none ~replica:3 ~at:0.0 in
+  let fault = Fault_schedule.crash Fault_schedule.none ~replica:3 ~at:0.0 in
   let c = Jolteon.create (jolteon_setup ~fault ()) in
   Jolteon.run c ~duration_ms:15_000.0;
   let r = Jolteon.report c ~duration_ms:15_000.0 in
@@ -114,7 +114,7 @@ let test_mysticeti_rounds_fast () =
   checkb "many rounds" true (Mysticeti.rounds_reached c > 100)
 
 let test_mysticeti_drops_cause_critical_path_fetches () =
-  let fault = Fault.drop_egress Fault.none ~replicas:[ 0 ] ~rate:0.05 ~from_time:1_000.0 () in
+  let fault = Fault_schedule.drop_egress Fault_schedule.none ~replicas:[ 0 ] ~rate:0.05 ~from_time:1_000.0 () in
   let clean = Mysticeti.create (mysticeti_setup ()) in
   Mysticeti.run clean ~duration_ms:10_000.0;
   let lossy = Mysticeti.create (mysticeti_setup ~fault ()) in
@@ -129,7 +129,7 @@ let test_mysticeti_drops_cause_critical_path_fetches () =
     true (l_lossy > l_clean)
 
 let test_mysticeti_crash_f_keeps_liveness () =
-  let fault = Fault.crash Fault.none ~replica:3 ~at:0.0 in
+  let fault = Fault_schedule.crash Fault_schedule.none ~replica:3 ~at:0.0 in
   let c = Mysticeti.create (mysticeti_setup ~fault ()) in
   Mysticeti.run c ~duration_ms:12_000.0;
   let r = Mysticeti.report c ~duration_ms:12_000.0 in
@@ -140,7 +140,7 @@ let test_mysticeti_crash_latency_penalty_vs_shoalpp () =
   (* Fig 7's key contrast at miniature scale: with f crashed, Mysticeti has
      no reputation and keeps electing dead anchors (indirect resolutions),
      while Shoal++ routes around them. Compare latency degradation ratios. *)
-  let fault = Fault.crash Fault.none ~replica:3 ~at:0.0 in
+  let fault = Fault_schedule.crash Fault_schedule.none ~replica:3 ~at:0.0 in
   let myst_clean = Mysticeti.create (mysticeti_setup ()) in
   Mysticeti.run myst_clean ~duration_ms:12_000.0;
   let myst_crash = Mysticeti.create (mysticeti_setup ~fault ()) in

@@ -14,7 +14,7 @@ module Instance = Shoalpp_dag.Instance
 module Anchors = Shoalpp_consensus.Anchors
 module Driver = Shoalpp_consensus.Driver
 module Topology = Shoalpp_sim.Topology
-module Fault = Shoalpp_sim.Fault
+module Fault_schedule = Shoalpp_sim.Fault_schedule
 module Transaction = Shoalpp_workload.Transaction
 
 let checkb = Alcotest.(check bool)
@@ -22,7 +22,7 @@ let checki = Alcotest.(check int)
 
 let committee = Committee.make ~n:4 ~cluster_seed:3 ()
 
-let small_setup ?(protocol = Config.shoalpp ~committee) ?(load = 200.0) ?(fault = Fault.none) () =
+let small_setup ?(protocol = Config.shoalpp ~committee) ?(load = 200.0) ?(fault = Fault_schedule.none) () =
   {
     (Cluster.default_setup ~protocol) with
     Cluster.topology = Topology.clique ~regions:4 ~one_way_ms:20.0;
@@ -84,7 +84,7 @@ let test_cluster_all_fast_commits_in_good_network () =
     (report.Report.fast_commits > 10 * (report.Report.direct_commits + report.Report.indirect_commits + 1))
 
 let test_cluster_crash_f_replicas_stays_live () =
-  let fault = Fault.crash Fault.none ~replica:3 ~at:0.0 in
+  let fault = Fault_schedule.crash Fault_schedule.none ~replica:3 ~at:0.0 in
   let c = run_small ~fault ~duration:8_000.0 () in
   let report = Cluster.report c ~duration_ms:8_000.0 in
   (* 3 of 4 clients still run: ~150 tps offered. *)
@@ -104,7 +104,7 @@ let test_cluster_crash_mid_run () =
   checkb "alive" true (r.Report.committed > 500)
 
 let test_cluster_message_drops_tolerated () =
-  let fault = Fault.drop_egress Fault.none ~replicas:[ 0 ] ~rate:0.05 ~from_time:1_000.0 () in
+  let fault = Fault_schedule.drop_egress Fault_schedule.none ~replicas:[ 0 ] ~rate:0.05 ~from_time:1_000.0 () in
   let c = run_small ~fault ~duration:8_000.0 () in
   let audit = Cluster.audit c in
   checkb "drops do not break safety" true audit.Cluster.consistent_prefixes;
@@ -135,9 +135,10 @@ let test_replica_on_ordered_round_robin_dags () =
   let topology = Topology.clique ~regions:4 ~one_way_ms:15.0 in
   let assignment = Topology.assign_round_robin topology ~n:4 in
   let net =
-    Shoalpp_sim.Netmodel.create ~engine ~topology ~assignment ~fault:Fault.none
+    Shoalpp_sim.Netmodel.create ~engine ~topology ~assignment ~fault:Fault_schedule.none
       ~config:Shoalpp_sim.Netmodel.default_config ~seed:5 ()
   in
+  let world = Shoalpp_backend.Backend_sim.of_net net in
   let protocol = { (Config.shoalpp ~committee) with Config.stagger_ms = 15.0 } in
   let mempools = Array.init 4 (fun _ -> Shoalpp_workload.Mempool.create ()) in
   let dag_ids = ref [] in
@@ -147,7 +148,9 @@ let test_replica_on_ordered_round_robin_dags () =
           if replica_id = 0 then
             dag_ids := o.Replica.segment.Driver.dag_id :: !dag_ids
         in
-        Replica.create ~config:protocol ~replica_id ~net ~mempool:mempools.(replica_id)
+        Replica.create ~config:protocol ~replica_id
+          ~backend:(Shoalpp_backend.Backend_sim.backend world)
+          ~mempool:mempools.(replica_id)
           ~on_ordered ())
   in
   Array.iter Replica.start replicas;

@@ -11,7 +11,7 @@ module Anchors = Shoalpp_consensus.Anchors
 module Engine = Shoalpp_sim.Engine
 module Topology = Shoalpp_sim.Topology
 module Netmodel = Shoalpp_sim.Netmodel
-module Fault = Shoalpp_sim.Fault
+module Fault_schedule = Shoalpp_sim.Fault_schedule
 module Wal = Shoalpp_storage.Wal
 module Wire = Shoalpp_codec.Wire
 module E = Shoalpp_runtime.Experiment
@@ -60,7 +60,7 @@ let make_harness ~all_to_all () =
                 done);
             send = (fun ~dst msg -> deliver ~src:replica ~dst msg);
             now = (fun () -> Engine.now engine);
-            schedule = (fun ~after f -> Engine.schedule engine ~after f);
+            schedule = (Shoalpp_backend.Backend_sim.timers engine).Shoalpp_backend.Backend.Timers.schedule;
             pull_batch = (fun ~max:_ -> []);
             anchors_of_round = (fun _ -> []);
             persist = (fun _msg cb -> ignore (Engine.schedule engine ~after:0.5 (fun () -> cb ())));
@@ -192,7 +192,7 @@ let first_broadcast_targets order =
     { Netmodel.default_config with Netmodel.send_order = order; jitter_ms = 0.0; epoch_ms = 0.0 }
   in
   let net =
-    Netmodel.create ~engine ~topology ~assignment ~fault:Fault.none ~config ~seed:4 ()
+    Netmodel.create ~engine ~topology ~assignment ~fault:Fault_schedule.none ~config ~seed:4 ()
   in
   let arrivals = ref [] in
   for i = 0 to 9 do
@@ -222,7 +222,7 @@ let test_farthest_first_order () =
 
 let test_wal_no_group_commit () =
   let engine = Engine.create () in
-  let wal = Wal.create ~engine ~sync_latency_ms:5.0 ~group_commit:false () in
+  let wal = Wal.create ~timers:(Shoalpp_backend.Backend_sim.timers engine) ~sync_latency_ms:5.0 ~group_commit:false () in
   let times = ref [] in
   for i = 1 to 3 do
     Wal.append wal ~size:1 (fun () -> times := (i, Engine.now engine) :: !times)

@@ -7,7 +7,7 @@
    The liveness assertion mirrors the acceptance criterion: commits resume
    within 5 simulated seconds of the heal / recovery. *)
 
-module Fault = Shoalpp_sim.Fault
+module Fault_schedule = Shoalpp_sim.Fault_schedule
 module Faults = Shoalpp_sim.Faults
 module Engine = Shoalpp_sim.Engine
 module Wal = Shoalpp_storage.Wal
@@ -63,29 +63,29 @@ let test_parse_errors () =
 (* Interval-based fault schedule. *)
 
 let test_crash_intervals () =
-  let f = Fault.crash Fault.none ~replica:1 ~at:1000.0 in
-  let f = Fault.recover f ~replica:1 ~at:2000.0 in
-  checkb "before crash" false (Fault.is_crashed f ~replica:1 ~time:999.0);
-  checkb "during downtime" true (Fault.is_crashed f ~replica:1 ~time:1500.0);
-  checkb "after recovery" false (Fault.is_crashed f ~replica:1 ~time:2500.0);
-  checkb "other replica unaffected" false (Fault.is_crashed f ~replica:0 ~time:1500.0)
+  let f = Fault_schedule.crash Fault_schedule.none ~replica:1 ~at:1000.0 in
+  let f = Fault_schedule.recover f ~replica:1 ~at:2000.0 in
+  checkb "before crash" false (Fault_schedule.is_crashed f ~replica:1 ~time:999.0);
+  checkb "during downtime" true (Fault_schedule.is_crashed f ~replica:1 ~time:1500.0);
+  checkb "after recovery" false (Fault_schedule.is_crashed f ~replica:1 ~time:2500.0);
+  checkb "other replica unaffected" false (Fault_schedule.is_crashed f ~replica:0 ~time:1500.0)
 
 let test_partition_reachability () =
   let f =
-    Fault.partition Fault.none ~groups:[ [ 0; 1 ]; [ 2; 3 ] ] ~from_time:1000.0
+    Fault_schedule.partition Fault_schedule.none ~groups:[ [ 0; 1 ]; [ 2; 3 ] ] ~from_time:1000.0
       ~until_time:2000.0
   in
-  checkb "same group" true (Fault.reachable f ~src:0 ~dst:1 ~time:1500.0);
-  checkb "cross group cut" false (Fault.reachable f ~src:0 ~dst:2 ~time:1500.0);
-  checkb "before window" true (Fault.reachable f ~src:0 ~dst:2 ~time:500.0);
-  checkb "after heal" true (Fault.reachable f ~src:0 ~dst:2 ~time:2500.0);
-  checkb "loopback always" true (Fault.reachable f ~src:2 ~dst:2 ~time:1500.0)
+  checkb "same group" true (Fault_schedule.reachable f ~src:0 ~dst:1 ~time:1500.0);
+  checkb "cross group cut" false (Fault_schedule.reachable f ~src:0 ~dst:2 ~time:1500.0);
+  checkb "before window" true (Fault_schedule.reachable f ~src:0 ~dst:2 ~time:500.0);
+  checkb "after heal" true (Fault_schedule.reachable f ~src:0 ~dst:2 ~time:2500.0);
+  checkb "loopback always" true (Fault_schedule.reachable f ~src:2 ~dst:2 ~time:1500.0)
 
 let test_schedule_materializes () =
   let scenario = Faults.crash_recover ~count:1 ~at:3000.0 ~recover_at:8000.0 () in
-  let f = Faults.schedule scenario ~n:4 ~base:Fault.none in
-  checkb "crashed mid-window" true (Fault.is_crashed f ~replica:3 ~time:5000.0);
-  checkb "recovered" false (Fault.is_crashed f ~replica:3 ~time:9000.0);
+  let f = Faults.schedule scenario ~n:4 ~base:Fault_schedule.none in
+  checkb "crashed mid-window" true (Fault_schedule.is_crashed f ~replica:3 ~time:5000.0);
+  checkb "recovered" false (Fault_schedule.is_crashed f ~replica:3 ~time:9000.0);
   match Faults.crash_recoveries scenario ~n:4 with
   | [ (3, at, rec_at) ] ->
     checkf "crash at" 3000.0 at;
@@ -97,7 +97,7 @@ let test_schedule_materializes () =
 
 let test_wal_retention () =
   let engine = Engine.create () in
-  let wal = Wal.create ~engine ~sync_latency_ms:5.0 ~retain:true () in
+  let wal = Wal.create ~timers:(Shoalpp_backend.Backend_sim.timers engine) ~sync_latency_ms:5.0 ~retain:true () in
   Wal.append wal ~size:10 ~payload:"first" (fun () -> ());
   checki "nothing before sync" 0 (List.length (Wal.entries wal));
   Engine.run ~until:100.0 engine;
@@ -106,7 +106,7 @@ let test_wal_retention () =
   Alcotest.(check (list string)) "only synced payloads" [ "first" ] (Wal.entries wal);
   Engine.run ~until:200.0 engine;
   Alcotest.(check (list string)) "both after sync" [ "first"; "second" ] (Wal.entries wal);
-  let plain = Wal.create ~engine ~sync_latency_ms:0.0 () in
+  let plain = Wal.create ~timers:(Shoalpp_backend.Backend_sim.timers engine) ~sync_latency_ms:0.0 () in
   checkb "no retain by default" false (Wal.retains plain)
 
 (* ------------------------------------------------------------------ *)

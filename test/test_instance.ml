@@ -69,7 +69,7 @@ let make_harness ?(wait_policy = Instance.All_or_timeout 600.0) ?(delay = 10.0) 
                 done);
             send = (fun ~dst msg -> deliver ~src:replica ~dst msg);
             now = (fun () -> Engine.now engine);
-            schedule = (fun ~after f -> Engine.schedule engine ~after f);
+            schedule = (Shoalpp_backend.Backend_sim.timers engine).Shoalpp_backend.Backend.Timers.schedule;
             pull_batch =
               (fun ~max ->
                 List.init (min max n_txns) (fun _ ->

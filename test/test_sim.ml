@@ -5,7 +5,7 @@
 module Engine = Shoalpp_sim.Engine
 module Topology = Shoalpp_sim.Topology
 module Netmodel = Shoalpp_sim.Netmodel
-module Fault = Shoalpp_sim.Fault
+module Fault_schedule = Shoalpp_sim.Fault_schedule
 module Trace = Shoalpp_sim.Trace
 module Wal = Shoalpp_storage.Wal
 module Kvstore = Shoalpp_storage.Kvstore
@@ -133,7 +133,7 @@ let quiet_config =
     cpu_per_byte_ms = 0.0;
   }
 
-let make_net ?(config = quiet_config) ?(fault = Fault.none) ?(n = 4) () =
+let make_net ?(config = quiet_config) ?(fault = Fault_schedule.none) ?(n = 4) () =
   let engine = Engine.create () in
   let topology = Topology.clique ~regions:n ~one_way_ms:10.0 in
   let assignment = Topology.assign_round_robin topology ~n in
@@ -187,7 +187,7 @@ let test_net_broadcast_include_self () =
   checki "others got two" 2 seen.(1)
 
 let test_net_crash_semantics () =
-  let fault = Fault.crash Fault.none ~replica:1 ~at:5.0 in
+  let fault = Fault_schedule.crash Fault_schedule.none ~replica:1 ~at:5.0 in
   let engine, net = make_net ~fault () in
   let got = ref 0 in
   Netmodel.set_handler net 1 (fun ~src:_ () -> incr got);
@@ -202,7 +202,7 @@ let test_net_crash_semantics () =
   checki "crashed sender suppressed" 0 !got
 
 let test_net_drop_rate () =
-  let fault = Fault.drop_egress Fault.none ~replicas:[ 0 ] ~rate:0.5 ~from_time:0.0 () in
+  let fault = Fault_schedule.drop_egress Fault_schedule.none ~replicas:[ 0 ] ~rate:0.5 ~from_time:0.0 () in
   let engine, net = make_net ~fault () in
   let got = ref 0 in
   Netmodel.set_handler net 1 (fun ~src:_ () -> incr got);
@@ -258,27 +258,27 @@ let test_net_extra_delay_epochs () =
   checkb "non-negative" true (d1 >= 0.0)
 
 (* ------------------------------------------------------------------ *)
-(* Fault *)
+(* Fault_schedule (materialized fault timelines) *)
 
 let test_fault_crash_window () =
-  let f = Fault.crash Fault.none ~replica:2 ~at:100.0 in
-  checkb "before" false (Fault.is_crashed f ~replica:2 ~time:99.0);
-  checkb "at" true (Fault.is_crashed f ~replica:2 ~time:100.0);
-  checkb "other replica" false (Fault.is_crashed f ~replica:1 ~time:200.0);
-  Alcotest.(check (list int)) "crashed list" [ 2 ] (Fault.crashed_replicas f ~time:150.0)
+  let f = Fault_schedule.crash Fault_schedule.none ~replica:2 ~at:100.0 in
+  checkb "before" false (Fault_schedule.is_crashed f ~replica:2 ~time:99.0);
+  checkb "at" true (Fault_schedule.is_crashed f ~replica:2 ~time:100.0);
+  checkb "other replica" false (Fault_schedule.is_crashed f ~replica:1 ~time:200.0);
+  Alcotest.(check (list int)) "crashed list" [ 2 ] (Fault_schedule.crashed_replicas f ~time:150.0)
 
 let test_fault_drop_combination () =
   let f =
-    Fault.drop_egress Fault.none ~replicas:[ 0 ] ~rate:0.5 ~from_time:0.0 ~until_time:100.0 ()
+    Fault_schedule.drop_egress Fault_schedule.none ~replicas:[ 0 ] ~rate:0.5 ~from_time:0.0 ~until_time:100.0 ()
   in
-  let f = Fault.drop_egress f ~replicas:[ 0 ] ~rate:0.5 ~from_time:0.0 ~until_time:100.0 () in
-  checkf "combines independently" 0.75 (Fault.egress_drop_rate f ~src:0 ~time:50.0);
-  checkf "outside window" 0.0 (Fault.egress_drop_rate f ~src:0 ~time:150.0);
-  checkf "other replica" 0.0 (Fault.egress_drop_rate f ~src:1 ~time:50.0)
+  let f = Fault_schedule.drop_egress f ~replicas:[ 0 ] ~rate:0.5 ~from_time:0.0 ~until_time:100.0 () in
+  checkf "combines independently" 0.75 (Fault_schedule.egress_drop_rate f ~src:0 ~time:50.0);
+  checkf "outside window" 0.0 (Fault_schedule.egress_drop_rate f ~src:0 ~time:150.0);
+  checkf "other replica" 0.0 (Fault_schedule.egress_drop_rate f ~src:1 ~time:50.0)
 
 let test_fault_earliest_crash_wins () =
-  let f = Fault.crash (Fault.crash Fault.none ~replica:1 ~at:50.0) ~replica:1 ~at:20.0 in
-  Alcotest.(check (option (float 1e-9))) "earliest" (Some 20.0) (Fault.crash_time f ~replica:1)
+  let f = Fault_schedule.crash (Fault_schedule.crash Fault_schedule.none ~replica:1 ~at:50.0) ~replica:1 ~at:20.0 in
+  Alcotest.(check (option (float 1e-9))) "earliest" (Some 20.0) (Fault_schedule.crash_time f ~replica:1)
 
 (* ------------------------------------------------------------------ *)
 (* Trace *)
@@ -364,7 +364,7 @@ let test_trace_find_and_clear () =
 
 let test_wal_sync_latency () =
   let engine = Engine.create () in
-  let wal = Wal.create ~engine ~sync_latency_ms:5.0 () in
+  let wal = Wal.create ~timers:(Shoalpp_backend.Backend_sim.timers engine) ~sync_latency_ms:5.0 () in
   let done_at = ref nan in
   Wal.append wal ~size:100 (fun () -> done_at := Engine.now engine);
   Engine.run engine;
@@ -374,7 +374,7 @@ let test_wal_sync_latency () =
 
 let test_wal_group_commit () =
   let engine = Engine.create () in
-  let wal = Wal.create ~engine ~sync_latency_ms:5.0 () in
+  let wal = Wal.create ~timers:(Shoalpp_backend.Backend_sim.timers engine) ~sync_latency_ms:5.0 () in
   let finished = ref [] in
   (* First append starts a sync; the next three coalesce into one. *)
   Wal.append wal ~size:1 (fun () -> finished := (1, Engine.now engine) :: !finished);
@@ -392,7 +392,7 @@ let test_wal_group_commit () =
 
 let test_wal_callback_never_synchronous () =
   let engine = Engine.create () in
-  let wal = Wal.create ~engine ~sync_latency_ms:0.0 () in
+  let wal = Wal.create ~timers:(Shoalpp_backend.Backend_sim.timers engine) ~sync_latency_ms:0.0 () in
   let fired = ref false in
   Wal.append wal ~size:1 (fun () -> fired := true);
   checkb "async even at zero latency" false !fired;

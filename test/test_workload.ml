@@ -61,7 +61,8 @@ let test_mempool_oldest_waiting () =
 let test_client_rate () =
   let engine = Engine.create () in
   let m = Mempool.create () in
-  let c = Client.start ~engine ~mempool:m ~origin:0 ~rate_tps:100.0 ~seed:5 () in
+  let c = Client.start ~clock:(Shoalpp_backend.Backend_sim.clock engine)
+      ~timers:(Shoalpp_backend.Backend_sim.timers engine) ~mempool:m ~origin:0 ~rate_tps:100.0 ~seed:5 () in
   Engine.run ~until:60_000.0 engine;
   Client.stop c;
   let got = Client.generated c in
@@ -75,7 +76,8 @@ let test_client_unique_ids_across_replicas () =
   let pools = List.init 3 (fun _ -> Mempool.create ()) in
   let _clients =
     List.mapi
-      (fun i m -> Client.start ~engine ~mempool:m ~origin:i ~rate_tps:50.0 ~seed:1 ~next_id ())
+      (fun i m -> Client.start ~clock:(Shoalpp_backend.Backend_sim.clock engine)
+      ~timers:(Shoalpp_backend.Backend_sim.timers engine) ~mempool:m ~origin:i ~rate_tps:50.0 ~seed:1 ~next_id ())
       pools
   in
   Engine.run ~until:5_000.0 engine;
@@ -87,7 +89,8 @@ let test_client_unique_ids_across_replicas () =
 let test_client_stop () =
   let engine = Engine.create () in
   let m = Mempool.create () in
-  let c = Client.start ~engine ~mempool:m ~origin:0 ~rate_tps:1000.0 ~seed:2 () in
+  let c = Client.start ~clock:(Shoalpp_backend.Backend_sim.clock engine)
+      ~timers:(Shoalpp_backend.Backend_sim.timers engine) ~mempool:m ~origin:0 ~rate_tps:1000.0 ~seed:2 () in
   Engine.run ~until:1_000.0 engine;
   Client.stop c;
   let at_stop = Client.generated c in
@@ -97,7 +100,8 @@ let test_client_stop () =
 let test_client_timestamps_are_submission_times () =
   let engine = Engine.create () in
   let m = Mempool.create () in
-  ignore (Client.start ~engine ~mempool:m ~origin:3 ~rate_tps:200.0 ~seed:9 ());
+  ignore (Client.start ~clock:(Shoalpp_backend.Backend_sim.clock engine)
+      ~timers:(Shoalpp_backend.Backend_sim.timers engine) ~mempool:m ~origin:3 ~rate_tps:200.0 ~seed:9 ());
   Engine.run ~until:2_000.0 engine;
   List.iter
     (fun (t : Transaction.t) ->
