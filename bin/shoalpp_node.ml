@@ -34,11 +34,24 @@ let transport_conv =
   let print fmt t = Format.pp_print_string fmt (match t with Inproc -> "inproc" | Uds -> "uds") in
   Arg.conv (parse, print)
 
-let rm_rf dir =
-  if Sys.file_exists dir then begin
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-    Sys.rmdir dir
-  end
+let is_replica_sock f =
+  Filename.check_suffix f ".sock"
+  && String.length f > 8
+  && String.sub f 0 8 = "replica-"
+
+(* Remove only the replica sockets the run created. The directory itself is
+   deleted only when it was our fresh temp dir, never when the user named it
+   via --uds-dir; any unrelated files in a user-supplied dir are untouched. *)
+let cleanup_uds_dir ~created dir =
+  (match Sys.readdir dir with
+  | entries ->
+    Array.iter
+      (fun f ->
+        if is_replica_sock f then
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      entries
+  | exception Sys_error _ -> ());
+  if created then try Sys.rmdir dir with Sys_error _ -> ()
 
 let run n duration load warmup timeout link_delay seed no_verify transport uds_dir trace_out
     metrics_out =
@@ -52,13 +65,16 @@ let run n duration load warmup timeout link_delay seed no_verify transport uds_d
     match transport with
     | Inproc -> (Node.Inproc, fun () -> ())
     | Uds ->
-      let dir =
+      let dir, created =
         match uds_dir with
-        | Some d -> d
-        | None -> Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "shoalpp-node-%d" (Unix.getpid ()))
+        | Some d -> (d, false)
+        | None ->
+          ( Filename.concat (Filename.get_temp_dir_name ())
+              (Printf.sprintf "shoalpp-node-%d" (Unix.getpid ())),
+            true )
       in
       if not (Sys.file_exists dir) then Unix.mkdir dir 0o700;
-      (Node.Uds dir, fun () -> rm_rf dir)
+      (Node.Uds dir, fun () -> cleanup_uds_dir ~created dir)
   in
   let trace = if trace_out <> None then Some (Trace.create ~enabled:true ~capacity:65536 ()) else None in
   let setup =

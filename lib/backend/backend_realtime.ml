@@ -17,6 +17,7 @@ type t = {
   mutable running : bool;
   max_tick_ms : float;
   pollers : (Unix.file_descr, unit -> unit) Hashtbl.t;
+  wpollers : (Unix.file_descr, unit -> unit) Hashtbl.t;
 }
 
 let create ?(max_tick_ms = 50.0) () =
@@ -31,6 +32,7 @@ let create ?(max_tick_ms = 50.0) () =
     running = false;
     max_tick_ms;
     pollers = Hashtbl.create 8;
+    wpollers = Hashtbl.create 8;
   }
 
 let with_mu t f =
@@ -65,7 +67,7 @@ let schedule_abs t ~at f =
   in
   {
     Backend.cancel = (fun () -> with_mu t (fun () -> tm.action <- None));
-    is_pending = (fun () -> tm.action <> None);
+    is_pending = (fun () -> with_mu t (fun () -> tm.action <> None));
   }
 
 let timers t =
@@ -82,6 +84,8 @@ let events_fired t = t.fired
 let pending_timers t = with_mu t (fun () -> Heap.length t.heap)
 let add_poller t fd f = Hashtbl.replace t.pollers fd f
 let remove_poller t fd = Hashtbl.remove t.pollers fd
+let add_wpoller t fd f = Hashtbl.replace t.wpollers fd f
+let remove_wpoller t fd = Hashtbl.remove t.wpollers fd
 let stop t = t.stopping <- true
 
 (* Both called under the mutex. Cancelled timers are dropped lazily as they
@@ -104,6 +108,32 @@ let rec next_deadline t =
   | Some tm -> Some tm.at
   | None -> None
 
+(* Fire each due timer, taking its action out atomically so a concurrent
+   cancel can never race the invocation. If a callback raises, the popped
+   but unfired tail goes back on the heap before the exception propagates —
+   those timers stay pending rather than being silently lost. *)
+let fire_due t due =
+  let rec go = function
+    | [] -> ()
+    | tm :: rest ->
+      let f_opt =
+        with_mu t (fun () ->
+            let a = tm.action in
+            tm.action <- None;
+            a)
+      in
+      (match f_opt with
+      | Some f -> (
+        t.fired <- t.fired + 1;
+        try f ()
+        with e ->
+          with_mu t (fun () -> List.iter (fun tm -> Heap.add t.heap tm) rest);
+          raise e)
+      | None -> ());
+      go rest
+  in
+  go due
+
 let run_for t ~duration_ms =
   if t.running then invalid_arg "Backend_realtime.run_for: already running";
   t.running <- true;
@@ -113,15 +143,7 @@ let run_for t ~duration_ms =
      while (not t.stopping) && now_ms t < deadline do
        let now = now_ms t in
        let due = with_mu t (fun () -> pop_due t ~now []) in
-       List.iter
-         (fun tm ->
-           match tm.action with
-           | Some f ->
-             tm.action <- None;
-             t.fired <- t.fired + 1;
-             f ()
-           | None -> ())
-         due;
+       fire_due t due;
        (* Sleep until the next timer (bounded by the tick), or just poll the
           sockets when this iteration did fire something. *)
        let gap_ms =
@@ -136,17 +158,22 @@ let run_for t ~duration_ms =
            Float.max 0.0 (Float.min (Float.min horizon t.max_tick_ms) (deadline -. now))
          end
        in
-       let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.pollers [] in
-       if fds = [] then begin
+       let rfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.pollers [] in
+       let wfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.wpollers [] in
+       if rfds = [] && wfds = [] then begin
          if gap_ms > 0.0 then Unix.sleepf (gap_ms /. 1000.0)
        end
        else begin
-         match Unix.select fds [] [] (gap_ms /. 1000.0) with
-         | readable, _, _ ->
+         match Unix.select rfds wfds [] (gap_ms /. 1000.0) with
+         | readable, writable, _ ->
            List.iter
              (fun fd ->
                match Hashtbl.find_opt t.pollers fd with Some f -> f () | None -> ())
-             readable
+             readable;
+           List.iter
+             (fun fd ->
+               match Hashtbl.find_opt t.wpollers fd with Some f -> f () | None -> ())
+             writable
          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
        end
      done
@@ -199,27 +226,45 @@ module Framing = struct
     Bytes.blit_string body 0 out 4 n;
     Bytes.unsafe_to_string out
 
-  type decoder = { buf : Buffer.t }
+  (* Byte backlog with a consumed-prefix offset: frames are decoded in
+     place by advancing [start], and the live region is compacted (or the
+     buffer grown) at most once per [feed], so decoding stays linear in the
+     bytes received no matter how many frames pile up on one connection. *)
+  type decoder = { mutable buf : Bytes.t; mutable start : int; mutable len : int }
 
-  let decoder () = { buf = Buffer.create 4096 }
+  let decoder () = { buf = Bytes.create 4096; start = 0; len = 0 }
+
+  let ensure_space d extra =
+    let cap = Bytes.length d.buf in
+    if d.start + d.len + extra > cap then
+      if d.len + extra <= cap then begin
+        Bytes.blit d.buf d.start d.buf 0 d.len;
+        d.start <- 0
+      end
+      else begin
+        let nb = Bytes.create (max (d.len + extra) (2 * cap)) in
+        Bytes.blit d.buf d.start nb 0 d.len;
+        d.buf <- nb;
+        d.start <- 0
+      end
 
   let feed d chunk len =
-    Buffer.add_subbytes d.buf chunk 0 len;
+    ensure_space d len;
+    Bytes.blit chunk 0 d.buf (d.start + d.len) len;
+    d.len <- d.len + len;
     let frames = ref [] in
     let progress = ref true in
     while !progress do
-      let avail = Buffer.length d.buf in
-      if avail < 4 then progress := false
+      if d.len < 4 then progress := false
       else begin
-        let body_len = Int32.to_int (String.get_int32_be (Buffer.sub d.buf 0 4) 0) in
+        let body_len = Int32.to_int (Bytes.get_int32_be d.buf d.start) in
         if body_len < 0 || body_len > max_body then
           raise (Wire.Reader.Malformed "frame length out of range");
-        if avail < 4 + body_len then progress := false
+        if d.len < 4 + body_len then progress := false
         else begin
-          let body = Buffer.sub d.buf 4 body_len in
-          let rest = Buffer.sub d.buf (4 + body_len) (avail - 4 - body_len) in
-          Buffer.clear d.buf;
-          Buffer.add_string d.buf rest;
+          let body = Bytes.sub_string d.buf (d.start + 4) body_len in
+          d.start <- d.start + 4 + body_len;
+          d.len <- d.len - (4 + body_len);
           let r = Wire.Reader.of_string body in
           let src = Wire.Reader.uint r in
           let payload = Wire.Reader.bytes r in
@@ -228,10 +273,26 @@ module Framing = struct
         end
       end
     done;
+    if d.len = 0 then d.start <- 0;
     List.rev !frames
 end
 
 let socket_path ~dir i = Filename.concat dir (Printf.sprintf "replica-%d.sock" i)
+
+(* An outbound connection. The socket is non-blocking: frames the kernel
+   buffer cannot take immediately queue here and are flushed when the loop
+   reports the descriptor writable, so a send can never block the (single)
+   thread that also drains the read side. *)
+type out_conn = {
+  o_fd : Unix.file_descr;
+  o_q : string Queue.t; (* unwritten frames; head may be partially written *)
+  mutable o_head_off : int; (* bytes of the queue head already written *)
+  mutable o_buffered : int; (* total unwritten bytes across the queue *)
+}
+
+(* Per-connection backlog cap: beyond this, new frames are counted as
+   dropped instead of queued, bounding memory when a peer stops reading. *)
+let max_out_buffered = 8 * 1024 * 1024
 
 type 'msg uds_state = {
   exec : t;
@@ -240,19 +301,11 @@ type 'msg uds_state = {
   u_encode : 'msg -> string;
   u_decode : string -> 'msg option;
   u_handlers : (src:int -> 'msg -> unit) option array;
-  u_out : Unix.file_descr option array; (* lazily dialed, one per destination *)
+  u_out : out_conn option array; (* lazily dialed, one per destination *)
   mutable u_sent : int;
   mutable u_dropped : int;
   mutable u_bytes : float;
 }
-
-let write_all fd s =
-  let len = String.length s in
-  let b = Bytes.unsafe_of_string s in
-  let off = ref 0 in
-  while !off < len do
-    off := !off + Unix.write fd b !off (len - !off)
-  done
 
 let uds_close_conn st fd =
   remove_poller st.exec fd;
@@ -299,32 +352,63 @@ let uds_listen st i =
 
 let uds_dial st dst =
   match st.u_out.(dst) with
-  | Some fd -> Some fd
+  | Some oc -> Some oc
   | None -> (
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX (socket_path ~dir:st.dir dst)) with
     | () ->
-      st.u_out.(dst) <- Some fd;
-      Some fd
+      Unix.set_nonblock fd;
+      let oc = { o_fd = fd; o_q = Queue.create (); o_head_off = 0; o_buffered = 0 } in
+      st.u_out.(dst) <- Some oc;
+      Some oc
     | exception Unix.Unix_error _ ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       None)
 
+(* Broken pipe or peer gone: drop the cached connection (its still-queued
+   frames count as dropped) so the next send re-dials. *)
+let uds_drop_out st dst oc =
+  remove_wpoller st.exec oc.o_fd;
+  (try Unix.close oc.o_fd with Unix.Unix_error _ -> ());
+  st.u_out.(dst) <- None;
+  st.u_dropped <- st.u_dropped + Queue.length oc.o_q
+
+let rec uds_flush st dst oc =
+  if Queue.is_empty oc.o_q then remove_wpoller st.exec oc.o_fd
+  else begin
+    let s = Queue.peek oc.o_q in
+    let len = String.length s - oc.o_head_off in
+    match Unix.write oc.o_fd (Bytes.unsafe_of_string s) oc.o_head_off len with
+    | n ->
+      oc.o_buffered <- oc.o_buffered - n;
+      if n = len then begin
+        ignore (Queue.pop oc.o_q);
+        oc.o_head_off <- 0;
+        uds_flush st dst oc
+      end
+      else begin
+        oc.o_head_off <- oc.o_head_off + n;
+        add_wpoller st.exec oc.o_fd (fun () -> uds_flush st dst oc)
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      add_wpoller st.exec oc.o_fd (fun () -> uds_flush st dst oc)
+    | exception Unix.Unix_error _ -> uds_drop_out st dst oc
+  end
+
 let uds_send st ~src ~dst ~size msg =
   match uds_dial st dst with
   | None -> st.u_dropped <- st.u_dropped + 1
-  | Some fd -> (
+  | Some oc ->
     let frame = Framing.frame ~src (st.u_encode msg) in
-    match write_all fd frame with
-    | () ->
+    if oc.o_buffered + String.length frame > max_out_buffered then
+      st.u_dropped <- st.u_dropped + 1
+    else begin
+      Queue.add frame oc.o_q;
+      oc.o_buffered <- oc.o_buffered + String.length frame;
       st.u_sent <- st.u_sent + 1;
-      st.u_bytes <- st.u_bytes +. float_of_int size
-    | exception Unix.Unix_error _ ->
-      (* Broken pipe or peer gone: drop the cached connection so the next
-         send re-dials. *)
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      st.u_out.(dst) <- None;
-      st.u_dropped <- st.u_dropped + 1)
+      st.u_bytes <- st.u_bytes +. float_of_int size;
+      uds_flush st dst oc
+    end
 
 let uds t ~n ~dir ~encode ~decode () =
   let st =

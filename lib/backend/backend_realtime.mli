@@ -52,10 +52,12 @@ val pending_timers : t -> int
 
 (** {2 I/O polling} — used by the socket transport; exposed for future
     transports. Callbacks run on the loop thread when the descriptor is
-    readable. *)
+    readable (pollers) or writable (wpollers). *)
 
 val add_poller : t -> Unix.file_descr -> (unit -> unit) -> unit
 val remove_poller : t -> Unix.file_descr -> unit
+val add_wpoller : t -> Unix.file_descr -> (unit -> unit) -> unit
+val remove_wpoller : t -> Unix.file_descr -> unit
 
 (** {2 Transports} *)
 
@@ -95,6 +97,10 @@ val uds :
 (** Unix-domain-socket transport: replica [i] listens on
     [dir/replica-i.sock]; outbound connections are dialed lazily and each
     frame carries the sender id, so one socket per (process, destination)
-    pair suffices. Messages whose [decode] fails (or that arrive on a
-    corrupt stream) are dropped and counted. All endpoints live in this
-    process today, but nothing in the wire format assumes it. *)
+    pair suffices. Outbound sockets are non-blocking: frames the kernel
+    cannot take immediately are buffered per connection (up to 8 MiB,
+    beyond which they are dropped and counted) and flushed from the loop
+    on writability, so [send] never blocks the loop thread. Messages whose
+    [decode] fails (or that arrive on a corrupt stream) are dropped and
+    counted. All endpoints live in this process today, but nothing in the
+    wire format assumes it. *)
