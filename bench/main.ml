@@ -151,7 +151,9 @@ let fig5 () =
       systems
   in
   Tablefmt.print ~header rows;
-  Hashtbl.iter (fun name cap -> note "saturation: %s tops out near %.0f tps\n" name cap) sat
+  Shoalpp_support.Sorted_tbl.iter ~cmp:String.compare
+    (fun name cap -> note "saturation: %s tops out near %.0f tps\n" name cap)
+    sat
 
 (* ------------------------------------------------------------------ *)
 (* Fig 6 — latency-improvement breakdown (Shoal++ ablation). *)
@@ -670,14 +672,14 @@ let micro () =
   let raw = Benchmark.all cfg instances tests in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> rows := [ name; Printf.sprintf "%.0f ns/op" est ] :: !rows
-      | _ -> ())
-    results;
-  Tablefmt.print ~header:[ "operation"; "time" ] (List.sort compare !rows)
+  let rows =
+    Shoalpp_support.Sorted_tbl.bindings ~cmp:String.compare results
+    |> List.filter_map (fun (name, result) ->
+           match Analyze.OLS.estimates result with
+           | Some [ est ] -> Some [ name; Printf.sprintf "%.0f ns/op" est ]
+           | _ -> None)
+  in
+  Tablefmt.print ~header:[ "operation"; "time" ] rows
 
 let () =
   Shoalpp_baselines.Register.register ();

@@ -7,7 +7,14 @@
     pre-backend code — the golden determinism traces hold unchanged.
 
     Also bundles the engine + network construction ({!make}) so harnesses
-    (cluster, baselines) need not name the simulator modules at all. *)
+    (cluster, baselines) need not name the simulator modules at all.
+
+    Invariants:
+    - pure delegation: no wall clock, OS randomness or I/O — every notion of
+      time comes from the discrete-event engine's virtual clock, and every
+      send/broadcast is an engine-scheduled Netmodel delivery;
+    - callback ordering is exactly the engine's queue order, so a run is a
+      pure function of (config, topology, seed) and golden digests hold. *)
 
 type 'msg t = {
   engine : Shoalpp_sim.Engine.t;

@@ -252,7 +252,10 @@ and commit_complete_chain t digest =
 
 let retry_pending_commits t =
   if Hashtbl.length t.pending_commit > 0 then begin
-    let tips = Hashtbl.fold (fun d () acc -> d :: acc) t.pending_commit [] in
+    (* Sorted-key traversal: the retry order decides which chain commits
+       first when several tips unblock at once, and commits feed the trace
+       and the replica log — hash order would leak into emitted bytes. *)
+    let tips = Shoalpp_support.Sorted_tbl.keys ~cmp:Digest32.compare t.pending_commit in
     List.iter (fun d -> commit_chain t d) tips
   end
 

@@ -19,7 +19,16 @@
       leader can propose them (clients only talk to their local replica).
 
     Throughput is bottlenecked by leader egress bandwidth, reproducing the
-    early saturation of Fig 5. *)
+    early saturation of Fig 5.
+
+    Invariants:
+    - safety: a block is appended to the commit log only via the 2-chain
+      rule, and the log is append-only — recovery replays a prefix, never
+      rewrites one;
+    - a replica votes at most once per round, and only for a block extending
+      its highest known QC;
+    - pending-commit retries visit tips in digest order (sorted-key
+      traversal), so the commit sequence never depends on hash order. *)
 
 type msg
 

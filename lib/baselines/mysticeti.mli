@@ -20,7 +20,13 @@
 
     Blocks are represented with the certified-DAG node type carrying an
     empty certificate, letting the baseline reuse the DAG store and
-    consensus driver; validation of the dummy certificates is skipped. *)
+    consensus driver; validation of the dummy certificates is skipped.
+
+    Invariants:
+    - a correct replica signs at most one block per round; injected
+      equivocators send twin blocks to at most f distinct recipients;
+    - commit order is a deterministic function of the delivered-block
+      partial order — no clocks or randomness feed the ordering rule. *)
 
 type msg
 

@@ -1,5 +1,9 @@
 (** Plugs the Jolteon and Mysticeti runners into
     {!Shoalpp_runtime.Experiment}'s registry. Call once at program start;
-    idempotent. *)
+    idempotent.
+
+    Invariants:
+    - idempotent: repeated calls re-register the same runners under the
+      same names; registration is the only side effect (no I/O). *)
 
 val register : unit -> unit

@@ -3,7 +3,15 @@
     Protocol message modules build their encoders on these primitives. The
     simulator charges bandwidth for [Writer.size]-many bytes, so encodings
     deliberately mirror a realistic production format (varints, raw digests,
-    compact bitmaps) rather than OCaml marshaling. *)
+    compact bitmaps) rather than OCaml marshaling.
+
+    Invariants:
+    - [Writer]/[Reader] are exact inverses: reading back a written message
+      consumes precisely [Writer.size] bytes and reconstructs equal values;
+    - encoding is deterministic: field order is fixed by the encoder, never
+      derived from hash-table iteration;
+    - the reader fails with [Error]/exception on truncated or corrupt input
+      instead of reading out of bounds. *)
 
 module Writer : sig
   type t

@@ -39,7 +39,9 @@ let observe_segment t ~anchor_round ~supporters ~node_positions =
       if author >= 0 && author < t.n && round > t.last_round.(author) then
         t.last_round.(author) <- round)
     node_positions;
-  let supporters = List.sort_uniq compare (List.filter (fun a -> a >= 0 && a < t.n) supporters) in
+  let supporters =
+    List.sort_uniq Int.compare (List.filter (fun a -> a >= 0 && a < t.n) supporters)
+  in
   List.iter
     (fun a ->
       t.scores.(a) <- t.scores.(a) + 1;
@@ -86,7 +88,7 @@ let eligible t ~round ~slot =
     let rot a = ((a + slot) mod t.n) + (if (a + slot) mod t.n < 0 then t.n else 0) in
     List.stable_sort
       (fun a b ->
-        let c = compare t.scores.(b) t.scores.(a) in
-        if c <> 0 then c else compare (rot a) (rot b))
+        let c = Int.compare t.scores.(b) t.scores.(a) in
+        if c <> 0 then c else Int.compare (rot a) (rot b))
       pool
   end

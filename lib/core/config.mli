@@ -9,7 +9,14 @@
     - {!shoal}: anchors every round, reputation, k=1.
     - {!shoalpp}: all three Shoal++ augmentations — fast direct commit,
       all-eligible anchors with lockstep timeout, k=3 staggered DAGs.
-    - [with_dags]: the paper's "Bullshark/Shoal More DAGs" variants. *)
+    - [with_dags]: the paper's "Bullshark/Shoal More DAGs" variants.
+
+    Invariants:
+    - presets are immutable values: constructing or running one config never
+      mutates another, and no global state is involved;
+    - a config plus a seed fully determines replica behaviour — every knob
+      that affects the protocol is in this record;
+    - [k >= 1] and anchor schedules stay within the configured DAG count. *)
 
 type t = {
   committee : Shoalpp_dag.Committee.t;

@@ -3,7 +3,16 @@
     round-robin into one total order (Alg. 3 of the paper).
 
     The same type runs Bullshark and Shoal (and their "More DAGs" variants)
-    by preset — see {!Config}. *)
+    by preset — see {!Config}.
+
+    Invariants:
+    - the interleaved total order is a deterministic round-robin function of
+      the per-DAG committed segment sequences (Alg. 3): same segments in,
+      same order out, on every replica;
+    - all effects (timers, sends, persistence waits) go through the injected
+      {!Shoalpp_backend.Backend} — the replica itself never touches the OS;
+    - re-delivering an envelope already processed is harmless (duplicate
+      votes/certificates are dropped, not double-counted). *)
 
 type envelope = { dag_id : int; payload : Shoalpp_dag.Types.message }
 (** What travels on the wire: one DAG instance's message, tagged. *)

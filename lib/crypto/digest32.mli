@@ -1,5 +1,11 @@
 (** 32-byte content digests with a total order, the identity of every DAG
-    node, batch, and certificate in the system. *)
+    node, batch, and certificate in the system.
+
+    Invariants:
+    - [equal], [compare] and [hash] are mutually consistent, and [compare]
+      is the total order on the raw 32 bytes — usable as an explicit
+      comparator wherever polymorphic compare is banned;
+    - [of_raw]/[raw] and [hex] round-trip; digests are immutable values. *)
 
 type t
 

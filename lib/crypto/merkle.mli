@@ -2,7 +2,11 @@
 
     Not load-bearing for consensus (proposals carry batches inline, §7
     "Inline data streaming"), but provided for batch integrity checks and as
-    the digest used in node ids, mirroring production implementations. *)
+    the digest used in node ids, mirroring production implementations.
+
+    Invariants:
+    - the root is a deterministic, order-sensitive function of the leaves;
+    - a proof verifies only against the root/leaf pair it was built for. *)
 
 type t
 

@@ -6,7 +6,14 @@
     signer order; verification recomputes each signer's expected signature,
     mirroring how a real BLS verifier checks the aggregate against the
     aggregated public key. Wire size is modeled as one BLS signature plus the
-    bitmap, matching the paper's certificate sizes. *)
+    bitmap, matching the paper's certificate sizes.
+
+    Invariants:
+    - an aggregate verifies iff every signer set in the bitmap signed that
+      exact message — adding, removing or swapping a signer breaks it;
+    - aggregation is deterministic: signatures are combined in ascending
+      signer order, so equal inputs give byte-equal aggregates;
+    - modeled wire size depends only on (n, bitmap), not on signer values. *)
 
 type t
 

@@ -3,7 +3,12 @@
     The sealed build environment has no crypto libraries, so the repository
     carries its own implementation. It is used for content digests (node ids,
     batch digests, Merkle trees) and as the PRF behind the simulated
-    signature scheme. *)
+    signature scheme.
+
+    Invariants:
+    - matches FIPS 180-4 (checked against standard vectors in tests);
+    - pure and reentrant: no global state, identical input gives identical
+      output on every platform and OCaml version. *)
 
 type ctx
 

@@ -6,7 +6,15 @@
     Within the simulation this gives the property consensus needs —
     a correct replica's signature cannot be fabricated by protocol code that
     does not call [sign] — while remaining interface-compatible with a real
-    scheme. DESIGN.md §2 records the substitution. *)
+    scheme. DESIGN.md §2 records the substitution.
+
+    Invariants:
+    - deterministic: signing uses no randomness, so equal (key, message)
+      gives byte-equal signatures;
+    - [verify] accepts exactly the signatures produced by [sign] under the
+      matching keypair — protocol code without the secret cannot fabricate
+      a correct replica's signature;
+    - keypairs are a pure function of (cluster_seed, replica index). *)
 
 type keypair
 type public = int

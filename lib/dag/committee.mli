@@ -1,5 +1,11 @@
 (** Static committee configuration: n = 3f+1 replicas, standard BFT
-    assumptions (§2 of the paper). *)
+    assumptions (§2 of the paper).
+
+    Invariants:
+    - [n = 3*f + 1] with [f = (n-1)/3]; the type is private, so every value
+      in circulation went through the validating constructor;
+    - keypairs and the genesis digest derive solely from [cluster_seed] —
+      two committees with equal seed and size are interchangeable. *)
 
 type t = private {
   n : int;

@@ -14,7 +14,15 @@
 
     The instance is transport-agnostic: it emits messages and consumes
     events through the [callbacks] record, so unit tests can drive it
-    synchronously and the runtime wires it to the simulated network. *)
+    synchronously and the runtime wires it to the simulated network.
+
+    Invariants:
+    - at most one vote per (round, author) ever leaves this replica, and a
+      certificate is formed only from n-f distinct signers;
+    - the current round only advances (monotone), and only when the round's
+      waiting policy is satisfied;
+    - garbage collection never drops state at or above the collection
+      round, and re-delivered messages for collected rounds are ignored. *)
 
 (** What, beyond an n-f certificate quorum, a replica waits for before
     advancing its round. The timeout always runs from the round's start. *)

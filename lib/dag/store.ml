@@ -125,8 +125,8 @@ let causal_history t root ~skip =
     let nodes =
       List.sort
         (fun (a : Types.certified_node) b ->
-          let c = compare a.Types.cn_node.Types.round b.Types.cn_node.Types.round in
-          if c <> 0 then c else compare a.Types.cn_node.Types.author b.Types.cn_node.Types.author)
+          let c = Int.compare a.Types.cn_node.Types.round b.Types.cn_node.Types.round in
+          if c <> 0 then c else Int.compare a.Types.cn_node.Types.author b.Types.cn_node.Types.author)
         !collected
     in
     Ok nodes

@@ -13,7 +13,15 @@
     Certified nodes whose parents are not yet locally present are still
     inserted (certified edges guarantee availability; fetching is off the
     critical path, §7) — causal traversal reports which ancestors are
-    missing so ordering can wait for / fetch exactly those. *)
+    missing so ordering can wait for / fetch exactly those.
+
+    Invariants:
+    - the certified-reference and weak-vote counters are maintained
+      incrementally but always equal what a full recount would give;
+    - causal-history traversal reports missing ancestors exactly, and
+      returns nodes sorted by (round, author) under explicit [Int.compare]
+      — never in table iteration order;
+    - GC below round r removes only state strictly below r. *)
 
 type t
 

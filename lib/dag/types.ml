@@ -69,10 +69,10 @@ let ref_equal a b =
   a.ref_round = b.ref_round && a.ref_author = b.ref_author && Digest32.equal a.ref_digest b.ref_digest
 
 let compare_ref a b =
-  let c = compare a.ref_round b.ref_round in
+  let c = Int.compare a.ref_round b.ref_round in
   if c <> 0 then c
   else begin
-    let c = compare a.ref_author b.ref_author in
+    let c = Int.compare a.ref_author b.ref_author in
     if c <> 0 then c else Digest32.compare a.ref_digest b.ref_digest
   end
 

@@ -3,7 +3,14 @@
     A {e node} is one replica's proposal for one round: a transaction batch
     plus n-f parent references to certified round r-1 nodes. A node becomes
     part of the DAG once {e certified} by an n-f quorum of vote signatures
-    aggregated into a {!certificate}. *)
+    aggregated into a {!certificate}.
+
+    Invariants:
+    - [compare_ref] is a total order on (round, author, digest) built from
+      monomorphic comparators, consistent with [ref_equal];
+    - packed integer keys are injective over in-range (round, author,
+      instance) tuples, so a packed key identifies one position;
+    - [encode_message]/[decode_message] round-trip every message variant. *)
 
 type round = int
 type replica = int

@@ -4,7 +4,16 @@
     messages are treated as Byzantine and dropped. Signature checks can be
     switched off globally for large benchmark runs (the simulated scheme's
     cost is then still modeled by the network CPU model), but all tests run
-    with them on. *)
+    with them on.
+
+    Invariants:
+    - validation is pure: no clock, no randomness, no I/O — a message's
+      verdict depends only on (committee, message);
+    - with [verify_signatures:false], the structural checks still run; the
+      flag only skips cryptographic verification, never widens what is
+      accepted structurally;
+    - the internal binding-digest memo is an invisible cache: it never
+      changes a verdict, only the cost of recomputing one. *)
 
 val validate_proposal :
   committee:Committee.t -> verify_signatures:bool -> Types.node -> (unit, string) result

@@ -278,7 +278,7 @@ let audit t =
   (* Each recovered replica's rebuilt log must extend what it had ordered
      before the crash — WAL replay may not lose or reorder history. *)
   let recovery_ok = ref true in
-  Hashtbl.iter
+  Shoalpp_support.Sorted_tbl.iter ~cmp:Int.compare
     (fun i snapshot ->
       let pre = Array.of_list (List.rev snapshot) in
       let post = logs.(i) in

@@ -340,16 +340,18 @@ let chrome_metadata events =
       @ (match tid with Some t -> [ ("tid", Json.Int t) ] | None -> [])
       @ [ ("args", Json.Obj [ ("name", Json.Str name) ]) ])
   in
-  (Hashtbl.fold
-     (fun pid () acc ->
-       meta_name ~pid ~kind:"process_name" (Printf.sprintf "replica %d" pid) :: acc)
-     seen_pids []
-  |> List.sort compare)
-  @ (Hashtbl.fold
-       (fun (pid, tid) () acc ->
-         meta_name ~pid ~tid ~kind:"thread_name" (Printf.sprintf "dag %d" tid) :: acc)
-       seen_tids []
-    |> List.sort compare)
+  (* Sorted-key traversal: metadata order is part of the exported bytes
+     (golden digests hash them), so it must not depend on hash order. *)
+  let pair_compare (pa, ta) (pb, tb) =
+    let c = Int.compare pa pb in
+    if c <> 0 then c else Int.compare ta tb
+  in
+  List.map
+    (fun pid -> meta_name ~pid ~kind:"process_name" (Printf.sprintf "replica %d" pid))
+    (Shoalpp_support.Sorted_tbl.keys ~cmp:Int.compare seen_pids)
+  @ List.map
+      (fun (pid, tid) -> meta_name ~pid ~tid ~kind:"thread_name" (Printf.sprintf "dag %d" tid))
+      (Shoalpp_support.Sorted_tbl.keys ~cmp:pair_compare seen_tids)
 
 let category (e : Trace.event) =
   match e.Trace.kind with

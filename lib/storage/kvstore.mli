@@ -2,7 +2,13 @@
 
     Functional correctness only — durability latency is [Wal]'s job. Backs
     the fetcher (serving missing nodes to lagging peers) and recovery
-    tests. *)
+    tests.
+
+    Invariants:
+    - [get] returns the most recent [put] for the digest (last-writer-wins);
+    - [iter] order is unspecified (hash order) — it must not feed trace
+      export or message emission, which the layering linter enforces by
+      keeping emission modules off raw table iteration. *)
 
 type 'a t
 

@@ -9,7 +9,14 @@
 
     Sync completion is driven by a {!Shoalpp_backend.Backend.Timers}
     handle, so the same log runs under the simulator or the wall-clock
-    executor. *)
+    executor.
+
+    Invariants:
+    - a record is reported durable (its sync callback fires) only after the
+      modeled device delay has elapsed; callbacks fire in append order;
+    - group commit coalesces syncs but never reorders or drops records —
+      replay after a crash returns exactly the durable prefix, in order;
+    - all timing flows through the injected backend timers (no wall clock). *)
 
 type t
 

@@ -1,7 +1,14 @@
 (** Fixed-capacity mutable bitset over [0, capacity).
 
     Used for signer bitmaps in aggregated certificates and for vote
-    accounting: membership, popcount and union are the hot operations. *)
+    accounting: membership, popcount and union are the hot operations.
+
+    Invariants:
+    - all operations stay within [0, capacity); [union]/[inter] require
+      equal capacities;
+    - [iter]/[to_list] visit set indices in increasing order — already
+      deterministic, no sorted wrapper needed;
+    - [count] equals the number of set bits after any operation sequence. *)
 
 type t
 

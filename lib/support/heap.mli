@@ -2,7 +2,14 @@
 
     Backs the simulator's event queue; hot path, so the implementation is a
     plain array-based sift-up/sift-down heap with amortized O(log n) insert
-    and pop. *)
+    and pop.
+
+    Invariants:
+    - [pop] returns a minimal element under [cmp]; among [cmp]-equal
+      elements the choice is a deterministic function of the insertion
+      sequence (array layout), never of addresses or hashing;
+    - size changes by exactly one per insert/pop; the heap property is
+      restored before either returns. *)
 
 type 'a t
 

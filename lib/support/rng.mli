@@ -3,7 +3,14 @@
     Every source of randomness in the repository (network jitter, client
     arrival processes, drop decisions, shuffles) flows through a [Rng.t] so
     that a whole experiment is a pure function of its seed. The generator is
-    xoshiro256++ seeded via SplitMix64. *)
+    xoshiro256++ seeded via SplitMix64.
+
+    Invariants:
+    - equal seeds give identical streams on every platform and OCaml
+      version — the generator never reads OS randomness or the clock
+      (stdlib [Random] is banned outside [lib/backend] by the linter);
+    - derived/split generators are seeded from the parent stream, so whole
+      experiments remain pure functions of the root seed. *)
 
 type t
 

@@ -1,0 +1,23 @@
+(* Deterministic (sorted-key) views over Hashtbl.
+
+   [Hashtbl.iter]/[fold]/[to_seq] visit bindings in hash order, which is a
+   function of the key-hash implementation and therefore not stable across
+   OCaml versions (and, with randomized hashing, not even across runs).
+   Any code whose output feeds trace export, report rendering, digests or
+   message emission must iterate through this module instead; the linter
+   (`tools/lint`, rule `sorted-iteration`) enforces that confinement.
+
+   All entry points take an explicit [~cmp] — never polymorphic [compare] —
+   so the iteration order is spelled out at the call site. The cost is one
+   O(n log n) sort per traversal; every caller is a cold (snapshot/report)
+   path. *)
+
+let bindings ~cmp tbl =
+  let acc = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  List.sort (fun (ka, _) (kb, _) -> cmp ka kb) acc
+
+let keys ~cmp tbl = List.map fst (bindings ~cmp tbl)
+let iter ~cmp f tbl = List.iter (fun (k, v) -> f k v) (bindings ~cmp tbl)
+
+let fold ~cmp f tbl init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (bindings ~cmp tbl)

@@ -1,0 +1,30 @@
+(** Deterministic (sorted-key) iteration over [Hashtbl].
+
+    [Hashtbl]'s own [iter]/[fold]/[to_seq] visit bindings in hash order —
+    stable for neither OCaml versions nor key distributions. Code that feeds
+    trace export, report rendering, digests or message emission must iterate
+    through this module; the [sorted-iteration] rule of `tools/lint` rejects
+    direct [Hashtbl] traversal in those modules.
+
+    Invariants:
+    - Every traversal visits bindings in strictly ascending [~cmp] key order,
+      independent of insertion order, table sizing, or the hash function.
+    - [~cmp] must be a total order on the keys actually present; callers pass
+      an explicit comparator ([Int.compare], [String.compare], a key-type
+      [compare]) — never polymorphic [Stdlib.compare].
+    - The table is not mutated: each entry point materializes the bindings
+      first, so the callback may freely add/remove bindings in [tbl]. *)
+
+val bindings : cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings, sorted by key. With duplicate keys (via [Hashtbl.add]),
+    every binding is returned and duplicates stay adjacent. *)
+
+val keys : cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** Sorted key list (duplicates included, adjacent). *)
+
+val iter : cmp:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** [iter ~cmp f tbl] applies [f] to each binding in ascending key order. *)
+
+val fold :
+  cmp:('k -> 'k -> int) -> ('k -> 'v -> 'a -> 'a) -> ('k, 'v) Hashtbl.t -> 'a -> 'a
+(** [fold ~cmp f tbl init] folds left-to-right in ascending key order. *)

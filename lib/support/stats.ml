@@ -135,17 +135,20 @@ module Windowed = struct
       incr cnt
     | None -> Hashtbl.add t.tbl idx (ref value, ref 1)
 
+  (* Sorted-key traversal: series feed report tables and the metrics JSON,
+     so row order must be window order, not hash order. *)
   let series t =
-    Hashtbl.fold (fun idx (sum, cnt) acc -> (float_of_int idx *. t.width, !sum, !cnt) :: acc) t.tbl []
-    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+    Sorted_tbl.bindings ~cmp:Int.compare t.tbl
+    |> List.map (fun (idx, (sum, cnt)) -> (float_of_int idx *. t.width, !sum, !cnt))
 
   (* Dense variant: every window between the first and last observation,
      including empty ones as (start, 0, 0) — a stall (fault window, crash)
      must show up as an explicit zero row, not a gap. *)
   let series_filled t =
     let lo, hi =
-      Hashtbl.fold
-        (fun idx _ (lo, hi) -> (min lo idx, max hi idx))
+      Sorted_tbl.fold
+        ~cmp:Int.compare
+        (fun idx _ (lo, hi) -> (Int.min lo idx, Int.max hi idx))
         t.tbl (max_int, min_int)
     in
     if lo > hi then []

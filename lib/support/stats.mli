@@ -3,7 +3,16 @@
     The runtime records one sample per committed transaction; experiments at
     paper scale produce millions of samples, so summaries must be O(1) per
     sample. [Summary] keeps Welford moments plus an exact sample store capped
-    by reservoir sampling for percentiles (the paper reports p25/p50/p75). *)
+    by reservoir sampling for percentiles (the paper reports p25/p50/p75).
+
+    Invariants:
+    - recording is O(1) per sample; summaries never allocate per sample
+      beyond the capped reservoir;
+    - reservoir eviction draws from an explicit {!Rng}, so percentiles are
+      deterministic given the seed;
+    - [Windowed] series are emitted in ascending window order via
+      sorted-key traversal — never in hash order — so report tables and
+      metrics JSON are byte-stable. *)
 
 module Summary : sig
   type t

@@ -1,4 +1,8 @@
-(** Plain-text aligned tables for bench and experiment reports. *)
+(** Plain-text aligned tables for bench and experiment reports.
+
+    Invariants:
+    - output is a pure function of (align, header, rows): no truncation
+      (columns widen to fit) and no environment-dependent formatting. *)
 
 type align = Left | Right
 

@@ -179,18 +179,20 @@ let stats_of_histogram h =
     hs_p99 = Histogram.quantile h 0.99;
   }
 
+(* Sorted-key traversal (never raw [Hashtbl.iter]): snapshots feed the
+   metrics exporters, so their order must be byte-stable across OCaml
+   versions, not whatever the hash function yields. *)
 let snapshot t =
-  let by_fst (a, _) (b, _) = compare a b in
   {
     snap_counters =
-      Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) t.counters []
-      |> List.sort by_fst;
+      Sorted_tbl.bindings ~cmp:String.compare t.counters
+      |> List.map (fun (name, c) -> (name, c.c_value));
     snap_gauges =
-      Hashtbl.fold (fun name g acc -> (name, g.g_value) :: acc) t.gauges []
-      |> List.sort by_fst;
+      Sorted_tbl.bindings ~cmp:String.compare t.gauges
+      |> List.map (fun (name, g) -> (name, g.g_value));
     snap_histograms =
-      Hashtbl.fold (fun _ h acc -> stats_of_histogram h :: acc) t.histograms []
-      |> List.sort (fun a b -> compare a.hs_name b.hs_name);
+      Sorted_tbl.bindings ~cmp:String.compare t.histograms
+      |> List.map (fun (_, h) -> stats_of_histogram h);
   }
 
 let empty_snapshot = { snap_counters = []; snap_gauges = []; snap_histograms = [] }
@@ -202,8 +204,10 @@ let snap_histogram snap name =
   List.find_opt (fun h -> String.equal h.hs_name name) snap.snap_histograms
 
 let merge ~src ~dst =
-  Hashtbl.iter (fun name c -> incr ~by:c.c_value (counter dst name)) src.counters;
-  Hashtbl.iter (fun name g -> set (gauge dst name) g.g_value) src.gauges;
-  Hashtbl.iter
+  Sorted_tbl.iter ~cmp:String.compare
+    (fun name c -> incr ~by:c.c_value (counter dst name))
+    src.counters;
+  Sorted_tbl.iter ~cmp:String.compare (fun name g -> set (gauge dst name) g.g_value) src.gauges;
+  Sorted_tbl.iter ~cmp:String.compare
     (fun name h -> Histogram.merge_into ~src:h ~dst:(histogram dst name))
     src.histograms

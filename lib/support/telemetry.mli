@@ -15,7 +15,16 @@
     - [dag.proposals | dag.certs_formed | dag.timeouts | dag.fetches] —
       DAG-instance activity;
     - [dag<k>.txns | dag<k>.segments | dag<k>.latency] — per-parallel-DAG
-      attribution. *)
+      attribution.
+
+    Invariants:
+    - handles are get-or-create by name: re-requesting a name returns the
+      same live instrument, never resets it;
+    - {!snapshot} lists counters, gauges and histograms sorted by name
+      (sorted-key traversal, not hash order), so exported metrics are
+      byte-stable across OCaml versions;
+    - [merge] only adds: the destination's snapshot afterwards is
+      independent of the order in which sources were merged. *)
 
 type counter
 type gauge

@@ -1,6 +1,12 @@
 (** LEB128 variable-length integer encoding, used by the wire codec so that
     simulated message sizes track what a production implementation would put
-    on the wire. *)
+    on the wire.
+
+    Invariants:
+    - [write]/[read] round-trip every non-negative int, and [encoded_size]
+      equals exactly the bytes [write] appends;
+    - decoding stops at the terminating byte — it never reads past the
+      encoded value. *)
 
 val encoded_size : int -> int
 (** Bytes needed to encode a non-negative int. *)

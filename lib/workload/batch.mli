@@ -1,5 +1,10 @@
 (** Transaction batches — the payload of a DAG node proposal (one batch per
-    proposal, inline data streaming per §7 of the paper). *)
+    proposal, inline data streaming per §7 of the paper).
+
+    Invariants:
+    - the digest commits to the transaction ids and sizes in batch order:
+      equal digests imply identical payload content and order;
+    - [make] never reorders or drops transactions. *)
 
 type t = { txns : Transaction.t list; digest : Shoalpp_crypto.Digest32.t; created_at : float }
 

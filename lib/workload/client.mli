@@ -4,7 +4,13 @@
     Poisson stream of [rate_tps] transactions per second, submitted directly
     to the local replica's mempool — the paper's client model ("clients
     connect to a single (local) replica and issue a continuous stream of
-    dummy transactions"). *)
+    dummy transactions").
+
+    Invariants:
+    - the arrival process is a pure function of (rng, rate, horizon):
+      identical seeds give identical submission times and sizes;
+    - no transactions are generated after the configured stop/horizon, and
+      all scheduling goes through the injected backend timers. *)
 
 type t
 

@@ -2,7 +2,13 @@
 
     Clients push; the proposer pulls up to a batch size each DAG round. FIFO
     order preserves arrival order so queuing latency is measured exactly as
-    in the paper (time from arrival at the replica to ordering). *)
+    in the paper (time from arrival at the replica to ordering).
+
+    Invariants:
+    - strict FIFO: transactions are pulled in arrival order, so queuing
+      latency measures exactly (pull time - arrival time);
+    - a pull returns at most the requested batch size, and a bounded pool
+      counts every rejected transaction. *)
 
 type t
 

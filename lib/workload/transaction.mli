@@ -2,7 +2,13 @@
 
     The paper's clients submit 310-byte dummy transactions; we track just the
     metadata the harness needs (size for bandwidth accounting, arrival time
-    for end-to-end latency). *)
+    for end-to-end latency).
+
+    Invariants:
+    - ids are unique within a run (monotone allocation), so ordering audits
+      can detect duplicates by id alone;
+    - [size] is the number the bandwidth model charges — changing it
+      changes simulated network cost and nothing else. *)
 
 type t = {
   id : int;  (** globally unique *)

@@ -5,6 +5,13 @@ set -eu
 cd "$(dirname "$0")/.."
 
 dune build
+
+# Determinism & layering lint (tools/lint): effect confinement to the
+# sans-I/O backend, sorted iteration on emission paths, monomorphic
+# comparisons on protocol keys, interface hygiene. Fail fast, before tests:
+# a seam violation invalidates what the tests claim to guarantee.
+dune build @lint
+
 dune runtest
 
 # odoc is optional in the dev image; when present, the rendered docs must

@@ -1,0 +1,6 @@
+(* Fixture: every kind of ambient effect the seam confines to lib/backend. *)
+let now () = Unix.gettimeofday ()
+let t () = Sys.time ()
+let r () = Random.int 10
+let m = Mutex.create ()
+module U = Unix

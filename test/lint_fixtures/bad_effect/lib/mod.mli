@@ -1,0 +1,5 @@
+(** Fixture. Invariants: none. *)
+val now : unit -> float
+val t : unit -> float
+val r : unit -> int
+val m : Mutex.t

@@ -1,0 +1,2 @@
+(** Fixture: documented, but missing the required invariants section. *)
+val y : int

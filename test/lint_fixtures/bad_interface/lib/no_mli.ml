@@ -1,0 +1,2 @@
+(* Fixture: implementation without an interface. *)
+let x = 1

@@ -1,0 +1,6 @@
+(* Fixture: polymorphic compare/hash/equality on protocol-key shapes. *)
+let sort l = List.sort compare l
+let h x = Hashtbl.hash x
+let pair_eq a b c d = (a, b) = (c, d)
+let name_ne n = n <> "anchor"
+let int_ok (x : int) = x = 1 (* immediate operands: not flagged *)

@@ -1,0 +1,6 @@
+(** Fixture. Invariants: none. *)
+val sort : 'a list -> 'a list
+val h : 'a -> int
+val pair_eq : 'a -> 'b -> 'a -> 'b -> bool
+val name_ne : string -> bool
+val int_ok : int -> bool

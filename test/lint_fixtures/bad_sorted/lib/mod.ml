@@ -1,0 +1,5 @@
+(* Fixture: raw Hashtbl traversal in an emission-feeding module. *)
+let iter tbl = Hashtbl.iter (fun _ _ -> ()) tbl
+let fold tbl = Hashtbl.fold (fun _ _ acc -> acc) tbl 0
+let seq tbl = Hashtbl.to_seq tbl
+let ok tbl = Hashtbl.length tbl (* length is order-free: not flagged *)

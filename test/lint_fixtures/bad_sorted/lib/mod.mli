@@ -1,0 +1,5 @@
+(** Fixture. Invariants: none. *)
+val iter : ('a, 'b) Hashtbl.t -> unit
+val fold : ('a, 'b) Hashtbl.t -> int
+val seq : ('a, 'b) Hashtbl.t -> ('a * 'b) Seq.t
+val ok : ('a, 'b) Hashtbl.t -> int

@@ -1,0 +1,2 @@
+(* Fixture: an effect use excused by a documented allowlist entry. *)
+let now () = Unix.gettimeofday ()

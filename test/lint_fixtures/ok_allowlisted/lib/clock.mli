@@ -1,0 +1,2 @@
+(** Fixture. Invariants: wall-clock reads are allowlisted here. *)
+val now : unit -> float

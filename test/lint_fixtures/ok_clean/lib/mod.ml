@@ -1,0 +1,4 @@
+(* Fixture: the repaired idioms the linter steers toward. *)
+let bindings tbl = Shoalpp_support.Sorted_tbl.bindings ~cmp:String.compare tbl
+let sort l = List.sort Int.compare l
+let eq (a : int) b = a = b

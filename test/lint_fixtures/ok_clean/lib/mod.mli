@@ -1,0 +1,7 @@
+(** Fixture for the clean case.
+
+    Invariants:
+    - iteration goes through Sorted_tbl, comparisons are monomorphic. *)
+val bindings : (string, 'v) Hashtbl.t -> (string * 'v) list
+val sort : int list -> int list
+val eq : int -> int -> bool

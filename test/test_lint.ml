@@ -1,0 +1,156 @@
+(* shoalpp_lint: fixture corpus (one known-bad tree per rule class, plus
+   allowlisted-OK and clean cases) and the meta-test asserting the real
+   lib/bin/bench tree produces zero diagnostics under the checked-in
+   policy — the machine-checked form of the sans-I/O seam. *)
+
+module Lint = Shoalpp_lint_core.Lint
+module Lint_config = Shoalpp_lint_core.Lint_config
+module Json = Shoalpp_runtime.Export.Json
+
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* Strict policy for fixtures: every rule applies to everything under lib/. *)
+let strict ?(allowlist = []) () =
+  {
+    Lint_config.effect_allowed = [];
+    sorted_modules = [ "lib/" ];
+    polycmp_modules = [ "lib/" ];
+    mli_required_under = [ "lib/" ];
+    allowlist;
+  }
+
+let fixture_root name = Filename.concat "lint_fixtures" name
+
+let run_fixture ?allowlist name =
+  Lint.run ~config:(strict ?allowlist ()) ~root:(fixture_root name) ~paths:[ "lib" ]
+
+let count rule diags =
+  List.length (List.filter (fun d -> String.equal d.Lint.d_rule rule) diags)
+
+(* ------------------------------------------------------------------ *)
+(* Known-bad fixtures: each rule class must fire. *)
+
+let test_effect_confinement () =
+  let diags = run_fixture "bad_effect" in
+  (* .ml: Unix.gettimeofday, Sys.time, Random.int, Mutex.create and the
+     [module U = Unix] alias; .mli: the Mutex.t type reference. *)
+  checki "effect sites flagged" 6 (count "effect-confinement" diags);
+  checki "nothing else flagged" 6 (List.length diags)
+
+let test_sorted_iteration () =
+  let diags = run_fixture "bad_sorted" in
+  checki "iter/fold/to_seq flagged" 3 (count "sorted-iteration" diags);
+  checki "Hashtbl.length not flagged" 3 (List.length diags)
+
+let test_poly_compare () =
+  let diags = run_fixture "bad_polycmp" in
+  (* bare [compare], Hashtbl.hash, tuple [=], string [<>]; the immediate
+     [x = 1] comparison must stay unflagged. *)
+  checki "poly-compare sites flagged" 4 (count "poly-compare" diags);
+  checki "immediate int = not flagged" 4 (List.length diags)
+
+let test_interface_hygiene () =
+  let diags = run_fixture "bad_interface" in
+  checki "missing .mli flagged" 1 (count "missing-mli" diags);
+  checki "missing Invariants: flagged" 1 (count "missing-invariants-doc" diags);
+  checki "documented files pass" 2 (List.length diags)
+
+let test_parse_error () =
+  let diags = run_fixture "bad_parse" in
+  checki "unparseable file reported" 1 (count "parse-error" diags)
+
+(* ------------------------------------------------------------------ *)
+(* OK fixtures: allowlisting and the repaired idioms. *)
+
+let test_allowlisted_ok () =
+  let allowlist =
+    [
+      {
+        Lint_config.a_path = "lib/clock.ml";
+        a_rule = "effect-confinement";
+        a_reason = "fixture: documented wall-clock use";
+      };
+    ]
+  in
+  checki "allowlisted effect suppressed" 0 (List.length (run_fixture ~allowlist "ok_allowlisted"))
+
+let test_clean_ok () = checki "clean fixture has no diagnostics" 0 (List.length (run_fixture "ok_clean"))
+
+let test_stale_allowlist () =
+  let allowlist =
+    [
+      {
+        Lint_config.a_path = "lib/mod.ml";
+        a_rule = "effect-confinement";
+        a_reason = "fixture: excuses nothing";
+      };
+    ]
+  in
+  let diags = run_fixture ~allowlist "ok_clean" in
+  checki "unused allowlist entry reported" 1 (count "stale-allowlist" diags);
+  checki "nothing else" 1 (List.length diags)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output: --format=json must parse and carry the fields. *)
+
+let test_json_output () =
+  let diags = run_fixture "bad_sorted" in
+  match Json.parse (Lint.json_of_diags diags) with
+  | None -> Alcotest.fail "lint JSON output does not parse"
+  | Some (Json.List items) ->
+    checki "one object per diagnostic" (List.length diags) (List.length items);
+    List.iter2
+      (fun d item ->
+        let str k = match Json.member k item with Some (Json.Str s) -> s | _ -> "<missing>" in
+        let int k = match Json.member k item with Some (Json.Int i) -> i | _ -> -1 in
+        checks "file field" d.Lint.d_file (str "file");
+        checks "rule field" d.Lint.d_rule (str "rule");
+        checks "message field" d.Lint.d_msg (str "message");
+        checki "line field" d.Lint.d_line (int "line"))
+      diags items
+  | Some _ -> Alcotest.fail "lint JSON output is not an array"
+
+(* ------------------------------------------------------------------ *)
+(* Meta-test: the real tree lints clean under the checked-in policy. *)
+
+let find_repo_root () =
+  (* Tests run in _build/default/test; the source root is the nearest
+     ancestor holding dune-project (and the linted directories). *)
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project")
+       && Sys.is_directory (Filename.concat dir "lib")
+    then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let test_real_tree_clean () =
+  match find_repo_root () with
+  | None -> Alcotest.fail "could not locate the repository root from the test cwd"
+  | Some root ->
+    let diags = Lint.run ~config:Lint_config.default ~root ~paths:[ "lib"; "bin"; "bench" ] in
+    checks "zero diagnostics on lib/ bin/ bench/" "shoalpp_lint: 0 issues\n"
+      (Lint.text_of_diags diags)
+
+let suite =
+  [
+    ( "lint.rules",
+      [
+        Alcotest.test_case "effect confinement" `Quick test_effect_confinement;
+        Alcotest.test_case "sorted iteration" `Quick test_sorted_iteration;
+        Alcotest.test_case "poly compare" `Quick test_poly_compare;
+        Alcotest.test_case "interface hygiene" `Quick test_interface_hygiene;
+        Alcotest.test_case "parse error" `Quick test_parse_error;
+      ] );
+    ( "lint.policy",
+      [
+        Alcotest.test_case "allowlisted fixture is clean" `Quick test_allowlisted_ok;
+        Alcotest.test_case "clean fixture is clean" `Quick test_clean_ok;
+        Alcotest.test_case "stale allowlist reported" `Quick test_stale_allowlist;
+        Alcotest.test_case "json output round-trips" `Quick test_json_output;
+        Alcotest.test_case "real tree has zero diagnostics" `Quick test_real_tree_clean;
+      ] );
+  ]

@@ -1,0 +1,419 @@
+(* shoalpp_lint engine: compiler-AST determinism & layering analysis.
+
+   Parses every .ml/.mli with compiler-libs (Parsetree only — no typing, no
+   ppx, strictly read-only) and enforces the seam/determinism rules of
+   [Lint_config]:
+
+   - [effect-confinement]   Unix / Thread / Mutex / Condition / Domain /
+                            stdlib Random / Sys.time outside the sans-I/O
+                            backend (config [effect_allowed]).
+   - [sorted-iteration]     Hashtbl.iter/fold/to_seq in modules that feed
+                            trace export, report rendering, digests or
+                            message emission (config [sorted_modules]) —
+                            route through Shoalpp_support.Sorted_tbl.
+   - [poly-compare]         bare [compare] / [Hashtbl.hash], and [=]/[<>]
+                            on syntactically structured operands, inside
+                            protocol-key modules (config [polycmp_modules]).
+                            Being untyped, this is a sound-by-construction
+                            *syntactic* approximation: it cannot see through
+                            aliases, but every flagged site is a real
+                            polymorphic-comparison call.
+   - [missing-mli] /        interface hygiene under [mli_required_under]:
+     [missing-invariants-doc]  every .ml has an .mli and every .mli carries
+                            an [Invariants:] doc-comment.
+   - [parse-error]          a file compiler-libs cannot parse.
+   - [stale-allowlist]      an allowlist entry that suppressed nothing —
+                            the suppression list cannot outlive the code
+                            it excuses.
+
+   Diagnostics are returned sorted by (file, line, col, rule): the linter
+   practices the determinism it preaches. *)
+
+type diagnostic = {
+  d_file : string;
+  d_line : int;
+  d_col : int;
+  d_rule : string;
+  d_msg : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Path policy. *)
+
+(* A pattern ending in '/' is a directory prefix; otherwise exact match. *)
+let path_matches ~pat path =
+  let n = String.length pat in
+  if n > 0 && pat.[n - 1] = '/' then String.length path >= n && String.sub path 0 n = pat
+  else String.equal pat path
+
+let matches_any pats path = List.exists (fun pat -> path_matches ~pat path) pats
+
+(* Per-file view of the config. *)
+type file_rules = {
+  effects_allowed : bool;
+  sorted_required : bool;
+  polycmp : bool;
+  mli_rules : bool;
+}
+
+let rules_for (config : Lint_config.t) path =
+  {
+    effects_allowed = matches_any config.effect_allowed path;
+    sorted_required = matches_any config.sorted_modules path;
+    polycmp = matches_any config.polycmp_modules path;
+    mli_rules = matches_any config.mli_required_under path;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* AST rules. *)
+
+let effect_modules = [ "Unix"; "Thread"; "Mutex"; "Condition"; "Domain"; "Random" ]
+
+let effect_violation lid =
+  match Longident.flatten lid with
+  | [ "Sys"; "time" ] -> Some "Sys.time reads the wall clock"
+  | "Random" :: _ ->
+    Some "stdlib Random is process-global OS-seedable state; use Shoalpp_support.Rng"
+  | (("Unix" | "Thread" | "Mutex" | "Condition" | "Domain") as m) :: _ ->
+    Some (m ^ " is an ambient OS effect")
+  | _ -> None
+
+let hashtbl_traversals = [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+let sorted_violation lid =
+  match Longident.flatten lid with
+  | [ "Hashtbl"; f ] when List.mem f hashtbl_traversals -> Some ("Hashtbl." ^ f)
+  | _ -> None
+
+let polycmp_ident_violation lid =
+  match Longident.flatten lid with
+  | [ "compare" ] | [ "Stdlib"; "compare" ] ->
+    Some "bare polymorphic [compare]; use an explicit comparator (Int.compare, Digest32.compare, ...)"
+  | [ "Hashtbl"; ("hash" | "seeded_hash") ] ->
+    Some "polymorphic Hashtbl.hash; use the key type's own hash"
+  | _ -> None
+
+(* Operands of [=]/[<>] that are syntactically non-immediate — the cases an
+   untyped pass can flag without false positives on ints/bools/chars. *)
+let structured_operand (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string _)
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _
+  | Pexp_construct (_, Some _)
+  | Pexp_variant (_, Some _) ->
+    true
+  | _ -> false
+
+let pos_of (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+let ast_diagnostics ~path ~rules ast_kind source =
+  let diags = ref [] in
+  let add loc rule msg =
+    let line, col = pos_of loc in
+    diags := { d_file = path; d_line = line; d_col = col; d_rule = rule; d_msg = msg } :: !diags
+  in
+  let check_lid loc lid =
+    (if not rules.effects_allowed then
+       match effect_violation lid with
+       | Some why ->
+         add loc "effect-confinement"
+           (Printf.sprintf "%s — only lib/backend/ and bin/shoalpp_node.ml may touch it"
+              why)
+       | None -> ());
+    (if rules.sorted_required then
+       match sorted_violation lid with
+       | Some what ->
+         add loc "sorted-iteration"
+           (what
+          ^ " visits bindings in hash order; this module feeds emitted bytes — use \
+             Shoalpp_support.Sorted_tbl")
+       | None -> ());
+    if rules.polycmp then
+      match polycmp_ident_violation lid with Some msg -> add loc "poly-compare" msg | None -> ()
+  in
+  let open Ast_iterator in
+  let expr self (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_lid loc txt
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident (("=" | "<>") as op); _ }; _ }, args)
+      when rules.polycmp && List.exists (fun (_, a) -> structured_operand a) args ->
+      add e.pexp_loc "poly-compare"
+        (Printf.sprintf
+           "structural [%s] on a non-immediate operand; use an explicit equality \
+            (String.equal, Digest32.equal, pattern match, ...)"
+           op)
+    | _ -> ());
+    default_iterator.expr self e
+  in
+  let module_expr self (m : Parsetree.module_expr) =
+    (match m.pmod_desc with
+    | Pmod_ident { txt; loc } -> check_lid loc txt
+    | _ -> ());
+    default_iterator.module_expr self m
+  in
+  let typ self (t : Parsetree.core_type) =
+    (match t.ptyp_desc with
+    | Ptyp_constr ({ txt; loc }, _) ->
+      if not rules.effects_allowed then (
+        match effect_violation txt with
+        | Some why -> add loc "effect-confinement" (why ^ " (type reference leaks the dependency)")
+        | None -> ())
+    | _ -> ());
+    default_iterator.typ self t
+  in
+  let iterator = { default_iterator with expr; module_expr; typ } in
+  (match ast_kind with
+  | `Impl -> iterator.structure iterator (source : Parsetree.structure)
+  | `Intf -> assert false);
+  !diags
+
+let intf_diagnostics ~path ~rules (sg : Parsetree.signature) =
+  (* Signatures contain no expressions; only type references can violate the
+     effect seam. Reuse the iterator by wrapping nothing: walk types. *)
+  let diags = ref [] in
+  let add loc rule msg =
+    let line, col = pos_of loc in
+    diags := { d_file = path; d_line = line; d_col = col; d_rule = rule; d_msg = msg } :: !diags
+  in
+  let open Ast_iterator in
+  let typ self (t : Parsetree.core_type) =
+    (match t.ptyp_desc with
+    | Ptyp_constr ({ txt; loc }, _) ->
+      if not rules.effects_allowed then (
+        match effect_violation txt with
+        | Some why -> add loc "effect-confinement" (why ^ " (type reference leaks the dependency)")
+        | None -> ())
+    | _ -> ());
+    default_iterator.typ self t
+  in
+  let module_type self (mt : Parsetree.module_type) =
+    (match mt.pmty_desc with
+    | Pmty_ident { txt; loc } | Pmty_alias { txt; loc } ->
+      if not rules.effects_allowed then (
+        match effect_violation txt with
+        | Some why -> add loc "effect-confinement" why
+        | None -> ())
+    | _ -> ());
+    default_iterator.module_type self mt
+  in
+  let iterator = { default_iterator with typ; module_type } in
+  iterator.signature iterator sg;
+  !diags
+
+(* ------------------------------------------------------------------ *)
+(* Parsing. *)
+
+let read_file abs =
+  let ic = open_in_bin abs in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_with parser ~path text =
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf path;
+  match parser lexbuf with
+  | ast -> Ok ast
+  | exception exn ->
+    let loc =
+      match exn with
+      | Syntaxerr.Error e -> Some (Syntaxerr.location_of_error e)
+      | Lexer.Error (_, loc) -> Some loc
+      | _ -> None
+    in
+    let line, col = match loc with Some l -> pos_of l | None -> (1, 0) in
+    Error
+      {
+        d_file = path;
+        d_line = line;
+        d_col = col;
+        d_rule = "parse-error";
+        d_msg = "compiler-libs failed to parse this file";
+      }
+
+(* ------------------------------------------------------------------ *)
+(* File collection. *)
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let rec walk ~root rel acc =
+  let abs = if rel = "" then root else Filename.concat root rel in
+  if Sys.is_directory abs then begin
+    let entries = Sys.readdir abs in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if String.length entry = 0 || entry.[0] = '.' || String.equal entry "_build" then acc
+        else walk ~root (if rel = "" then entry else rel ^ "/" ^ entry) acc)
+      acc entries
+  end
+  else if is_source rel then rel :: acc
+  else acc
+
+(* ------------------------------------------------------------------ *)
+(* Per-file analysis. *)
+
+let lint_source ~config ~path text =
+  let rules = rules_for config path in
+  let ast_diags =
+    if Filename.check_suffix path ".mli" then
+      match parse_with Parse.interface ~path text with
+      | Ok sg -> intf_diagnostics ~path ~rules sg
+      | Error d -> [ d ]
+    else
+      match parse_with Parse.implementation ~path text with
+      | Ok st -> ast_diagnostics ~path ~rules `Impl st
+      | Error d -> [ d ]
+  in
+  let doc_diags =
+    if rules.mli_rules && Filename.check_suffix path ".mli" then
+      (* Textual on purpose: the Invariants: contract lives in prose, and a
+         substring check keeps it independent of odoc attribute encoding. *)
+      let has_invariants =
+        let needle = "Invariants:" in
+        let n = String.length text and m = String.length needle in
+        let rec scan i = i + m <= n && (String.sub text i m = needle || scan (i + 1)) in
+        scan 0
+      in
+      if has_invariants then []
+      else
+        [
+          {
+            d_file = path;
+            d_line = 1;
+            d_col = 0;
+            d_rule = "missing-invariants-doc";
+            d_msg = "every .mli must document its invariants in an 'Invariants:' doc-comment";
+          };
+        ]
+    else []
+  in
+  ast_diags @ doc_diags
+
+let compare_diag a b =
+  let c = String.compare a.d_file b.d_file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.d_line b.d_line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.d_col b.d_col in
+      if c <> 0 then c else String.compare a.d_rule b.d_rule
+
+let run ~(config : Lint_config.t) ~root ~paths =
+  let files =
+    List.concat_map (fun p -> List.rev (walk ~root p [])) paths
+    |> List.sort_uniq String.compare
+  in
+  let raw =
+    List.concat_map
+      (fun path ->
+        let abs = Filename.concat root path in
+        let file_diags = lint_source ~config ~path (read_file abs) in
+        let missing_mli =
+          if
+            Filename.check_suffix path ".ml"
+            && (rules_for config path).mli_rules
+            && not (Sys.file_exists (abs ^ "i"))
+          then
+            [
+              {
+                d_file = path;
+                d_line = 1;
+                d_col = 0;
+                d_rule = "missing-mli";
+                d_msg = "every .ml under lib/ must have an interface file";
+              };
+            ]
+          else []
+        in
+        file_diags @ missing_mli)
+      files
+  in
+  (* Apply the allowlist; any entry that suppressed nothing is stale. *)
+  let used = Array.make (List.length config.allowlist) false in
+  let kept =
+    List.filter
+      (fun d ->
+        let suppressed = ref false in
+        List.iteri
+          (fun i (a : Lint_config.allow) ->
+            if String.equal a.a_path d.d_file && String.equal a.a_rule d.d_rule then begin
+              used.(i) <- true;
+              suppressed := true
+            end)
+          config.allowlist;
+        not !suppressed)
+      raw
+  in
+  let stale =
+    List.concat
+      (List.mapi
+         (fun i (a : Lint_config.allow) ->
+           if used.(i) then []
+           else
+             [
+               {
+                 d_file = a.a_path;
+                 d_line = 0;
+                 d_col = 0;
+                 d_rule = "stale-allowlist";
+                 d_msg =
+                   Printf.sprintf
+                     "allowlist entry (%s, %s) suppressed nothing — delete it" a.a_path
+                     a.a_rule;
+               };
+             ])
+         config.allowlist)
+  in
+  List.sort compare_diag (kept @ stale)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering. *)
+
+let text_of_diags diags =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d:%d: [%s] %s\n" d.d_file d.d_line d.d_col d.d_rule d.d_msg))
+    diags;
+  Buffer.add_string buf
+    (Printf.sprintf "shoalpp_lint: %d issue%s\n" (List.length diags)
+       (if List.length diags = 1 then "" else "s"));
+  Buffer.contents buf
+
+let pp_text oc diags = output_string oc (text_of_diags diags)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_diags diags =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  {\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
+           (json_escape d.d_file) d.d_line d.d_col (json_escape d.d_rule) (json_escape d.d_msg)))
+    diags;
+  Buffer.add_string buf (if diags = [] then "]\n" else "\n]\n");
+  Buffer.contents buf
+
+let pp_json oc diags = output_string oc (json_of_diags diags)

@@ -1,0 +1,102 @@
+(* Checked-in lint policy: which files each rule applies to, and the
+   documented suppression list.
+
+   Paths are repo-root-relative with '/' separators. An entry ending in '/'
+   is a directory prefix; anything else matches one file exactly. Keeping
+   the policy as a compiled OCaml value (rather than a parsed config file)
+   means a typo is a build error and every change to the allowlist shows up
+   in review next to the code it excuses. *)
+
+type allow = {
+  a_path : string;  (** file the suppression applies to *)
+  a_rule : string;  (** rule id, e.g. ["effect-confinement"] *)
+  a_reason : string;  (** why this is sound — shows up in [--explain] output *)
+}
+
+type t = {
+  effect_allowed : string list;
+      (** Paths where ambient effects ([Unix], [Thread], [Mutex],
+          [Condition], [Domain], [Sys.time], stdlib [Random]) are legal:
+          the sans-I/O seam's impure side. Everywhere else they are
+          [effect-confinement] errors. *)
+  sorted_modules : string list;
+      (** Modules whose output feeds trace export, report rendering,
+          digests or message emission: raw [Hashtbl.iter]/[fold]/[to_seq]
+          is a [sorted-iteration] error there — use
+          [Shoalpp_support.Sorted_tbl]. *)
+  polycmp_modules : string list;
+      (** Protocol-key modules where bare [compare], [Hashtbl.hash] and
+          structural [=]/[<>] on syntactically structured operands are
+          [poly-compare] errors — use explicit comparators
+          ([Int.compare], [Digest32.compare], ...). *)
+  mli_required_under : string list;
+      (** Directory prefixes where every [.ml] must have an [.mli]
+          ([missing-mli]) and every [.mli] must carry an [Invariants:]
+          doc-comment ([missing-invariants-doc]). *)
+  allowlist : allow list;
+      (** Documented per-(file, rule) suppressions. Entries that match no
+          diagnostic are themselves reported ([stale-allowlist]), so the
+          list cannot silently outlive the code it excuses. *)
+}
+
+let default =
+  {
+    (* The impure side of the sans-I/O seam (PR 4): the wall-clock executor,
+       the process entrypoint that owns it, and the storage WAL's fsync
+       model are the only places allowed to name OS effects. *)
+    effect_allowed = [ "lib/backend/"; "bin/shoalpp_node.ml" ];
+    sorted_modules =
+      [
+        (* exporters and report renderers: their bytes are hashed by golden
+           digests and diffed by the perf guard *)
+        "lib/runtime/export.ml";
+        "lib/runtime/report.ml";
+        "lib/runtime/metrics.ml";
+        "lib/runtime/cluster.ml";
+        "lib/runtime/experiment.ml";
+        "lib/runtime/node.ml";
+        "lib/support/telemetry.ml";
+        "lib/support/stats.ml";
+        "lib/support/sorted_tbl.ml";
+        "lib/support/tablefmt.ml";
+        (* event recording / digest inputs *)
+        "lib/sim/trace.ml";
+        "lib/sim/obs.ml";
+        "lib/codec/wire.ml";
+        (* commit paths that emit to the trace and the replica log *)
+        "lib/baselines/jolteon.ml";
+        "lib/baselines/mysticeti.ml";
+        (* CLI / bench surfaces rendering tables and JSON *)
+        "bin/shoalpp_sim.ml";
+        "bin/shoalpp_node.ml";
+        "bench/main.ml";
+      ];
+    polycmp_modules =
+      [
+        "lib/dag/types.ml";
+        "lib/dag/store.ml";
+        "lib/dag/instance.ml";
+        "lib/consensus/driver.ml";
+        "lib/consensus/anchors.ml";
+        "lib/consensus/reputation.ml";
+      ];
+    mli_required_under = [ "lib/" ];
+    allowlist =
+      [
+        {
+          a_path = "lib/support/sorted_tbl.ml";
+          a_rule = "sorted-iteration";
+          a_reason =
+            "the blessed wrapper itself: its Hashtbl.fold materializes the \
+             bindings which are then sorted before any caller sees them";
+        };
+        {
+          a_path = "bench/main.ml";
+          a_rule = "effect-confinement";
+          a_reason =
+            "perf harness wall-clock measurement (Unix.gettimeofday around \
+             whole runs); timings are reported, never fed back into \
+             simulated behaviour";
+        };
+      ];
+  }

@@ -1,0 +1,55 @@
+(* CLI for the determinism & layering linter.
+
+     shoalpp_lint [--root DIR] [--format=text|json] [--explain] [PATH ...]
+
+   PATHs (files or directories, default: lib bin bench) are taken relative
+   to --root (default: the current directory, which under `dune build @lint`
+   is the project root inside _build). Exit status: 0 clean, 1 diagnostics,
+   2 usage error. *)
+
+module Lint = Shoalpp_lint_core.Lint
+module Lint_config = Shoalpp_lint_core.Lint_config
+
+let usage () =
+  prerr_endline "usage: shoalpp_lint [--root DIR] [--format=text|json] [--explain] [PATH ...]";
+  exit 2
+
+let () =
+  let format = ref `Text in
+  let root = ref "." in
+  let explain = ref false in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--format=json" :: rest ->
+      format := `Json;
+      parse rest
+    | "--format=text" :: rest ->
+      format := `Text;
+      parse rest
+    | "--explain" :: rest ->
+      explain := true;
+      parse rest
+    | "--root" :: dir :: rest ->
+      root := dir;
+      parse rest
+    | arg :: rest
+      when String.length arg > 7 && String.sub arg 0 7 = "--root=" ->
+      root := String.sub arg 7 (String.length arg - 7);
+      parse rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | path :: rest ->
+      paths := path :: !paths;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let paths = match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps in
+  let config = Lint_config.default in
+  if !explain then
+    List.iter
+      (fun (a : Lint_config.allow) ->
+        Printf.printf "allow %s [%s]: %s\n" a.a_path a.a_rule a.a_reason)
+      config.allowlist;
+  let diags = Lint.run ~config ~root:!root ~paths in
+  (match !format with `Text -> Lint.pp_text stdout diags | `Json -> Lint.pp_json stdout diags);
+  exit (if diags = [] then 0 else 1)
