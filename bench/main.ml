@@ -330,11 +330,28 @@ let failures () =
     [
       Faults.byzantine ~kind:Faults.Equivocate ();
       Faults.byzantine ~kind:Faults.Silent_anchor ();
+      Faults.byzantine ~kind:(Faults.Delay_votes 40.0) ();
       Faults.partition ~from_time:t4 ~duration:t4 ();
       Faults.crash_recover ~at:t4 ~recover_at:(2.0 *. t4) ();
     ]
   in
   let systems = [ E.Shoalpp; E.Jolteon; E.Mysticeti ] in
+  (* Commit-rule mix: a fault window shows up as the fast-path share
+     dropping in favour of certified-direct / indirect / skipped — the
+     signature the trace analyzer's rule-mix table looks for. *)
+  let rule_cell (r : Report.t) =
+    let total =
+      r.Report.fast_commits + r.Report.direct_commits + r.Report.indirect_commits
+      + r.Report.skipped_anchors
+    in
+    if total = 0 then "-"
+    else
+      let pct x = 100.0 *. float_of_int x /. float_of_int total in
+      Printf.sprintf "%.0f/%.0f/%.0f/%.0f" (pct r.Report.fast_commits)
+        (pct r.Report.direct_commits)
+        (pct r.Report.indirect_commits)
+        (pct r.Report.skipped_anchors)
+  in
   let fault_cell snap =
     Printf.sprintf "%d/%d/%d/%d"
       (Telemetry.snap_counter snap "fault.equivocations"
@@ -362,6 +379,7 @@ let failures () =
               Printf.sprintf "%s %s" (E.system_name system) (Faults.name scenario);
               Printf.sprintf "%.0f" r.Report.committed_tps;
               Printf.sprintf "%.0f" r.Report.latency_p50;
+              rule_cell r;
               fault_cell r.Report.telemetry;
               (* The tail only measures recovery for scenarios with a heal /
                  restart point; Byzantine faults run for the whole horizon. *)
@@ -374,7 +392,11 @@ let failures () =
       systems
   in
   Tablefmt.print
-    ~header:[ "system+scenario"; "tps"; "p50(ms)"; "byz/part/crash/rec"; "tail tps"; "audit" ]
+    ~header:
+      [
+        "system+scenario"; "tps"; "p50(ms)"; "fast/cert/ind/skip %"; "byz/part/crash/rec";
+        "tail tps"; "audit";
+      ]
     rows;
   note
     "shape: every safety audit stays ok under each scenario; committed tps is\n\

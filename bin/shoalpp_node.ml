@@ -10,6 +10,10 @@
 module Node = Shoalpp_runtime.Node
 module Report = Shoalpp_runtime.Report
 module Export = Shoalpp_runtime.Export
+module Ledger = Shoalpp_runtime.Ledger
+module Prom = Shoalpp_runtime.Prom
+module Admin = Shoalpp_backend.Admin_server
+module Telemetry = Shoalpp_support.Telemetry
 module Config = Shoalpp_core.Config
 module Committee = Shoalpp_dag.Committee
 module Trace = Shoalpp_sim.Trace
@@ -54,7 +58,7 @@ let cleanup_uds_dir ~created dir =
   if created then try Sys.rmdir dir with Sys_error _ -> ()
 
 let run n duration load warmup timeout link_delay seed no_verify transport uds_dir trace_out
-    metrics_out =
+    metrics_out admin_port ledger_tail =
   let committee = Committee.make ~n ~cluster_seed:seed () in
   let protocol =
     let p = Config.shoalpp ~committee in
@@ -92,9 +96,49 @@ let run n duration load warmup timeout link_delay seed no_verify transport uds_d
   Format.printf "shoalpp_node: %d replicas, %s transport, %.0f tps for %.0f ms@." n
     (match transport with Node.Inproc -> "loopback" | Node.Uds d -> "uds:" ^ d)
     load duration;
+  (* Live observability plane: scrape endpoints served off the same select
+     loop that drives consensus, with repeating gauge refreshes so a
+     mid-run scrape sees current values rather than the shutdown snapshot. *)
+  let admin =
+    match admin_port with
+    | None -> None
+    | Some port ->
+      Node.arm_live_gauges node;
+      let routes =
+        [
+          ("/health", fun () -> { Admin.content_type = "text/plain"; body = "ok\n" });
+          ( "/metrics",
+            fun () ->
+              {
+                Admin.content_type = "text/plain; version=0.0.4";
+                body = Prom.render (Telemetry.snapshot (Node.telemetry node));
+              } );
+          ( "/ledger",
+            fun () ->
+              {
+                Admin.content_type = "application/json";
+                body = Ledger.json_tail ~limit:ledger_tail (Node.ledger node) ^ "\n";
+              } );
+        ]
+      in
+      (match Admin.start (Node.executor node) ~port ~routes () with
+      | admin ->
+        Format.printf "admin: http://127.0.0.1:%d/metrics (also /health, /ledger)@."
+          (Admin.port admin);
+        Some admin
+      | exception Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "shoalpp_node: cannot bind admin port %d (%s)\n" port
+          (Unix.error_message err);
+        exit 1)
+  in
   Node.run node ~duration_ms:duration;
+  (match admin with Some a -> Admin.stop a | None -> ());
   let report = Node.report node ~duration_ms:duration in
   Format.printf "%a@." Report.pp_extended report;
+  if Ledger.recorded (Node.ledger node) > 0 then begin
+    Format.printf "per-commit stage attribution (stage x rule x dag, ms):@.";
+    print_string (Ledger.breakdown_table report.Report.telemetry)
+  end;
   let audit = Node.audit node in
   Format.printf "audit: %s; %d segments (common prefix %d); lanes %s@."
     (if audit.Node.consistent_prefixes && audit.Node.duplicate_orders = 0 then
@@ -108,7 +152,12 @@ let run n duration load warmup timeout link_delay seed no_verify transport uds_d
     let path = Option.get trace_out in
     let events = Trace.events tr in
     write_file path (fun oc -> Export.write_jsonl oc events);
-    Format.printf "trace: %d events -> %s@." (List.length events) path
+    Format.printf "trace: %d events -> %s@." (List.length events) path;
+    if Trace.dropped tr > 0 then
+      Format.printf
+        "WARNING: trace ring dropped %d events — %s holds only the newest %d; raise the ring \
+         capacity or shorten the run for a complete trace@."
+        (Trace.dropped tr) path (List.length events)
   | None -> ());
   (match metrics_out with
   | Some path ->
@@ -166,11 +215,27 @@ let cmd =
       & info [ "metrics-out" ] ~docv:"FILE"
           ~doc:"Write the telemetry snapshot (counters, stage histograms) as JSON.")
   in
+  let admin_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "admin-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve the live admin plane on 127.0.0.1:PORT while the run is in progress: \
+             /metrics (Prometheus text), /health, /ledger (JSON tail of recent commits). 0 \
+             picks a free port (printed at startup).")
+  in
+  let ledger_tail =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "ledger-tail" ] ~docv:"N" ~doc:"Entries returned by the /ledger endpoint.")
+  in
   Cmd.v
     (Cmd.info "shoalpp_node"
        ~doc:"Run a real-time Shoal++ cluster (wall clock, loopback or Unix-domain sockets)")
     Term.(
       const run $ n $ duration $ load $ warmup $ timeout $ link_delay $ seed $ no_verify
-      $ transport $ uds_dir $ trace_out $ metrics_out)
+      $ transport $ uds_dir $ trace_out $ metrics_out $ admin_port $ ledger_tail)
 
 let () = exit (Cmd.eval cmd)

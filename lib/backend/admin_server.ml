@@ -1,0 +1,155 @@
+(* Minimal HTTP/1.0 admin endpoint on the real-time executor's poll loop.
+
+   The server owns no content: callers inject routes as [path -> body]
+   closures (the node wires /metrics, /health, /ledger), evaluated at
+   request time so every scrape sees current state. All I/O is
+   non-blocking and driven by the same select loop that moves protocol
+   bytes — one accepted connection is one read poller until its request
+   line is complete, then one write poller until its response drains, then
+   closed (HTTP/1.0, Connection: close). A slow or stuck scraper can
+   therefore never block the consensus loop; at worst its connection idles
+   until [stop]. *)
+
+type response = { content_type : string; body : string }
+
+type t = {
+  exec : Backend_realtime.t;
+  listen_fd : Unix.file_descr;
+  port : int;
+  routes : (string * (unit -> response)) list;
+  mutable conns : Unix.file_descr list;
+  mutable stopped : bool;
+}
+
+(* Requests bigger than this are rejected: every legitimate admin request
+   is one short GET line plus a few headers. *)
+let max_request_bytes = 8192
+
+let http ~status ~reason ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status reason content_type (String.length body) body
+
+let forget_conn t conn =
+  Backend_realtime.remove_poller t.exec conn;
+  Backend_realtime.remove_wpoller t.exec conn;
+  t.conns <- List.filter (fun fd -> not (Stdlib.( == ) fd conn)) t.conns;
+  try Unix.close conn with Unix.Unix_error _ -> ()
+
+(* Switch the connection from reading to draining [data], then close. *)
+let start_write t conn data =
+  Backend_realtime.remove_poller t.exec conn;
+  let off = ref 0 in
+  let len = String.length data in
+  let rec flush () =
+    if !off >= len then forget_conn t conn
+    else
+      match Unix.write conn (Bytes.unsafe_of_string data) !off (len - !off) with
+      | n ->
+        off := !off + n;
+        if !off >= len then forget_conn t conn
+        else Backend_realtime.add_wpoller t.exec conn flush
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        Backend_realtime.add_wpoller t.exec conn flush
+      | exception Unix.Unix_error _ -> forget_conn t conn
+  in
+  flush ()
+
+let respond t conn ~status ~reason ~content_type body =
+  start_write t conn (http ~status ~reason ~content_type body)
+
+let handle_request t conn raw =
+  let line =
+    match String.index_opt raw '\r' with
+    | Some i -> String.sub raw 0 i
+    | None -> ( match String.index_opt raw '\n' with Some i -> String.sub raw 0 i | None -> raw)
+  in
+  match String.split_on_char ' ' line with
+  | meth :: path :: _ ->
+    if not (String.equal meth "GET") then
+      respond t conn ~status:405 ~reason:"Method Not Allowed" ~content_type:"text/plain"
+        "only GET is supported\n"
+    else begin
+      let path =
+        match String.index_opt path '?' with Some i -> String.sub path 0 i | None -> path
+      in
+      match List.assoc_opt path t.routes with
+      | Some body ->
+        (match body () with
+        | r -> respond t conn ~status:200 ~reason:"OK" ~content_type:r.content_type r.body
+        | exception _ ->
+          respond t conn ~status:500 ~reason:"Internal Server Error" ~content_type:"text/plain"
+            "route handler failed\n")
+      | None ->
+        respond t conn ~status:404 ~reason:"Not Found" ~content_type:"text/plain" "not found\n"
+    end
+  | _ ->
+    respond t conn ~status:400 ~reason:"Bad Request" ~content_type:"text/plain" "bad request\n"
+
+(* Contains "\r\n\r\n" (or bare "\n\n"): the header block is complete —
+   GET requests carry no body, so the request is complete too. *)
+let request_complete s =
+  let n = String.length s in
+  let rec scan i =
+    if i + 1 >= n then false
+    else if Char.equal s.[i] '\n' && Char.equal s.[i + 1] '\n' then true
+    else if
+      i + 3 < n
+      && Char.equal s.[i] '\r'
+      && Char.equal s.[i + 1] '\n'
+      && Char.equal s.[i + 2] '\r'
+      && Char.equal s.[i + 3] '\n'
+    then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let on_readable t conn acc buf () =
+  match Unix.read conn buf 0 (Bytes.length buf) with
+  | 0 -> forget_conn t conn
+  | len ->
+    Buffer.add_subbytes acc buf 0 len;
+    if Buffer.length acc > max_request_bytes then
+      respond t conn ~status:400 ~reason:"Bad Request" ~content_type:"text/plain"
+        "request too large\n"
+    else begin
+      let raw = Buffer.contents acc in
+      if request_complete raw then handle_request t conn raw
+    end
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> forget_conn t conn
+
+let on_acceptable t () =
+  match Unix.accept t.listen_fd with
+  | conn, _ ->
+    Unix.set_nonblock conn;
+    t.conns <- conn :: t.conns;
+    Backend_realtime.add_poller t.exec conn (on_readable t conn (Buffer.create 256) (Bytes.create 4096))
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+
+let start exec ?(host = "127.0.0.1") ~port ~routes () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen fd 16;
+     Unix.set_nonblock fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let t = { exec; listen_fd = fd; port; routes; conns = []; stopped = false } in
+  Backend_realtime.add_poller exec fd (on_acceptable t);
+  t
+
+let port t = t.port
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Backend_realtime.remove_poller t.exec t.listen_fd;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    List.iter (fun conn -> forget_conn t conn) t.conns
+  end

@@ -1,0 +1,45 @@
+(** Minimal HTTP/1.0 admin endpoint riding the real-time executor's poll
+    loop — the serving half of the live observability plane.
+
+    The server owns no content: callers inject routes as
+    [path -> response] closures (the node binary wires [/metrics],
+    [/health] and [/ledger]), evaluated per request so every scrape
+    observes current state. Rendering itself (Prometheus text, ledger
+    JSON) lives on the pure side of the seam ({!Shoalpp_runtime.Prom},
+    {!Shoalpp_runtime.Ledger}); this module only moves bytes.
+
+    Invariants:
+    - strictly non-blocking: every socket is registered with the
+      executor's read/write pollers and the server never blocks the loop
+      that also drives consensus — a stalled scraper's connection idles
+      without backpressure on the protocol;
+    - one request per connection (HTTP/1.0, [Connection: close]): read
+      until the header block completes, write the whole response, close;
+    - requests are bounded ([8 KiB]) and only [GET] is served; anything
+      else is answered with the matching 4xx status, never dropped
+      silently;
+    - a route closure that raises answers 500 — a rendering bug cannot
+      tear down the server or the run. *)
+
+type response = { content_type : string; body : string }
+
+type t
+
+val start :
+  Backend_realtime.t ->
+  ?host:string ->
+  port:int ->
+  routes:(string * (unit -> response)) list ->
+  unit ->
+  t
+(** Bind and listen on [host] (default [127.0.0.1]) at [port] ([0] picks a
+    free port — read it back with {!port}) and register the accept loop
+    with the executor. Serving happens while the executor runs. Raises
+    [Unix.Unix_error] when binding fails (port in use, bad host). *)
+
+val port : t -> int
+(** The actually bound port (useful with [port:0]). *)
+
+val stop : t -> unit
+(** Unregister and close the listener and any open connections
+    (idempotent). *)

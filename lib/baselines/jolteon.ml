@@ -10,6 +10,8 @@ module Client = Shoalpp_workload.Client
 module Mempool = Shoalpp_workload.Mempool
 module Metrics = Shoalpp_runtime.Metrics
 module Report = Shoalpp_runtime.Report
+module Ledger = Shoalpp_runtime.Ledger
+module Anchors = Shoalpp_consensus.Anchors
 module Rng = Shoalpp_support.Rng
 module Obs = Shoalpp_sim.Obs
 module Trace = Shoalpp_sim.Trace
@@ -100,6 +102,8 @@ type replica = {
   setup : setup;
   backend : msg Backend.t;
   metrics : Metrics.t;
+  ledger : Ledger.t; (* shared per-commit latency ledger *)
+  mutable ordered_seq : int; (* position of the next committed block *)
   genesis_qc : qc;
   pool : (int, tx_state) Hashtbl.t; (* txid -> state *)
   pool_order : int Queue.t; (* FIFO of txids for proposal order *)
@@ -183,6 +187,8 @@ let commit_block t (b : block) =
          (fun (br, _, _) -> br >= b.jb_round - ((2 * rep_window) + rep_lag))
          t.committed_meta;
   let now = Backend.now t.backend in
+  let seq = t.ordered_seq in
+  t.ordered_seq <- seq + 1;
   Obs.incr_c t.c_commits;
   Obs.event t.obs ~time:now
     (Trace.Anchor_direct_certified { round = b.jb_round; anchor = b.jb_author });
@@ -195,7 +201,23 @@ let commit_block t (b : block) =
           let submitted = tx.Transaction.submitted_at in
           Obs.observe_h t.h_submit_block (b.jb_created_at -. submitted);
           Obs.observe_h t.h_block_commit (now -. b.jb_created_at);
-          Obs.observe_h t.h_e2e (now -. submitted)
+          Obs.observe_h t.h_e2e (now -. submitted);
+          (* Chain protocol: block creation is both batching and inclusion,
+             and a 2-chain commit is final order — the middle stages
+             collapse, which is exactly what the attribution should show. *)
+          Ledger.record t.ledger
+            {
+              Ledger.le_tx = tx.Transaction.id;
+              le_origin = t.id;
+              le_dag = 0;
+              le_rule = Anchors.Certified_direct;
+              le_seq = seq;
+              le_submitted = submitted;
+              le_batched = b.jb_created_at;
+              le_included = b.jb_created_at;
+              le_committed = now;
+              le_ordered = now;
+            }
         end
       end)
     b.jb_txns
@@ -481,6 +503,7 @@ type cluster = {
   c_replicas : replica array;
   c_metrics : Metrics.t;
   c_telemetry : Telemetry.t;
+  c_ledger : Ledger.t;
   c_clients : Client.t option array;
   c_mempools : Mempool.t array; (* staging: client -> gossip *)
   mutable c_fault : Fault_schedule.t;
@@ -502,6 +525,7 @@ let create setup =
   let backend = Backend_sim.backend world in
   let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
   let telemetry = Telemetry.create () in
+  let ledger = Ledger.create ~telemetry () in
   let genesis_qc =
     { qc_round = -1; qc_digest = committee.Committee.genesis; qc_signers = [] }
   in
@@ -513,6 +537,8 @@ let create setup =
           setup;
           backend;
           metrics;
+          ledger;
+          ordered_seq = 0;
           genesis_qc;
           pool = Hashtbl.create 4096;
           pool_order = Queue.create ();
@@ -559,6 +585,7 @@ let create setup =
     c_replicas = replicas;
     c_metrics = metrics;
     c_telemetry = telemetry;
+    c_ledger = ledger;
     c_clients = Array.make n None;
     c_mempools = Array.init n (fun _ -> Mempool.create ());
     c_fault = fault;
@@ -670,6 +697,7 @@ let crash_now c i =
 let events_fired c = Backend_sim.events_fired c.c_world
 let metrics c = c.c_metrics
 let telemetry c = c.c_telemetry
+let ledger c = c.c_ledger
 
 let report c ~duration_ms =
   let net_stats = Backend.stats c.c_backend in
@@ -681,7 +709,9 @@ let report c ~duration_ms =
     ~messages_sent:net_stats.Backend.Transport.sent
     ~messages_dropped:(net_stats.Backend.Transport.dropped + net_stats.Backend.Transport.partitioned)
     ~bytes_sent:net_stats.Backend.Transport.bytes
-    ~telemetry:(Telemetry.snapshot c.c_telemetry) ()
+    ~telemetry:(Telemetry.snapshot c.c_telemetry)
+    ~trace_dropped:(match c.c_setup.trace with Some tr -> Trace.dropped tr | None -> 0)
+    ()
 
 let committed_consistent c =
   let logs = Array.map (fun r -> Array.of_list (List.rev r.committed_log)) c.c_replicas in

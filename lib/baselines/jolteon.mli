@@ -72,6 +72,12 @@ val telemetry : cluster -> Shoalpp_support.Telemetry.t
     [dag.timeouts], and the stage histograms comparable with the DAG family
     ([stage.submit_to_batch], [stage.proposal_to_commit], [latency.e2e]). *)
 
+val ledger : cluster -> Shoalpp_runtime.Ledger.t
+(** Shared per-commit latency ledger: every origin transaction recorded at
+    its 2-chain commit under [Certified_direct], with the batch/inclusion
+    stages collapsed onto block creation (a chain protocol has no separate
+    DAG-inclusion step — the attribution shows that collapse explicitly). *)
+
 val report : cluster -> duration_ms:float -> Shoalpp_runtime.Report.t
 
 val committed_consistent : cluster -> bool

@@ -17,6 +17,7 @@ module Client = Shoalpp_workload.Client
 module Mempool = Shoalpp_workload.Mempool
 module Metrics = Shoalpp_runtime.Metrics
 module Report = Shoalpp_runtime.Report
+module Ledger = Shoalpp_runtime.Ledger
 module Rng = Shoalpp_support.Rng
 module Obs = Shoalpp_sim.Obs
 module Trace = Shoalpp_sim.Trace
@@ -341,12 +342,13 @@ type cluster = {
   c_replicas : replica array;
   c_metrics : Metrics.t;
   c_telemetry : Telemetry.t;
+  c_ledger : Ledger.t;
   c_clients : Client.t option array;
   mutable c_fault : Fault_schedule.t;
   mutable c_started : bool;
 }
 
-let make_replica setup ~backend ~metrics ~telemetry id =
+let make_replica setup ~backend ~metrics ~telemetry ~ledger id =
   let committee = setup.committee in
   let store =
     Store.create ~n:committee.Committee.n ~genesis_digest:committee.Committee.genesis
@@ -356,6 +358,7 @@ let make_replica setup ~backend ~metrics ~telemetry id =
   let h_block_commit = Obs.histogram obs "stage.proposal_to_commit" in
   let h_e2e = Obs.histogram obs "latency.e2e" in
   let log = ref [] in
+  let next_seq = ref 0 in
   let replica_ref = ref None in
   let driver_cfg =
     {
@@ -381,23 +384,38 @@ let make_replica setup ~backend ~metrics ~telemetry id =
         on_segment =
           (fun segment ->
             let anchor = segment.Driver.anchor in
+            let seq = !next_seq in
+            incr next_seq;
             log := (0, anchor.Types.ref_round, anchor.Types.ref_author) :: !log;
             let now = Backend.now backend in
             List.iter
               (fun (cn : Types.certified_node) ->
                 let node = cn.Types.cn_node in
+                let batch = node.Types.batch in
                 List.iter
                   (fun (tx : Transaction.t) ->
                     Metrics.observe_commit metrics
                       ~origin_ordered:(tx.Transaction.origin = id) ~tx ~now;
                     if tx.Transaction.origin = id then begin
                       let submitted = tx.Transaction.submitted_at in
-                      Obs.observe_h h_submit_block
-                        (node.Types.batch.Batch.created_at -. submitted);
+                      Obs.observe_h h_submit_block (batch.Batch.created_at -. submitted);
                       Obs.observe_h h_block_commit (now -. node.Types.created_at);
-                      Obs.observe_h h_e2e (now -. submitted)
+                      Obs.observe_h h_e2e (now -. submitted);
+                      Ledger.record ledger
+                        {
+                          Ledger.le_tx = tx.Transaction.id;
+                          le_origin = id;
+                          le_dag = 0;
+                          le_rule = Ledger.rule_of_kind segment.Driver.kind;
+                          le_seq = seq;
+                          le_submitted = submitted;
+                          le_batched = batch.Batch.created_at;
+                          le_included = node.Types.created_at;
+                          le_committed = segment.Driver.committed_at;
+                          le_ordered = now;
+                        }
                     end)
-                  node.Types.batch.Batch.txns)
+                  batch.Batch.txns)
               segment.Driver.nodes);
         request_gc = (fun ~round -> ignore (Store.prune_below store ~round));
         (* Cordial-Miners certificate pattern: a direct decision needs the
@@ -462,8 +480,9 @@ let create setup =
   let backend = Backend_sim.backend world in
   let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
   let telemetry = Telemetry.create () in
+  let ledger = Ledger.create ~telemetry () in
   let replicas =
-    Array.init n (fun id -> make_replica setup ~backend ~metrics ~telemetry id)
+    Array.init n (fun id -> make_replica setup ~backend ~metrics ~telemetry ~ledger id)
   in
   Array.iter
     (fun r -> Backend.set_handler backend r.id (fun ~src:_ msg -> handle_message r msg))
@@ -475,6 +494,7 @@ let create setup =
     c_replicas = replicas;
     c_metrics = metrics;
     c_telemetry = telemetry;
+    c_ledger = ledger;
     c_clients = Array.make n None;
     c_fault = fault;
     c_started = false;
@@ -572,6 +592,7 @@ let set_fault c fault =
 let events_fired c = Backend_sim.events_fired c.c_world
 let metrics c = c.c_metrics
 let telemetry c = c.c_telemetry
+let ledger c = c.c_ledger
 
 let report c ~duration_ms =
   let net_stats = Backend.stats c.c_backend in
@@ -589,7 +610,9 @@ let report c ~duration_ms =
     ~messages_sent:net_stats.Backend.Transport.sent
     ~messages_dropped:(net_stats.Backend.Transport.dropped + net_stats.Backend.Transport.partitioned)
     ~bytes_sent:net_stats.Backend.Transport.bytes
-    ~telemetry:(Telemetry.snapshot c.c_telemetry) ()
+    ~telemetry:(Telemetry.snapshot c.c_telemetry)
+    ~trace_dropped:(match c.c_setup.trace with Some tr -> Trace.dropped tr | None -> 0)
+    ()
 
 let logs_consistent c =
   let logs = Array.map (fun r -> Array.of_list (List.rev !(r.log))) c.c_replicas in

@@ -70,6 +70,11 @@ val telemetry : cluster -> Shoalpp_support.Telemetry.t
     [dag.fetches] (critical-path fetches), [dag.timeouts], and the stage
     histograms comparable with the DAG family. *)
 
+val ledger : cluster -> Shoalpp_runtime.Ledger.t
+(** Shared per-commit latency ledger: every origin transaction recorded at
+    its segment commit, tagged with the driver's commit rule (single DAG,
+    so all entries carry lane 0). *)
+
 val report : cluster -> duration_ms:float -> Shoalpp_runtime.Report.t
 val set_fault : cluster -> Shoalpp_sim.Fault_schedule.t -> unit
 

@@ -55,6 +55,7 @@ type t = {
   clients : Client.t option array;
   metrics : Metrics.t;
   telemetry : Telemetry.t; (* one registry shared by all replicas *)
+  ledger : Ledger.t; (* per-commit latency records, fed from on_ordered *)
   logs : seg_id list ref array; (* newest first; only when track_logs *)
   ordered_seen : (int, unit) Hashtbl.t array; (* per-replica txn dedup *)
   recovering : bool array; (* WAL replay in progress: metrics/dedup muted *)
@@ -81,6 +82,7 @@ let create setup =
   let backend = Backend_sim.backend world in
   let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
   let telemetry = Telemetry.create () in
+  let ledger = Ledger.create ~telemetry () in
   let mempools = Array.init n (fun _ -> Mempool.create ()) in
   let logs = Array.init n (fun _ -> ref []) in
   let ordered_seen = Array.init n (fun _ -> Hashtbl.create 4096) in
@@ -95,6 +97,7 @@ let create setup =
       clients = Array.make n None;
       metrics;
       telemetry;
+      ledger;
       logs;
       ordered_seen;
       recovering;
@@ -124,6 +127,8 @@ let create setup =
           end;
           List.iter
             (fun (cn : Types.certified_node) ->
+              let node = cn.Types.cn_node in
+              let batch = node.Types.batch in
               List.iter
                 (fun (tx : Transaction.t) ->
                   if setup.track_logs then begin
@@ -135,11 +140,26 @@ let create setup =
                     end
                     else Hashtbl.replace ordered_seen.(replica_id) tx.Transaction.id ()
                   end;
-                  if not recovering.(replica_id) then
+                  if not recovering.(replica_id) then begin
                     Metrics.observe_commit metrics
                       ~origin_ordered:(tx.Transaction.origin = replica_id)
-                      ~tx ~now:o.Replica.ordered_at)
-                cn.Types.cn_node.Types.batch.Batch.txns)
+                      ~tx ~now:o.Replica.ordered_at;
+                    if tx.Transaction.origin = replica_id then
+                      Ledger.record ledger
+                        {
+                          Ledger.le_tx = tx.Transaction.id;
+                          le_origin = replica_id;
+                          le_dag = seg.Driver.dag_id;
+                          le_rule = Ledger.rule_of_kind seg.Driver.kind;
+                          le_seq = o.Replica.global_seq;
+                          le_submitted = tx.Transaction.submitted_at;
+                          le_batched = batch.Batch.created_at;
+                          le_included = node.Types.created_at;
+                          le_committed = seg.Driver.committed_at;
+                          le_ordered = o.Replica.ordered_at;
+                        }
+                  end)
+                batch.Batch.txns)
             seg.Driver.nodes
         in
         Replica.create ~config:setup.protocol ~replica_id ~backend
@@ -157,6 +177,7 @@ let events_fired t = Backend_sim.events_fired t.world
 let replicas t = t.replicas
 let metrics t = t.metrics
 let telemetry t = t.telemetry
+let ledger t = t.ledger
 let trace t = t.setup.trace
 
 let per_replica_tps t = t.setup.load_tps /. float_of_int (Array.length t.replicas)
@@ -311,6 +332,8 @@ let report t ~duration_ms =
     ~messages_sent:net_stats.Backend.Transport.sent
     ~messages_dropped:(net_stats.Backend.Transport.dropped + net_stats.Backend.Transport.partitioned)
     ~bytes_sent:net_stats.Backend.Transport.bytes
-    ~telemetry:(Telemetry.snapshot t.telemetry) ()
+    ~telemetry:(Telemetry.snapshot t.telemetry)
+    ~trace_dropped:(match t.setup.trace with Some tr -> Trace.dropped tr | None -> 0)
+    ()
 
 let pp_report = Report.pp

@@ -64,6 +64,12 @@ val telemetry : t -> Shoalpp_support.Telemetry.t
     across replicas, per-stage histograms record each transaction once at
     its origin). *)
 
+val ledger : t -> Ledger.t
+(** Per-commit latency ledger (always created, registered on the shared
+    telemetry): one entry per origin transaction at its origin's commit,
+    outside WAL replay. Recording is effect-free beyond the ring and the
+    registry, so traced runs stay byte-identical. *)
+
 val trace : t -> Shoalpp_sim.Trace.t option
 
 val run : t -> duration_ms:float -> unit

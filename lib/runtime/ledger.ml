@@ -1,0 +1,214 @@
+(* Per-commit latency ledger: one compact timestamp record per transaction
+   at its origin replica's commit, tagged with the DAG lane and the commit
+   rule that resolved its anchor.
+
+   The ledger is the per-commit refinement of the sampled stage histograms:
+   where [stage.*] aggregates every origin commit into one histogram per
+   stage, the ledger keys the same stage deltas by (DAG lane x commit rule)
+   — so a fast-path commit's pipeline can be compared against an indirect
+   one's, which is exactly the attribution Shoal++'s latency claims are
+   made of — and additionally retains a bounded ring of raw entries for the
+   admin endpoint's JSON tail.
+
+   Determinism: recording only mutates this ring and (when a registry is
+   attached) telemetry histograms. It emits no trace events, schedules no
+   timers and performs no I/O, so attaching a ledger to the simulated
+   cluster leaves golden trace digests and event counts byte-identical. *)
+
+module Telemetry = Shoalpp_support.Telemetry
+module Tablefmt = Shoalpp_support.Tablefmt
+module Anchors = Shoalpp_consensus.Anchors
+module Driver = Shoalpp_consensus.Driver
+
+type entry = {
+  le_tx : int;
+  le_origin : int;
+  le_dag : int;
+  le_rule : Anchors.rule;
+  le_seq : int;
+  le_submitted : float;
+  le_batched : float;
+  le_included : float;
+  le_committed : float;
+  le_ordered : float;
+}
+
+(* Pipeline stages in order; each is a delta (ms) between two of the five
+   timestamps. [e2e] spans the whole pipeline and is listed last. *)
+let stages =
+  [
+    ("submit_to_batch", fun e -> e.le_batched -. e.le_submitted);
+    ("batch_to_inclusion", fun e -> e.le_included -. e.le_batched);
+    ("inclusion_to_commit", fun e -> e.le_committed -. e.le_included);
+    ("commit_to_order", fun e -> e.le_ordered -. e.le_committed);
+    ("e2e", fun e -> e.le_ordered -. e.le_submitted);
+  ]
+
+let stage_names = List.map fst stages
+
+let rule_of_kind = function
+  | Driver.Fast -> Anchors.Fast_direct
+  | Driver.Direct -> Anchors.Certified_direct
+  | Driver.Indirect -> Anchors.Indirect_rule
+
+let rule_index = function
+  | Anchors.Fast_direct -> 0
+  | Anchors.Certified_direct -> 1
+  | Anchors.Indirect_rule -> 2
+  | Anchors.Skipped -> 3
+
+let rule_of_tag tag =
+  List.find_opt (fun r -> String.equal (Anchors.rule_tag r) tag) Anchors.all_rules
+
+let metric_name ~dag ~rule stage =
+  Printf.sprintf "ledger.dag%d.%s.%s" dag (Anchors.rule_tag rule) stage
+
+type t = {
+  telemetry : Telemetry.t option;
+  capacity : int;
+  ring : entry option array;
+  mutable next : int;  (* ring slot the next entry lands in *)
+  mutable total : int;  (* entries ever recorded *)
+  (* Histogram handles cached per (dag, rule): recording stays one array
+     index + five observes on the hot path after the first commit of each
+     (lane, rule) pair. *)
+  handles : (int, Telemetry.Histogram.t array) Hashtbl.t;
+}
+
+let default_capacity = 4096
+
+let create ?telemetry ?(capacity = default_capacity) () =
+  let capacity = max 1 capacity in
+  {
+    telemetry;
+    capacity;
+    ring = Array.make capacity None;
+    next = 0;
+    total = 0;
+    handles = Hashtbl.create 16;
+  }
+
+let handles_for t tel ~dag ~rule =
+  let key = (dag * 4) + rule_index rule in
+  match Hashtbl.find_opt t.handles key with
+  | Some hs -> hs
+  | None ->
+    let hs =
+      Array.of_list
+        (List.map (fun (stage, _) -> Telemetry.histogram tel (metric_name ~dag ~rule stage)) stages)
+    in
+    Hashtbl.replace t.handles key hs;
+    hs
+
+let record t e =
+  t.ring.(t.next) <- Some e;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1;
+  match t.telemetry with
+  | None -> ()
+  | Some tel ->
+    let hs = handles_for t tel ~dag:e.le_dag ~rule:e.le_rule in
+    List.iteri (fun i (_, delta) -> Telemetry.observe hs.(i) (delta e)) stages
+
+let recorded t = t.total
+let capacity t = t.capacity
+let dropped t = max 0 (t.total - t.capacity)
+
+(* Retained entries in commit order (oldest first); [limit] keeps the
+   newest that many. *)
+let tail ?limit t =
+  let stored = min t.total t.capacity in
+  let keep = match limit with Some l -> min (max 0 l) stored | None -> stored in
+  let out = ref [] in
+  for i = 0 to keep - 1 do
+    let idx = (t.next - 1 - i + (2 * t.capacity)) mod t.capacity in
+    match t.ring.(idx) with Some e -> out := e :: !out | None -> ()
+  done;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* JSON tail for the admin endpoint.                                   *)
+
+let json_of_entry e =
+  Export.Json.Obj
+    [
+      ("tx", Export.Json.Int e.le_tx);
+      ("origin", Export.Json.Int e.le_origin);
+      ("dag", Export.Json.Int e.le_dag);
+      ("rule", Export.Json.Str (Anchors.rule_tag e.le_rule));
+      ("seq", Export.Json.Int e.le_seq);
+      ("submitted_ms", Export.Json.Float e.le_submitted);
+      ("batched_ms", Export.Json.Float e.le_batched);
+      ("included_ms", Export.Json.Float e.le_included);
+      ("committed_ms", Export.Json.Float e.le_committed);
+      ("ordered_ms", Export.Json.Float e.le_ordered);
+    ]
+
+let json_tail ?limit t =
+  Export.Json.to_string
+    (Export.Json.Obj
+       [
+         ("recorded", Export.Json.Int t.total);
+         ("dropped", Export.Json.Int (dropped t));
+         ("entries", Export.Json.List (List.map json_of_entry (tail ?limit t)));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Stage x rule x DAG breakdown from a telemetry snapshot.             *)
+
+type row = {
+  br_dag : int;
+  br_rule : Anchors.rule;
+  br_stage : string;
+  br_stats : Telemetry.histogram_stats;
+}
+
+(* Parse "ledger.dag<k>.<rule_tag>.<stage>"; anything else is not ours. *)
+let row_of_stats (hs : Telemetry.histogram_stats) =
+  match String.split_on_char '.' hs.Telemetry.hs_name with
+  | [ "ledger"; dagpart; ruletag; stage ]
+    when String.length dagpart > 3 && String.equal (String.sub dagpart 0 3) "dag" ->
+    let dag = int_of_string_opt (String.sub dagpart 3 (String.length dagpart - 3)) in
+    let rule = rule_of_tag ruletag in
+    (match (dag, rule, List.mem_assoc stage stages) with
+    | Some dag, Some rule, true -> Some { br_dag = dag; br_rule = rule; br_stage = stage; br_stats = hs }
+    | _ -> None)
+  | _ -> None
+
+let stage_order stage =
+  let rec go i = function
+    | [] -> List.length stages
+    | (s, _) :: rest -> if String.equal s stage then i else go (i + 1) rest
+  in
+  go 0 stages
+
+let breakdown snap =
+  snap.Telemetry.snap_histograms
+  |> List.filter_map row_of_stats
+  |> List.sort (fun a b ->
+         let c = Int.compare a.br_dag b.br_dag in
+         if c <> 0 then c
+         else
+           let c = Int.compare (rule_index a.br_rule) (rule_index b.br_rule) in
+           if c <> 0 then c else Int.compare (stage_order a.br_stage) (stage_order b.br_stage))
+
+let breakdown_table snap =
+  let rows =
+    List.map
+      (fun r ->
+        let s = r.br_stats in
+        [
+          string_of_int r.br_dag;
+          Anchors.rule_tag r.br_rule;
+          r.br_stage;
+          string_of_int s.Telemetry.hs_count;
+          Tablefmt.float_cell ~decimals:1 s.Telemetry.hs_p50;
+          Tablefmt.float_cell ~decimals:1 s.Telemetry.hs_p90;
+          Tablefmt.float_cell ~decimals:1 s.Telemetry.hs_p99;
+          Tablefmt.float_cell ~decimals:1 s.Telemetry.hs_mean;
+        ])
+      (breakdown snap)
+  in
+  Tablefmt.render
+    ~header:[ "dag"; "rule"; "stage"; "n"; "p50(ms)"; "p90(ms)"; "p99(ms)"; "mean(ms)" ]
+    rows

@@ -1,0 +1,98 @@
+(** Per-commit latency ledger: one timestamp record per transaction at its
+    origin replica's commit, tagged with DAG lane and commit rule.
+
+    This refines the sampled [stage.*] histograms into per-commit
+    attribution: the same five pipeline timestamps (submit, batch,
+    DAG inclusion, anchor commit, global order) are kept per transaction,
+    their stage deltas are aggregated into telemetry histograms keyed
+    [ledger.dag<k>.<rule_tag>.<stage>], and a bounded ring of raw entries
+    backs the admin endpoint's [/ledger] JSON tail.
+
+    All three systems feed it from their commit hooks: the Shoal++
+    harnesses ({!Cluster}, {!Node}) from their [on_ordered] callbacks, the
+    baselines from their block/segment commit paths.
+
+    Invariants:
+    - recording is effect-free beyond this ring and the attached telemetry
+      registry: no trace events, no scheduled timers, no I/O — a ledger on
+      the simulated cluster leaves golden trace digests, event counts and
+      exported trace bytes byte-identical;
+    - each origin transaction is recorded at most once (call sites record
+      only [origin = replica_id] commits outside WAL replay), so
+      [recorded] counts unique origin commits;
+    - the ring keeps the newest [capacity] entries; {!dropped} = total
+      recorded - retained, never negative;
+    - {!breakdown} rows are deterministically ordered (DAG id, then rule,
+      then pipeline stage) regardless of snapshot hash order. *)
+
+type entry = {
+  le_tx : int;  (** transaction id *)
+  le_origin : int;  (** origin replica (= the recording replica) *)
+  le_dag : int;  (** DAG lane that carried the transaction *)
+  le_rule : Shoalpp_consensus.Anchors.rule;  (** rule that committed its anchor *)
+  le_seq : int;  (** global sequence of the ordered segment *)
+  le_submitted : float;  (** ms: client submit *)
+  le_batched : float;  (** ms: batch sealed *)
+  le_included : float;  (** ms: DAG node (proposal) created *)
+  le_committed : float;  (** ms: anchor commit decision *)
+  le_ordered : float;  (** ms: segment interleaved into the global log *)
+}
+
+val stages : (string * (entry -> float)) list
+(** Pipeline stages in order ([submit_to_batch], [batch_to_inclusion],
+    [inclusion_to_commit], [commit_to_order]) plus [e2e]; each maps an
+    entry to its stage latency in ms. *)
+
+val stage_names : string list
+
+val rule_of_kind : Shoalpp_consensus.Driver.kind -> Shoalpp_consensus.Anchors.rule
+(** Committed segments map [Fast -> Fast_direct], [Direct ->
+    Certified_direct], [Indirect -> Indirect_rule]; [Skipped] anchors never
+    produce a segment, so no entry carries it. *)
+
+val metric_name :
+  dag:int -> rule:Shoalpp_consensus.Anchors.rule -> string -> string
+(** ["ledger.dag<k>.<rule_tag>.<stage>"] — the telemetry histogram a stage
+    delta is aggregated into. *)
+
+type t
+
+val default_capacity : int
+
+val create : ?telemetry:Shoalpp_support.Telemetry.t -> ?capacity:int -> unit -> t
+(** [capacity] (clamped to >= 1) bounds the raw-entry ring; histograms, if
+    a registry is given, aggregate every entry regardless. *)
+
+val record : t -> entry -> unit
+
+val recorded : t -> int
+val capacity : t -> int
+
+val dropped : t -> int
+(** Entries evicted from the ring (aggregates still include them). *)
+
+val tail : ?limit:int -> t -> entry list
+(** Retained entries oldest-first; [limit] keeps only the newest that
+    many. *)
+
+val json_tail : ?limit:int -> t -> string
+(** JSON object [{recorded, dropped, entries: [...]}] — the [/ledger]
+    admin endpoint body. *)
+
+(** {2 Stage x rule x DAG breakdown} *)
+
+type row = {
+  br_dag : int;
+  br_rule : Shoalpp_consensus.Anchors.rule;
+  br_stage : string;
+  br_stats : Shoalpp_support.Telemetry.histogram_stats;
+}
+
+val breakdown : Shoalpp_support.Telemetry.snapshot -> row list
+(** All [ledger.*] histograms of a snapshot, parsed and sorted by
+    (DAG, rule, pipeline stage). *)
+
+val breakdown_table : Shoalpp_support.Telemetry.snapshot -> string
+(** Human table (via {!Shoalpp_support.Tablefmt}) of {!breakdown}:
+    percentiles per stage x rule x DAG. Empty runs render a header-only
+    table. *)

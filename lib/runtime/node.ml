@@ -50,6 +50,7 @@ type t = {
   clients : Client.t option array;
   metrics : Metrics.t;
   telemetry : Telemetry.t;
+  ledger : Ledger.t;
   logs : seg_id list ref array;
   ordered_seen : (int, unit) Hashtbl.t array;
   mutable duplicate_orders : int;
@@ -88,6 +89,7 @@ let create setup =
   let mempools = Array.init n (fun _ -> Mempool.create ()) in
   let metrics = Metrics.create ~warmup_ms:setup.warmup_ms () in
   let telemetry = Telemetry.create () in
+  let ledger = Ledger.create ~telemetry () in
   let logs = Array.init n (fun _ -> ref []) in
   let ordered_seen = Array.init n (fun _ -> Hashtbl.create 256) in
   let t =
@@ -100,6 +102,7 @@ let create setup =
       clients = Array.make n None;
       metrics;
       telemetry;
+      ledger;
       logs;
       ordered_seen;
       duplicate_orders = 0;
@@ -123,6 +126,8 @@ let create setup =
             :: !(logs.(replica_id));
           List.iter
             (fun (cn : Types.certified_node) ->
+              let node = cn.Types.cn_node in
+              let batch = node.Types.batch in
               List.iter
                 (fun (tx : Transaction.t) ->
                   if Hashtbl.mem ordered_seen.(replica_id) tx.Transaction.id then
@@ -130,8 +135,22 @@ let create setup =
                   else Hashtbl.replace ordered_seen.(replica_id) tx.Transaction.id ();
                   Metrics.observe_commit metrics
                     ~origin_ordered:(tx.Transaction.origin = replica_id)
-                    ~tx ~now:o.Replica.ordered_at)
-                cn.Types.cn_node.Types.batch.Batch.txns)
+                    ~tx ~now:o.Replica.ordered_at;
+                  if tx.Transaction.origin = replica_id then
+                    Ledger.record ledger
+                      {
+                        Ledger.le_tx = tx.Transaction.id;
+                        le_origin = replica_id;
+                        le_dag = seg.Driver.dag_id;
+                        le_rule = Ledger.rule_of_kind seg.Driver.kind;
+                        le_seq = o.Replica.global_seq;
+                        le_submitted = tx.Transaction.submitted_at;
+                        le_batched = batch.Batch.created_at;
+                        le_included = node.Types.created_at;
+                        le_committed = seg.Driver.committed_at;
+                        le_ordered = o.Replica.ordered_at;
+                      })
+                batch.Batch.txns)
             seg.Driver.nodes
         in
         Replica.create ~config:setup.protocol ~replica_id ~backend
@@ -170,8 +189,35 @@ let backend t = t.backend
 let replicas t = t.replicas
 let metrics t = t.metrics
 let telemetry t = t.telemetry
+let ledger t = t.ledger
 let trace t = t.setup.trace
 let now_ms t = Realtime.now_ms t.exec
+
+(* Repeating in-run snapshot refresh: keeps the admin endpoint's gauges
+   live while the loop runs instead of only materializing at shutdown.
+   Realtime-only by construction (nothing in the sim harness calls it), so
+   the extra timer events never touch deterministic runs. *)
+let arm_live_gauges ?(interval_ms = 250.0) t =
+  let g_uptime = Telemetry.gauge t.telemetry "live.uptime_ms" in
+  let g_committed = Telemetry.gauge t.telemetry "live.committed" in
+  let g_tps = Telemetry.gauge t.telemetry "live.commit_tps" in
+  let g_dropped = Telemetry.gauge t.telemetry "live.trace_dropped" in
+  let last = ref (Backend.now t.backend, Metrics.committed t.metrics) in
+  let rec tick () =
+    let now = Backend.now t.backend in
+    let committed = Metrics.committed t.metrics in
+    let last_now, last_committed = !last in
+    let dt_s = Float.max 0.001 ((now -. last_now) /. 1000.0) in
+    Telemetry.set g_uptime now;
+    Telemetry.set g_committed (float_of_int committed);
+    Telemetry.set g_tps (float_of_int (committed - last_committed) /. dt_s);
+    (match t.setup.trace with
+    | Some tr -> Telemetry.set g_dropped (float_of_int (Trace.dropped tr))
+    | None -> ());
+    last := (now, committed);
+    ignore (Backend.schedule t.backend ~after:interval_ms tick)
+  in
+  ignore (Backend.schedule t.backend ~after:interval_ms tick)
 
 type audit = {
   consistent_prefixes : bool;
@@ -229,4 +275,6 @@ let report t ~duration_ms =
     ~messages_dropped:
       (net_stats.Backend.Transport.dropped + net_stats.Backend.Transport.partitioned)
     ~bytes_sent:net_stats.Backend.Transport.bytes
-    ~telemetry:(Telemetry.snapshot t.telemetry) ()
+    ~telemetry:(Telemetry.snapshot t.telemetry)
+    ~trace_dropped:(match t.setup.trace with Some tr -> Trace.dropped tr | None -> 0)
+    ()

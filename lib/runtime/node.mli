@@ -63,7 +63,20 @@ val backend : t -> Shoalpp_core.Replica.envelope Shoalpp_backend.Backend.t
 val replicas : t -> Shoalpp_core.Replica.t array
 val metrics : t -> Metrics.t
 val telemetry : t -> Shoalpp_support.Telemetry.t
+
+val ledger : t -> Ledger.t
+(** Per-commit latency ledger, registered on the node's telemetry: one
+    entry per origin transaction at its origin's commit. Backs the admin
+    endpoint's [/ledger] tail and the stage x rule x DAG breakdown. *)
+
 val trace : t -> Shoalpp_sim.Trace.t option
+
+val arm_live_gauges : ?interval_ms:float -> t -> unit
+(** Arm a repeating timer (default every 250 ms) refreshing the
+    [live.uptime_ms] / [live.committed] / [live.commit_tps] /
+    [live.trace_dropped] gauges from the running node, so an admin scrape
+    mid-run sees current values rather than the shutdown snapshot. Call
+    before {!run}; the timer dies with the executor. *)
 
 val now_ms : t -> float
 (** Wall milliseconds since the executor was created. *)

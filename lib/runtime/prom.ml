@@ -1,0 +1,121 @@
+(* Prometheus text-exposition rendering of a telemetry snapshot.
+
+   Pure string building: the impure serving side lives in
+   Shoalpp_backend.Admin_server behind the backend seam; this module only
+   turns an immutable Telemetry.snapshot into exposition-format bytes, so
+   it is testable byte-for-byte and usable from exporters too.
+
+   Format reference: the Prometheus text format (version 0.0.4). Metric
+   names are [a-zA-Z_:][a-zA-Z0-9_:]*; our dot-separated registry names
+   ("stage.submit_to_batch", "dag0.latency") are sanitized by mapping every
+   illegal character to '_'. Histograms render as true Prometheus
+   histograms: cumulative _bucket{le="..."} series (sparse — only buckets
+   that changed the cumulative count), closed by le="+Inf" = _count. *)
+
+module Tel = Shoalpp_support.Telemetry
+
+let metric_name name =
+  let n = String.length name in
+  let buf = Buffer.create (n + 8) in
+  let legal_first c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || Char.equal c '_' || Char.equal c ':'
+  in
+  let legal c = legal_first c || (c >= '0' && c <= '9') in
+  if n = 0 then Buffer.add_char buf '_'
+  else begin
+    if not (legal_first name.[0]) then Buffer.add_char buf '_';
+    String.iter (fun c -> Buffer.add_char buf (if legal c then c else '_')) name
+  end;
+  Buffer.contents buf
+
+(* Label values escape backslash, double-quote and newline (the three
+   escapes the format defines for quoted label values). *)
+let label_value s =
+  let buf = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Sample values: integers render bare, specials as the format's spellings,
+   the rest with enough digits to round-trip. *)
+let value_repr v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* [le] bounds keep more precision than display values: consecutive
+   geometric bucket edges differ by 7%, far above %.9g rounding. *)
+let le_repr v = if v = infinity then "+Inf" else Printf.sprintf "%.9g" v
+
+let sample ?(labels = []) name v =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf name;
+  (match labels with
+  | [] -> ()
+  | labels ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, value) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (metric_name k);
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (label_value value);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}');
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (value_repr v);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let add_type buf name kind =
+  Buffer.add_string buf "# TYPE ";
+  Buffer.add_string buf name;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf kind;
+  Buffer.add_char buf '\n'
+
+let render ?(namespace = "shoalpp") snap =
+  let prefix = if String.equal namespace "" then "" else metric_name namespace ^ "_" in
+  let full name = prefix ^ metric_name name in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let name = full name in
+      add_type buf name "counter";
+      Buffer.add_string buf (sample name (float_of_int v)))
+    snap.Tel.snap_counters;
+  List.iter
+    (fun (name, v) ->
+      let name = full name in
+      add_type buf name "gauge";
+      Buffer.add_string buf (sample name v))
+    snap.Tel.snap_gauges;
+  List.iter
+    (fun (h : Tel.histogram_stats) ->
+      let name = full h.Tel.hs_name in
+      add_type buf name "histogram";
+      List.iter
+        (fun (le, cum) ->
+          Buffer.add_string buf
+            (sample ~labels:[ ("le", le_repr le) ] (name ^ "_bucket") (float_of_int cum)))
+        h.Tel.hs_buckets;
+      (* The +Inf bucket always closes the series at the total count, also
+         when the sparse list is empty or its last bound was finite. *)
+      (match List.rev h.Tel.hs_buckets with
+      | (le, _) :: _ when le = infinity -> ()
+      | _ ->
+        Buffer.add_string buf
+          (sample ~labels:[ ("le", "+Inf") ] (name ^ "_bucket") (float_of_int h.Tel.hs_count)));
+      Buffer.add_string buf (sample (name ^ "_sum") h.Tel.hs_sum);
+      Buffer.add_string buf (sample (name ^ "_count") (float_of_int h.Tel.hs_count)))
+    snap.Tel.snap_histograms;
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Prometheus text-exposition (format 0.0.4) rendering of a telemetry
+    snapshot — the pure half of the [/metrics] admin endpoint.
+
+    The serving side ({!Shoalpp_backend.Admin_server}) lives behind the
+    backend seam; this module only builds bytes from an immutable
+    {!Shoalpp_support.Telemetry.snapshot}, so the body a scraper sees is a
+    deterministic function of the snapshot and testable byte-for-byte.
+
+    Invariants:
+    - every emitted metric name matches [[a-zA-Z_:][a-zA-Z0-9_:]*]
+      (illegal characters map to '_', a leading digit gains a '_' prefix);
+    - label values are escaped per the format (backslash, double quote,
+      newline) and never break the sample line;
+    - histogram [_bucket] series are cumulative, their [le] bounds strictly
+      increase, and the series always closes with [le="+Inf"] equal to
+      [_count] — a snapshot renders to a scrapable body by construction;
+    - output order follows the snapshot (name-sorted), so equal snapshots
+      render byte-identical bodies. *)
+
+val metric_name : string -> string
+(** Sanitize to a legal metric/label name; total (never empty). *)
+
+val label_value : string -> string
+(** Escape for use inside a quoted label value. *)
+
+val sample : ?labels:(string * string) list -> string -> float -> string
+(** One exposition line ["name{k=\"v\",...} value\n"]. The name is used as
+    given; label names are sanitized and label values escaped. *)
+
+val render : ?namespace:string -> Shoalpp_support.Telemetry.snapshot -> string
+(** Full exposition body: counters, gauges, then histograms, each with a
+    [# TYPE] header, all names prefixed ["<namespace>_"] (default
+    [shoalpp]; empty string for none). *)

@@ -79,11 +79,13 @@ type t = {
   messages_dropped : int;
   bytes_sent : float;
   telemetry : Shoalpp_support.Telemetry.snapshot;
+  trace_dropped : int;
 }
 
 let make ~name ~n ~load_tps ~duration_ms ~submitted ~metrics ?(fast_commits = 0)
     ?(direct_commits = 0) ?(indirect_commits = 0) ?(skipped_anchors = 0) ~messages_sent
-    ~messages_dropped ~bytes_sent ?(telemetry = Shoalpp_support.Telemetry.empty_snapshot) () =
+    ~messages_dropped ~bytes_sent ?(telemetry = Shoalpp_support.Telemetry.empty_snapshot)
+    ?(trace_dropped = 0) () =
   let lat = Metrics.latency metrics in
   let p25, p50, p75 = Stats.Summary.quartiles lat in
   {
@@ -106,6 +108,7 @@ let make ~name ~n ~load_tps ~duration_ms ~submitted ~metrics ?(fast_commits = 0)
     messages_dropped;
     bytes_sent;
     telemetry;
+    trace_dropped;
   }
 
 let rule_mix r =
@@ -159,6 +162,11 @@ let pp_extended fmt r =
         (float_of_int txns /. effective_s)
         (safe h.hs_p50) (safe h.hs_p99) h.hs_count)
     dag_hists;
+  if r.trace_dropped > 0 then
+    Format.fprintf fmt
+      "@,WARNING: trace ring dropped %d events (oldest overwritten) — raise the trace capacity \
+       to keep the full run"
+      r.trace_dropped;
   Format.fprintf fmt "@]"
 
 let table_header =

@@ -29,6 +29,9 @@ type t = {
   telemetry : Shoalpp_support.Telemetry.snapshot;
       (** {!Shoalpp_support.Telemetry.empty_snapshot} for runs without a
           registry *)
+  trace_dropped : int;
+      (** events evicted from the run's trace ring (0 when untraced);
+          {!pp_extended} warns visibly when positive *)
 }
 
 val make :
@@ -46,6 +49,7 @@ val make :
   messages_dropped:int ->
   bytes_sent:float ->
   ?telemetry:Shoalpp_support.Telemetry.snapshot ->
+  ?trace_dropped:int ->
   unit ->
   t
 

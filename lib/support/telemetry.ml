@@ -85,6 +85,24 @@ module Histogram = struct
       Float.min t.max_v (Float.max t.min_v !result)
     end
 
+  (* Upper edge of bucket [i]; the last bucket is unbounded above. *)
+  let upper_bound i =
+    if i >= nbuckets - 1 then infinity else lo *. (growth ** float_of_int i)
+
+  (* Sparse cumulative view — (upper_bound, cumulative_count) for each
+     non-empty bucket, bounds strictly increasing, final count = [count t].
+     This is exactly the shape a Prometheus histogram exposition needs. *)
+  let cumulative_buckets t =
+    let acc = ref 0 in
+    let out = ref [] in
+    for i = 0 to nbuckets - 1 do
+      if t.buckets.(i) > 0 then begin
+        acc := !acc + t.buckets.(i);
+        out := (upper_bound i, !acc) :: !out
+      end
+    done;
+    List.rev !out
+
   let merge_into ~src ~dst =
     dst.count <- dst.count + src.count;
     dst.sum <- dst.sum +. src.sum;
@@ -158,6 +176,7 @@ type histogram_stats = {
   hs_p50 : float;
   hs_p90 : float;
   hs_p99 : float;
+  hs_buckets : (float * int) list;
 }
 
 type snapshot = {
@@ -177,6 +196,7 @@ let stats_of_histogram h =
     hs_p50 = Histogram.quantile h 0.5;
     hs_p90 = Histogram.quantile h 0.9;
     hs_p99 = Histogram.quantile h 0.99;
+    hs_buckets = Histogram.cumulative_buckets h;
   }
 
 (* Sorted-key traversal (never raw [Hashtbl.iter]): snapshots feed the

@@ -24,7 +24,11 @@
       (sorted-key traversal, not hash order), so exported metrics are
       byte-stable across OCaml versions;
     - [merge] only adds: the destination's snapshot afterwards is
-      independent of the order in which sources were merged. *)
+      independent of the order in which sources were merged;
+    - histogram bucket views are cumulative and monotone: in
+      [hs_buckets] the upper bounds strictly increase and the cumulative
+      counts end at [hs_count], so a Prometheus rendering of a snapshot
+      is valid by construction. *)
 
 type counter
 type gauge
@@ -46,6 +50,14 @@ module Histogram : sig
 
   val quantile : t -> float -> float
   (** [quantile t 0.5] = median estimate; [nan] when empty. *)
+
+  val cumulative_buckets : t -> (float * int) list
+  (** Sparse cumulative bucket view: [(upper_bound, cumulative_count)] for
+      each non-empty bucket, with bounds strictly increasing, cumulative
+      counts non-decreasing, and the final count equal to {!count} (the
+      unbounded last bucket surfaces as [infinity]). Empty when no value
+      was observed. This is the shape a Prometheus histogram exposition
+      requires. *)
 
   val merge_into : src:t -> dst:t -> unit
 end
@@ -90,6 +102,8 @@ type histogram_stats = {
   hs_p50 : float;
   hs_p90 : float;
   hs_p99 : float;
+  hs_buckets : (float * int) list;
+      (** sparse cumulative buckets, see {!Histogram.cumulative_buckets} *)
 }
 
 type snapshot = {

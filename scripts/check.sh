@@ -51,14 +51,70 @@ dune exec bin/shoalpp_sim.exe -- \
 grep -q '"fault.recoveries"' "$out/faults.metrics.json" \
   || { echo "check failed: fault counters missing from scenario metrics" >&2; exit 1; }
 
-# Real-time node smoke: the same replicas on a wall clock (sans-I/O seam).
-# ~2 s of wall time, 4 replicas over loopback; the binary exits non-zero if
-# the safety audit fails, and the audit line must show committed segments
-# on every DAG lane.
-dune exec bin/shoalpp_node.exe -- \
-  -n 4 --duration 2000 --load 200 --no-verify \
+# Real-time node smoke: the same replicas on a wall clock (sans-I/O seam),
+# run in the background with the live admin plane up so /health and
+# /metrics are scraped MID-RUN — the endpoint must serve while consensus is
+# running, not just at shutdown. The binary exits non-zero if the safety
+# audit fails, and the audit line must show committed segments on every
+# DAG lane.
+./_build/default/bin/shoalpp_node.exe \
+  -n 4 --duration 5000 --load 200 --no-verify --admin-port 0 \
   --trace-out "$out/node.jsonl" --metrics-out "$out/node.metrics.json" \
-  | tee "$out/node.out"
+  > "$out/node.out" 2>&1 &
+node_pid=$!
+admin_port=""
+i=0
+while [ $i -lt 50 ]; do
+  admin_port=$(sed -n 's#^admin: http://127\.0\.0\.1:\([0-9]*\)/metrics.*#\1#p' "$out/node.out")
+  [ -n "$admin_port" ] && break
+  i=$((i + 1)); sleep 0.1
+done
+if [ -z "$admin_port" ]; then
+  kill "$node_pid" 2>/dev/null || true
+  echo "check failed: admin endpoint never announced itself" >&2; exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$admin_port" <<'EOF' || { kill "$node_pid" 2>/dev/null || true; echo "check failed: live admin scrape invalid" >&2; exit 1; }
+import json, re, sys, urllib.request
+base = "http://127.0.0.1:" + sys.argv[1]
+health = urllib.request.urlopen(base + "/health", timeout=10).read().decode()
+assert health == "ok\n", f"bad /health body: {health!r}"
+body = urllib.request.urlopen(base + "/metrics", timeout=10).read().decode()
+# Every line must be a legal exposition line (format 0.0.4).
+type_re = re.compile(r'^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$')
+sample_re = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9][-0-9.eE+]*|NaN|[+-]Inf)$')
+names = set()
+for ln in body.splitlines():
+    if not ln:
+        continue
+    assert type_re.match(ln) or sample_re.match(ln), f"malformed exposition line: {ln!r}"
+    if not ln.startswith("#"):
+        names.add(ln.split("{")[0].split(" ")[0])
+assert any(n.startswith("shoalpp_live_") for n in names), "live gauges missing mid-run"
+assert "shoalpp_commit_fast_direct" in names, "commit counters missing from scrape"
+# Histogram sanity: cumulative buckets closed by le="+Inf" equal to _count.
+buckets, counts = {}, {}
+for ln in body.splitlines():
+    m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)_bucket\{le="([^"]+)"\} (\d+)$', ln)
+    if m:
+        buckets.setdefault(m.group(1), []).append((m.group(2), int(m.group(3))))
+    m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)_count (\d+)$', ln)
+    if m:
+        counts[m.group(1)] = int(m.group(2))
+assert buckets, "no histogram series in mid-run scrape"
+for name, bs in buckets.items():
+    vals = [c for _, c in bs]
+    assert vals == sorted(vals), f"{name} buckets are not cumulative"
+    assert bs[-1][0] == "+Inf" and bs[-1][1] == counts.get(name), f"{name} not closed by +Inf=_count"
+ledger = json.loads(urllib.request.urlopen(base + "/ledger", timeout=10).read().decode())
+assert isinstance(ledger["entries"], list) and ledger["recorded"] >= len(ledger["entries"])
+print(f"admin scrape: {len(names)} metric families, {len(buckets)} histograms, "
+      f"ledger tail {len(ledger['entries'])} of {ledger['recorded']} commits")
+EOF
+else
+  echo "check: python3 not installed, skipping live /metrics scrape validation"
+fi
+wait "$node_pid" || { echo "check failed: node run failed (see $out/node.out)" >&2; cat "$out/node.out" >&2; exit 1; }
 grep -q 'audit: consistent logs, no duplicates' "$out/node.out" \
   || { echo "check failed: node audit line missing" >&2; exit 1; }
 if grep -q 'audit: consistent logs, no duplicates; 0 segments' "$out/node.out"; then
@@ -66,9 +122,21 @@ if grep -q 'audit: consistent logs, no duplicates; 0 segments' "$out/node.out"; 
 fi
 grep -Eq 'lanes [1-9][0-9]*,[1-9][0-9]*,[1-9][0-9]*' "$out/node.out" \
   || { echo "check failed: a DAG lane committed no anchors" >&2; exit 1; }
+grep -q 'per-commit stage attribution' "$out/node.out" \
+  || { echo "check failed: ledger breakdown table missing from node output" >&2; exit 1; }
 for f in node.jsonl node.metrics.json; do
   test -s "$out/$f" || { echo "check failed: $f missing or empty" >&2; exit 1; }
 done
+
+# Cross-replica trace analysis: join the smoke run's per-replica logs and
+# fail on commit-sequence divergence (the analyzer exits 1 on divergence).
+./_build/default/tools/trace/shoalpp_trace.exe "$out/node.jsonl" \
+  --metrics "$out/node.metrics.json" > "$out/trace_report.txt" \
+  || { echo "check failed: trace analyzer reported divergence" >&2; cat "$out/trace_report.txt" >&2; exit 1; }
+grep -q 'commit sequence: consistent' "$out/trace_report.txt" \
+  || { echo "check failed: analyzer consistency line missing" >&2; exit 1; }
+grep -Eq 'propose->order' "$out/trace_report.txt" \
+  || { echo "check failed: analyzer produced no stage attribution" >&2; exit 1; }
 
 # Perf re-run guard: the full sweep (same durations as the committed
 # BENCH_perf.json) must finish inside a generous ceiling with all audits
@@ -112,4 +180,4 @@ else
     || { echo "check failed: BENCH_perf.json has no passing audit" >&2; exit 1; }
 fi
 
-echo "check: build + tests + docs + observability/scenario + node + perf smoke OK"
+echo "check: build + tests + docs + observability/scenario + node + live scrape + trace analysis + perf smoke OK"

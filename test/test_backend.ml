@@ -180,6 +180,63 @@ let test_realtime_cluster_run () =
   let report = Node.report node ~duration_ms:1_000.0 in
   checkb "transactions committed" true (report.Report.committed > 0)
 
+(* The admin endpoint serves scrapes off the same select loop as the
+   protocol: issue a raw HTTP GET from a client socket while a bare
+   executor runs, and check routing, error statuses and live evaluation
+   of the route closure. *)
+let test_admin_server_serves_routes () =
+  let module Admin = Shoalpp_backend.Admin_server in
+  let exec = Realtime.create () in
+  let hits = ref 0 in
+  let routes =
+    [
+      ( "/metrics",
+        fun () ->
+          incr hits;
+          { Admin.content_type = "text/plain; version=0.0.4"; body = "up 1\n" } );
+      ("/boom", fun () -> failwith "render bug");
+    ]
+  in
+  let admin = Admin.start exec ~port:0 ~routes () in
+  let get path =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Admin.port admin));
+        let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        (* drive the server's accept/read/write pollers *)
+        Realtime.run_for exec ~duration_ms:50.0;
+        let buf = Bytes.create 4096 in
+        let n = try Unix.read fd buf 0 4096 with Unix.Unix_error _ -> 0 in
+        Bytes.sub_string buf 0 n)
+  in
+  let resp = get "/metrics" in
+  checkb "200 on known route" true (String.length resp >= 15 && String.sub resp 0 15 = "HTTP/1.0 200 OK");
+  checkb "body served" true
+    (let n = String.length resp in
+     n >= 5 && String.sub resp (n - 5) 5 = "up 1\n");
+  checki "route closure evaluated once" 1 !hits;
+  let resp404 = get "/nope" in
+  checkb "404 on unknown route" true
+    (String.length resp404 >= 12 && String.sub resp404 0 12 = "HTTP/1.0 404");
+  let resp500 = get "/boom" in
+  checkb "500 when the handler raises" true
+    (String.length resp500 >= 12 && String.sub resp500 0 12 = "HTTP/1.0 500");
+  Admin.stop admin;
+  (* stop is idempotent and the port no longer accepts *)
+  Admin.stop admin;
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let refused =
+    match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Admin.port admin)) with
+    | () -> false
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> true
+    | exception Unix.Unix_error _ -> true
+  in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  checkb "listener closed after stop" true refused
+
 let suite =
   [
     ( "backend.sim",
@@ -195,5 +252,6 @@ let suite =
         Alcotest.test_case "framing roundtrip" `Quick test_framing_roundtrip_chunked;
         Alcotest.test_case "framing rejects corrupt input" `Quick test_framing_rejects_corrupt_stream;
         Alcotest.test_case "cluster run + safety audit" `Quick test_realtime_cluster_run;
+        Alcotest.test_case "admin server serves routes" `Quick test_admin_server_serves_routes;
       ] );
   ]

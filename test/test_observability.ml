@@ -255,6 +255,47 @@ let test_crash_injection_yields_indirect () =
   checkb "Timeout_fired traced when rounds stall" true
     (count (fun e -> match e.Trace.kind with Trace.Timeout_fired _ -> true | _ -> false) > 0)
 
+(* A silenced anchor forces the protocol off the fast path: its anchors
+   are skipped or recovered via the certified-direct / indirect rules, so
+   the commit-rule mix must show a non-zero non-fast share — the signal
+   the failures bench's rule column and the trace analyzer's rule-mix
+   windows are built to surface. *)
+let test_byzantine_scenario_shifts_rule_mix () =
+  let module Faults = Shoalpp_sim.Faults in
+  let params =
+    {
+      E.default_params with
+      E.load_tps = 300.0;
+      duration_ms = 8_000.0;
+      warmup_ms = 500.0;
+      seed = 5;
+      trace = true;
+      scenario = Faults.byzantine ~kind:Faults.Silent_anchor ();
+    }
+  in
+  let o = E.run E.Shoalpp params in
+  let r = o.E.report in
+  checkb "audit ok under silent anchor" true o.E.audit_ok;
+  checkb "fault actually fired" true
+    (Telemetry.snap_counter r.Report.telemetry "fault.withheld_proposals" > 0);
+  let non_fast =
+    r.Report.direct_commits + r.Report.indirect_commits + r.Report.skipped_anchors
+  in
+  checkb "non-fast commit rules exercised" true (non_fast > 0);
+  checkb "fast path still commits for honest anchors" true (r.Report.fast_commits > 0);
+  (* The trace carries the same mix: at least one non-fast decision event. *)
+  let non_fast_events =
+    List.length
+      (List.filter
+         (fun e ->
+           match e.Trace.kind with
+           | Trace.Anchor_direct_certified _ | Trace.Anchor_indirect _ | Trace.Anchor_skipped _
+             -> true
+           | _ -> false)
+         o.E.events)
+  in
+  checkb "non-fast decisions traced" true (non_fast_events > 0)
+
 let test_trace_events_exported_roundtrip () =
   let o = E.run E.Shoalpp failure_free_params in
   checkb "run produced events" true (o.E.events <> []);
@@ -325,6 +366,8 @@ let suite =
           test_failure_free_mostly_fast_direct;
         Alcotest.test_case "crash injection yields indirect commits" `Quick
           test_crash_injection_yields_indirect;
+        Alcotest.test_case "byzantine scenario shifts rule mix" `Quick
+          test_byzantine_scenario_shifts_rule_mix;
         Alcotest.test_case "run trace exports and round-trips" `Quick
           test_trace_events_exported_roundtrip;
         Alcotest.test_case "trace and metrics deterministic" `Quick test_deterministic_trace;

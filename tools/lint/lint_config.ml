@@ -51,6 +51,10 @@ let default =
            digests and diffed by the perf guard *)
         "lib/runtime/export.ml";
         "lib/runtime/report.ml";
+        (* observability plane: ledger JSON/tables and the Prometheus body
+           are scraped and diffed, so their iteration order must be stable *)
+        "lib/runtime/ledger.ml";
+        "lib/runtime/prom.ml";
         "lib/runtime/metrics.ml";
         "lib/runtime/cluster.ml";
         "lib/runtime/experiment.ml";

@@ -1,0 +1,576 @@
+(* Cross-replica trace analyzer: the offline third of the observability
+   plane.
+
+   Input is one or more JSONL traces as written by --trace-out (a single
+   file may hold every replica's events — the in-process deployment — or
+   each file may hold one replica's view; events are merged and regrouped
+   by their [replica] field either way), plus optionally the metrics JSON
+   from --metrics-out.
+
+   Events carry no digests, so commits are joined across replicas by the
+   protocol coordinates (instance, round, anchor) — unique per committed
+   anchor by DAG construction. From the joined records the analyzer
+   reconstructs, per commit:
+
+     propose -> cert -> decide(first replica) -> order(first replica)
+
+   together with the cross-replica skew of the decide and order steps
+   (last replica minus first), and reports:
+
+   - per-stage latency percentiles and the slowest end-to-end commits;
+   - stage-stall outliers (stage > factor x that stage's median);
+   - commit-sequence divergence: per-replica global logs compared over
+     their overlapping seq range (exit 1 when they disagree — safety);
+   - commit-rule mix over time windows (rule shifts reveal fault windows);
+   - trace-ring drop warnings (from the metrics gauge when available,
+     otherwise inferred from the earliest retained seq per replica). *)
+
+module Trace = Shoalpp_sim.Trace
+module Export = Shoalpp_runtime.Export
+module Json = Shoalpp_runtime.Export.Json
+module Tablefmt = Shoalpp_support.Tablefmt
+module Stats = Shoalpp_support.Stats
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Ingest                                                             *)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error msg ->
+    Printf.eprintf "shoalpp_trace: cannot read %s (%s)\n" path msg;
+    exit 2
+
+let load_events paths =
+  List.concat_map (fun p -> Export.events_of_jsonl (read_file p)) paths
+
+(* ------------------------------------------------------------------ *)
+(* Join: one record per committed anchor, keyed (instance, round,
+   anchor). *)
+
+type commit = {
+  c_instance : int;
+  c_round : int;
+  c_anchor : int;
+  mutable c_rule : string; (* first decision tag seen *)
+  mutable c_rule_conflict : bool; (* replicas decided different rules *)
+  mutable c_propose : float; (* anchor's own proposal_created; nan if unseen *)
+  mutable c_cert : float; (* earliest cert_formed for the anchor *)
+  mutable c_decide_first : float;
+  mutable c_decide_last : float;
+  mutable c_decide_n : int;
+  mutable c_order_first : float;
+  mutable c_order_last : float;
+  mutable c_order_n : int;
+}
+
+let fmin a b = if Float.is_nan a then b else Float.min a b
+let fmax a b = if Float.is_nan a then b else Float.max a b
+
+let decision_tag = function
+  | Trace.Anchor_direct_fast _ -> Some "fast_direct"
+  | Trace.Anchor_direct_certified _ -> Some "certified_direct"
+  | Trace.Anchor_indirect _ -> Some "indirect"
+  | Trace.Anchor_skipped _ -> Some "skipped"
+  | _ -> None
+
+(* Per-replica global-log stream: seq -> (instance, round, anchor), plus
+   the earliest seq retained (ring drops evict the oldest events first,
+   so min_seq > 0 means the head of this replica's log fell out). *)
+type replica_log = {
+  rl_replica : int;
+  rl_entries : (int, int * int * int) Hashtbl.t;
+  mutable rl_min_seq : int;
+  mutable rl_max_seq : int;
+}
+
+let analyze_events events =
+  let commits : (int * int * int, commit) Hashtbl.t = Hashtbl.create 1024 in
+  let logs : (int, replica_log) Hashtbl.t = Hashtbl.create 8 in
+  let get_commit instance round anchor =
+    let key = (instance, round, anchor) in
+    match Hashtbl.find_opt commits key with
+    | Some c -> c
+    | None ->
+      let c =
+        {
+          c_instance = instance;
+          c_round = round;
+          c_anchor = anchor;
+          c_rule = "";
+          c_rule_conflict = false;
+          c_propose = Float.nan;
+          c_cert = Float.nan;
+          c_decide_first = Float.nan;
+          c_decide_last = Float.nan;
+          c_decide_n = 0;
+          c_order_first = Float.nan;
+          c_order_last = Float.nan;
+          c_order_n = 0;
+        }
+      in
+      Hashtbl.replace commits key c;
+      c
+  in
+  let get_log replica =
+    match Hashtbl.find_opt logs replica with
+    | Some l -> l
+    | None ->
+      let l =
+        { rl_replica = replica; rl_entries = Hashtbl.create 1024; rl_min_seq = max_int; rl_max_seq = -1 }
+      in
+      Hashtbl.replace logs replica l;
+      l
+  in
+  List.iter
+    (fun (ev : Trace.event) ->
+      match ev.kind with
+      | Trace.Proposal_created { round; _ } ->
+        (* the proposer is the event's replica; only the anchor's own
+           proposal starts a commit timeline, so stash it keyed by
+           (instance, round, proposer) — it is used iff that proposer
+           later turns out to be a committed anchor. *)
+        let c = get_commit ev.instance round ev.replica in
+        c.c_propose <- fmin c.c_propose ev.time
+      | Trace.Cert_formed { round; author } ->
+        let c = get_commit ev.instance round author in
+        c.c_cert <- fmin c.c_cert ev.time
+      | Trace.Anchor_direct_fast { round; anchor }
+      | Trace.Anchor_direct_certified { round; anchor }
+      | Trace.Anchor_indirect { round; anchor }
+      | Trace.Anchor_skipped { round; anchor } ->
+        let tag = Option.get (decision_tag ev.kind) in
+        let c = get_commit ev.instance round anchor in
+        if String.equal c.c_rule "" then c.c_rule <- tag
+        else if not (String.equal c.c_rule tag) then c.c_rule_conflict <- true;
+        c.c_decide_first <- fmin c.c_decide_first ev.time;
+        c.c_decide_last <- fmax c.c_decide_last ev.time;
+        c.c_decide_n <- c.c_decide_n + 1
+      | Trace.Segment_interleaved { global_seq; round; anchor; _ } ->
+        let c = get_commit ev.instance round anchor in
+        c.c_order_first <- fmin c.c_order_first ev.time;
+        c.c_order_last <- fmax c.c_order_last ev.time;
+        c.c_order_n <- c.c_order_n + 1;
+        let l = get_log ev.replica in
+        Hashtbl.replace l.rl_entries global_seq (ev.instance, round, anchor);
+        if global_seq < l.rl_min_seq then l.rl_min_seq <- global_seq;
+        if global_seq > l.rl_max_seq then l.rl_max_seq <- global_seq
+      | _ -> ())
+    events;
+  (commits, logs)
+
+(* Committed anchors with a full propose->order chain, deterministic order. *)
+let committed_chain commits =
+  Hashtbl.fold (fun _ c acc -> c :: acc) commits []
+  |> List.filter (fun c -> c.c_order_n > 0 && not (String.equal c.c_rule "skipped"))
+  |> List.sort (fun a b ->
+         match Int.compare a.c_round b.c_round with
+         | 0 -> (
+           match Int.compare a.c_instance b.c_instance with
+           | 0 -> Int.compare a.c_anchor b.c_anchor
+           | n -> n)
+         | n -> n)
+
+(* ------------------------------------------------------------------ *)
+(* Stage model                                                        *)
+
+type stage = { s_name : string; s_of : commit -> float }
+
+let stages =
+  [
+    { s_name = "propose->cert"; s_of = (fun c -> c.c_cert -. c.c_propose) };
+    { s_name = "cert->decide"; s_of = (fun c -> c.c_decide_first -. c.c_cert) };
+    { s_name = "decide->order"; s_of = (fun c -> c.c_order_first -. c.c_decide_first) };
+    { s_name = "decide skew"; s_of = (fun c -> c.c_decide_last -. c.c_decide_first) };
+    { s_name = "order skew"; s_of = (fun c -> c.c_order_last -. c.c_order_first) };
+    { s_name = "propose->order"; s_of = (fun c -> c.c_order_first -. c.c_propose) };
+  ]
+
+let stage_samples chain stage =
+  List.filter_map
+    (fun c ->
+      let v = stage.s_of c in
+      if Float.is_nan v then None else Some v)
+    chain
+
+let median samples =
+  let a = Array.of_list samples in
+  Array.sort Float.compare a;
+  if Array.length a = 0 then Float.nan else Stats.percentile_of_sorted a 0.5
+
+let summarize samples =
+  let s = Stats.Summary.create ~seed:1 () in
+  List.iter (Stats.Summary.add s) samples;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Divergence: compare the per-replica global logs over every seq both
+   replicas retained. Ring eviction means honest replicas can retain
+   different windows; disagreement on a shared seq is a safety violation. *)
+
+type divergence = {
+  d_replica_a : int;
+  d_replica_b : int;
+  d_seq : int;
+  d_a : int * int * int;
+  d_b : int * int * int;
+}
+
+let find_divergence logs =
+  let rls =
+    Hashtbl.fold (fun _ l acc -> l :: acc) logs []
+    |> List.sort (fun a b -> Int.compare a.rl_replica b.rl_replica)
+  in
+  let divs = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      List.iter
+        (fun b ->
+          let lo = Int.max a.rl_min_seq b.rl_min_seq in
+          let hi = Int.min a.rl_max_seq b.rl_max_seq in
+          let first = ref None in
+          for seq = lo to hi do
+            if !first = None then
+              match (Hashtbl.find_opt a.rl_entries seq, Hashtbl.find_opt b.rl_entries seq) with
+              | Some ea, Some eb when ea <> eb ->
+                first :=
+                  Some { d_replica_a = a.rl_replica; d_replica_b = b.rl_replica; d_seq = seq; d_a = ea; d_b = eb }
+              | _ -> ()
+          done;
+          match !first with Some d -> divs := d :: !divs | None -> ())
+        rest;
+      pairs rest
+  in
+  pairs rls;
+  List.rev !divs
+
+(* ------------------------------------------------------------------ *)
+(* Rule mix over time windows                                         *)
+
+type window_mix = {
+  w_start : float;
+  w_fast : int;
+  w_cert : int;
+  w_ind : int;
+  w_skip : int;
+}
+
+let rule_windows ?(n = 8) commits =
+  let decided =
+    Hashtbl.fold (fun _ c acc -> if c.c_decide_n > 0 then c :: acc else acc) commits []
+  in
+  match decided with
+  | [] -> []
+  | _ ->
+    let lo = List.fold_left (fun acc c -> Float.min acc c.c_decide_first) infinity decided in
+    let hi = List.fold_left (fun acc c -> Float.max acc c.c_decide_first) neg_infinity decided in
+    let width = Float.max 1.0 ((hi -. lo) /. float_of_int n) in
+    let buckets = Array.make n (0, 0, 0, 0) in
+    List.iter
+      (fun c ->
+        let i = Int.min (n - 1) (int_of_float ((c.c_decide_first -. lo) /. width)) in
+        let f, ce, ind, sk = buckets.(i) in
+        buckets.(i) <-
+          (match c.c_rule with
+          | "fast_direct" -> (f + 1, ce, ind, sk)
+          | "certified_direct" -> (f, ce + 1, ind, sk)
+          | "indirect" -> (f, ce, ind + 1, sk)
+          | _ -> (f, ce, ind, sk + 1)))
+      decided;
+    List.init n (fun i ->
+        let f, ce, ind, sk = buckets.(i) in
+        { w_start = lo +. (float_of_int i *. width); w_fast = f; w_cert = ce; w_ind = ind; w_skip = sk })
+
+(* ------------------------------------------------------------------ *)
+(* Drop detection                                                     *)
+
+let metrics_dropped path =
+  match Json.parse (read_file path) with
+  | None ->
+    Printf.eprintf "shoalpp_trace: %s is not valid metrics JSON\n" path;
+    exit 2
+  | Some j -> (
+    match Option.bind (Json.member "gauges" j) (Json.member "live.trace_dropped") with
+    | Some v -> Option.map int_of_float (Json.to_float_opt v)
+    | None -> None)
+
+let inferred_truncation logs =
+  Hashtbl.fold
+    (fun _ l acc -> if l.rl_max_seq >= 0 && l.rl_min_seq > 0 then (l.rl_replica, l.rl_min_seq) :: acc else acc)
+    logs []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+
+let f1 = Tablefmt.float_cell ~decimals:1
+let f2 = Tablefmt.float_cell ~decimals:2
+
+let key_str (i, r, a) = Printf.sprintf "(dag=%d round=%d anchor=%d)" i r a
+
+let print_human ~chain ~commits ~logs ~divs ~stalls ~windows ~dropped ~truncated =
+  let n_replicas = Hashtbl.length logs in
+  Printf.printf "shoalpp_trace: %d committed anchors joined across %d replica log(s)\n\n"
+    (List.length chain) n_replicas;
+  (* stage summary *)
+  print_string "cross-replica stage latency (ms, over joined commits):\n";
+  let rows =
+    List.map
+      (fun st ->
+        let samples = stage_samples chain st in
+        let s = summarize samples in
+        [
+          st.s_name;
+          string_of_int (Stats.Summary.count s);
+          f2 (Stats.Summary.percentile s 0.5);
+          f2 (Stats.Summary.percentile s 0.9);
+          f2 (Stats.Summary.percentile s 0.99);
+          f2 (Stats.Summary.mean s);
+        ])
+      stages
+  in
+  print_string (Tablefmt.render ~header:[ "stage"; "n"; "p50"; "p90"; "p99"; "mean" ] rows);
+  (* slowest commits *)
+  let slowest =
+    List.filter (fun c -> not (Float.is_nan (c.c_order_first -. c.c_propose))) chain
+    |> List.sort (fun a b ->
+           Float.compare (b.c_order_first -. b.c_propose) (a.c_order_first -. a.c_propose))
+    |> fun l -> List.filteri (fun i _ -> i < 5) l
+  in
+  if slowest <> [] then begin
+    print_string "\nslowest end-to-end commits:\n";
+    print_string
+      (Tablefmt.render
+         ~header:[ "commit"; "rule"; "prop->cert"; "cert->dec"; "dec->ord"; "dec skew"; "total" ]
+         (List.map
+            (fun c ->
+              [
+                key_str (c.c_instance, c.c_round, c.c_anchor);
+                c.c_rule;
+                f1 (c.c_cert -. c.c_propose);
+                f1 (c.c_decide_first -. c.c_cert);
+                f1 (c.c_order_first -. c.c_decide_first);
+                f1 (c.c_decide_last -. c.c_decide_first);
+                f1 (c.c_order_first -. c.c_propose);
+              ])
+            slowest))
+  end;
+  (* stalls *)
+  (match stalls with
+  | [] -> print_string "\nstage stalls: none\n"
+  | _ ->
+    Printf.printf "\nstage stalls (stage > factor x median):\n";
+    print_string
+      (Tablefmt.render
+         ~header:[ "commit"; "rule"; "stage"; "ms"; "median"; "x" ]
+         (List.map
+            (fun (c, st, v, med) ->
+              [
+                key_str (c.c_instance, c.c_round, c.c_anchor);
+                c.c_rule;
+                st.s_name;
+                f1 v;
+                f1 med;
+                f1 (v /. med);
+              ])
+            stalls)));
+  (* rule mix *)
+  if windows <> [] then begin
+    print_string "\ncommit-rule mix over time:\n";
+    print_string
+      (Tablefmt.render
+         ~header:[ "window(ms)"; "commits"; "fast%"; "cert%"; "ind%"; "skip%" ]
+         (List.map
+            (fun w ->
+              let total = w.w_fast + w.w_cert + w.w_ind + w.w_skip in
+              let pct x = if total = 0 then "-" else f1 (100.0 *. float_of_int x /. float_of_int total) in
+              [
+                Printf.sprintf "%.0f" w.w_start;
+                string_of_int total;
+                pct w.w_fast;
+                pct w.w_cert;
+                pct w.w_ind;
+                pct w.w_skip;
+              ])
+            windows))
+  end;
+  (* rule conflicts *)
+  let conflicts = List.filter (fun c -> c.c_rule_conflict) chain in
+  List.iter
+    (fun c ->
+      Printf.printf "DIVERGENCE: replicas decided different rules for %s\n"
+        (key_str (c.c_instance, c.c_round, c.c_anchor)))
+    conflicts;
+  (* divergence *)
+  (match divs with
+  | [] -> Printf.printf "\ncommit sequence: consistent across %d replica(s) over shared seqs\n" n_replicas
+  | _ ->
+    List.iter
+      (fun d ->
+        Printf.printf
+          "\nDIVERGENCE: replicas %d and %d disagree at global seq %d: %s vs %s\n"
+          d.d_replica_a d.d_replica_b d.d_seq (key_str d.d_a) (key_str d.d_b))
+      divs);
+  (* drops *)
+  (match dropped with
+  | Some n when n > 0 ->
+    Printf.printf
+      "WARNING: trace ring dropped %d events during the run (from metrics); early commits are missing from the timeline\n"
+      n
+  | _ -> ());
+  List.iter
+    (fun (r, min_seq) ->
+      Printf.printf
+        "WARNING: replica %d's log starts at seq %d — the trace ring evicted the run's head\n" r min_seq)
+    truncated;
+  ignore commits
+
+let json_output ~chain ~logs ~divs ~stalls ~windows ~dropped ~truncated =
+  let stage_objs =
+    List.map
+      (fun st ->
+        let s = summarize (stage_samples chain st) in
+        Json.Obj
+          [
+            ("stage", Json.Str st.s_name);
+            ("n", Json.Int (Stats.Summary.count s));
+            ("p50_ms", Json.Float (Stats.Summary.percentile s 0.5));
+            ("p90_ms", Json.Float (Stats.Summary.percentile s 0.9));
+            ("p99_ms", Json.Float (Stats.Summary.percentile s 0.99));
+            ("mean_ms", Json.Float (Stats.Summary.mean s));
+          ])
+      stages
+  in
+  let commit_key c =
+    [ ("dag", Json.Int c.c_instance); ("round", Json.Int c.c_round); ("anchor", Json.Int c.c_anchor) ]
+  in
+  let div_objs =
+    List.map
+      (fun d ->
+        let triple (i, r, a) =
+          Json.Obj [ ("dag", Json.Int i); ("round", Json.Int r); ("anchor", Json.Int a) ]
+        in
+        Json.Obj
+          [
+            ("replica_a", Json.Int d.d_replica_a);
+            ("replica_b", Json.Int d.d_replica_b);
+            ("seq", Json.Int d.d_seq);
+            ("a", triple d.d_a);
+            ("b", triple d.d_b);
+          ])
+      divs
+  in
+  let stall_objs =
+    List.map
+      (fun (c, st, v, med) ->
+        Json.Obj
+          (commit_key c
+          @ [
+              ("rule", Json.Str c.c_rule);
+              ("stage", Json.Str st.s_name);
+              ("ms", Json.Float v);
+              ("median_ms", Json.Float med);
+            ]))
+      stalls
+  in
+  let window_objs =
+    List.map
+      (fun w ->
+        Json.Obj
+          [
+            ("start_ms", Json.Float w.w_start);
+            ("fast", Json.Int w.w_fast);
+            ("certified", Json.Int w.w_cert);
+            ("indirect", Json.Int w.w_ind);
+            ("skipped", Json.Int w.w_skip);
+          ])
+      windows
+  in
+  Json.Obj
+    [
+      ("commits", Json.Int (List.length chain));
+      ("replicas", Json.Int (Hashtbl.length logs));
+      ("stages", Json.List stage_objs);
+      ("stalls", Json.List stall_objs);
+      ("rule_windows", Json.List window_objs);
+      ("divergences", Json.List div_objs);
+      ( "rule_conflicts",
+        Json.List (List.filter_map (fun c -> if c.c_rule_conflict then Some (Json.Obj (commit_key c)) else None) chain)
+      );
+      ("trace_dropped", match dropped with Some n -> Json.Int n | None -> Json.Null);
+      ( "truncated_replicas",
+        Json.List
+          (List.map (fun (r, s) -> Json.Obj [ ("replica", Json.Int r); ("min_seq", Json.Int s) ]) truncated) );
+    ]
+  |> Json.to_string
+
+(* ------------------------------------------------------------------ *)
+
+let run paths metrics format stall_factor windows_n =
+  if paths = [] then begin
+    Printf.eprintf "shoalpp_trace: no trace files given\n";
+    exit 2
+  end;
+  let events = load_events paths in
+  if events = [] then begin
+    Printf.eprintf "shoalpp_trace: no parseable events in %s\n" (String.concat ", " paths);
+    exit 2
+  end;
+  let commits, logs = analyze_events events in
+  let chain = committed_chain commits in
+  let divs = find_divergence logs in
+  let stalls =
+    List.concat_map
+      (fun st ->
+        let med = median (stage_samples chain st) in
+        if Float.is_nan med || med <= 0.0 then []
+        else
+          List.filter_map
+            (fun c ->
+              let v = st.s_of c in
+              if (not (Float.is_nan v)) && v > stall_factor *. med then Some (c, st, v, med) else None)
+            chain)
+      stages
+    |> List.sort (fun (_, _, a, ma) (_, _, b, mb) -> Float.compare (b /. mb) (a /. ma))
+    |> fun l -> List.filteri (fun i _ -> i < 20) l
+  in
+  let windows = rule_windows ~n:windows_n commits in
+  let dropped = Option.bind metrics metrics_dropped in
+  let truncated = inferred_truncation logs in
+  let has_conflict = List.exists (fun c -> c.c_rule_conflict) chain in
+  (match format with
+  | `Table -> print_human ~chain ~commits ~logs ~divs ~stalls ~windows ~dropped ~truncated
+  | `Json -> print_endline (json_output ~chain ~logs ~divs ~stalls ~windows ~dropped ~truncated));
+  if divs <> [] || has_conflict then exit 1
+
+let cmd =
+  let paths = Arg.(value & pos_all file [] & info [] ~docv:"TRACE.jsonl") in
+  let metrics =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "metrics" ] ~docv:"FILE" ~doc:"Metrics JSON from --metrics-out (drop counters).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+      & info [ "format" ] ~doc:"Output format: table | json.")
+  in
+  let stall_factor =
+    Arg.(
+      value
+      & opt float 5.0
+      & info [ "stall-factor" ] ~doc:"Flag a stage slower than FACTOR x its median.")
+  in
+  let windows =
+    Arg.(value & opt int 8 & info [ "windows" ] ~doc:"Time windows for the rule-mix table.")
+  in
+  Cmd.v
+    (Cmd.info "shoalpp_trace"
+       ~doc:"Join per-replica traces into cross-replica commit timelines; detect stalls and divergence")
+    Term.(const run $ paths $ metrics $ format $ stall_factor $ windows)
+
+let () = exit (Cmd.eval cmd)
