@@ -13,6 +13,7 @@
      dune exec bench/main.exe kdags       # parallel-DAG count ablation
      dune exec bench/main.exe timeouts    # round-timeout ablation
      dune exec bench/main.exe perf        # hot-path sweep -> BENCH_perf.json
+     dune exec bench/main.exe node        # realtime node vs --domains -> BENCH_node.json
      dune exec bench/main.exe micro       # bechamel micro-benchmarks
    Environment: BENCH_N (replicas, default 16), BENCH_DURATION_S (default 20).
 
@@ -632,6 +633,129 @@ let perf () =
   note "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* node: the real-time multicore node, ordered throughput vs --domains,
+   written to BENCH_node.json. Unlike the simulator sweeps this measures
+   wall-clock behaviour, so the absolute tx/s are machine-dependent; the
+   committed file's machine-independent fields (audit consistency, zero
+   duplicate orders, zero pool exceptions, the swept domain counts and k)
+   are what scripts/check.sh guards. The modeled per-signature
+   verification cost (--verify-delay-us; see Crypto_cost) is what the
+   verify pool parallelizes — with the default 0 the run measures only
+   the seeded HMAC, which underprices real crypto by orders of magnitude
+   and makes the comparison meaningless.
+
+   Environment: BENCH_NODE_LOAD (offered tx/s, default 60000),
+   BENCH_NODE_DURATION_S (default 5), BENCH_NODE_VD_US (default 10),
+   BENCH_NODE_DOMAINS (default "1,2,4"), BENCH_NODE_OUT. *)
+
+let node_bench () =
+  section "node: realtime ordered throughput vs domains (wall clock)";
+  let module Json = Shoalpp_runtime.Export.Json in
+  let module Node = Shoalpp_runtime.Node in
+  let module Config = Shoalpp_core.Config in
+  let module Committee = Shoalpp_dag.Committee in
+  let getf name default =
+    match Sys.getenv_opt name with Some s -> float_of_string s | None -> default
+  in
+  let n = 4 in
+  let seed = 42 in
+  let load = getf "BENCH_NODE_LOAD" 60_000.0 in
+  let duration_ms = 1000.0 *. getf "BENCH_NODE_DURATION_S" 5.0 in
+  let vd_us = getf "BENCH_NODE_VD_US" 10.0 in
+  let domain_counts =
+    match Sys.getenv_opt "BENCH_NODE_DOMAINS" with
+    | Some s -> List.map int_of_string (String.split_on_char ',' s)
+    | None -> [ 1; 2; 4 ]
+  in
+  let run_one domains =
+    let committee = Committee.make ~n ~cluster_seed:seed () in
+    let protocol = Config.shoalpp ~committee in
+    let setup =
+      {
+        (Node.default_setup ~protocol) with
+        Node.load_tps = load;
+        seed;
+        domains;
+        verify_delay_us = vd_us;
+      }
+    in
+    let node = Node.create setup in
+    let t0 = Unix.gettimeofday () in
+    Node.run node ~duration_ms;
+    (* A saturated single-domain loop can overshoot the deadline while it
+       drains; rate over measured elapsed, not nominal duration, so the
+       overshoot cannot inflate its throughput. *)
+    let elapsed_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+    let report = Node.report node ~duration_ms in
+    let audit = Node.audit node in
+    let ordered_tps = float_of_int report.Report.committed /. (elapsed_ms /. 1000.0) in
+    let pool_exns =
+      match Node.verify_pool node with
+      | Some p -> Shoalpp_backend.Verify_pool.work_exceptions p
+      | None -> 0
+    in
+    let behaviour_ok =
+      audit.Node.consistent_prefixes && audit.Node.duplicate_orders = 0 && pool_exns = 0
+    in
+    note "domains=%d  %8.0f ordered tx/s  p50 %6.0f ms  elapsed %6.0f ms  audit %s\n" domains
+      ordered_tps report.Report.latency_p50 elapsed_ms
+      (if behaviour_ok then "ok" else "FAILED");
+    ( domains,
+      ordered_tps,
+      Json.Obj
+        [
+          ("domains", Json.Int domains);
+          ("n", Json.Int n);
+          ("k_dags", Json.Int protocol.Config.num_dags);
+          ("load_tps", Json.Float load);
+          ("duration_ms", Json.Float duration_ms);
+          ("verify_delay_us", Json.Float vd_us);
+          ("seed", Json.Int seed);
+          ("elapsed_ms", Json.Float elapsed_ms);
+          ("submitted", Json.Int report.Report.submitted);
+          ("committed", Json.Int report.Report.committed);
+          ("ordered_tps", Json.Float ordered_tps);
+          ("latency_p50_ms", Json.Float report.Report.latency_p50);
+          ("audit_consistent", Json.Bool audit.Node.consistent_prefixes);
+          ("duplicate_orders", Json.Int audit.Node.duplicate_orders);
+          ("pool_work_exceptions", Json.Int pool_exns);
+          ("behaviour_ok", Json.Bool behaviour_ok);
+        ] )
+  in
+  let results = List.map run_one domain_counts in
+  let speedup =
+    let base =
+      List.find_map (fun (d, tps, _) -> if d = 1 then Some tps else None) results
+    in
+    let dmax, tmax =
+      List.fold_left (fun (ad, at) (d, t, _) -> if d > ad then (d, t) else (ad, at)) (0, 0.0)
+        results
+    in
+    match base with
+    | Some b when b > 0.0 && dmax > 1 ->
+      note "speedup: %.2fx ordered tx/s at %d domains vs 1\n" (tmax /. b) dmax;
+      [
+        ( "speedup_vs_1",
+          Json.Obj [ ("domains", Json.Int dmax); ("ratio", Json.Float (tmax /. b)) ] );
+      ]
+    | _ -> []
+  in
+  let doc =
+    Json.Obj
+      ([
+         ("schema", Json.Str "shoalpp-bench-node/1");
+         ("runs", Json.List (List.map (fun (_, _, j) -> j) results));
+       ]
+      @ speedup)
+  in
+  let out = Option.value ~default:"BENCH_node.json" (Sys.getenv_opt "BENCH_NODE_OUT") in
+  let oc = open_out out in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks for the substrate. *)
 
 let micro () =
@@ -720,6 +844,7 @@ let () =
     | "timeouts" -> timeouts ()
     | "a2a" -> a2a ()
     | "perf" -> perf ()
+    | "node" -> node_bench ()
     | "micro" -> micro ()
     | "all" ->
       t1 ();
@@ -734,7 +859,7 @@ let () =
       micro ()
     | other ->
       Printf.eprintf
-        "unknown bench %S (t1|fig5|fig6|fig7|fig8|failures|kdags|timeouts|a2a|perf|micro|all)\n"
+        "unknown bench %S (t1|fig5|fig6|fig7|fig8|failures|kdags|timeouts|a2a|perf|node|micro|all)\n"
         other;
       exit 2
   in

@@ -57,8 +57,8 @@ let cleanup_uds_dir ~created dir =
   | exception Sys_error _ -> ());
   if created then try Sys.rmdir dir with Sys_error _ -> ()
 
-let run n duration load warmup timeout link_delay seed no_verify transport uds_dir trace_out
-    metrics_out admin_port ledger_tail =
+let run n duration load warmup timeout link_delay seed no_verify domains verify_delay
+    transport uds_dir trace_out metrics_out admin_port ledger_tail =
   let committee = Committee.make ~n ~cluster_seed:seed () in
   let protocol =
     let p = Config.shoalpp ~committee in
@@ -90,12 +90,17 @@ let run n duration load warmup timeout link_delay seed no_verify transport uds_d
       transport;
       link_delay_ms = link_delay;
       trace;
+      domains = max 1 domains;
+      verify_delay_us = Float.max 0.0 verify_delay;
     }
   in
   let node = Node.create setup in
-  Format.printf "shoalpp_node: %d replicas, %s transport, %.0f tps for %.0f ms@." n
+  Format.printf "shoalpp_node: %d replicas, %s transport, %.0f tps for %.0f ms%s@." n
     (match transport with Node.Inproc -> "loopback" | Node.Uds d -> "uds:" ^ d)
-    load duration;
+    load duration
+    (if setup.Node.domains > 1 then
+       Printf.sprintf ", %d domains (per-DAG executors + verify pool)" setup.Node.domains
+     else "");
   (* Live observability plane: scrape endpoints served off the same select
      loop that drives consensus, with repeating gauge refreshes so a
      mid-run scrape sees current values rather than the shutdown snapshot. *)
@@ -132,9 +137,20 @@ let run n duration load warmup timeout link_delay seed no_verify transport uds_d
         exit 1)
   in
   Node.run node ~duration_ms:duration;
+  Format.printf "elapsed: %.0f ms@." (Node.now_ms node);
   (match admin with Some a -> Admin.stop a | None -> ());
   let report = Node.report node ~duration_ms:duration in
   Format.printf "%a@." Report.pp_extended report;
+  Format.printf "load: %d submitted, %d committed (backlog %d)@." report.Report.submitted
+    report.Report.committed
+    (max 0 (report.Report.submitted - report.Report.committed));
+  (match Node.verify_pool node with
+  | Some pool ->
+    Format.printf "verify pool: %d jobs (%d stolen, %d exceptions)@."
+      (Shoalpp_backend.Verify_pool.executed pool)
+      (Shoalpp_backend.Verify_pool.stolen pool)
+      (Shoalpp_backend.Verify_pool.work_exceptions pool)
+  | None -> ());
   if Ledger.recorded (Node.ledger node) > 0 then begin
     Format.printf "per-commit stage attribution (stage x rule x dag, ms):@.";
     print_string (Ledger.breakdown_table report.Report.telemetry)
@@ -148,16 +164,19 @@ let run n duration load warmup timeout link_delay seed no_verify transport uds_d
     (String.concat ","
        (Array.to_list (Array.map string_of_int audit.Node.anchors_per_lane)));
   (match trace with
-  | Some tr ->
+  | Some _ ->
     let path = Option.get trace_out in
-    let events = Trace.events tr in
+    (* Node.trace_events merges the per-lane-domain rings of a multicore
+       run into one time-sorted stream (at --domains 1 it is exactly the
+       main ring's contents). *)
+    let events = Node.trace_events node in
     write_file path (fun oc -> Export.write_jsonl oc events);
     Format.printf "trace: %d events -> %s@." (List.length events) path;
-    if Trace.dropped tr > 0 then
+    if Node.trace_dropped node > 0 then
       Format.printf
         "WARNING: trace ring dropped %d events — %s holds only the newest %d; raise the ring \
          capacity or shorten the run for a complete trace@."
-        (Trace.dropped tr) path (List.length events)
+        (Node.trace_dropped node) path (List.length events)
   | None -> ());
   (match metrics_out with
   | Some path ->
@@ -188,6 +207,32 @@ let cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Cluster seed (keys, clients).") in
   let no_verify =
     Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip signature verification (faster).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Multicore execution: 1 (default) runs everything on one OCaml domain; N > 1 pins \
+             each staggered DAG lane to its own domain and verifies signatures on a \
+             work-stealing pool of N worker domains. The commit sequence is identical at any \
+             value (merge is by sequence number, never arrival order).")
+  in
+  let verify_delay =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "verify-delay-us" ]
+          ~doc:
+            "Modeled verification service time per signature checked, microseconds (default \
+             0: just the simulated HMAC's real cost). Charged once per vote/certificate/header \
+             and once per transaction in a proposal's batch — the client-signature term that \
+             scales with throughput. The repo's crypto is a seeded model costing ~1us where \
+             ed25519/BLS cost tens to hundreds; this charges the difference explicitly, like \
+             --link-delay for the network. Paid inline on the event loop at --domains 1 and \
+             on the verify pool's workers at --domains N, so the comparison varies only where \
+             the cost lands.")
   in
   let transport =
     Arg.(
@@ -236,6 +281,7 @@ let cmd =
        ~doc:"Run a real-time Shoal++ cluster (wall clock, loopback or Unix-domain sockets)")
     Term.(
       const run $ n $ duration $ load $ warmup $ timeout $ link_delay $ seed $ no_verify
-      $ transport $ uds_dir $ trace_out $ metrics_out $ admin_port $ ledger_tail)
+      $ domains $ verify_delay $ transport $ uds_dir $ trace_out $ metrics_out $ admin_port
+      $ ledger_tail)
 
 let () = exit (Cmd.eval cmd)

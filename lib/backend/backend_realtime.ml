@@ -13,27 +13,78 @@ type t = {
   mutable fired : int;
   origin : float; (* Unix.gettimeofday at create, seconds *)
   mutable mono : float; (* high-water clock reading, ms *)
-  mutable stopping : bool;
-  mutable running : bool;
+  stopping : bool Atomic.t;
+  running : bool Atomic.t;
   max_tick_ms : float;
   pollers : (Unix.file_descr, unit -> unit) Hashtbl.t;
   wpollers : (Unix.file_descr, unit -> unit) Hashtbl.t;
+  (* Cross-domain wakeup: a byte written here makes a sleeping [select]
+     return, so a timer armed from another domain is noticed immediately
+     rather than at the next tick. *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  owner : int Atomic.t; (* Domain.id running the loop; -1 when idle *)
+  sleeping : bool Atomic.t; (* loop is (about to be) blocked in select *)
+  mutable loop_domain : unit Domain.t option; (* spawned by run_in_domain *)
 }
 
-let create ?(max_tick_ms = 50.0) () =
-  {
-    mu = Mutex.create ();
-    heap = Heap.create ~cmp;
-    next_seq = 0;
-    fired = 0;
-    origin = Unix.gettimeofday ();
-    mono = 0.0;
-    stopping = false;
-    running = false;
-    max_tick_ms;
-    pollers = Hashtbl.create 8;
-    wpollers = Hashtbl.create 8;
-  }
+let create ?(max_tick_ms = 50.0) ?origin_of () =
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    {
+      mu = Mutex.create ();
+      heap = Heap.create ~cmp;
+      next_seq = 0;
+      fired = 0;
+      origin =
+        (match origin_of with Some o -> o.origin | None -> Unix.gettimeofday ());
+      mono = 0.0;
+      stopping = Atomic.make false;
+      running = Atomic.make false;
+      max_tick_ms;
+      pollers = Hashtbl.create 8;
+      wpollers = Hashtbl.create 8;
+      wake_r;
+      wake_w;
+      owner = Atomic.make (-1);
+      sleeping = Atomic.make false;
+      loop_domain = None;
+    }
+  in
+  (* Drain whatever accumulated; the wakeup's only job is ending a sleep. *)
+  let scratch = Bytes.create 64 in
+  Hashtbl.replace t.pollers wake_r (fun () ->
+      let rec drain () =
+        match Unix.read wake_r scratch 0 (Bytes.length scratch) with
+        | n when n = Bytes.length scratch -> drain ()
+        | _ -> ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      in
+      drain ());
+  t
+
+(* Only pay the pipe-write syscall when the loop is actually (about to be)
+   blocked: a busy loop re-reads its horizon every iteration anyway. The
+   flag is raised BEFORE the loop reads the heap for its next deadline, so
+   a poster that misses the flag is guaranteed to have its timer seen by
+   that read, and a poster that sees it wakes the select — no lost-wakeup
+   window. *)
+let wake_write t =
+  let b = Bytes.make 1 '!' in
+  match Unix.write t.wake_w b 0 1 with
+  | _ -> ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> ()
+
+(* Only pay the pipe-write syscall when the loop is actually (about to be)
+   blocked: a busy loop re-reads its horizon every iteration anyway. The
+   flag is raised BEFORE the loop reads the heap for its next deadline, so
+   a poster that misses the flag is guaranteed to have its timer seen by
+   that read, and a poster that sees it wakes the select — no lost-wakeup
+   window. *)
+let wake t = if Atomic.get t.sleeping then wake_write t
 
 let with_mu t f =
   Mutex.lock t.mu;
@@ -65,6 +116,11 @@ let schedule_abs t ~at f =
         Heap.add t.heap tm;
         tm)
   in
+  (* If another domain's loop is (possibly) asleep in select, poke it so the
+     new timer's deadline is re-read. Same-domain schedules need no wake: the
+     loop recomputes its horizon before every sleep. *)
+  let owner = Atomic.get t.owner in
+  if owner <> -1 && owner <> (Domain.self () :> int) then wake t;
   {
     Backend.cancel = (fun () -> with_mu t (fun () -> tm.action <- None));
     is_pending = (fun () -> with_mu t (fun () -> tm.action <> None));
@@ -86,19 +142,31 @@ let add_poller t fd f = Hashtbl.replace t.pollers fd f
 let remove_poller t fd = Hashtbl.remove t.pollers fd
 let add_wpoller t fd f = Hashtbl.replace t.wpollers fd f
 let remove_wpoller t fd = Hashtbl.remove t.wpollers fd
-let stop t = t.stopping <- true
+
+let stop t =
+  Atomic.set t.stopping true;
+  (* Unconditional write: promptness matters more than one syscall here. *)
+  wake_write t
+
+(* Run [f] on the executor's loop. Safe from any domain: the heap insert is
+   mutex-protected and [schedule_abs] wakes a foreign sleeping loop. *)
+let post t f = ignore (schedule_abs t ~at:0.0 f)
 
 (* Both called under the mutex. Cancelled timers are dropped lazily as they
-   surface at the heap root. *)
-let rec pop_due t ~now acc =
-  match Heap.peek t.heap with
-  | Some tm when tm.action = None ->
-    ignore (Heap.pop t.heap);
-    pop_due t ~now acc
-  | Some tm when tm.at <= now ->
-    ignore (Heap.pop t.heap);
-    pop_due t ~now (tm :: acc)
-  | _ -> List.rev acc
+   surface at the heap root. [limit] bounds one batch: a loop that has
+   fallen behind its inflow must still surface to check its deadline and
+   stop flag between batches rather than chew the whole backlog at once. *)
+let rec pop_due t ~now ~limit acc =
+  if limit <= 0 then List.rev acc
+  else
+    match Heap.peek t.heap with
+    | Some tm when tm.action = None ->
+      ignore (Heap.pop t.heap);
+      pop_due t ~now ~limit acc
+    | Some tm when tm.at <= now ->
+      ignore (Heap.pop t.heap);
+      pop_due t ~now ~limit:(limit - 1) (tm :: acc)
+    | _ -> List.rev acc
 
 let rec next_deadline t =
   match Heap.peek t.heap with
@@ -135,19 +203,45 @@ let fire_due t due =
   go due
 
 let run_for t ~duration_ms =
-  if t.running then invalid_arg "Backend_realtime.run_for: already running";
-  t.running <- true;
-  t.stopping <- false;
+  if not (Atomic.compare_and_set t.running false true) then
+    invalid_arg "Backend_realtime.run_for: already running";
+  Atomic.set t.stopping false;
+  Atomic.set t.owner (Domain.self () :> int);
   let deadline = now_ms t +. duration_ms in
+  let finish () =
+    Atomic.set t.sleeping false;
+    Atomic.set t.owner (-1);
+    Atomic.set t.running false
+  in
   (try
-     while (not t.stopping) && now_ms t < deadline do
-       let now = now_ms t in
-       let due = with_mu t (fun () -> pop_due t ~now []) in
-       fire_due t due;
+     while (not (Atomic.get t.stopping)) && now_ms t < deadline do
+       (* Drain due timers in rounds: a firing commonly arms new work that
+          is itself already due (a zero-delay post, a Poisson chain whose
+          next arrival is in the past), and paying one select syscall per
+          firing would cap the event rate at the loop's iteration rate.
+          Bounded in rounds AND time — at saturation every round refills
+          with freshly posted work, so an unbounded drain would blow
+          through the run deadline and starve the socket pollers. *)
+       let slice_end = Float.min deadline (now_ms t +. t.max_tick_ms) in
+       let fired_any = ref false in
+       let rec drain rounds =
+         let now = now_ms t in
+         let due = with_mu t (fun () -> pop_due t ~now ~limit:1024 []) in
+         if due <> [] then begin
+           fired_any := true;
+           fire_due t due;
+           if rounds > 1 && now_ms t < slice_end then drain (rounds - 1)
+         end
+       in
+       drain 64;
        (* Sleep until the next timer (bounded by the tick), or just poll the
-          sockets when this iteration did fire something. *)
+          sockets when this iteration did fire something. The sleeping flag
+          goes up BEFORE the horizon is read: a foreign domain's timer
+          armed after the read sees the flag and wakes the select, one
+          armed before is already in the horizon. *)
+       Atomic.set t.sleeping true;
        let gap_ms =
-         if due <> [] then 0.0
+         if !fired_any then 0.0
          else begin
            let now = now_ms t in
            let horizon =
@@ -160,27 +254,42 @@ let run_for t ~duration_ms =
        in
        let rfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.pollers [] in
        let wfds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.wpollers [] in
-       if rfds = [] && wfds = [] then begin
-         if gap_ms > 0.0 then Unix.sleepf (gap_ms /. 1000.0)
-       end
-       else begin
-         match Unix.select rfds wfds [] (gap_ms /. 1000.0) with
-         | readable, writable, _ ->
-           List.iter
-             (fun fd ->
-               match Hashtbl.find_opt t.pollers fd with Some f -> f () | None -> ())
-             readable;
-           List.iter
-             (fun fd ->
-               match Hashtbl.find_opt t.wpollers fd with Some f -> f () | None -> ())
-             writable
-         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-       end
+       (if rfds = [] && wfds = [] then begin
+          if gap_ms > 0.0 then Unix.sleepf (gap_ms /. 1000.0)
+        end
+        else begin
+          match Unix.select rfds wfds [] (gap_ms /. 1000.0) with
+          | readable, writable, _ ->
+            Atomic.set t.sleeping false;
+            List.iter
+              (fun fd ->
+                match Hashtbl.find_opt t.pollers fd with Some f -> f () | None -> ())
+              readable;
+            List.iter
+              (fun fd ->
+                match Hashtbl.find_opt t.wpollers fd with Some f -> f () | None -> ())
+              writable
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        end);
+       Atomic.set t.sleeping false
      done
    with e ->
-     t.running <- false;
+     finish ();
      raise e);
-  t.running <- false
+  finish ()
+
+let run_in_domain t =
+  if t.loop_domain <> None then
+    invalid_arg "Backend_realtime.run_in_domain: domain already running";
+  t.loop_domain <- Some (Domain.spawn (fun () -> run_for t ~duration_ms:Float.infinity))
+
+let stop_and_join t =
+  match t.loop_domain with
+  | None -> stop t
+  | Some d ->
+    stop t;
+    Domain.join d;
+    t.loop_domain <- None
 
 (* In-process transport: delivery is a zero-(or fixed-)delay timer, so a
    handler never runs inside [send] and per-sender FIFO order follows from
@@ -210,6 +319,42 @@ let loopback t ~n ?(delay_ms = 0.0) () =
     stats =
       (fun () ->
         { Backend.Transport.sent = !sent; dropped = 0; partitioned = 0; bytes = !bytes });
+  }
+
+(* Multicore in-process transport: counters are atomic and delivery invokes
+   the destination handler synchronously ON THE CALLING DOMAIN — no timer
+   hop through the main loop. Safe only when every handler is itself
+   cross-domain safe and free of protocol re-entrancy; the multicore node's
+   handlers just enqueue a verify-pool job (the protocol runs later, on the
+   destination lane's executor), which is exactly that. Handlers must be
+   installed before any foreign domain sends — publication happens-before
+   is the [Domain.spawn] of the lane executors. *)
+let multicore_loopback ~n () =
+  let handlers = Array.make n None in
+  let sent = Atomic.make 0 in
+  let bytes = Atomic.make 0 in
+  let post ~src ~dst ~size msg =
+    Atomic.incr sent;
+    ignore (Atomic.fetch_and_add bytes size);
+    match handlers.(dst) with Some h -> h ~src msg | None -> ()
+  in
+  {
+    Backend.Transport.n;
+    send = (fun ~src ~dst ~size msg -> post ~src ~dst ~size msg);
+    broadcast =
+      (fun ~src ~size ~include_self msg ->
+        for dst = 0 to n - 1 do
+          if include_self || dst <> src then post ~src ~dst ~size msg
+        done);
+    set_handler = (fun replica f -> handlers.(replica) <- Some f);
+    stats =
+      (fun () ->
+        {
+          Backend.Transport.sent = Atomic.get sent;
+          dropped = 0;
+          partitioned = 0;
+          bytes = float_of_int (Atomic.get bytes);
+        });
   }
 
 module Framing = struct

@@ -7,11 +7,16 @@
     the timer loop, or Unix-domain sockets with length-prefixed
     {!Shoalpp_codec.Wire} framing.
 
-    The event loop is single-threaded: {!run_for} fires due timers in
-    (due-time, scheduling-order) order and multiplexes socket readiness
-    with [select] between them. [schedule]/[cancel] are mutex-protected, so
-    timers may be armed from other threads, but transport handlers and
-    timer callbacks always run on the loop thread.
+    Each executor's event loop is single-threaded: {!run_for} fires due
+    timers in (due-time, scheduling-order) order and multiplexes socket
+    readiness with [select] between them. [schedule]/[cancel] are
+    mutex-protected and cross-domain safe — arming a timer from a foreign
+    domain pokes a wakeup pipe so a sleeping loop re-reads its horizon —
+    but transport handlers and timer callbacks always run on the loop's
+    own thread. Multicore mode runs one executor per domain
+    ({!run_in_domain}) with {!post} as the only cross-domain handoff; all
+    executors can share one clock origin via [?origin_of] so their
+    timelines compare directly.
 
     Invariants:
     - {!Backend.Clock} readings never decrease; time is ms since
@@ -26,9 +31,13 @@
 type t
 (** The executor: clock origin, timer heap, and I/O poller registry. *)
 
-val create : ?max_tick_ms:float -> unit -> t
+val create : ?max_tick_ms:float -> ?origin_of:t -> unit -> t
 (** [max_tick_ms] (default 50) bounds how long the loop sleeps between
-    timer checks, which also bounds shutdown latency of {!stop}. *)
+    timer checks, which also bounds shutdown latency of {!stop}.
+    [origin_of] shares another executor's clock origin so that [now_ms]
+    readings from both executors lie on one timeline (used by the
+    multicore node, where per-DAG lane executors must stamp events
+    comparably with the main loop's). *)
 
 val now_ms : t -> float
 (** Milliseconds since {!create}, monotonically clamped. *)
@@ -45,7 +54,25 @@ val run_for : t -> duration_ms:float -> unit
 
 val stop : t -> unit
 (** Ask a running {!run_for} to return after the current iteration. May be
-    called from a timer callback or another thread. *)
+    called from a timer callback or another domain (a sleeping loop is
+    woken). *)
+
+val post : t -> (unit -> unit) -> unit
+(** Run a closure on this executor's loop as soon as possible. Safe from
+    any domain; the closure runs on the loop thread in FIFO order with
+    respect to other zero-delay work. This is the only sanctioned way to
+    hand data between domains in the multicore node. *)
+
+val run_in_domain : t -> unit
+(** Spawn a fresh domain that drives this executor ({!run_for} with an
+    unbounded duration) until {!stop_and_join}. At most one loop domain
+    per executor. *)
+
+val stop_and_join : t -> unit
+(** Stop the loop started by {!run_in_domain} and join its domain. After
+    return no callback of this executor is running or will run, and
+    {!run_in_domain} may be called again. Falls back to {!stop} when no
+    loop domain was spawned. *)
 
 val events_fired : t -> int
 val pending_timers : t -> int
@@ -65,6 +92,16 @@ val loopback : t -> n:int -> ?delay_ms:float -> unit -> 'msg Backend.Transport.t
 (** In-process transport: [send] arms a timer [delay_ms] (default 0) ahead
     that invokes the destination handler. Nothing is serialized; [size] is
     charged to the byte counter as declared. *)
+
+val multicore_loopback : n:int -> unit -> 'msg Backend.Transport.t
+(** In-process transport for the multicore node: delivery invokes the
+    destination handler synchronously {e on the calling domain}, and the
+    byte/message counters are atomics, so any domain may send without a
+    timer hop through a shared loop. Use only when every handler is itself
+    cross-domain safe and never re-enters the protocol inline — the
+    multicore node's handlers only enqueue a {!Verify_pool} job. Install
+    all handlers before the first foreign-domain send (the lane executors'
+    [Domain.spawn] is the publication point). *)
 
 module Framing : sig
   (** Length-prefixed frames over a byte stream: a 4-byte big-endian body

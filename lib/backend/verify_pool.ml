@@ -1,0 +1,192 @@
+(* Work-stealing verification pool.
+
+   Jobs are (lane, closure) pairs; each closure is a CPU-bound check (in
+   practice: signature/certificate verification of one inbound message).
+   Workers are OCaml domains pulling from per-worker FIFO queues, stealing
+   from the next worker's queue when their own is empty.
+
+   The ordering contract is the whole point: completions are delivered per
+   lane IN SUBMISSION ORDER, no matter which worker finished which job
+   first. Each job gets a lane-local sequence number at submit; a finished
+   job parks in the lane's reorder table until every earlier job of that
+   lane has been delivered. This is what lets the node verify messages in
+   parallel while the per-lane message stream — and therefore the commit
+   interleave — stays exactly as sequential execution would produce it. *)
+
+type job = {
+  j_lane : int;
+  j_seq : int;
+  j_work : unit -> bool;
+  j_k : bool -> unit;
+}
+
+type lane = {
+  mutable l_next_seq : int; (* next sequence number to assign *)
+  mutable l_next_deliver : int; (* next sequence number to hand to a sink *)
+  l_ready : (int, bool * (bool -> unit)) Hashtbl.t; (* finished, undelivered *)
+  mutable l_delivering : bool; (* one worker at a time walks the lane *)
+}
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  queues : job Queue.t array; (* one per worker *)
+  mutable rr : int; (* round-robin submission cursor *)
+  mutable closing : bool;
+  mutable inflight : int;
+  lanes : lane array;
+  mutable executed : int;
+  mutable stolen : int;
+  mutable work_exns : int;
+  mutable sink_exns : int;
+  mutable domains : unit Domain.t array;
+}
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
+
+(* Deliver every contiguous completed job of [ln], calling sinks with the
+   mutex RELEASED (a sink may re-enter the executor, post across domains,
+   or take other locks). [l_delivering] makes the walk single-writer: a
+   second worker completing a job of the same lane just parks its result
+   and leaves; the walking worker's re-check after relocking picks it up.
+   Called and returns with the mutex held. *)
+let deliver t ln =
+  if not ln.l_delivering then begin
+    ln.l_delivering <- true;
+    let rec walk () =
+      match Hashtbl.find_opt ln.l_ready ln.l_next_deliver with
+      | Some (ok, k) ->
+        Hashtbl.remove ln.l_ready ln.l_next_deliver;
+        ln.l_next_deliver <- ln.l_next_deliver + 1;
+        Mutex.unlock t.mu;
+        (try k ok with _ -> t.sink_exns <- t.sink_exns + 1);
+        Mutex.lock t.mu;
+        walk ()
+      | None -> ()
+    in
+    walk ();
+    ln.l_delivering <- false
+  end
+
+let complete t j ~ok ~raised =
+  with_mu t (fun () ->
+      t.executed <- t.executed + 1;
+      t.inflight <- t.inflight - 1;
+      if raised then t.work_exns <- t.work_exns + 1;
+      Hashtbl.replace t.lanes.(j.j_lane).l_ready j.j_seq (ok, j.j_k);
+      deliver t t.lanes.(j.j_lane))
+
+(* Find work for worker [w]: own queue first, then sweep the others
+   (FIFO steal). Blocks on the condition until work arrives or the pool
+   closes; returns [None] only when closing with every queue empty.
+   Called and returns with the mutex held. *)
+let rec take t w =
+  let nq = Array.length t.queues in
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < nq do
+    let q = t.queues.((w + !i) mod nq) in
+    if not (Queue.is_empty q) then found := Some (Queue.pop q, !i <> 0);
+    incr i
+  done;
+  match !found with
+  | Some (j, was_steal) ->
+    if was_steal then t.stolen <- t.stolen + 1;
+    Some j
+  | None ->
+    if t.closing then None
+    else begin
+      Condition.wait t.cond t.mu;
+      take t w
+    end
+
+let worker t w () =
+  let rec loop () =
+    match with_mu t (fun () -> take t w) with
+    | None -> ()
+    | Some j ->
+      let ok, raised = (try (j.j_work (), false) with _ -> (false, true)) in
+      complete t j ~ok ~raised;
+      loop ()
+  in
+  loop ()
+
+let create ~workers ~lanes =
+  let workers = max 0 workers and lanes = max 1 lanes in
+  let t =
+    {
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      queues = Array.init (max 1 workers) (fun _ -> Queue.create ());
+      rr = 0;
+      closing = false;
+      inflight = 0;
+      lanes =
+        Array.init lanes (fun _ ->
+            {
+              l_next_seq = 0;
+              l_next_deliver = 0;
+              l_ready = Hashtbl.create 16;
+              l_delivering = false;
+            });
+      executed = 0;
+      stolen = 0;
+      work_exns = 0;
+      sink_exns = 0;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init workers (fun w -> Domain.spawn (worker t w));
+  t
+
+let run_inline t ~work ~k =
+  let ok, raised = (try (work (), false) with _ -> (false, true)) in
+  with_mu t (fun () ->
+      t.executed <- t.executed + 1;
+      if raised then t.work_exns <- t.work_exns + 1);
+  try k ok with _ -> with_mu t (fun () -> t.sink_exns <- t.sink_exns + 1)
+
+let submit t ~lane ~work ~k =
+  if Array.length t.domains = 0 then run_inline t ~work ~k
+  else begin
+    Mutex.lock t.mu;
+    if t.closing then begin
+      Mutex.unlock t.mu;
+      run_inline t ~work ~k
+    end
+    else begin
+      let ln = t.lanes.(lane) in
+      let j = { j_lane = lane; j_seq = ln.l_next_seq; j_work = work; j_k = k } in
+      ln.l_next_seq <- ln.l_next_seq + 1;
+      Queue.add j t.queues.(t.rr);
+      t.rr <- (t.rr + 1) mod Array.length t.queues;
+      t.inflight <- t.inflight + 1;
+      Condition.signal t.cond;
+      Mutex.unlock t.mu
+    end
+  end
+
+let shutdown t =
+  with_mu t (fun () ->
+      t.closing <- true;
+      Condition.broadcast t.cond);
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+  (* Workers drain every queue before exiting and each completion delivers
+     its lane's contiguous prefix, so after the joins nothing is queued,
+     in flight, or parked: [inflight = 0] and every sink has run. *)
+
+let workers t = Array.length t.domains
+let executed t = with_mu t (fun () -> t.executed)
+let stolen t = with_mu t (fun () -> t.stolen)
+let work_exceptions t = with_mu t (fun () -> t.work_exns)
+let sink_exceptions t = with_mu t (fun () -> t.sink_exns)
+let inflight t = with_mu t (fun () -> t.inflight)

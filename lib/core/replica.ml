@@ -20,6 +20,19 @@ let envelope_size e = 1 + Types.message_size e.payload
 
 type ordered = { global_seq : int; segment : Driver.segment; ordered_at : float }
 
+(* Multicore wiring (the realtime node's --domains mode): each DAG lane
+   runs on its own executor domain, so the lane needs a backend whose
+   timers fire there, an observability sink owned by that domain, and a
+   way to hand cross-lane work (the sequenced commit merge) back to the
+   single merge domain. Absent (the default), every lane shares the
+   replica's backend and obs and [le_post_main] degenerates to immediate
+   invocation — byte-for-byte the single-domain behaviour. *)
+type lane_env = {
+  le_backend : int -> envelope Backend.t; (* dag_id -> that lane's backend *)
+  le_obs : int -> Obs.t; (* dag_id -> obs owned by that lane's domain *)
+  le_post_main : (unit -> unit) -> unit; (* run on the merge domain *)
+}
+
 type dag_lane = {
   store : Store.t;
   instance : Instance.t;
@@ -35,6 +48,7 @@ type t = {
   backend : envelope Backend.t;
   mempool : Mempool.t;
   wal : Wal.t;
+  lane_env : lane_env option;
   mutable lanes : dag_lane array;
   on_ordered : (ordered -> unit) option;
   obs : Obs.t;
@@ -137,6 +151,22 @@ let equivocation_twin t (node : Types.node) =
 let make_lane t dag_id =
   let cfg = t.cfg in
   let committee = cfg.Config.committee in
+  (* Single-domain: the lane lives on the replica's backend/obs and
+     [post_main] is a direct call. Multicore: timers, instance callbacks
+     and instance-side observability belong to the lane's domain, the WAL
+     is per-lane (its sync timers must fire on the lane's executor), and
+     anything touching cross-lane state is shipped to the merge domain. *)
+  let lane_bk, lane_obs, post_main =
+    match t.lane_env with
+    | None -> (t.backend, t.obs, fun f -> f ())
+    | Some env -> (env.le_backend dag_id, env.le_obs dag_id, env.le_post_main)
+  in
+  let wal =
+    match t.lane_env with
+    | None -> t.wal
+    | Some _ ->
+      Wal.create ~timers:lane_bk.Backend.timers ~sync_latency_ms:cfg.Config.wal_sync_ms ()
+  in
   let store = Store.create ~n:committee.Shoalpp_dag.Committee.n ~genesis_digest:committee.Shoalpp_dag.Committee.genesis in
   let ready = Queue.create () in
   (* The instance and driver reference each other; tie the knot with
@@ -146,37 +176,52 @@ let make_lane t dag_id =
   let the_instance () = Option.get !instance_ref in
   let the_driver () = Option.get !driver_ref in
   let driver =
-    Driver.create ~obs:t.obs
+    Driver.create ~obs:lane_obs
       (Config.driver_config cfg ~dag_id)
       {
-        Driver.now = (fun () -> Backend.now t.backend);
+        Driver.now = (fun () -> Backend.now lane_bk);
         cert_ref =
           (fun ~round ~author -> Instance.cert_ref_at (the_instance ()) ~round ~author);
         request_fetch = (fun node_ref -> Instance.fetch_missing (the_instance ()) node_ref);
         on_segment =
           (fun segment ->
-            Queue.push segment ready;
-            drain t);
+            (* Cross-lane state (ready queues, the round-robin cursor, the
+               global sequence) belongs to the merge domain: the segment
+               is enqueued and interleaved there, by sequence, never by
+               arrival order across lanes. *)
+            post_main (fun () ->
+                Queue.push segment ready;
+                drain t));
         request_gc =
           (fun ~round ->
             (* Narwhal-style GC drops unordered nodes below the horizon; a
                production mempool re-proposes their transactions (quorum-
                store expiration). Requeue own-origin, still-uncommitted
-               transactions from our orphaned proposals before pruning. *)
+               transactions from our orphaned proposals before pruning.
+               Two phases: the store/driver reads happen here (lane
+               domain), the [committed_own] filter and requeue on the
+               merge domain, which owns that table. *)
             let lowest = Store.lowest_retained store in
+            let orphaned = ref [] in
             for r = lowest to round - 1 do
               match Store.get store ~round:r ~author:t.id with
               | Some cn when not (Driver.is_ordered (the_driver ()) ~round:r ~author:t.id) ->
-                List.iter
-                  (fun (tx : Shoalpp_workload.Transaction.t) ->
-                    if not (Hashtbl.mem t.committed_own tx.Shoalpp_workload.Transaction.id)
-                    then begin
-                      t.requeued <- t.requeued + 1;
-                      ignore (Shoalpp_workload.Mempool.submit t.mempool tx)
-                    end)
-                  cn.Types.cn_node.Types.batch.Batch.txns
+                orphaned := cn.Types.cn_node.Types.batch.Batch.txns :: !orphaned
               | _ -> ()
             done;
+            (match List.rev !orphaned with
+            | [] -> ()
+            | batches ->
+              post_main (fun () ->
+                  List.iter
+                    (List.iter (fun (tx : Shoalpp_workload.Transaction.t) ->
+                         if
+                           not (Hashtbl.mem t.committed_own tx.Shoalpp_workload.Transaction.id)
+                         then begin
+                           t.requeued <- t.requeued + 1;
+                           ignore (Shoalpp_workload.Mempool.submit t.mempool tx)
+                         end))
+                    batches));
             Instance.gc_upto (the_instance ()) ~round);
         direct_guard = None;
       }
@@ -197,7 +242,7 @@ let make_lane t dag_id =
   let byz_broadcast payload =
     if t.replaying then ()
     else begin
-      let now = Backend.now t.backend in
+      let now = Backend.now lane_bk in
       match (payload, t.byzantine now) with
       | Types.Proposal node, Some Faults.Silent_anchor when node.Types.author = t.id ->
         (* Withhold our proposal from everyone but ourselves. *)
@@ -223,7 +268,7 @@ let make_lane t dag_id =
         Obs.event t.obs ~time:now
           (Trace.Votes_delayed { round = v.Types.vote_round; delay_ms = int_of_float delay });
         ignore
-          (Backend.schedule t.backend ~after:delay (fun () ->
+          (Backend.schedule lane_bk ~after:delay (fun () ->
                if not t.crashed then plain_broadcast payload))
       | _ -> plain_broadcast payload
     end
@@ -231,14 +276,14 @@ let make_lane t dag_id =
   let byz_send ~dst payload =
     if t.replaying then ()
     else begin
-      let now = Backend.now t.backend in
+      let now = Backend.now lane_bk in
       match (payload, t.byzantine now) with
       | Types.Vote v, Some (Faults.Delay_votes delay) ->
         Obs.incr_c t.c_delayed;
         Obs.event t.obs ~time:now
           (Trace.Votes_delayed { round = v.Types.vote_round; delay_ms = int_of_float delay });
         ignore
-          (Backend.schedule t.backend ~after:delay (fun () ->
+          (Backend.schedule lane_bk ~after:delay (fun () ->
                if not t.crashed then plain_send ~dst payload))
       | _ -> plain_send ~dst payload
     end
@@ -247,8 +292,8 @@ let make_lane t dag_id =
     {
       Instance.broadcast = byz_broadcast;
       send = byz_send;
-      now = (fun () -> Backend.now t.backend);
-      schedule = (fun ~after f -> Backend.schedule t.backend ~after f);
+      now = (fun () -> Backend.now lane_bk);
+      schedule = (fun ~after f -> Backend.schedule lane_bk ~after f);
       pull_batch = (fun ~max -> Mempool.pull t.mempool ~max);
       anchors_of_round = (fun round -> Driver.anchors_of_round (the_driver ()) round);
       persist =
@@ -259,12 +304,12 @@ let make_lane t dag_id =
           if t.replaying then cb ()
           else begin
             let size = Types.message_size msg in
-            if Wal.retains t.wal then
+            if Wal.retains wal then
               let payload =
                 String.make 1 (Char.chr (dag_id land 0xff)) ^ Types.encode_message msg
               in
-              Wal.append t.wal ~size ~payload cb
-            else Wal.append t.wal ~size cb
+              Wal.append wal ~size ~payload cb
+            else Wal.append wal ~size cb
           end);
       on_proposal_noted = (fun _node -> Driver.notify (the_driver ()));
       on_certified = (fun _cn -> Driver.notify (the_driver ()));
@@ -272,7 +317,9 @@ let make_lane t dag_id =
     }
   in
   let instance =
-    Instance.create ~obs:t.obs (Config.instance_config cfg ~replica:t.id ~dag_id) callbacks ~store
+    Instance.create ~obs:lane_obs
+      (Config.instance_config cfg ~replica:t.id ~dag_id)
+      callbacks ~store
   in
   instance_ref := Some instance;
   {
@@ -285,7 +332,7 @@ let make_lane t dag_id =
   }
 
 let create ~config ~replica_id ~backend ~mempool ?on_ordered ?trace ?telemetry
-    ?(byzantine = fun _ -> None) ?(retain_wal = false) () =
+    ?(byzantine = fun _ -> None) ?(retain_wal = false) ?lane_env () =
   let obs = Obs.make ?trace ?telemetry ~replica:replica_id ~instance:0 () in
   let t =
     {
@@ -296,6 +343,7 @@ let create ~config ~replica_id ~backend ~mempool ?on_ordered ?trace ?telemetry
       wal =
         Wal.create ~timers:backend.Backend.timers
           ~sync_latency_ms:config.Config.wal_sync_ms ~retain:retain_wal ();
+      lane_env;
       lanes = [||];
       on_ordered;
       obs;
@@ -320,19 +368,39 @@ let create ~config ~replica_id ~backend ~mempool ?on_ordered ?trace ?telemetry
     }
   in
   t.lanes <- Array.init config.Config.num_dags (fun dag_id -> make_lane t dag_id);
-  Backend.set_handler backend replica_id (fun ~src env ->
-      if not t.crashed then begin
-        let lane = t.lanes.(env.dag_id) in
-        Instance.handle_message lane.instance ~src env.payload
-      end);
+  (* Under a lane_env the harness owns message routing (inbound messages
+     must cross the verify pool and land on the right lane's domain), so
+     the replica does not claim the transport slot itself. *)
+  (match lane_env with
+  | Some _ -> ()
+  | None ->
+    Backend.set_handler backend replica_id (fun ~src env ->
+        if not t.crashed then begin
+          let lane = t.lanes.(env.dag_id) in
+          Instance.handle_message lane.instance ~src env.payload
+        end));
   t
+
+let deliver t ~dag_id ~src payload =
+  if (not t.crashed) && dag_id >= 0 && dag_id < Array.length t.lanes then
+    Instance.handle_message t.lanes.(dag_id).instance ~src payload
 
 let start t =
   Array.iteri
     (fun dag_id lane ->
       let delay = float_of_int dag_id *. t.cfg.Config.stagger_ms in
-      if delay <= 0.0 then Instance.start lane.instance
-      else ignore (Backend.schedule t.backend ~after:delay (fun () -> Instance.start lane.instance)))
+      match t.lane_env with
+      | Some env ->
+        (* Even an undelayed start is scheduled: Instance.start must run on
+           the lane's own domain, not the caller's. *)
+        ignore
+          (Backend.schedule (env.le_backend dag_id) ~after:(Float.max 0.0 delay) (fun () ->
+               Instance.start lane.instance))
+      | None ->
+        if delay <= 0.0 then Instance.start lane.instance
+        else
+          ignore
+            (Backend.schedule t.backend ~after:delay (fun () -> Instance.start lane.instance)))
     t.lanes
 
 let crash t =

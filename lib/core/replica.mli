@@ -25,6 +25,25 @@ type ordered = {
   ordered_at : float;  (** when the segment entered the global log *)
 }
 
+type lane_env = {
+  le_backend : int -> envelope Shoalpp_backend.Backend.t;
+      (** [dag_id -> backend] whose timers fire on that lane's domain; its
+          transport must be safe to call from there (the node posts sends
+          to the transport's owning domain) *)
+  le_obs : int -> Shoalpp_sim.Obs.t;
+      (** [dag_id -> obs] sinks owned by that lane's domain (merged into
+          the main registry at report time) *)
+  le_post_main : (unit -> unit) -> unit;
+      (** run a closure on the merge domain, FIFO per poster *)
+}
+(** Multicore placement for the realtime node's [--domains] mode: one DAG
+    lane per executor domain. The commit interleave stays on the merge
+    domain — lanes hand segments over via [le_post_main], and the
+    round-robin merge consumes them by per-lane sequence, so the global
+    order is the same deterministic function of the per-lane segment
+    sequences as in single-domain mode. Without a [lane_env] nothing
+    changes: all closures collapse to the single-domain behaviour. *)
+
 type t
 
 val create :
@@ -37,6 +56,7 @@ val create :
   ?telemetry:Shoalpp_support.Telemetry.t ->
   ?byzantine:(float -> Shoalpp_sim.Faults.byz_kind option) ->
   ?retain_wal:bool ->
+  ?lane_env:lane_env ->
   unit ->
   t
 (** Registers itself as the [backend] transport's handler for [replica_id].
@@ -56,7 +76,19 @@ val create :
     event stream and the metric registry. Counters aggregate across replicas;
     the per-stage latency histograms ([stage.*], [latency.e2e]) and per-DAG
     [dag<k>.txns]/[dag<k>.latency] are recorded only at each transaction's
-    origin replica, so each transaction is counted exactly once. *)
+    origin replica, so each transaction is counted exactly once.
+
+    With [lane_env] (multicore node) the replica does {e not} register a
+    transport handler — the harness routes inbound messages through the
+    verify pool to {!deliver} on the right lane's domain — and each lane
+    gets its own WAL (sync timers must fire on the lane's executor).
+    [crash]/[recover] are not supported while lane domains are running. *)
+
+val deliver : t -> dag_id:int -> src:int -> Shoalpp_dag.Types.message -> unit
+(** Hand one inbound message to a DAG lane's instance (dropped when
+    crashed or the [dag_id] is out of range). Must be called on the domain
+    that owns the lane: the replica's own domain by default, or the lane's
+    executor under a [lane_env] — the multicore node posts exactly so. *)
 
 val start : t -> unit
 (** Start DAG 0 now and DAG j at [j * stagger_ms]. *)

@@ -76,21 +76,70 @@ let validate_weak_parents committee (node : Types.node) =
 let binding_cache : (Digest32.t, Types.node) Hashtbl.t = Hashtbl.create 1024
 let binding_cache_cap = 8192
 
+(* The memo stays a single process-wide table so the sim's allocation
+   profile is unchanged, which means the multicore node's lane domains
+   share it: the mutex makes lookup and insert atomic. The SHA-256
+   recompute — the expensive part — runs outside the lock. *)
+let binding_mu = Mutex.create ()
+
 let binding_holds (node : Types.node) =
-  match Hashtbl.find_opt binding_cache node.Types.digest with
-  | Some cached when cached == node -> true
-  | _ ->
-    let expected =
-      Types.node_digest ~round:node.Types.round ~author:node.Types.author
-        ~batch_digest:node.Types.batch.Shoalpp_workload.Batch.digest ~parents:node.Types.parents
-        ~weak_parents:node.Types.weak_parents
+  let hit =
+    Mutex.lock binding_mu;
+    let h =
+      match Hashtbl.find_opt binding_cache node.Types.digest with
+      | Some cached when cached == node -> true
+      | _ -> false
     in
-    let ok = Digest32.equal expected node.Types.digest in
-    if ok then begin
-      if Hashtbl.length binding_cache >= binding_cache_cap then Hashtbl.reset binding_cache;
-      Hashtbl.replace binding_cache node.Types.digest node
-    end;
-    ok
+    Mutex.unlock binding_mu;
+    h
+  in
+  hit
+  ||
+  let expected =
+    Types.node_digest ~round:node.Types.round ~author:node.Types.author
+      ~batch_digest:node.Types.batch.Shoalpp_workload.Batch.digest ~parents:node.Types.parents
+      ~weak_parents:node.Types.weak_parents
+  in
+  let ok = Digest32.equal expected node.Types.digest in
+  if ok then begin
+    Mutex.lock binding_mu;
+    if Hashtbl.length binding_cache >= binding_cache_cap then Hashtbl.reset binding_cache;
+    Hashtbl.replace binding_cache node.Types.digest node;
+    Mutex.unlock binding_mu
+  end;
+  ok
+
+(* Shared by the inline validators below and by {!signatures_ok}, the
+   entry point the verify pool uses to run just the cryptographic part of
+   validation on a worker domain. *)
+let proposal_signature_ok ~committee (node : Types.node) =
+  Signer.verify ~cluster_seed:committee.Committee.cluster_seed node.Types.author
+    (Digest32.raw node.Types.digest) node.Types.signature
+
+let vote_signature_ok ~committee (v : Types.vote) =
+  let preimage =
+    Types.vote_preimage ~round:v.Types.vote_round ~author:v.Types.vote_author
+      ~digest:v.Types.vote_digest
+  in
+  Signer.verify ~cluster_seed:committee.Committee.cluster_seed v.Types.voter preimage
+    v.Types.vote_signature
+
+let certificate_signature_ok ~committee (c : Types.certificate) =
+  let preimage =
+    Types.vote_preimage ~round:c.Types.cert_ref.Types.ref_round
+      ~author:c.Types.cert_ref.Types.ref_author ~digest:c.Types.cert_ref.Types.ref_digest
+  in
+  Multisig.verify ~cluster_seed:committee.Committee.cluster_seed c.Types.multisig preimage
+
+let signatures_ok ~committee (msg : Types.message) =
+  match msg with
+  | Types.Proposal node -> proposal_signature_ok ~committee node
+  | Types.Vote v -> vote_signature_ok ~committee v
+  | Types.Certificate c -> certificate_signature_ok ~committee c
+  | Types.Fetch_request _ -> true
+  | Types.Fetch_response cn ->
+    proposal_signature_ok ~committee cn.Types.cn_node
+    && certificate_signature_ok ~committee cn.Types.cn_cert
 
 let validate_proposal ~committee ~verify_signatures (node : Types.node) =
   let* () = check (Committee.valid_replica committee node.Types.author) "author out of range" in
@@ -102,25 +151,13 @@ let validate_proposal ~committee ~verify_signatures (node : Types.node) =
      binding"), only signature verification is elided. *)
   let* () = check (binding_holds node) "digest mismatch" in
   if verify_signatures then
-    check
-      (Signer.verify ~cluster_seed:committee.Committee.cluster_seed node.Types.author
-         (Digest32.raw node.Types.digest) node.Types.signature)
-      "bad author signature"
+    check (proposal_signature_ok ~committee node) "bad author signature"
   else Ok ()
 
 let validate_vote ~committee ~verify_signatures (v : Types.vote) =
   let* () = check (Committee.valid_replica committee v.Types.voter) "voter out of range" in
   let* () = check (Committee.valid_replica committee v.Types.vote_author) "vote author out of range" in
-  if verify_signatures then begin
-    let preimage =
-      Types.vote_preimage ~round:v.Types.vote_round ~author:v.Types.vote_author
-        ~digest:v.Types.vote_digest
-    in
-    check
-      (Signer.verify ~cluster_seed:committee.Committee.cluster_seed v.Types.voter preimage
-         v.Types.vote_signature)
-      "bad vote signature"
-  end
+  if verify_signatures then check (vote_signature_ok ~committee v) "bad vote signature"
   else Ok ()
 
 let validate_certificate ~committee ~verify_signatures (c : Types.certificate) =
@@ -133,15 +170,8 @@ let validate_certificate ~committee ~verify_signatures (c : Types.certificate) =
     check (Committee.valid_replica committee c.Types.cert_ref.Types.ref_author)
       "certified author out of range"
   in
-  if verify_signatures then begin
-    let preimage =
-      Types.vote_preimage ~round:c.Types.cert_ref.Types.ref_round
-        ~author:c.Types.cert_ref.Types.ref_author ~digest:c.Types.cert_ref.Types.ref_digest
-    in
-    check
-      (Multisig.verify ~cluster_seed:committee.Committee.cluster_seed c.Types.multisig preimage)
-      "bad certificate multisig"
-  end
+  if verify_signatures then
+    check (certificate_signature_ok ~committee c) "bad certificate multisig"
   else Ok ()
 
 let validate_certified_node ~committee ~verify_signatures (cn : Types.certified_node) =

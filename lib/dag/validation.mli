@@ -13,7 +13,10 @@
       flag only skips cryptographic verification, never widens what is
       accepted structurally;
     - the internal binding-digest memo is an invisible cache: it never
-      changes a verdict, only the cost of recomputing one. *)
+      changes a verdict, only the cost of recomputing one. It is
+      mutex-guarded (the sole effect in this module) so the multicore
+      node's lane domains and verify-pool workers can validate
+      concurrently; every function here is safe to call from any domain. *)
 
 val validate_proposal :
   committee:Committee.t -> verify_signatures:bool -> Types.node -> (unit, string) result
@@ -32,3 +35,13 @@ val validate_certificate :
 val validate_certified_node :
   committee:Committee.t -> verify_signatures:bool -> Types.certified_node -> (unit, string) result
 (** Node and certificate valid, and the certificate matches the node. *)
+
+val signatures_ok : committee:Committee.t -> Types.message -> bool
+(** Just the cryptographic checks of a message — author signature for a
+    proposal, voter signature for a vote, multisig for a certificate, both
+    for a fetch response, vacuously true for a fetch request — with none
+    of the structural checks. This is the closure the multicore node hands
+    to {!Shoalpp_backend.Verify_pool}: a message that passes here can be
+    processed by an instance configured with [verify_signatures:false]
+    and reach exactly the verdicts inline verification would have
+    produced, because the structural half still runs in the instance. *)

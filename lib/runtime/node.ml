@@ -11,6 +11,10 @@ module Client = Shoalpp_workload.Client
 module Transaction = Shoalpp_workload.Transaction
 module Batch = Shoalpp_workload.Batch
 module Telemetry = Shoalpp_support.Telemetry
+module Obs = Shoalpp_sim.Obs
+module Validation = Shoalpp_dag.Validation
+module Verify_pool = Shoalpp_backend.Verify_pool
+module Crypto_cost = Shoalpp_backend.Crypto_cost
 
 type transport = Inproc | Uds of string
 
@@ -23,6 +27,8 @@ type setup = {
   transport : transport;
   link_delay_ms : float;
   trace : Trace.t option;
+  domains : int;
+  verify_delay_us : float;
 }
 
 let default_setup ~protocol =
@@ -35,16 +41,34 @@ let default_setup ~protocol =
     transport = Inproc;
     link_delay_ms = 0.0;
     trace = None;
+    domains = 1;
+    verify_delay_us = 0.0;
   }
 
 (* Anchor identity of one ordered segment — what the consistency audit
    compares across replicas (node sets differ only transiently). *)
 type seg_id = { sdag : int; sround : int; sauthor : int }
 
+(* Multicore execution state (--domains > 1): one executor domain per DAG
+   lane (shared clock origin with the main loop), per-lane-domain
+   telemetry registries and trace rings (each touched by exactly one
+   domain, merged at report time), and the verify pool whose workers do
+   the signature checks the instances then skip. [mc_rejects] slots are
+   per pool lane; a slot is only written by that lane's (serialized)
+   completion deliveries. *)
+type multicore = {
+  mc_lane_execs : Realtime.t array;
+  mc_lane_telemetry : Telemetry.t array;
+  mc_lane_traces : Trace.t array;
+  mc_pool : Verify_pool.t;
+  mc_rejects : int array;
+}
+
 type t = {
   setup : setup;
   exec : Realtime.t;
   backend : Replica.envelope Backend.t;
+  mc : multicore option;
   mutable replicas : Replica.t array;
   mempools : Mempool.t array;
   clients : Client.t option array;
@@ -76,14 +100,92 @@ let decode_envelope ~cluster_seed s =
 let create setup =
   let committee = setup.protocol.Config.committee in
   let n = committee.Committee.n in
+  let k = max 1 setup.protocol.Config.num_dags in
   let exec = Realtime.create () in
+  let mc =
+    if setup.domains <= 1 then None
+    else
+      Some
+        {
+          (* A short tick: lane loops are woken by cross-domain posts for
+             messages, so the tick only bounds how stale a lane's own
+             timer horizon can get. *)
+          mc_lane_execs =
+            Array.init k (fun _ -> Realtime.create ~max_tick_ms:5.0 ~origin_of:exec ());
+          mc_lane_telemetry = Array.init k (fun _ -> Telemetry.create ());
+          mc_lane_traces =
+            Array.init k (fun _ -> Trace.create ~enabled:(Option.is_some setup.trace) ());
+          mc_pool = Verify_pool.create ~workers:setup.domains ~lanes:(n * k);
+          mc_rejects = Array.make (n * k) 0;
+        }
+  in
+  (* Transports with single-domain state (the socket poller, the delaying
+     loopback) are wrapped so lane domains hand each send to the main loop;
+     the zero-delay multicore loopback instead dispatches on the calling
+     domain — its counters are atomic and the multicore handlers only
+     enqueue verify-pool jobs, so no protocol code runs inline. *)
+  let post_to_main (raw : Replica.envelope Backend.Transport.t) =
+    {
+      Backend.Transport.n = raw.Backend.Transport.n;
+      send =
+        (fun ~src ~dst ~size msg ->
+          Realtime.post exec (fun () -> raw.Backend.Transport.send ~src ~dst ~size msg));
+      broadcast =
+        (fun ~src ~size ~include_self msg ->
+          Realtime.post exec (fun () ->
+              raw.Backend.Transport.broadcast ~src ~size ~include_self msg));
+      set_handler = raw.Backend.Transport.set_handler;
+      stats = raw.Backend.Transport.stats;
+    }
+  in
   let transport =
-    match setup.transport with
-    | Inproc -> Realtime.loopback exec ~n ~delay_ms:setup.link_delay_ms ()
-    | Uds dir ->
-      Realtime.uds exec ~n ~dir ~encode:encode_envelope
-        ~decode:(decode_envelope ~cluster_seed:committee.Committee.cluster_seed)
-        ()
+    match (setup.transport, mc) with
+    | Inproc, None -> Realtime.loopback exec ~n ~delay_ms:setup.link_delay_ms ()
+    | Inproc, Some _ when setup.link_delay_ms = 0.0 -> Realtime.multicore_loopback ~n ()
+    | Inproc, Some _ ->
+      post_to_main (Realtime.loopback exec ~n ~delay_ms:setup.link_delay_ms ())
+    | Uds dir, mc_opt ->
+      let raw =
+        Realtime.uds exec ~n ~dir ~encode:encode_envelope
+          ~decode:(decode_envelope ~cluster_seed:committee.Committee.cluster_seed)
+          ()
+      in
+      (match mc_opt with None -> raw | Some _ -> post_to_main raw)
+  in
+  (* Modeled verification service time ({!Crypto_cost}), charged per
+     SIGNATURE rather than per message: one for the header / vote /
+     certificate check, plus one per transaction carried in a proposal's
+     batch — client-signature verification is the term that scales with
+     throughput and cannot be amortized by batching. The single-domain
+     node pays it inline at each delivery — the same place its inline
+     signature checks run — while the multicore node pays it inside the
+     verify-pool job. Identical per-message charge at every domain count,
+     so [--domains] comparisons vary only where the cost is paid. *)
+  let verify_cost_us =
+    if setup.protocol.Config.verify_signatures then setup.verify_delay_us else 0.0
+  in
+  let modeled_cost_us (payload : Types.message) =
+    match payload with
+    | Types.Proposal node ->
+      verify_cost_us
+      *. float_of_int (1 + List.length node.Types.batch.Shoalpp_workload.Batch.txns)
+    | Types.Fetch_response cn ->
+      verify_cost_us
+      *. float_of_int
+           (1 + List.length cn.Types.cn_node.Types.batch.Shoalpp_workload.Batch.txns)
+    | _ -> verify_cost_us
+  in
+  let transport =
+    if verify_cost_us > 0.0 && Option.is_none mc then
+      {
+        transport with
+        Backend.Transport.set_handler =
+          (fun r h ->
+            transport.Backend.Transport.set_handler r (fun ~src env ->
+                Crypto_cost.pay ~us:(modeled_cost_us env.Replica.payload);
+                h ~src env));
+      }
+    else transport
   in
   let backend = Realtime.backend exec transport in
   let mempools = Array.init n (fun _ -> Mempool.create ()) in
@@ -97,6 +199,7 @@ let create setup =
       setup;
       exec;
       backend;
+      mc;
       replicas = [||];
       mempools;
       clients = Array.make n None;
@@ -153,8 +256,67 @@ let create setup =
                 batch.Batch.txns)
             seg.Driver.nodes
         in
-        Replica.create ~config:setup.protocol ~replica_id ~backend
-          ~mempool:mempools.(replica_id) ~on_ordered ?trace:setup.trace ~telemetry ());
+        let config, lane_env =
+          match mc with
+          | None -> (setup.protocol, None)
+          | Some m ->
+            (* The pool pre-verifies every inbound message's cryptography,
+               so the instances run with signature checks off: structural
+               validation still happens inline, and the verdicts equal
+               what inline verification would produce. *)
+            ( Config.without_signature_checks setup.protocol,
+              Some
+                {
+                  Replica.le_backend =
+                    (fun dag_id ->
+                      {
+                        Backend.clock = Realtime.clock m.mc_lane_execs.(dag_id);
+                        timers = Realtime.timers m.mc_lane_execs.(dag_id);
+                        transport;
+                      });
+                  le_obs =
+                    (fun dag_id ->
+                      Obs.make
+                        ?trace:
+                          (if Option.is_some setup.trace then
+                             Some m.mc_lane_traces.(dag_id)
+                           else None)
+                        ~telemetry:m.mc_lane_telemetry.(dag_id) ~replica:replica_id
+                        ~instance:0 ())
+                  ;
+                  le_post_main = (fun f -> Realtime.post exec f);
+                } )
+        in
+        Replica.create ~config ~replica_id ~backend ~mempool:mempools.(replica_id)
+          ~on_ordered ?trace:setup.trace ~telemetry ?lane_env ());
+  (* Multicore inbound routing: the transport delivers on the main domain;
+     each message is verified on the pool (one pool lane per
+     (replica, dag) so per-stream FIFO order survives the steal), and the
+     survivors are posted to their DAG lane's executor. *)
+  (match mc with
+  | None -> ()
+  | Some m ->
+    let verify = setup.protocol.Config.verify_signatures in
+    Array.iteri
+      (fun rid replica ->
+        Backend.set_handler backend rid (fun ~src env ->
+            let dag_id = env.Replica.dag_id in
+            if dag_id >= 0 && dag_id < k then begin
+              let payload = env.Replica.payload in
+              let pool_lane = (rid * k) + dag_id in
+              Verify_pool.submit m.mc_pool ~lane:pool_lane
+                ~work:(fun () ->
+                  (not verify)
+                  ||
+                  (Crypto_cost.pay ~us:(modeled_cost_us payload);
+                   Validation.signatures_ok ~committee payload))
+                ~k:(fun ok ->
+                  if ok then
+                    Realtime.post m.mc_lane_execs.(dag_id) (fun () ->
+                        Replica.deliver replica ~dag_id ~src payload)
+                  else m.mc_rejects.(pool_lane) <- m.mc_rejects.(pool_lane) + 1)
+            end))
+      t.replicas);
   t
 
 let per_replica_tps t = t.setup.load_tps /. float_of_int (Array.length t.replicas)
@@ -164,24 +326,51 @@ let start t =
     t.started <- true;
     Array.iter Replica.start t.replicas;
     if per_replica_tps t > 0.0 then begin
+      let n = Array.length t.replicas in
       let next_id = ref 0 in
       Array.iteri
         (fun i m ->
+          (* Multicore: client [i]'s Poisson timers fire on lane executor
+             [i mod k] instead of the main loop — tens of thousands of
+             timer events per second move off the merge domain. Disjoint
+             stride-[n] id spaces replace the shared counter, which would
+             otherwise race across domains. *)
+          let clock, timers, next_id, stride =
+            match t.mc with
+            | None -> (t.backend.Backend.clock, t.backend.Backend.timers, next_id, 1)
+            | Some m ->
+              let e = m.mc_lane_execs.(i mod Array.length m.mc_lane_execs) in
+              (Realtime.clock e, Realtime.timers e, ref i, n)
+          in
           t.clients.(i) <-
             Some
-              (Client.start ~clock:t.backend.Backend.clock ~timers:t.backend.Backend.timers
-                 ~mempool:m ~origin:i ~rate_tps:(per_replica_tps t) ~tx_size:t.setup.tx_size
-                 ~seed:(t.setup.seed + i) ~next_id ()))
+              (Client.start ~clock ~timers ~mempool:m ~origin:i
+                 ~rate_tps:(per_replica_tps t) ~tx_size:t.setup.tx_size
+                 ~seed:(t.setup.seed + i) ~next_id ~stride ()))
         t.mempools
     end
   end
 
 let run t ~duration_ms =
   start t;
+  (match t.mc with
+  | None -> ()
+  | Some m -> Array.iter Realtime.run_in_domain m.mc_lane_execs);
   Realtime.run_for t.exec ~duration_ms;
   (* Clean shutdown: no new transactions, and any timer already armed fires
      into a stopped client / a loop that is no longer running. *)
-  Array.iter (function Some c -> Client.stop c | None -> ()) t.clients
+  Array.iter (function Some c -> Client.stop c | None -> ()) t.clients;
+  match t.mc with
+  | None -> ()
+  | Some m ->
+    (* Quiesce order matters: drain the pool first so its completions land
+       on still-running lane executors, then stop and join the lanes, then
+       drive the main loop briefly so merge closures the lanes posted in
+       their final moments still reach the global log. After this, no
+       other domain is running. *)
+    Verify_pool.shutdown m.mc_pool;
+    Array.iter Realtime.stop_and_join m.mc_lane_execs;
+    Realtime.run_for t.exec ~duration_ms:50.0
 
 let stop t = Realtime.stop t.exec
 let executor t = t.exec
@@ -192,6 +381,39 @@ let telemetry t = t.telemetry
 let ledger t = t.ledger
 let trace t = t.setup.trace
 let now_ms t = Realtime.now_ms t.exec
+let domains t = t.setup.domains
+let verify_pool t = match t.mc with None -> None | Some m -> Some m.mc_pool
+
+(* Lane-domain sinks are merged only after the lanes have been joined
+   (post-run): mid-run the main registry alone feeds the admin endpoint,
+   so a scrape never races a foreign domain's histogram. *)
+let telemetry_snapshot t =
+  match t.mc with
+  | None -> Telemetry.snapshot t.telemetry
+  | Some m ->
+    let combined = Telemetry.create () in
+    Telemetry.merge ~src:t.telemetry ~dst:combined;
+    Array.iter (fun src -> Telemetry.merge ~src ~dst:combined) m.mc_lane_telemetry;
+    Telemetry.snapshot combined
+
+let trace_events t =
+  let main = match t.setup.trace with Some tr -> Trace.events tr | None -> [] in
+  match t.mc with
+  | None -> main
+  | Some m ->
+    let lanes =
+      Array.fold_left (fun acc tr -> acc @ Trace.events tr) [] m.mc_lane_traces
+    in
+    List.stable_sort
+      (fun (a : Trace.event) b -> Float.compare a.Trace.time b.Trace.time)
+      (main @ lanes)
+
+let trace_dropped t =
+  (match t.setup.trace with Some tr -> Trace.dropped tr | None -> 0)
+  +
+  match t.mc with
+  | None -> 0
+  | Some m -> Array.fold_left (fun acc tr -> acc + Trace.dropped tr) 0 m.mc_lane_traces
 
 (* Repeating in-run snapshot refresh: keeps the admin endpoint's gauges
    live while the loop runs instead of only materializing at shutdown.
@@ -228,6 +450,9 @@ type audit = {
       (** segments replica 0 committed per DAG lane — every lane of a
           healthy run shows at least one *)
 }
+
+let ordered_ids t ~replica =
+  List.rev_map (fun s -> (s.sdag, s.sround, s.sauthor)) !(t.logs.(replica))
 
 let audit t =
   let logs = Array.map (fun l -> Array.of_list (List.rev !l)) t.logs in
@@ -275,6 +500,4 @@ let report t ~duration_ms =
     ~messages_dropped:
       (net_stats.Backend.Transport.dropped + net_stats.Backend.Transport.partitioned)
     ~bytes_sent:net_stats.Backend.Transport.bytes
-    ~telemetry:(Telemetry.snapshot t.telemetry)
-    ~trace_dropped:(match t.setup.trace with Some tr -> Trace.dropped tr | None -> 0)
-    ()
+    ~telemetry:(telemetry_snapshot t) ~trace_dropped:(trace_dropped t) ()

@@ -32,10 +32,30 @@ type setup = {
   transport : transport;
   link_delay_ms : float;  (** loopback only: artificial per-message delay *)
   trace : Shoalpp_sim.Trace.t option;
+  domains : int;
+      (** 1 (default): everything on the calling domain, exactly the
+          pre-multicore node. > 1: each of the k staggered DAG lanes runs
+          on its own executor domain and all inbound signature checking
+          moves to a {!Shoalpp_backend.Verify_pool} with [domains] worker
+          domains; the commit interleave stays on the main domain, merged
+          by per-lane sequence number, so the global order is the same
+          deterministic function of the per-lane segment sequences at any
+          domain count (see docs/CONCURRENCY.md). *)
+  verify_delay_us : float;
+      (** Modeled verification service time per SIGNATURE checked
+          ({!Shoalpp_backend.Crypto_cost}; default 0): one per vote /
+          certificate / header, plus one per transaction in a proposal's
+          batch — the client-signature term that scales with throughput
+          and cannot be amortized by batching. Charged inline on the
+          event loop at [domains = 1] and inside the verify-pool job at
+          [domains > 1] — the same charge at every domain count, so
+          throughput comparisons vary only where it is paid. Ignored when
+          the protocol runs with signature checks off. *)
 }
 
 val default_setup : protocol:Shoalpp_core.Config.t -> setup
-(** 200 tps, paper tx size, no warmup, loopback transport, no trace. *)
+(** 200 tps, paper tx size, no warmup, loopback transport, no trace, one
+    domain. *)
 
 val encode_envelope : Shoalpp_core.Replica.envelope -> string
 val decode_envelope : cluster_seed:int -> string -> Shoalpp_core.Replica.envelope option
@@ -53,7 +73,9 @@ val start : t -> unit
 val run : t -> duration_ms:float -> unit
 (** {!start} if needed, then drive the wall-clock loop for [duration_ms]
     real milliseconds; stops the clients on return. Can be called again to
-    extend the run. *)
+    extend the run. With [domains > 1] this also spawns the lane domains
+    on entry and quiesces them on exit (pool drained, lanes joined, merge
+    backlog flushed) — after return no other domain is running. *)
 
 val stop : t -> unit
 (** Make a concurrent {!run} return after its current iteration. *)
@@ -70,6 +92,27 @@ val ledger : t -> Ledger.t
     endpoint's [/ledger] tail and the stage x rule x DAG breakdown. *)
 
 val trace : t -> Shoalpp_sim.Trace.t option
+
+val domains : t -> int
+(** The configured [setup.domains]. *)
+
+val verify_pool : t -> Shoalpp_backend.Verify_pool.t option
+(** The multicore mode's verification pool ([None] at [domains = 1]);
+    exposed for the CLI's shutdown summary and for tests. *)
+
+val telemetry_snapshot : t -> Shoalpp_support.Telemetry.snapshot
+(** The full end-of-run registry: the main registry merged with every
+    lane domain's (counters add, histograms merge). Only meaningful after
+    {!run} has returned — mid-run scrapes should use {!telemetry}, which
+    the admin endpoint reads without racing the lane domains. *)
+
+val trace_events : t -> Shoalpp_sim.Trace.event list
+(** All trace events — main ring plus the per-lane-domain rings — in one
+    time-sorted stream. Equals [Trace.events (trace t)] at [domains = 1].
+    Post-run only, like {!telemetry_snapshot}. *)
+
+val trace_dropped : t -> int
+(** Events dropped across all rings. *)
 
 val arm_live_gauges : ?interval_ms:float -> t -> unit
 (** Arm a repeating timer (default every 250 ms) refreshing the
@@ -92,5 +135,12 @@ type audit = {
 }
 
 val audit : t -> audit
+
+val ordered_ids : t -> replica:int -> (int * int * int) list
+(** The replica's ordered segment log as [(dag, round, author)] anchor
+    identities, oldest first. Basis of the golden determinism test: two
+    fault-free runs with the same seed agree on this sequence up to the
+    shorter length at {e any} [domains] value, because the merge is by
+    per-lane sequence number, never completion or arrival order. *)
 
 val report : t -> duration_ms:float -> Report.t

@@ -10,31 +10,50 @@ type t = {
   tx_size : int;
   rng : Rng.t;
   next_id : int ref;
+  stride : int;
+  mutable next_at : float;
   mutable generated : int;
   mutable stopped : bool;
 }
 
-let rec arm t =
+(* Open-loop arrivals: the next submission time is [gap] after the
+   PREVIOUS SCHEDULED time, not after the (possibly late) firing — a busy
+   event loop delays deliveries but never deflates the offered rate
+   (coordinated omission). When a firing finds further arrivals already
+   overdue it submits the whole burst in place rather than re-queueing one
+   timer per arrival, so a loaded loop owes at most one timer dispatch per
+   burst. Under a backend whose timers fire exactly on time (the
+   simulator) every burst has length one and the arrival process is
+   unchanged. *)
+let submit_one t =
+  let id = !(t.next_id) in
+  t.next_id := id + t.stride;
+  let tx =
+    Transaction.make ~id ~size:t.tx_size
+      ~submitted_at:(t.clock.Backend.Clock.now ())
+      ~origin:t.origin ()
+  in
+  ignore (Mempool.submit t.mempool tx);
+  t.generated <- t.generated + 1
+
+let rec fire t =
+  if not t.stopped then begin
+    submit_one t;
+    let gap = Rng.exponential t.rng t.mean_interarrival_ms in
+    t.next_at <- t.next_at +. gap;
+    if t.next_at <= t.clock.Backend.Clock.now () then fire t
+    else ignore (t.timers.Backend.Timers.schedule_at ~at:t.next_at (fun () -> fire t))
+  end
+
+let arm t =
   if not t.stopped then begin
     let gap = Rng.exponential t.rng t.mean_interarrival_ms in
-    ignore
-      (t.timers.Backend.Timers.schedule ~after:gap (fun () ->
-           if not t.stopped then begin
-             let id = !(t.next_id) in
-             incr t.next_id;
-             let tx =
-               Transaction.make ~id ~size:t.tx_size
-                 ~submitted_at:(t.clock.Backend.Clock.now ())
-                 ~origin:t.origin ()
-             in
-             ignore (Mempool.submit t.mempool tx);
-             t.generated <- t.generated + 1;
-             arm t
-           end))
+    t.next_at <- t.next_at +. gap;
+    ignore (t.timers.Backend.Timers.schedule_at ~at:t.next_at (fun () -> fire t))
   end
 
 let start ~clock ~timers ~mempool ~origin ~rate_tps ?(tx_size = Transaction.default_size)
-    ?(seed = 7) ?(next_id = ref 0) () =
+    ?(seed = 7) ?(next_id = ref 0) ?(stride = 1) () =
   if rate_tps <= 0.0 then invalid_arg "Client.start: rate must be positive";
   let t =
     {
@@ -46,6 +65,8 @@ let start ~clock ~timers ~mempool ~origin ~rate_tps ?(tx_size = Transaction.defa
       tx_size;
       rng = Rng.create (seed + (origin * 7919));
       next_id;
+      stride;
+      next_at = clock.Backend.Clock.now ();
       generated = 0;
       stopped = false;
     }

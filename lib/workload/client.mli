@@ -23,10 +23,14 @@ val start :
   ?tx_size:int ->
   ?seed:int ->
   ?next_id:int ref ->
+  ?stride:int ->
   unit ->
   t
-(** Begin submitting immediately; a shared [next_id] counter keeps ids
-    globally unique across replicas. *)
+(** Begin submitting immediately. Ids advance by [stride] (default 1) from
+    [next_id]: a shared counter keeps ids globally unique across replicas
+    on one domain; the multicore node instead gives client [i] its own
+    counter starting at [i] with [stride = n], so the id spaces are
+    disjoint without any cross-domain sharing. *)
 
 val stop : t -> unit
 val generated : t -> int

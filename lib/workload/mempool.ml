@@ -1,34 +1,55 @@
+(* The mutex exists for the multicore node, where clients submit on the
+   main domain while the proposer pulls from a DAG-lane domain. All
+   operations are short and non-blocking, so one lock per call is cheap
+   relative to the batch work either side does around it; single-domain
+   users (the simulator) pay an uncontended lock. *)
 type t = {
+  mu : Mutex.t;
   q : Transaction.t Queue.t;
   max_pending : int;
   mutable submitted : int;
   mutable rejected : int;
 }
 
+let with_mu t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
+
 let create ?(max_pending = max_int) () =
-  { q = Queue.create (); max_pending; submitted = 0; rejected = 0 }
+  { mu = Mutex.create (); q = Queue.create (); max_pending; submitted = 0; rejected = 0 }
 
 let submit t tx =
-  if Queue.length t.q >= t.max_pending then begin
-    t.rejected <- t.rejected + 1;
-    false
-  end
-  else begin
-    Queue.push tx t.q;
-    t.submitted <- t.submitted + 1;
-    true
-  end
+  with_mu t (fun () ->
+      if Queue.length t.q >= t.max_pending then begin
+        t.rejected <- t.rejected + 1;
+        false
+      end
+      else begin
+        Queue.push tx t.q;
+        t.submitted <- t.submitted + 1;
+        true
+      end)
 
 let pull t ~max =
-  let rec go acc k =
-    if k = 0 || Queue.is_empty t.q then List.rev acc
-    else go (Queue.pop t.q :: acc) (k - 1)
-  in
-  go [] max
+  with_mu t (fun () ->
+      let rec go acc k =
+        if k = 0 || Queue.is_empty t.q then List.rev acc
+        else go (Queue.pop t.q :: acc) (k - 1)
+      in
+      go [] max)
 
-let peek_pending t = Queue.length t.q
-let submitted t = t.submitted
-let rejected t = t.rejected
+let peek_pending t = with_mu t (fun () -> Queue.length t.q)
+let submitted t = with_mu t (fun () -> t.submitted)
+let rejected t = with_mu t (fun () -> t.rejected)
 
 let oldest_waiting t =
-  match Queue.peek_opt t.q with None -> None | Some tx -> Some tx.Transaction.submitted_at
+  with_mu t (fun () ->
+      match Queue.peek_opt t.q with
+      | None -> None
+      | Some tx -> Some tx.Transaction.submitted_at)

@@ -8,7 +8,10 @@
     - strict FIFO: transactions are pulled in arrival order, so queuing
       latency measures exactly (pull time - arrival time);
     - a pull returns at most the requested batch size, and a bounded pool
-      counts every rejected transaction. *)
+      counts every rejected transaction;
+    - every operation is atomic under an internal mutex, so the multicore
+      node's clients (main domain) and proposers (DAG-lane domains) can
+      share a pool without a seam-crossing handoff. *)
 
 type t
 

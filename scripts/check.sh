@@ -138,6 +138,63 @@ grep -q 'commit sequence: consistent' "$out/trace_report.txt" \
 grep -Eq 'propose->order' "$out/trace_report.txt" \
   || { echo "check failed: analyzer produced no stage attribution" >&2; exit 1; }
 
+# Multicore node smoke: the same cluster with each DAG lane on its own
+# domain and signature checks on the verify pool (--domains 2). The run
+# must pass its own audit (the binary exits non-zero otherwise), report a
+# clean pool, and — the determinism claim — the trace analyzer joined over
+# the per-lane-domain rings must find zero commit-sequence divergence.
+./_build/default/bin/shoalpp_node.exe \
+  -n 4 --duration 4000 --load 500 --domains 2 \
+  --trace-out "$out/mc.jsonl" > "$out/mc.out" 2>&1 \
+  || { echo "check failed: multicore node run failed" >&2; cat "$out/mc.out" >&2; exit 1; }
+grep -q '2 domains (per-DAG executors + verify pool)' "$out/mc.out" \
+  || { echo "check failed: multicore mode not engaged" >&2; exit 1; }
+grep -q 'audit: consistent logs, no duplicates' "$out/mc.out" \
+  || { echo "check failed: multicore node audit line missing" >&2; exit 1; }
+grep -Eq 'verify pool: [1-9][0-9]* jobs \([0-9]+ stolen, 0 exceptions\)' "$out/mc.out" \
+  || { echo "check failed: verify pool idle or raised exceptions" >&2; cat "$out/mc.out" >&2; exit 1; }
+./_build/default/tools/trace/shoalpp_trace.exe "$out/mc.jsonl" > "$out/mc_report.txt" \
+  || { echo "check failed: multicore commit sequences diverged" >&2; cat "$out/mc_report.txt" >&2; exit 1; }
+grep -q 'commit sequence: consistent' "$out/mc_report.txt" \
+  || { echo "check failed: multicore analyzer consistency line missing" >&2; exit 1; }
+
+# Node-bench guard: a short re-run of the domains sweep must keep every
+# machine-independent behaviour field clean (audit consistent, zero
+# duplicate orders, zero pool exceptions), and the committed
+# BENCH_node.json must carry the same guarantees plus the recorded >= 1.5x
+# ordered-tps speedup at its top domain count. Absolute tx/s are never
+# asserted — they are this machine's, not the code's.
+BENCH_NODE_OUT="$out/node_bench.json" BENCH_NODE_DURATION_S=2 \
+  BENCH_NODE_LOAD=20000 BENCH_NODE_DOMAINS=1,2 \
+  timeout 120 ./_build/default/bench/main.exe node >/dev/null \
+  || { echo "check failed: node bench did not complete" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$out/node_bench.json" BENCH_node.json <<'EOF' || { echo "check failed: BENCH_node.json malformed or behaviour regressed" >&2; exit 1; }
+import json, sys
+fresh = json.load(open(sys.argv[1]))
+committed = json.load(open(sys.argv[2]))
+for which, doc in (("fresh", fresh), ("committed", committed)):
+    assert doc["schema"] == "shoalpp-bench-node/1", f"{which}: bad schema"
+    assert doc["runs"], f"{which}: no runs"
+    for r in doc["runs"]:
+        tag = f"{which} domains={r['domains']}"
+        assert r["audit_consistent"] is True, f"{tag}: audit failed"
+        assert r["duplicate_orders"] == 0, f"{tag}: duplicate orders"
+        assert r["pool_work_exceptions"] == 0, f"{tag}: pool exceptions"
+        assert r["behaviour_ok"] is True, f"{tag}: behaviour flag"
+        assert r["committed"] > 0, f"{tag}: committed nothing"
+        assert r["k_dags"] == 3, f"{tag}: unexpected DAG count"
+assert [r["domains"] for r in committed["runs"]] == [1, 2, 4], "committed sweep shape changed"
+sp = committed["speedup_vs_1"]
+assert sp["ratio"] >= 1.5, f"committed speedup {sp['ratio']:.2f}x < 1.5x"
+print(f"node bench guard: behaviour clean at domains {[r['domains'] for r in fresh['runs']]}, "
+      f"committed speedup {sp['ratio']:.2f}x at {sp['domains']} domains")
+EOF
+else
+  grep -q '"behaviour_ok":true' "$out/node_bench.json" \
+    || { echo "check failed: node bench behaviour flag missing" >&2; exit 1; }
+fi
+
 # Perf re-run guard: the full sweep (same durations as the committed
 # BENCH_perf.json) must finish inside a generous ceiling with all audits
 # passing, and the n=50 gcp10 run is held to within 10% of the committed
@@ -180,4 +237,4 @@ else
     || { echo "check failed: BENCH_perf.json has no passing audit" >&2; exit 1; }
 fi
 
-echo "check: build + tests + docs + observability/scenario + node + live scrape + trace analysis + perf smoke OK"
+echo "check: build + tests + docs + observability/scenario + node + live scrape + trace analysis + multicore + node bench + perf smoke OK"

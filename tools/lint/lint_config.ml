@@ -102,5 +102,25 @@ let default =
              whole runs); timings are reported, never fed back into \
              simulated behaviour";
         };
+        {
+          a_path = "lib/dag/validation.ml";
+          a_rule = "effect-confinement";
+          a_reason =
+            "a Mutex guarding the digest-binding memo, nothing else: the \
+             cache is shared by the multicore node's lane domains, and a \
+             lock around a pure memo cannot change any verdict — only \
+             whether a digest is recomputed. Verdicts stay a function of \
+             (committee, message), so determinism is unaffected";
+        };
+        {
+          a_path = "lib/workload/mempool.ml";
+          a_rule = "effect-confinement";
+          a_reason =
+            "a Mutex making each queue operation atomic: a replica's client \
+             submits on one DAG-lane domain while its k proposers pull on \
+             every lane domain. FIFO order and all counts are unchanged — \
+             the lock serializes exactly the interleavings a single domain \
+             already produced, and the simulator pays one uncontended lock";
+        };
       ];
   }
