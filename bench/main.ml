@@ -14,6 +14,7 @@
      dune exec bench/main.exe timeouts    # round-timeout ablation
      dune exec bench/main.exe perf        # hot-path sweep -> BENCH_perf.json
      dune exec bench/main.exe node        # realtime node vs --domains -> BENCH_node.json
+     dune exec bench/main.exe net         # sim vs realtime TCP+gcp10 -> BENCH_net.json
      dune exec bench/main.exe micro       # bechamel micro-benchmarks
    Environment: BENCH_N (replicas, default 16), BENCH_DURATION_S (default 20).
 
@@ -756,6 +757,157 @@ let node_bench () =
   note "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* net: simulation vs realtime sockets under the same geography.
+
+   The same Shoal++ configuration and gcp10 placement is run twice per
+   offered load: once on the deterministic simulator (the paper-facing
+   numbers) and once as a real process over TCP sockets with the per-link
+   delay shim emulating the same region RTTs — with write coalescing off
+   and on. The table this prints (and BENCH_net.json) is the sim-vs-real
+   comparison EXPERIMENTS.md commits: latency should agree to within the
+   socket stack's overhead, and coalescing should cut flushes (syscalls)
+   without moving the commit latency.
+
+   Environment: BENCH_NET_N (replicas, default 10 — the paper's region
+   count; raise toward 50 for the scaling sweep), BENCH_NET_LOADS
+   (default "100,300,1000" tx/s), BENCH_NET_DURATION_S (default 5),
+   BENCH_NET_COALESCE_US (default "0,500"), BENCH_NET_OUT. *)
+
+let net_bench () =
+  section "net: sim vs realtime TCP under gcp10 (latency vs load)";
+  let module Json = Shoalpp_runtime.Export.Json in
+  let module Node = Shoalpp_runtime.Node in
+  let module Config = Shoalpp_core.Config in
+  let module Committee = Shoalpp_dag.Committee in
+  let module Topology = Shoalpp_sim.Topology in
+  let geti name default =
+    match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+  in
+  let getl name default =
+    match Sys.getenv_opt name with
+    | Some s -> List.map float_of_string (String.split_on_char ',' s)
+    | None -> default
+  in
+  let n = geti "BENCH_NET_N" 10 in
+  let seed = 42 in
+  let loads = getl "BENCH_NET_LOADS" [ 100.0; 300.0; 1_000.0 ] in
+  let coalesce_variants = getl "BENCH_NET_COALESCE_US" [ 0.0; 500.0 ] in
+  let duration_ms =
+    1000.0
+    *. (match Sys.getenv_opt "BENCH_NET_DURATION_S" with
+       | Some s -> float_of_string s
+       | None -> 5.0)
+  in
+  let warmup_ms = Float.min 1_000.0 (duration_ms /. 5.0) in
+  let row ~mode ~load (r : Report.t) extras =
+    ( [
+        Printf.sprintf "%.0f" load;
+        mode;
+        string_of_int r.Report.committed;
+        Printf.sprintf "%.0f" r.Report.committed_tps;
+        Printf.sprintf "%.0f" r.Report.latency_p50;
+        Printf.sprintf "%.0f" r.Report.latency_p75;
+      ]
+      @ extras,
+      Json.Obj
+        ([
+           ("mode", Json.Str mode);
+           ("n", Json.Int n);
+           ("load_tps", Json.Float load);
+           ("duration_ms", Json.Float duration_ms);
+           ("seed", Json.Int seed);
+           ("submitted", Json.Int r.Report.submitted);
+           ("committed", Json.Int r.Report.committed);
+           ("committed_tps", Json.Float r.Report.committed_tps);
+           ("latency_p50_ms", Json.Float r.Report.latency_p50);
+           ("latency_p75_ms", Json.Float r.Report.latency_p75);
+         ]) )
+  in
+  let sim_run load =
+    let params =
+      {
+        E.default_params with
+        E.n;
+        load_tps = load;
+        duration_ms;
+        warmup_ms;
+        topology = E.Gcp10;
+        seed;
+      }
+    in
+    let o = E.run E.Shoalpp params in
+    if not o.E.audit_ok then note "WARNING: sim audit failed at load %.0f\n" load;
+    row ~mode:"sim" ~load o.E.report [ "-"; "-" ]
+  in
+  let realtime_run load coalesce_us =
+    let committee = Committee.make ~n ~cluster_seed:seed () in
+    let protocol = Config.shoalpp ~committee in
+    let setup =
+      {
+        (Node.default_setup ~protocol) with
+        Node.load_tps = load;
+        warmup_ms;
+        seed;
+        transport = Node.Tcp 0;
+        coalesce_us;
+        delays_ms = Some (Topology.delay_matrix (Topology.gcp10 ()) ~n);
+      }
+    in
+    let node = Node.create setup in
+    Node.run node ~duration_ms;
+    let report = Node.report node ~duration_ms in
+    let audit = Node.audit node in
+    if not (audit.Node.consistent_prefixes && audit.Node.duplicate_orders = 0) then
+      note "WARNING: realtime audit failed at load %.0f coalesce %.0f\n" load coalesce_us;
+    let ns = Option.get (Node.tcp_net_stats node) in
+    let mode = Printf.sprintf "tcp+gcp10/c%.0fus" coalesce_us in
+    let txt, json =
+      row ~mode ~load report
+        [
+          string_of_int ns.Shoalpp_backend.Tcp_transport.flushes;
+          string_of_int ns.Shoalpp_backend.Tcp_transport.coalesced_frames;
+        ]
+    in
+    let json =
+      match json with
+      | Json.Obj fields ->
+        Json.Obj
+          (fields
+          @ [
+              ("coalesce_us", Json.Float coalesce_us);
+              ("flushes", Json.Int ns.Shoalpp_backend.Tcp_transport.flushes);
+              ("coalesced_frames", Json.Int ns.Shoalpp_backend.Tcp_transport.coalesced_frames);
+              ("audit_consistent", Json.Bool audit.Node.consistent_prefixes);
+              ("duplicate_orders", Json.Int audit.Node.duplicate_orders);
+            ])
+      | other -> other
+    in
+    (txt, json)
+  in
+  let results =
+    List.concat_map
+      (fun load ->
+        sim_run load :: List.map (fun c -> realtime_run load c) coalesce_variants)
+      loads
+  in
+  Tablefmt.print
+    ~header:[ "load tx/s"; "mode"; "committed"; "tx/s"; "p50 ms"; "p75 ms"; "flushes"; "coalesced" ]
+    (List.map fst results);
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "shoalpp-bench-net/1");
+        ("runs", Json.List (List.map snd results));
+      ]
+  in
+  let out = Option.value ~default:"BENCH_net.json" (Sys.getenv_opt "BENCH_NET_OUT") in
+  let oc = open_out out in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks for the substrate. *)
 
 let micro () =
@@ -845,6 +997,7 @@ let () =
     | "a2a" -> a2a ()
     | "perf" -> perf ()
     | "node" -> node_bench ()
+    | "net" -> net_bench ()
     | "micro" -> micro ()
     | "all" ->
       t1 ();
@@ -859,7 +1012,7 @@ let () =
       micro ()
     | other ->
       Printf.eprintf
-        "unknown bench %S (t1|fig5|fig6|fig7|fig8|failures|kdags|timeouts|a2a|perf|node|micro|all)\n"
+        "unknown bench %S (t1|fig5|fig6|fig7|fig8|failures|kdags|timeouts|a2a|perf|node|net|micro|all)\n"
         other;
       exit 2
   in

@@ -26,17 +26,79 @@ let write_file path f =
     Printf.eprintf "shoalpp_node: cannot write %s (%s)\n" path msg;
     exit 1
 
-type transport_arg = Inproc | Uds
+type transport_arg = Inproc | Uds | Tcp
 
 let transport_conv =
   let parse s =
     match String.lowercase_ascii s with
     | "inproc" | "loopback" -> Ok Inproc
     | "uds" -> Ok Uds
-    | other -> Error (`Msg (Printf.sprintf "unknown transport %S (inproc | uds)" other))
+    | "tcp" -> Ok Tcp
+    | other -> Error (`Msg (Printf.sprintf "unknown transport %S (inproc | uds | tcp)" other))
   in
-  let print fmt t = Format.pp_print_string fmt (match t with Inproc -> "inproc" | Uds -> "uds") in
+  let print fmt t =
+    Format.pp_print_string fmt
+      (match t with Inproc -> "inproc" | Uds -> "uds" | Tcp -> "tcp")
+  in
   Arg.conv (parse, print)
+
+module Topology = Shoalpp_sim.Topology
+
+(* A topology file is "src dst one_way_ms" triples, one per line (blank
+   lines and #-comments skipped); unlisted pairs get 0 ms. Only the listed
+   direction is set, so asymmetric links are expressible. *)
+let parse_topology_file ~n path =
+  let d = Array.make_matrix n n 0.0 in
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let err = ref None and lineno = ref 0 in
+        (try
+           while !err = None do
+             incr lineno;
+             let line = String.trim (input_line ic) in
+             if line <> "" && line.[0] <> '#' then
+               match Scanf.sscanf line " %d %d %f" (fun s t ms -> (s, t, ms)) with
+               | src, dst, ms ->
+                 if src < 0 || src >= n || dst < 0 || dst >= n then
+                   err := Some (Printf.sprintf "%s:%d: replica out of range 0..%d" path !lineno (n - 1))
+                 else if not (Float.is_finite ms) || ms < 0.0 then
+                   err := Some (Printf.sprintf "%s:%d: delay must be finite and >= 0" path !lineno)
+                 else d.(src).(dst) <- ms
+               | exception Scanf.Scan_failure _ | exception Failure _ ->
+                 err := Some (Printf.sprintf "%s:%d: expected 'src dst one_way_ms'" path !lineno)
+           done
+         with End_of_file -> ());
+        match !err with Some m -> Error m | None -> Ok d)
+
+(* --topology SPEC -> n x n one-way delay matrix for the geography shim.
+   Named topologies place replicas round-robin across regions, exactly as
+   the simulator does, so a sim run and a realtime run of the same spec see
+   the same per-link delays. *)
+let parse_topology ~n spec =
+  let named t = Ok (Topology.delay_matrix t ~n) in
+  match String.split_on_char ':' spec with
+  | [ "gcp10" ] -> named (Topology.gcp10 ())
+  | [ "uniform"; ms ] -> (
+    match float_of_string_opt ms with
+    | Some d when Float.is_finite d && d >= 0.0 -> named (Topology.uniform ~delay_ms:d)
+    | _ -> Error (Printf.sprintf "bad uniform delay %S (want uniform:MS)" ms))
+  | [ "clique"; rest ] -> (
+    match String.split_on_char ',' rest with
+    | [ r; ms ] -> (
+      match (int_of_string_opt r, float_of_string_opt ms) with
+      | Some regions, Some one_way_ms when regions > 0 && Float.is_finite one_way_ms && one_way_ms >= 0.0
+        ->
+        named (Topology.clique ~regions ~one_way_ms)
+      | _ -> Error (Printf.sprintf "bad clique spec %S (want clique:REGIONS,MS)" rest))
+    | _ -> Error (Printf.sprintf "bad clique spec %S (want clique:REGIONS,MS)" rest))
+  | _ when Sys.file_exists spec -> parse_topology_file ~n spec
+  | _ ->
+    Error
+      (Printf.sprintf "unknown topology %S (gcp10 | uniform:MS | clique:REGIONS,MS | FILE)" spec)
 
 let is_replica_sock f =
   Filename.check_suffix f ".sock"
@@ -58,7 +120,8 @@ let cleanup_uds_dir ~created dir =
   if created then try Sys.rmdir dir with Sys_error _ -> ()
 
 let run n duration load warmup timeout link_delay seed no_verify domains verify_delay
-    transport uds_dir trace_out metrics_out admin_port ledger_tail =
+    transport uds_dir tcp_port coalesce_us topology trace_out metrics_out admin_port
+    ledger_tail =
   let committee = Committee.make ~n ~cluster_seed:seed () in
   let protocol =
     let p = Config.shoalpp ~committee in
@@ -79,6 +142,17 @@ let run n duration load warmup timeout link_delay seed no_verify domains verify_
       in
       if not (Sys.file_exists dir) then Unix.mkdir dir 0o700;
       (Node.Uds dir, fun () -> cleanup_uds_dir ~created dir)
+    | Tcp -> (Node.Tcp tcp_port, fun () -> ())
+  in
+  let delays_ms =
+    match topology with
+    | None -> None
+    | Some spec -> (
+      match parse_topology ~n spec with
+      | Ok d -> Some d
+      | Error msg ->
+        Printf.eprintf "shoalpp_node: --topology: %s\n" msg;
+        exit 1)
   in
   let trace = if trace_out <> None then Some (Trace.create ~enabled:true ~capacity:65536 ()) else None in
   let setup =
@@ -89,18 +163,32 @@ let run n duration load warmup timeout link_delay seed no_verify domains verify_
       seed;
       transport;
       link_delay_ms = link_delay;
+      coalesce_us = Float.max 0.0 coalesce_us;
+      delays_ms;
       trace;
       domains = max 1 domains;
       verify_delay_us = Float.max 0.0 verify_delay;
     }
   in
   let node = Node.create setup in
-  Format.printf "shoalpp_node: %d replicas, %s transport, %.0f tps for %.0f ms%s@." n
-    (match transport with Node.Inproc -> "loopback" | Node.Uds d -> "uds:" ^ d)
+  Format.printf "shoalpp_node: %d replicas, %s transport, %.0f tps for %.0f ms%s%s%s@." n
+    (match transport with
+    | Node.Inproc -> "loopback"
+    | Node.Uds d -> "uds:" ^ d
+    | Node.Tcp p -> Printf.sprintf "tcp:%d" p)
     load duration
     (if setup.Node.domains > 1 then
        Printf.sprintf ", %d domains (per-DAG executors + verify pool)" setup.Node.domains
-     else "");
+     else "")
+    (if setup.Node.coalesce_us > 0.0 then
+       Printf.sprintf ", coalesce %.0f us" setup.Node.coalesce_us
+     else "")
+    (match topology with Some s -> ", topology " ^ s | None -> "");
+  (match Node.tcp_ports node with
+  | Some ports ->
+    Format.printf "tcp ports: %s@."
+      (String.concat "," (Array.to_list (Array.map string_of_int ports)))
+  | None -> ());
   (* Live observability plane: scrape endpoints served off the same select
      loop that drives consensus, with repeating gauge refreshes so a
      mid-run scrape sees current values rather than the shutdown snapshot. *)
@@ -150,6 +238,12 @@ let run n duration load warmup timeout link_delay seed no_verify domains verify_
       (Shoalpp_backend.Verify_pool.executed pool)
       (Shoalpp_backend.Verify_pool.stolen pool)
       (Shoalpp_backend.Verify_pool.work_exceptions pool)
+  | None -> ());
+  (match Node.tcp_net_stats node with
+  | Some s ->
+    Format.printf "tcp: %d flushes, %d coalesced frames, %d reconnects, %d dial failures@."
+      s.Shoalpp_backend.Tcp_transport.flushes s.Shoalpp_backend.Tcp_transport.coalesced_frames
+      s.Shoalpp_backend.Tcp_transport.reconnects s.Shoalpp_backend.Tcp_transport.dial_failures
   | None -> ());
   if Ledger.recorded (Node.ledger node) > 0 then begin
     Format.printf "per-commit stage attribution (stage x rule x dag, ms):@.";
@@ -238,7 +332,8 @@ let cmd =
     Arg.(
       value
       & opt transport_conv Inproc
-      & info [ "transport" ] ~doc:"Message transport: inproc (loopback) | uds (Unix sockets).")
+      & info [ "transport" ]
+          ~doc:"Message transport: inproc (loopback) | uds (Unix sockets) | tcp (127.0.0.1).")
   in
   let uds_dir =
     Arg.(
@@ -246,6 +341,36 @@ let cmd =
       & opt (some string) None
       & info [ "uds-dir" ] ~docv:"DIR"
           ~doc:"Socket directory for --transport uds (default: fresh temp dir, removed on exit).")
+  in
+  let tcp_port =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "tcp-port" ] ~docv:"PORT"
+          ~doc:
+            "Base port for --transport tcp: replica i listens on PORT+i. 0 (default) lets the \
+             kernel pick each port (printed at startup).")
+  in
+  let coalesce_us =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "coalesce-us" ] ~docv:"US"
+          ~doc:
+            "TCP write coalescing: aggregate frames to one peer for up to US microseconds (or \
+             64 KiB, whichever first) and flush them as a single write. 0 (default) flushes \
+             every frame immediately. TCP_NODELAY is always set.")
+  in
+  let topology =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "topology" ] ~docv:"SPEC"
+          ~doc:
+            "Geography shim: add per-(src,dst) one-way delays to every message, over any \
+             transport. SPEC is gcp10 (the paper's 10-region GCP RTT matrix, replicas placed \
+             round-robin) | uniform:MS | clique:REGIONS,MS | a file of 'src dst one_way_ms' \
+             lines.")
   in
   let trace_out =
     Arg.(
@@ -281,7 +406,7 @@ let cmd =
        ~doc:"Run a real-time Shoal++ cluster (wall clock, loopback or Unix-domain sockets)")
     Term.(
       const run $ n $ duration $ load $ warmup $ timeout $ link_delay $ seed $ no_verify
-      $ domains $ verify_delay $ transport $ uds_dir $ trace_out $ metrics_out $ admin_port
-      $ ledger_tail)
+      $ domains $ verify_delay $ transport $ uds_dir $ tcp_port $ coalesce_us $ topology
+      $ trace_out $ metrics_out $ admin_port $ ledger_tail)
 
 let () = exit (Cmd.eval cmd)

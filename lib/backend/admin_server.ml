@@ -36,9 +36,20 @@ let forget_conn t conn =
   t.conns <- List.filter (fun fd -> not (Stdlib.( == ) fd conn)) t.conns;
   try Unix.close conn with Unix.Unix_error _ -> ()
 
-(* Switch the connection from reading to draining [data], then close. *)
+(* Switch the connection from parsing to draining [data], then close. The
+   read side stays registered but now just discards whatever the client is
+   still sending (trailing headers of a request we already answered):
+   closing a socket with unread inbound bytes raises RST on many stacks,
+   which can destroy the response still sitting in the client's receive
+   buffer. *)
 let start_write t conn data =
-  Backend_realtime.remove_poller t.exec conn;
+  let scratch = Bytes.create 1024 in
+  Backend_realtime.add_poller t.exec conn (fun () ->
+      match Unix.read conn scratch 0 (Bytes.length scratch) with
+      | 0 -> Backend_realtime.remove_poller t.exec conn
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> Backend_realtime.remove_poller t.exec conn);
   let off = ref 0 in
   let len = String.length data in
   let rec flush () =
@@ -86,23 +97,14 @@ let handle_request t conn raw =
   | _ ->
     respond t conn ~status:400 ~reason:"Bad Request" ~content_type:"text/plain" "bad request\n"
 
-(* Contains "\r\n\r\n" (or bare "\n\n"): the header block is complete —
-   GET requests carry no body, so the request is complete too. *)
-let request_complete s =
-  let n = String.length s in
-  let rec scan i =
-    if i + 1 >= n then false
-    else if Char.equal s.[i] '\n' && Char.equal s.[i + 1] '\n' then true
-    else if
-      i + 3 < n
-      && Char.equal s.[i] '\r'
-      && Char.equal s.[i + 1] '\n'
-      && Char.equal s.[i + 2] '\r'
-      && Char.equal s.[i + 3] '\n'
-    then true
-    else scan (i + 1)
-  in
-  scan 0
+(* The request LINE is complete at the first LF (CRLF or bare LF): GET
+   requests carry no body and every header is ignored, so nothing later in
+   the stream can change the response. Waiting for the full blank-line
+   terminator instead would wedge header-less probes (`printf 'GET
+   /health\r\n' | nc`) and delay answering a slow client for no benefit;
+   bytes are buffered per connection until that first LF arrives, however
+   many short reads it takes. *)
+let request_line_complete s = String.index_opt s '\n' <> None
 
 let on_readable t conn acc buf () =
   match Unix.read conn buf 0 (Bytes.length buf) with
@@ -114,7 +116,7 @@ let on_readable t conn acc buf () =
         "request too large\n"
     else begin
       let raw = Buffer.contents acc in
-      if request_complete raw then handle_request t conn raw
+      if request_line_complete raw then handle_request t conn raw
     end
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
   | exception Unix.Unix_error _ -> forget_conn t conn

@@ -13,8 +13,15 @@
       executor's read/write pollers and the server never blocks the loop
       that also drives consensus — a stalled scraper's connection idles
       without backpressure on the protocol;
-    - one request per connection (HTTP/1.0, [Connection: close]): read
-      until the header block completes, write the whole response, close;
+    - one request per connection (HTTP/1.0, [Connection: close]): bytes
+      buffer per connection across short reads until the request line's
+      first LF arrives — a request split over any number of TCP segments
+      parses identically to one delivered whole, and header-less probes
+      (a bare [GET /path] line) are answered rather than wedged. Headers
+      are ignored (GET has no body), the whole response is written, then
+      the connection closes — with inbound bytes drained meanwhile, so a
+      client still sending headers never sees its response destroyed by a
+      reset;
     - requests are bounded ([8 KiB]) and only [GET] is served; anything
       else is answered with the matching 4xx status, never dropped
       silently;

@@ -28,7 +28,16 @@ type t = {
   mutable loop_domain : unit Domain.t option; (* spawned by run_in_domain *)
 }
 
+(* A write to a peer that died arrives as EPIPE only if SIGPIPE is ignored;
+   the default disposition would kill the whole process the first time a
+   transport writes into a reset connection. Ignored once, process-wide, by
+   the first executor — every realtime I/O path (UDS, TCP, admin) relies on
+   seeing the errno instead. *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
 let create ?(max_tick_ms = 50.0) ?origin_of () =
+  Lazy.force ignore_sigpipe;
   let wake_r, wake_w = Unix.pipe () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
@@ -355,6 +364,33 @@ let multicore_loopback ~n () =
           partitioned = 0;
           bytes = float_of_int (Atomic.get bytes);
         });
+  }
+
+(* Per-link delay shim: emulate a geography over any transport by holding
+   each message on a sender-side timer for the link's one-way delay before
+   handing it to the inner transport. Constant per-(src,dst) delays plus
+   the (due-time, scheduling-order) timer order preserve per-link FIFO, so
+   wrapping cannot reorder a stream — it only shifts it in time. Counters
+   are the inner transport's: a delayed message is charged when it is
+   actually handed over. *)
+let delayed t ~delay_ms (inner : 'msg Backend.Transport.t) =
+  let timers = timers t in
+  let send ~src ~dst ~size msg =
+    let d = delay_ms ~src ~dst in
+    if d <= 0.0 then inner.Backend.Transport.send ~src ~dst ~size msg
+    else
+      ignore
+        (timers.Backend.Timers.schedule ~after:d (fun () ->
+             inner.Backend.Transport.send ~src ~dst ~size msg))
+  in
+  {
+    inner with
+    Backend.Transport.send;
+    broadcast =
+      (fun ~src ~size ~include_self msg ->
+        for dst = 0 to inner.Backend.Transport.n - 1 do
+          if include_self || dst <> src then send ~src ~dst ~size msg
+        done);
   }
 
 module Framing = struct

@@ -26,7 +26,10 @@
       the read side of the loop;
     - per-sender FIFO order is preserved by both transports (equal
       due-times fire in scheduling order; stream sockets preserve byte
-      order). *)
+      order);
+    - the first {!create} ignores [SIGPIPE] process-wide: a write into a
+      reset connection must surface as [EPIPE] for the transports'
+      teardown paths, never kill the process. *)
 
 type t
 (** The executor: clock origin, timer heap, and I/O poller registry. *)
@@ -102,6 +105,19 @@ val multicore_loopback : n:int -> unit -> 'msg Backend.Transport.t
     multicore node's handlers only enqueue a {!Verify_pool} job. Install
     all handlers before the first foreign-domain send (the lane executors'
     [Domain.spawn] is the publication point). *)
+
+val delayed :
+  t ->
+  delay_ms:(src:int -> dst:int -> float) ->
+  'msg Backend.Transport.t ->
+  'msg Backend.Transport.t
+(** Per-link delay shim over any transport: each [send] is held on a
+    sender-side timer for [delay_ms ~src ~dst] milliseconds before being
+    handed to the inner transport, so one machine can emulate a
+    geo-distributed deployment (e.g. the paper's gcp10 topology) over real
+    sockets. Constant per-link delays preserve per-(src, dst) FIFO order;
+    stats are the inner transport's. A zero or negative delay sends
+    immediately with no timer hop. *)
 
 module Framing : sig
   (** Length-prefixed frames over a byte stream: a 4-byte big-endian body

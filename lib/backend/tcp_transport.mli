@@ -1,0 +1,81 @@
+(** Length-prefixed TCP transport with per-peer write coalescing and lazy
+    reconnect, for {!Backend_realtime}.
+
+    Replica [i] listens on [host:(base_port + i)] ([base_port = 0] lets the
+    kernel pick each port; read the result back with {!ports}). Frames are
+    the same {!Backend_realtime.Framing} format as the UDS transport — a
+    4-byte big-endian body length, then a {!Shoalpp_codec.Wire} body of
+    [(uint src; bytes payload)] — so one socket per (process, destination)
+    suffices and the receiver learns the sender from the frame.
+
+    Two behaviours distinguish it from the UDS path:
+
+    - {b Write coalescing}: with [coalesce_us > 0], frames to one peer
+      accumulate in a pending buffer and are flushed as a single aggregated
+      write when 64 KiB accumulate or the latency budget expires, whichever
+      comes first — many small protocol messages per syscall, the real-time
+      analogue of the simulator's region-batched broadcast. [TCP_NODELAY]
+      is set so the kernel never stacks a Nagle delay on top.
+    - {b Lazy reconnect}: outbound connections are dialed non-blockingly on
+      first use; a failed dial or torn-down stream drops the queued frames
+      (counted in [stats.dropped]), doubles the peer's retry delay (10 ms
+      base, 2 s cap), and a later send past the deadline re-dials. A
+      restarted peer is re-adopted without the sender ever blocking.
+
+    Invariants:
+    - [send] never blocks and never invokes a message handler inline: all
+      socket I/O happens on the executor's select loop;
+    - per-(src, dst) frame order is preserved: coalescing concatenates in
+      send order, the stream preserves byte order, and the decoder yields
+      frames in stream order (order restarts on reconnect — frames lost to
+      a teardown are dropped, never reordered);
+    - outbound memory per peer is bounded (8 MiB); frames beyond the cap
+      are dropped and counted, exactly like the UDS transport. *)
+
+type 'msg t
+
+val create :
+  Backend_realtime.t ->
+  n:int ->
+  ?base_port:int ->
+  ?host:string ->
+  ?coalesce_us:float ->
+  encode:('msg -> string) ->
+  decode:(string -> 'msg option) ->
+  unit ->
+  'msg t
+(** Create listeners for all [n] replicas in this process.
+    @raise Unix.Unix_error with [EADDRINUSE] when a fixed [base_port] range
+    collides with another process — callers retry with a different base. *)
+
+val transport : 'msg t -> 'msg Backend.Transport.t
+(** The {!Backend.Transport} view: [send]/[broadcast] enqueue (and
+    coalesce), [set_handler] registers the per-replica inbound dispatch,
+    [stats] counts frames and declared payload bytes. *)
+
+val ports : 'msg t -> int array
+(** Actual listening ports, resolved after bind (useful with
+    [base_port = 0]). *)
+
+type net_stats = {
+  flushes : int;  (** aggregated writes handed to the kernel *)
+  coalesced_frames : int;
+      (** frames that shared a flush with at least one other frame *)
+  reconnects : int;
+      (** successful dials that followed a failure or teardown *)
+  dial_failures : int;  (** failed dials and mid-stream teardowns *)
+}
+
+val net_stats : 'msg t -> net_stats
+
+val crash_replica : 'msg t -> int -> unit
+(** Test hook: close replica [i]'s listener and every connection it has
+    accepted, as if its process died. Peers' next writes fail and enter
+    backoff. *)
+
+val restart_replica : 'msg t -> int -> unit
+(** Test hook: re-listen on replica [i]'s original port after
+    {!crash_replica}. Peers re-dial lazily once their backoff expires. *)
+
+val shutdown : 'msg t -> unit
+(** Close every listener, accepted connection and outbound connection. *)

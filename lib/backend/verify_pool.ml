@@ -154,13 +154,26 @@ let run_inline t ~work ~k =
       if raised then t.work_exns <- t.work_exns + 1);
   try k ok with _ -> with_mu t (fun () -> t.sink_exns <- t.sink_exns + 1)
 
+(* The shutdown contract is a clean line through time: every job whose
+   submit returned before [shutdown] began is drained and delivered in
+   lane order; a submit that observes [closing] raises. Nothing is ever
+   silently dropped, and nothing runs inline on the submitter once a pool
+   has workers — an inline run would bypass the lane's reorder table and
+   could deliver ahead of that lane's still-parked predecessors. The
+   inline (workers = 0) mode keeps the same line: it raises on submit
+   after shutdown exactly like the pooled mode. *)
+let reject () = invalid_arg "Verify_pool.submit: pool is shut down"
+
 let submit t ~lane ~work ~k =
-  if Array.length t.domains = 0 then run_inline t ~work ~k
+  if Array.length t.domains = 0 then begin
+    if with_mu t (fun () -> t.closing) then reject ();
+    run_inline t ~work ~k
+  end
   else begin
     Mutex.lock t.mu;
     if t.closing then begin
       Mutex.unlock t.mu;
-      run_inline t ~work ~k
+      reject ()
     end
     else begin
       let ln = t.lanes.(lane) in
@@ -184,6 +197,7 @@ let shutdown t =
      its lane's contiguous prefix, so after the joins nothing is queued,
      in flight, or parked: [inflight = 0] and every sink has run. *)
 
+let closed t = with_mu t (fun () -> t.closing)
 let workers t = Array.length t.domains
 let executed t = with_mu t (fun () -> t.executed)
 let stolen t = with_mu t (fun () -> t.stolen)

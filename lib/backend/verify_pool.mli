@@ -24,9 +24,15 @@
     - every submitted job's [k] is invoked exactly once, even when [work]
       raises (the verdict is then [false]) — exceptions are counted, never
       propagated to a caller or a worker loop;
-    - after {!shutdown} returns, every previously submitted job has been
-      executed and delivered (the queue is drained, not discarded), and no
-      worker domain is running.
+    - shutdown draws a deterministic line: every job whose {!submit}
+      returned before {!shutdown} began is drained and delivered in lane
+      order; a {!submit} racing with or following {!shutdown} raises
+      [Invalid_argument] (in both pooled and inline modes) — a job is
+      never silently dropped and never executed out of lane order on the
+      submitting thread;
+    - after {!shutdown} returns, every accepted job has been executed and
+      delivered (the queue is drained, not discarded), and no worker
+      domain is running.
 
     Sinks ([k]) run on a worker domain (or the submitter when inline);
     they are expected to be cheap and thread-safe — in the node they just
@@ -39,13 +45,18 @@ val create : workers:int -> lanes:int -> t
     [workers = 0] means inline synchronous execution. *)
 
 val submit : t -> lane:int -> work:(unit -> bool) -> k:(bool -> unit) -> unit
-(** Enqueue a job. Thread-safe, callable from any domain. After
-    {!shutdown} (or with zero workers) the job runs inline in the calling
-    domain instead. *)
+(** Enqueue a job. Thread-safe, callable from any domain. With zero
+    workers the job runs inline before [submit] returns.
+    @raise Invalid_argument once {!shutdown} has begun (pooled and inline
+    modes alike) — check {!closed} first when a late message may race the
+    quiesce. *)
 
 val shutdown : t -> unit
 (** Drain every queue, deliver every parked completion, and join the
-    worker domains. Idempotent; subsequent {!submit}s run inline. *)
+    worker domains. Idempotent; subsequent {!submit}s raise. *)
+
+val closed : t -> bool
+(** True once {!shutdown} has begun; {!submit} raises from then on. *)
 
 val workers : t -> int
 (** Live worker domains (0 after {!shutdown} or for an inline pool). *)

@@ -15,8 +15,9 @@ module Obs = Shoalpp_sim.Obs
 module Validation = Shoalpp_dag.Validation
 module Verify_pool = Shoalpp_backend.Verify_pool
 module Crypto_cost = Shoalpp_backend.Crypto_cost
+module Tcp = Shoalpp_backend.Tcp_transport
 
-type transport = Inproc | Uds of string
+type transport = Inproc | Uds of string | Tcp of int
 
 type setup = {
   protocol : Config.t;
@@ -26,6 +27,8 @@ type setup = {
   seed : int;
   transport : transport;
   link_delay_ms : float;
+  coalesce_us : float;
+  delays_ms : float array array option;
   trace : Trace.t option;
   domains : int;
   verify_delay_us : float;
@@ -40,6 +43,8 @@ let default_setup ~protocol =
     seed = 1;
     transport = Inproc;
     link_delay_ms = 0.0;
+    coalesce_us = 0.0;
+    delays_ms = None;
     trace = None;
     domains = 1;
     verify_delay_us = 0.0;
@@ -68,6 +73,7 @@ type t = {
   setup : setup;
   exec : Realtime.t;
   backend : Replica.envelope Backend.t;
+  tcp : Replica.envelope Tcp.t option;
   mc : multicore option;
   mutable replicas : Replica.t array;
   mempools : Mempool.t array;
@@ -138,19 +144,42 @@ let create setup =
       stats = raw.Backend.Transport.stats;
     }
   in
-  let transport =
-    match (setup.transport, mc) with
-    | Inproc, None -> Realtime.loopback exec ~n ~delay_ms:setup.link_delay_ms ()
-    | Inproc, Some _ when setup.link_delay_ms = 0.0 -> Realtime.multicore_loopback ~n ()
-    | Inproc, Some _ ->
-      post_to_main (Realtime.loopback exec ~n ~delay_ms:setup.link_delay_ms ())
-    | Uds dir, mc_opt ->
-      let raw =
-        Realtime.uds exec ~n ~dir ~encode:encode_envelope
+  let tcp = ref None in
+  (* The multicore zero-delay loopback is the one transport safe to call
+     from a lane domain directly; anything else (socket pollers, the
+     delaying loopback, the delay shim's timers) owns single-domain state
+     and must be reached through [post_to_main]. *)
+  let mc_direct_loopback =
+    Option.is_some mc && setup.link_delay_ms = 0.0 && setup.delays_ms = None
+  in
+  let raw =
+    match setup.transport with
+    | Inproc when mc_direct_loopback -> Realtime.multicore_loopback ~n ()
+    | Inproc -> Realtime.loopback exec ~n ~delay_ms:setup.link_delay_ms ()
+    | Uds dir ->
+      Realtime.uds exec ~n ~dir ~encode:encode_envelope
+        ~decode:(decode_envelope ~cluster_seed:committee.Committee.cluster_seed)
+        ()
+    | Tcp base_port ->
+      let h =
+        Tcp.create exec ~n ~base_port ~coalesce_us:setup.coalesce_us
+          ~encode:encode_envelope
           ~decode:(decode_envelope ~cluster_seed:committee.Committee.cluster_seed)
           ()
       in
-      (match mc_opt with None -> raw | Some _ -> post_to_main raw)
+      tcp := Some h;
+      Tcp.transport h
+  in
+  (* Geography shim: per-(src,dst) one-way delays applied sender-side over
+     whatever transport is underneath. The timers live on the main loop, so
+     under [post_to_main] the delayed send itself already runs there. *)
+  let shimmed =
+    match setup.delays_ms with
+    | None -> raw
+    | Some d -> Realtime.delayed exec ~delay_ms:(fun ~src ~dst -> d.(src).(dst)) raw
+  in
+  let transport =
+    if Option.is_none mc || mc_direct_loopback then shimmed else post_to_main shimmed
   in
   (* Modeled verification service time ({!Crypto_cost}), charged per
      SIGNATURE rather than per message: one for the header / vote /
@@ -199,6 +228,7 @@ let create setup =
       setup;
       exec;
       backend;
+      tcp = !tcp;
       mc;
       replicas = [||];
       mempools;
@@ -301,7 +331,12 @@ let create setup =
       (fun rid replica ->
         Backend.set_handler backend rid (fun ~src env ->
             let dag_id = env.Replica.dag_id in
-            if dag_id >= 0 && dag_id < k then begin
+            (* The [closed] check makes the quiesce window benign: socket
+               transports can still deliver while the main loop drains after
+               {!Verify_pool.shutdown}, and a post-shutdown submit raises by
+               contract. Handler and shutdown both run on the main domain,
+               so the check cannot race. *)
+            if dag_id >= 0 && dag_id < k && not (Verify_pool.closed m.mc_pool) then begin
               let payload = env.Replica.payload in
               let pool_lane = (rid * k) + dag_id in
               Verify_pool.submit m.mc_pool ~lane:pool_lane
@@ -374,6 +409,8 @@ let run t ~duration_ms =
 
 let stop t = Realtime.stop t.exec
 let executor t = t.exec
+let tcp_ports t = Option.map Tcp.ports t.tcp
+let tcp_net_stats t = Option.map Tcp.net_stats t.tcp
 let backend t = t.backend
 let replicas t = t.replicas
 let metrics t = t.metrics

@@ -22,6 +22,12 @@ type transport =
   | Uds of string
       (** Unix-domain sockets in the given directory; every message crosses
           the codec (encode, frame, decode + signature re-check) *)
+  | Tcp of int
+      (** TCP on 127.0.0.1, replica [i] listening on [base_port + i]
+          ([0] lets the kernel pick; read back with {!tcp_ports}). Same
+          framing and codec path as [Uds], plus per-peer write coalescing
+          ([setup.coalesce_us]) and lazy reconnect with capped backoff
+          ({!Shoalpp_backend.Tcp_transport}). *)
 
 type setup = {
   protocol : Shoalpp_core.Config.t;
@@ -31,6 +37,15 @@ type setup = {
   seed : int;
   transport : transport;
   link_delay_ms : float;  (** loopback only: artificial per-message delay *)
+  coalesce_us : float;
+      (** TCP only: per-peer write-coalescing latency budget in
+          microseconds; [0] (default) flushes every frame immediately. *)
+  delays_ms : float array array option;
+      (** Optional geography shim: [d.(src).(dst)] one-way milliseconds
+          added sender-side to every message, over any transport
+          ({!Shoalpp_backend.Backend_realtime.delayed}). [None] (default)
+          adds nothing. Build one from a region topology with
+          {!Shoalpp_sim.Topology.delay_matrix}. *)
   trace : Shoalpp_sim.Trace.t option;
   domains : int;
       (** 1 (default): everything on the calling domain, exactly the
@@ -81,6 +96,16 @@ val stop : t -> unit
 (** Make a concurrent {!run} return after its current iteration. *)
 
 val executor : t -> Shoalpp_backend.Backend_realtime.t
+
+val tcp_ports : t -> int array option
+(** Listening ports of the TCP transport, [None] unless
+    [setup.transport = Tcp _]. Resolved after bind, so meaningful with
+    [Tcp 0]. *)
+
+val tcp_net_stats : t -> Shoalpp_backend.Tcp_transport.net_stats option
+(** Coalescing / reconnect counters of the TCP transport ([None]
+    otherwise). *)
+
 val backend : t -> Shoalpp_core.Replica.envelope Shoalpp_backend.Backend.t
 val replicas : t -> Shoalpp_core.Replica.t array
 val metrics : t -> Metrics.t

@@ -47,5 +47,11 @@ let one_way_ms t i j = t.one_way.(i).(j)
 
 let assign_round_robin t ~n = Array.init n (fun i -> i mod num_regions t)
 
+let delay_matrix t ~n =
+  let regions = assign_round_robin t ~n in
+  Array.init n (fun src ->
+      Array.init n (fun dst ->
+          if src = dst then 0.0 else one_way_ms t regions.(src) regions.(dst)))
+
 let max_one_way_ms t =
   Array.fold_left (fun acc row -> Array.fold_left Float.max acc row) 0.0 t.one_way

@@ -35,4 +35,11 @@ val assign_round_robin : t -> n:int -> int array
 (** Spread [n] replicas evenly across regions, replica [i] in region
     [i mod num_regions] — the paper's "spread evenly" placement. *)
 
+val delay_matrix : t -> n:int -> float array array
+(** Per-replica one-way delay matrix under the round-robin placement:
+    [d.(src).(dst)] is {!one_way_ms} between their regions, [0.0] on the
+    diagonal (a replica's messages to itself stay local). The form the
+    real-time node's geography shim consumes
+    ({!Shoalpp_runtime.Node.setup.delays_ms}). *)
+
 val max_one_way_ms : t -> float

@@ -14,6 +14,7 @@ type t = {
   mutable next_at : float;
   mutable generated : int;
   mutable stopped : bool;
+  mutable exhausted : bool;
 }
 
 (* Open-loop arrivals: the next submission time is [gap] after the
@@ -27,7 +28,17 @@ type t = {
    unchanged. *)
 let submit_one t =
   let id = !(t.next_id) in
-  t.next_id := id + t.stride;
+  (* Overflow guard: advancing past [max_int - stride] would wrap the id
+     space and collide with another lane's ids (stride-sharded spaces stay
+     disjoint only while ids grow monotonically). Submit this last
+     representable id, then stop the lane instead of wrapping. At any real
+     rate this is a day-scale-times-millions horizon, but the invariant is
+     "ids never repeat", not "runs are short". *)
+  if id > max_int - t.stride then begin
+    t.stopped <- true;
+    t.exhausted <- true
+  end
+  else t.next_id := id + t.stride;
   let tx =
     Transaction.make ~id ~size:t.tx_size
       ~submitted_at:(t.clock.Backend.Clock.now ())
@@ -54,7 +65,10 @@ let arm t =
 
 let start ~clock ~timers ~mempool ~origin ~rate_tps ?(tx_size = Transaction.default_size)
     ?(seed = 7) ?(next_id = ref 0) ?(stride = 1) () =
-  if rate_tps <= 0.0 then invalid_arg "Client.start: rate must be positive";
+  if not (Float.is_finite rate_tps && rate_tps > 0.0) then
+    invalid_arg "Client.start: rate must be finite and positive";
+  if stride < 1 then invalid_arg "Client.start: stride must be >= 1";
+  if !next_id < 0 then invalid_arg "Client.start: next_id must be >= 0";
   let t =
     {
       clock;
@@ -69,6 +83,7 @@ let start ~clock ~timers ~mempool ~origin ~rate_tps ?(tx_size = Transaction.defa
       next_at = clock.Backend.Clock.now ();
       generated = 0;
       stopped = false;
+      exhausted = false;
     }
   in
   arm t;
@@ -76,3 +91,4 @@ let start ~clock ~timers ~mempool ~origin ~rate_tps ?(tx_size = Transaction.defa
 
 let stop t = t.stopped <- true
 let generated t = t.generated
+let exhausted t = t.exhausted

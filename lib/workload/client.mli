@@ -10,7 +10,11 @@
     - the arrival process is a pure function of (rng, rate, horizon):
       identical seeds give identical submission times and sizes;
     - no transactions are generated after the configured stop/horizon, and
-      all scheduling goes through the injected backend timers. *)
+      all scheduling goes through the injected backend timers;
+    - transaction ids never repeat: stride-sharded id spaces stay disjoint
+      across client lanes at any horizon — a lane whose next id would
+      overflow [max_int] submits the last representable id and stops
+      ({!exhausted}) rather than wrapping into another lane's space. *)
 
 type t
 
@@ -30,7 +34,14 @@ val start :
     [next_id]: a shared counter keeps ids globally unique across replicas
     on one domain; the multicore node instead gives client [i] its own
     counter starting at [i] with [stride = n], so the id spaces are
-    disjoint without any cross-domain sharing. *)
+    disjoint without any cross-domain sharing.
+    @raise Invalid_argument when [rate_tps] is not finite and positive,
+    [stride < 1], or [!next_id < 0]. *)
 
 val stop : t -> unit
 val generated : t -> int
+
+val exhausted : t -> bool
+(** True once the lane stopped itself because the next id would have
+    overflowed [max_int] (the last representable id was submitted, none
+    were wrapped). Never true in practice at realistic horizons. *)

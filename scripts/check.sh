@@ -158,6 +158,44 @@ grep -Eq 'verify pool: [1-9][0-9]* jobs \([0-9]+ stolen, 0 exceptions\)' "$out/m
 grep -q 'commit sequence: consistent' "$out/mc_report.txt" \
   || { echo "check failed: multicore analyzer consistency line missing" >&2; exit 1; }
 
+# TCP transport smoke: the same 4-replica cluster over real TCP sockets
+# with write coalescing, on a FIXED base port (retrying a few bases, since
+# CI machines may hold ports) — the binary exits non-zero on a failed
+# audit, and the trace analyzer must find zero commit-sequence divergence,
+# i.e. the socket transport changed timing but never content.
+tcp_ok=""
+for base in 39140 39240 39340 39440 39540; do
+  if ./_build/default/bin/shoalpp_node.exe \
+      -n 4 --transport tcp --tcp-port "$base" --coalesce-us 500 \
+      --duration 4000 --load 300 --no-verify \
+      --trace-out "$out/tcp.jsonl" > "$out/tcp.out" 2>&1; then
+    tcp_ok=1; break
+  elif grep -q 'EADDRINUSE' "$out/tcp.out"; then
+    echo "check: tcp base port $base in use, retrying"
+  else
+    echo "check failed: tcp node run failed" >&2; cat "$out/tcp.out" >&2; exit 1
+  fi
+done
+[ -n "$tcp_ok" ] || { echo "check failed: no free tcp base port" >&2; exit 1; }
+grep -q 'audit: consistent logs, no duplicates' "$out/tcp.out" \
+  || { echo "check failed: tcp node audit line missing" >&2; exit 1; }
+grep -Eq 'tcp: [1-9][0-9]* flushes, [1-9][0-9]* coalesced frames' "$out/tcp.out" \
+  || { echo "check failed: tcp coalescing never engaged" >&2; cat "$out/tcp.out" >&2; exit 1; }
+./_build/default/tools/trace/shoalpp_trace.exe "$out/tcp.jsonl" > "$out/tcp_report.txt" \
+  || { echo "check failed: tcp commit sequences diverged" >&2; cat "$out/tcp_report.txt" >&2; exit 1; }
+grep -q 'commit sequence: consistent' "$out/tcp_report.txt" \
+  || { echo "check failed: tcp analyzer consistency line missing" >&2; exit 1; }
+
+# Geography smoke: n=10 over TCP with the paper's gcp10 delay matrix
+# applied per link (kernel-assigned ports). The run must pass its safety
+# audit under realistic heterogeneous latencies; the exit code carries it.
+./_build/default/bin/shoalpp_node.exe \
+  -n 10 --transport tcp --topology gcp10 --coalesce-us 500 \
+  --duration 5000 --load 300 --no-verify > "$out/tcp10.out" 2>&1 \
+  || { echo "check failed: n=10 tcp+gcp10 run failed" >&2; cat "$out/tcp10.out" >&2; exit 1; }
+grep -q 'audit: consistent logs, no duplicates' "$out/tcp10.out" \
+  || { echo "check failed: tcp+gcp10 audit line missing" >&2; exit 1; }
+
 # Node-bench guard: a short re-run of the domains sweep must keep every
 # machine-independent behaviour field clean (audit consistent, zero
 # duplicate orders, zero pool exceptions), and the committed
@@ -237,4 +275,4 @@ else
     || { echo "check failed: BENCH_perf.json has no passing audit" >&2; exit 1; }
 fi
 
-echo "check: build + tests + docs + observability/scenario + node + live scrape + trace analysis + multicore + node bench + perf smoke OK"
+echo "check: build + tests + docs + observability/scenario + node + live scrape + trace analysis + multicore + tcp + gcp10 shim + node bench + perf smoke OK"

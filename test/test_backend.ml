@@ -237,6 +237,81 @@ let test_admin_server_serves_routes () =
   (try Unix.close fd with Unix.Unix_error _ -> ());
   checkb "listener closed after stop" true refused
 
+(* Regression: request parsing must be a function of the byte stream, not
+   of how the kernel segments it. A request line trickling in one byte per
+   read, a request with no blank-line terminator, and a bare-LF line all
+   get the same 200 as a whole request; only a genuinely oversized request
+   is rejected. *)
+let test_admin_request_split_across_reads () =
+  let module Admin = Shoalpp_backend.Admin_server in
+  let exec = Realtime.create () in
+  let routes = [ ("/health", fun () -> { Admin.content_type = "text/plain"; body = "ok\n" }) ] in
+  let admin = Admin.start exec ~port:0 ~routes () in
+  let with_conn f =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Admin.port admin));
+        f fd)
+  in
+  let read_response fd =
+    Realtime.run_for exec ~duration_ms:60.0;
+    let b = Buffer.create 256 in
+    let buf = Bytes.create 4096 in
+    let rec drain () =
+      match Unix.read fd buf 0 4096 with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes b buf 0 n;
+        Realtime.run_for exec ~duration_ms:10.0;
+        drain ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    drain ();
+    Buffer.contents b
+  in
+  let status resp = if String.length resp >= 12 then String.sub resp 0 12 else resp in
+  (* One byte per segment, the server's loop driven between bytes so every
+     byte is a separate read. The request line alone suffices: the server
+     answers at its first LF (and HTTP/1.0 closes after the response, so a
+     client must not keep writing afterwards). *)
+  let resp =
+    with_conn (fun fd ->
+        String.iter
+          (fun ch ->
+            ignore (Unix.write fd (Bytes.make 1 ch) 0 1);
+            Realtime.run_for exec ~duration_ms:5.0)
+          "GET /health HTTP/1.0\r\n";
+        read_response fd)
+  in
+  checks "byte-at-a-time request answered" "HTTP/1.0 200" (status resp);
+  (* Request line only — no blank-line terminator ever arrives. *)
+  let resp =
+    with_conn (fun fd ->
+        let req = "GET /health HTTP/1.0\r\n" in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        read_response fd)
+  in
+  checks "header-less request answered" "HTTP/1.0 200" (status resp);
+  (* Bare LF line termination. *)
+  let resp =
+    with_conn (fun fd ->
+        let req = "GET /health HTTP/1.0\n" in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        read_response fd)
+  in
+  checks "bare-LF request answered" "HTTP/1.0 200" (status resp);
+  (* Oversized request without a line break: bounded buffering, 400. *)
+  let resp =
+    with_conn (fun fd ->
+        let junk = String.make 9000 'a' in
+        ignore (Unix.write_substring fd junk 0 (String.length junk));
+        read_response fd)
+  in
+  checks "oversized request rejected" "HTTP/1.0 400" (status resp);
+  Admin.stop admin
+
 let suite =
   [
     ( "backend.sim",
@@ -253,5 +328,7 @@ let suite =
         Alcotest.test_case "framing rejects corrupt input" `Quick test_framing_rejects_corrupt_stream;
         Alcotest.test_case "cluster run + safety audit" `Quick test_realtime_cluster_run;
         Alcotest.test_case "admin server serves routes" `Quick test_admin_server_serves_routes;
+        Alcotest.test_case "admin request split across reads" `Quick
+          test_admin_request_split_across_reads;
       ] );
   ]

@@ -131,11 +131,18 @@ let test_pool_shutdown_drains_queue () =
   checki "every queued job executed" jobs (Verify_pool.executed pool);
   checki "every completion delivered" jobs (List.length (log_items log));
   checki "worker domains joined" 0 (Verify_pool.workers pool);
-  (* After shutdown, submit runs inline in the caller. *)
-  let inline_ran = ref false in
-  Verify_pool.submit pool ~lane:0 ~work:(fun () -> true) ~k:(fun ok -> inline_ran := ok);
-  checkb "post-shutdown submit runs inline" true !inline_ran;
-  checki "inline job counted" (jobs + 1) (Verify_pool.executed pool)
+  (* The deterministic shutdown line: a submit past shutdown raises — a
+     job is never silently dropped and never run inline on the submitter
+     (which would bypass the lane reorder table). *)
+  checkb "pool reports closed" true (Verify_pool.closed pool);
+  let late_ran = ref false in
+  (match
+     Verify_pool.submit pool ~lane:0 ~work:(fun () -> true) ~k:(fun _ -> late_ran := true)
+   with
+  | () -> Alcotest.fail "post-shutdown submit must raise"
+  | exception Invalid_argument _ -> ());
+  checkb "late job neither executed nor delivered" false !late_ran;
+  checki "late job not counted" jobs (Verify_pool.executed pool)
 
 let test_pool_zero_workers_inline () =
   let pool = Verify_pool.create ~workers:0 ~lanes:1 in
@@ -148,7 +155,12 @@ let test_pool_zero_workers_inline () =
   checkb "inline pool delivers before submit returns" true
     (List.rev !order = [ (0, true); (1, false); (2, true); (3, false); (4, true) ]);
   checki "executed inline" 5 (Verify_pool.executed pool);
-  Verify_pool.shutdown pool
+  Verify_pool.shutdown pool;
+  (* Inline mode holds the same shutdown line as the pooled mode. *)
+  (match Verify_pool.submit pool ~lane:0 ~work:(fun () -> true) ~k:(fun _ -> ()) with
+  | () -> Alcotest.fail "inline post-shutdown submit must raise"
+  | exception Invalid_argument _ -> ());
+  checki "post-shutdown inline submit not executed" 5 (Verify_pool.executed pool)
 
 (* ------------------------------------------------------------------ *)
 (* Golden determinism: the commit sequence is the same function of the

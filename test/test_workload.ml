@@ -109,6 +109,57 @@ let test_client_timestamps_are_submission_times () =
       checkb "timestamp in run" true (t.Transaction.submitted_at > 0.0 && t.Transaction.submitted_at <= 2_000.0))
     (Mempool.pull m ~max:max_int)
 
+(* The open-loop guards: a rate must be finite and positive, shard
+   parameters must describe a real lane, and the id space never wraps —
+   a lane whose next id would overflow submits the last representable id
+   and stops itself instead of colliding with another lane's stride. *)
+let test_client_rejects_bad_parameters () =
+  let engine = Engine.create () in
+  let clock = Shoalpp_backend.Backend_sim.clock engine in
+  let timers = Shoalpp_backend.Backend_sim.timers engine in
+  let m = Mempool.create () in
+  let expect_invalid label f =
+    match f () with
+    | (_ : Client.t) -> Alcotest.fail (label ^ ": expected Invalid_argument")
+    | exception Invalid_argument _ -> ()
+  in
+  List.iter
+    (fun (label, rate) ->
+      expect_invalid label (fun () ->
+          Client.start ~clock ~timers ~mempool:m ~origin:0 ~rate_tps:rate ()))
+    [
+      ("zero rate", 0.0);
+      ("negative rate", -5.0);
+      ("nan rate", Float.nan);
+      ("infinite rate", Float.infinity);
+    ];
+  expect_invalid "zero stride" (fun () ->
+      Client.start ~clock ~timers ~mempool:m ~origin:0 ~rate_tps:10.0 ~stride:0 ());
+  expect_invalid "negative stride" (fun () ->
+      Client.start ~clock ~timers ~mempool:m ~origin:0 ~rate_tps:10.0 ~stride:(-3) ());
+  expect_invalid "negative next_id" (fun () ->
+      Client.start ~clock ~timers ~mempool:m ~origin:0 ~rate_tps:10.0 ~next_id:(ref (-1)) ())
+
+let test_client_id_overflow_stops_lane () =
+  let engine = Engine.create () in
+  let m = Mempool.create () in
+  let stride = 4 in
+  (* Two arrivals from exhaustion: the guard must submit the last
+     representable id of this lane, then stop — never wrap. *)
+  let start = max_int - stride - 1 in
+  let c =
+    Client.start
+      ~clock:(Shoalpp_backend.Backend_sim.clock engine)
+      ~timers:(Shoalpp_backend.Backend_sim.timers engine)
+      ~mempool:m ~origin:0 ~rate_tps:1000.0 ~seed:3 ~next_id:(ref start) ~stride ()
+  in
+  Engine.run ~until:60_000.0 engine;
+  checkb "lane stopped itself" true (Client.exhausted c);
+  let ids = List.map (fun (t : Transaction.t) -> t.Transaction.id) (Mempool.pull m ~max:max_int) in
+  checki "exactly the representable ids" 2 (List.length ids);
+  Alcotest.(check (list int)) "last id submitted, none wrapped" [ start; start + stride ] ids;
+  checkb "no negative (wrapped) ids" true (List.for_all (fun id -> id >= 0) ids)
+
 let suite =
   [
     ( "workload",
@@ -123,5 +174,7 @@ let suite =
         Alcotest.test_case "client unique ids" `Quick test_client_unique_ids_across_replicas;
         Alcotest.test_case "client stop" `Quick test_client_stop;
         Alcotest.test_case "client timestamps" `Quick test_client_timestamps_are_submission_times;
+        Alcotest.test_case "client rejects bad parameters" `Quick test_client_rejects_bad_parameters;
+        Alcotest.test_case "client id overflow stops lane" `Quick test_client_id_overflow_stops_lane;
       ] );
   ]

@@ -67,6 +67,9 @@ let default =
         "lib/sim/trace.ml";
         "lib/sim/obs.ml";
         "lib/codec/wire.ml";
+        (* socket emission: frame batches feed the wire, whose bytes the
+           cross-transport golden test compares — iteration must be stable *)
+        "lib/backend/tcp_transport.ml";
         (* commit paths that emit to the trace and the replica log *)
         "lib/baselines/jolteon.ml";
         "lib/baselines/mysticeti.ml";
