@@ -15,6 +15,7 @@
      dune exec bench/main.exe perf        # hot-path sweep -> BENCH_perf.json
      dune exec bench/main.exe node        # realtime node vs --domains -> BENCH_node.json
      dune exec bench/main.exe net         # sim vs realtime TCP+gcp10 -> BENCH_net.json
+     dune exec bench/main.exe mem         # retention vs checkpoint interval -> BENCH_mem.json
      dune exec bench/main.exe micro       # bechamel micro-benchmarks
    Environment: BENCH_N (replicas, default 16), BENCH_DURATION_S (default 20).
 
@@ -634,6 +635,109 @@ let perf () =
   note "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* mem — the bounded-memory lifecycle sweep: checkpoint interval x n,
+   written to BENCH_mem.json. Each point runs a cluster directly (not
+   through Experiment) so live heap words can be measured after a full
+   major collection while the cluster is still referenced — i.e. the
+   retained protocol state itself, not what happens to survive teardown.
+   Audit-log tracking is off: retaining every replica's full ordered log
+   for the audit is unbounded by design and would drown the store/WAL
+   retention the sweep measures.
+
+   Environment: BENCH_MEM_DURATION_S (default 10), BENCH_MEM_NS (default
+   "4,50"), BENCH_MEM_INTERVALS (default "0,12,48"; 0 = lifecycle off),
+   BENCH_MEM_LOAD (default 2000), BENCH_MEM_OUT (default BENCH_mem.json). *)
+
+let mem () =
+  section "mem: live retention vs checkpoint interval (bounded-memory lifecycle)";
+  let module Json = Shoalpp_runtime.Export.Json in
+  let module Cluster = Shoalpp_runtime.Cluster in
+  let module Config = Shoalpp_core.Config in
+  let module Committee = Shoalpp_dag.Committee in
+  let module Telemetry = Shoalpp_support.Telemetry in
+  let module Metrics = Shoalpp_runtime.Metrics in
+  let ints_env name default =
+    match Sys.getenv_opt name with
+    | None -> default
+    | Some s -> List.map int_of_string (String.split_on_char ',' s)
+  in
+  let duration_ms =
+    match Sys.getenv_opt "BENCH_MEM_DURATION_S" with
+    | Some s -> 1000.0 *. float_of_string s
+    | None -> 10_000.0
+  in
+  let load =
+    match Sys.getenv_opt "BENCH_MEM_LOAD" with Some s -> float_of_string s | None -> 2_000.0
+  in
+  let ns = ints_env "BENCH_MEM_NS" [ 4; 50 ] in
+  let intervals = ints_env "BENCH_MEM_INTERVALS" [ 0; 12; 48 ] in
+  let run_one n interval =
+    let committee = Committee.make ~n ~cluster_seed:42 () in
+    let protocol =
+      Config.with_checkpoint_interval
+        (Config.without_signature_checks (Config.shoalpp ~committee))
+        interval
+    in
+    let setup =
+      {
+        (Cluster.default_setup ~protocol) with
+        Cluster.topology = Shoalpp_sim.Topology.clique ~regions:4 ~one_way_ms:25.0;
+        load_tps = load;
+        seed = 42;
+        track_logs = false;
+      }
+    in
+    Gc.full_major ();
+    let live_before = (Gc.stat ()).Gc.live_words in
+    let cluster = Cluster.create setup in
+    let t0 = Unix.gettimeofday () in
+    Cluster.run cluster ~duration_ms;
+    let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+    (* The cluster is still live here: live_words - live_before is the
+       state the deployment retains at the end of the run. *)
+    Gc.full_major ();
+    let live_after = (Gc.stat ()).Gc.live_words in
+    let retained = max 0 (live_after - live_before) in
+    let snap = Telemetry.snapshot (Cluster.telemetry cluster) in
+    let committed = Metrics.committed (Cluster.metrics cluster) in
+    let pruned = Telemetry.snap_counter snap "gc.pruned_vertices" in
+    let certified = Telemetry.snap_counter snap "ck.certified" in
+    let events = Cluster.events_fired cluster in
+    ignore (Sys.opaque_identity cluster);
+    let events_per_sec = float_of_int events /. (wall_ms /. 1000.0) in
+    note "n=%-3d ck=%-3d wall %7.0f ms  %9.0f events/s  %6.1f Mw retained  %7d pruned  %4d ckpts\n"
+      n interval wall_ms events_per_sec
+      (float_of_int retained /. 1e6)
+      pruned certified;
+    Json.Obj
+      [
+        ("system", Json.Str "shoal++");
+        ("n", Json.Int n);
+        ("checkpoint_interval", Json.Int interval);
+        ("duration_ms", Json.Float duration_ms);
+        ("load_tps", Json.Float load);
+        ("seed", Json.Int 42);
+        ("wall_ms", Json.Float wall_ms);
+        ("events_fired", Json.Int events);
+        ("events_per_sec", Json.Float events_per_sec);
+        ("retained_live_words", Json.Int retained);
+        ("committed_txns", Json.Int committed);
+        ("pruned_vertices", Json.Int pruned);
+        ("checkpoints_certified", Json.Int certified);
+      ]
+  in
+  let runs = List.concat_map (fun n -> List.map (run_one n) intervals) ns in
+  let doc =
+    Json.Obj [ ("schema", Json.Str "shoalpp-bench-mem/1"); ("runs", Json.List runs) ]
+  in
+  let out = Option.value ~default:"BENCH_mem.json" (Sys.getenv_opt "BENCH_MEM_OUT") in
+  let oc = open_out out in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 (* node: the real-time multicore node, ordered throughput vs --domains,
    written to BENCH_node.json. Unlike the simulator sweeps this measures
    wall-clock behaviour, so the absolute tx/s are machine-dependent; the
@@ -998,6 +1102,7 @@ let () =
     | "perf" -> perf ()
     | "node" -> node_bench ()
     | "net" -> net_bench ()
+    | "mem" -> mem ()
     | "micro" -> micro ()
     | "all" ->
       t1 ();
@@ -1012,7 +1117,7 @@ let () =
       micro ()
     | other ->
       Printf.eprintf
-        "unknown bench %S (t1|fig5|fig6|fig7|fig8|failures|kdags|timeouts|a2a|perf|node|net|micro|all)\n"
+        "unknown bench %S (t1|fig5|fig6|fig7|fig8|failures|kdags|timeouts|a2a|perf|node|net|mem|micro|all)\n"
         other;
       exit 2
   in

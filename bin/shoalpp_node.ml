@@ -120,14 +120,20 @@ let cleanup_uds_dir ~created dir =
   if created then try Sys.rmdir dir with Sys_error _ -> ()
 
 let run n duration load warmup timeout link_delay seed no_verify domains verify_delay
-    transport uds_dir tcp_port coalesce_us topology trace_out metrics_out admin_port
-    ledger_tail =
+    checkpoint_interval restart transport uds_dir tcp_port coalesce_us topology trace_out
+    metrics_out admin_port ledger_tail =
   let committee = Committee.make ~n ~cluster_seed:seed () in
   let protocol =
     let p = Config.shoalpp ~committee in
     let p = if no_verify then Config.without_signature_checks p else p in
+    let p = Config.with_checkpoint_interval p (max 0 checkpoint_interval) in
     match timeout with Some ms -> Config.round_timeout p ms | None -> p
   in
+  (match restart with
+  | Some _ when domains > 1 ->
+    Printf.eprintf "shoalpp_node: --restart requires --domains 1\n";
+    exit 1
+  | _ -> ());
   let transport, cleanup =
     match transport with
     | Inproc -> (Node.Inproc, fun () -> ())
@@ -168,9 +174,25 @@ let run n duration load warmup timeout link_delay seed no_verify domains verify_
       trace;
       domains = max 1 domains;
       verify_delay_us = Float.max 0.0 verify_delay;
+      retain_wal = Option.is_some restart;
     }
   in
   let node = Node.create setup in
+  (* Restart drill: crash the highest-id replica mid-run and bring it back
+     through the checkpoint-anchored recovery path (WAL replay + peer
+     catch-up sync when --checkpoint-interval is set). *)
+  (match restart with
+  | None -> ()
+  | Some (crash_at, recover_at) ->
+    let i = n - 1 in
+    let bk = Node.backend node in
+    ignore
+      (Shoalpp_backend.Backend.schedule bk ~after:(Float.max 0.0 crash_at) (fun () ->
+           Node.crash_replica node i));
+    ignore
+      (Shoalpp_backend.Backend.schedule bk
+         ~after:(Float.max 0.0 (Float.max crash_at recover_at))
+         (fun () -> Node.recover_replica node i)));
   Format.printf "shoalpp_node: %d replicas, %s transport, %.0f tps for %.0f ms%s%s%s@." n
     (match transport with
     | Node.Inproc -> "loopback"
@@ -249,6 +271,16 @@ let run n duration load warmup timeout link_delay seed no_verify domains verify_
     Format.printf "per-commit stage attribution (stage x rule x dag, ms):@.";
     print_string (Ledger.breakdown_table report.Report.telemetry)
   end;
+  (match restart with
+  | None -> ()
+  | Some _ ->
+    let r = (Node.replicas node).(n - 1) in
+    let requests, certs = Shoalpp_core.Replica.sync_stats r in
+    Format.printf "restart: replica %d base_seq %d, catch-up %d sync requests, %d certs%s@."
+      (n - 1)
+      (Shoalpp_core.Replica.base_seq r)
+      requests certs
+      (if Node.catching_up node (n - 1) then " (still catching up)" else ""));
   let audit = Node.audit node in
   Format.printf "audit: %s; %d segments (common prefix %d); lanes %s@."
     (if audit.Node.consistent_prefixes && audit.Node.duplicate_orders = 0 then
@@ -328,6 +360,26 @@ let cmd =
              on the verify pool's workers at --domains N, so the comparison varies only where \
              the cost lands.")
   in
+  let checkpoint_interval =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "checkpoint-interval" ] ~docv:"C"
+          ~doc:
+            "Certify a checkpoint (and prune history below it) every C committed anchors; 0 \
+             (default) disables the bounded-memory lifecycle. The commit sequence is identical \
+             at any value.")
+  in
+  let restart =
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' float float)) None
+      & info [ "restart" ] ~docv:"CRASH_MS,RECOVER_MS"
+          ~doc:
+            "Restart drill: crash the highest-id replica at CRASH_MS and restart it at \
+             RECOVER_MS through WAL replay + checkpoint restore + peer catch-up sync. \
+             Requires --domains 1.")
+  in
   let transport =
     Arg.(
       value
@@ -406,7 +458,8 @@ let cmd =
        ~doc:"Run a real-time Shoal++ cluster (wall clock, loopback or Unix-domain sockets)")
     Term.(
       const run $ n $ duration $ load $ warmup $ timeout $ link_delay $ seed $ no_verify
-      $ domains $ verify_delay $ transport $ uds_dir $ tcp_port $ coalesce_us $ topology
-      $ trace_out $ metrics_out $ admin_port $ ledger_tail)
+      $ domains $ verify_delay $ checkpoint_interval $ restart $ transport $ uds_dir
+      $ tcp_port $ coalesce_us $ topology $ trace_out $ metrics_out $ admin_port
+      $ ledger_tail)
 
 let () = exit (Cmd.eval cmd)

@@ -85,7 +85,7 @@ let drop_conv =
   Arg.conv (parse, print)
 
 let run system n load duration warmup topology crashes scenario drop timeout dags stagger seed
-    no_verify series trace_out chrome_out metrics_out =
+    no_verify checkpoint_interval series trace_out chrome_out metrics_out =
   Shoalpp_baselines.Register.register ();
   let params =
     {
@@ -102,6 +102,7 @@ let run system n load duration warmup topology crashes scenario drop timeout dag
       num_dags = dags;
       stagger_ms = stagger;
       verify_signatures = not no_verify;
+      checkpoint_interval = max 0 checkpoint_interval;
       seed;
       trace = trace_out <> None || chrome_out <> None;
     }
@@ -188,6 +189,17 @@ let cmd =
   let no_verify =
     Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip signature verification (faster).")
   in
+  let checkpoint_interval =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "checkpoint-interval" ] ~docv:"C"
+          ~doc:
+            "Certify a checkpoint (and prune history below it) every C committed anchors; 0 \
+             (default) disables the bounded-memory lifecycle. Rounded up to a multiple of the \
+             DAG count so the boundary always lands on the round-robin merge seam. Commit \
+             sequences are identical at any value.")
+  in
   let series = Arg.(value & flag & info [ "series" ] ~doc:"Print per-second time series.") in
   let trace_out =
     Arg.(
@@ -213,7 +225,7 @@ let cmd =
     (Cmd.info "shoalpp_sim" ~doc:"Run a simulated BFT consensus deployment (Shoal++ and baselines)")
     Term.(
       const run $ system $ n $ load $ duration $ warmup $ topology $ crashes $ scenario $ drop
-      $ timeout $ dags $ stagger $ seed $ no_verify $ series $ trace_out $ chrome_out
-      $ metrics_out)
+      $ timeout $ dags $ stagger $ seed $ no_verify $ checkpoint_interval $ series $ trace_out
+      $ chrome_out $ metrics_out)
 
 let () = exit (Cmd.eval cmd)

@@ -27,6 +27,7 @@ type 'msg t = {
   clock : Clock.t;
   timers : Timers.t;
   transport : 'msg Transport.t;
+  control : 'msg Transport.t option;
 }
 
 let now t = t.clock.Clock.now ()
@@ -44,3 +45,15 @@ let broadcast t ~src ~size ?(include_self = true) msg =
 
 let set_handler t replica f = t.transport.Transport.set_handler replica f
 let stats t = t.transport.Transport.stats ()
+
+let control_send t ~src ~dst ~size msg =
+  match t.control with
+  | Some c -> c.Transport.send ~src ~dst ~size msg
+  | None -> t.transport.Transport.send ~src ~dst ~size msg
+
+let control_broadcast t ~src ~size ?(include_self = true) msg =
+  match t.control with
+  | Some c -> c.Transport.broadcast ~src ~size ~include_self msg
+  | None -> t.transport.Transport.broadcast ~src ~size ~include_self msg
+
+let control_stats t = Option.map (fun c -> c.Transport.stats ()) t.control

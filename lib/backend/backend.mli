@@ -68,6 +68,13 @@ type 'msg t = {
   clock : Clock.t;
   timers : Timers.t;
   transport : 'msg Transport.t;
+  control : 'msg Transport.t option;
+      (** Optional out-of-band control plane (checkpoint votes, catch-up
+          sync). The simulator supplies one whose deliveries draw no
+          randomness and skip the data plane's queuing model, preserving
+          golden determinism; realtime executors leave it [None] and
+          control traffic shares the data sockets. Handlers are shared:
+          installing via [set_handler] receives from both planes. *)
 }
 (** One replica-facing bundle. All replicas of an in-process cluster may
     share a single backend value; [src] arguments identify the sender. *)
@@ -94,3 +101,12 @@ val broadcast : 'msg t -> src:int -> size:int -> ?include_self:bool -> 'msg -> u
 
 val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
 val stats : _ t -> Transport.stats
+
+val control_send : 'msg t -> src:int -> dst:int -> size:int -> 'msg -> unit
+(** Send on the control plane, falling back to the data transport when the
+    executor supplies none. *)
+
+val control_broadcast : 'msg t -> src:int -> size:int -> ?include_self:bool -> 'msg -> unit
+
+val control_stats : _ t -> Transport.stats option
+(** Control-plane counters ([None] when control shares the data plane). *)

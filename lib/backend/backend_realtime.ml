@@ -144,7 +144,11 @@ let timers t =
     schedule_at = (fun ~at f -> schedule_abs t ~at f);
   }
 
-let backend t transport = { Backend.clock = clock t; timers = timers t; transport }
+let backend t transport =
+  (* Realtime executors carry control traffic in-band: the OS scheduler,
+     not a seeded RNG, owns timing, so sharing the data sockets cannot
+     perturb determinism. *)
+  { Backend.clock = clock t; timers = timers t; transport; control = None }
 let events_fired t = t.fired
 let pending_timers t = with_mu t (fun () -> Heap.length t.heap)
 let add_poller t fd f = Hashtbl.replace t.pollers fd f

@@ -44,12 +44,37 @@ let transport net =
         });
   }
 
+let control net =
+  (* Shares the data plane's handler table: one [set_handler] receives from
+     both planes. Size is accepted for interface symmetry but not charged —
+     OOB traffic is invisible to the bandwidth model by design. *)
+  {
+    Backend.Transport.n = Netmodel.n net;
+    send = (fun ~src ~dst ~size:_ msg -> Netmodel.send_oob net ~src ~dst msg);
+    broadcast = (fun ~src ~size:_ ~include_self msg -> Netmodel.broadcast_oob net ~src ~include_self msg);
+    set_handler = (fun replica f -> Netmodel.set_handler net replica f);
+    stats =
+      (fun () ->
+        {
+          Backend.Transport.sent = Netmodel.oob_sent net;
+          dropped = 0;
+          partitioned = Netmodel.oob_blocked net;
+          bytes = 0.0;
+        });
+  }
+
 let of_net net =
   let engine = Netmodel.engine net in
   {
     engine;
     net;
-    backend = { Backend.clock = clock engine; timers = timers engine; transport = transport net };
+    backend =
+      {
+        Backend.clock = clock engine;
+        timers = timers engine;
+        transport = transport net;
+        control = Some (control net);
+      };
   }
 
 let make ~topology ~assignment ~fault ~config ~seed () =

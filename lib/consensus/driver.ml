@@ -3,6 +3,7 @@ module Store = Shoalpp_dag.Store
 module Committee = Shoalpp_dag.Committee
 module Obs = Shoalpp_sim.Obs
 module Trace = Shoalpp_sim.Trace
+module Wire = Shoalpp_codec.Wire
 
 type kind = Fast | Direct | Indirect
 
@@ -12,6 +13,12 @@ type segment = {
   kind : kind;
   nodes : Types.certified_node list;
   committed_at : float;
+  resume : string option;
+      (* Checkpoint snapshot of the driver's post-segment state, attached to
+         every [snapshot_every]-th emitted segment. A pure function of the
+         committed prefix (no clocks, no local DAG progress), so replicas
+         with equal prefixes attach byte-equal blobs — which is what lets
+         the checkpoint digest cover it. *)
 }
 
 type config = {
@@ -24,6 +31,10 @@ type config = {
   reputation_window : int;
   staleness : int;
   gc_depth : int;
+  snapshot_every : int;
+      (** attach a resume blob to every k-th emitted segment; 0 = never.
+          Set to [checkpoint_interval / num_dags] so blobs land exactly on
+          checkpoint boundaries of the merged stream. *)
 }
 
 let default_config ~committee =
@@ -37,6 +48,7 @@ let default_config ~committee =
     reputation_window = 64;
     staleness = 8;
     gc_depth = 12;
+    snapshot_every = 0;
   }
 
 let bullshark_config ~committee =
@@ -252,9 +264,107 @@ let resolve_candidate t ~round ~author =
   | Some kind -> Commit_self kind
   | None -> resolve_indirect t ~round ~author
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint snapshot blob.
+
+   Everything the driver needs to resume ordering mid-history: the current
+   candidate round and its remaining vector, the per-lane segment count
+   (keeps snapshot cadence aligned after restore), the ordered-position
+   window at or above the store's retained floor, and the full reputation
+   state. All of it is a deterministic function of the committed prefix.
+
+   Varints are unsigned; fields that can be -1 are shifted by one. *)
+
+let wint w v = Wire.Writer.uint w (v + 1)
+let rint rd = Wire.Reader.uint rd - 1
+
+let encode_snapshot t =
+  let w = Wire.Writer.create ~initial:256 () in
+  Wire.Writer.uint w t.cur_round;
+  Wire.Writer.list w (fun a -> Wire.Writer.uint w a) t.pending;
+  Wire.Writer.uint w t.segments;
+  Wire.Writer.uint w t.skipped_anchors;
+  let floor = Store.lowest_retained t.store in
+  Wire.Writer.uint w floor;
+  let positions =
+    Hashtbl.fold
+      (fun key () acc ->
+        if key / t.cfg.committee.Committee.n >= floor then key :: acc else acc)
+      t.ordered []
+  in
+  (* Hashtbl iteration order must not leak into the (digested) blob. *)
+  Wire.Writer.list w (fun k -> Wire.Writer.uint w k) (List.sort Int.compare positions);
+  let d = Reputation.dump t.rep in
+  let ints l = Wire.Writer.list w (fun v -> wint w v) l in
+  ints d.Reputation.d_scores;
+  ints d.Reputation.d_last_round;
+  ints d.Reputation.d_last_support;
+  ints d.Reputation.d_miss;
+  Wire.Writer.list w (fun sup -> Wire.Writer.list w (fun a -> Wire.Writer.uint w a) sup)
+    d.Reputation.d_recent;
+  wint w d.Reputation.d_highest_anchor_round;
+  Wire.Writer.contents w
+
+let restore t blob =
+  let rd = Wire.Reader.of_string blob in
+  t.cur_round <- Wire.Reader.uint rd;
+  t.pending <- Wire.Reader.list rd Wire.Reader.uint;
+  t.segments <- Wire.Reader.uint rd;
+  t.skipped_anchors <- Wire.Reader.uint rd;
+  let floor = Wire.Reader.uint rd in
+  let positions = Wire.Reader.list rd Wire.Reader.uint in
+  Hashtbl.reset t.ordered;
+  List.iter (fun k -> Hashtbl.replace t.ordered k ()) positions;
+  let ints () = Wire.Reader.list rd rint in
+  let d_scores = ints () in
+  let d_last_round = ints () in
+  let d_last_support = ints () in
+  let d_miss = ints () in
+  let d_recent = Wire.Reader.list rd (fun rd -> Wire.Reader.list rd Wire.Reader.uint) in
+  let d_highest_anchor_round = rint rd in
+  Wire.Reader.expect_end rd;
+  Reputation.load t.rep
+    {
+      Reputation.d_scores;
+      d_last_round;
+      d_last_support;
+      d_miss;
+      d_recent;
+      d_highest_anchor_round;
+    };
+  t.history_cache <- None;
+  floor
+
+let snapshot_floor blob =
+  let rd = Wire.Reader.of_string blob in
+  ignore (Wire.Reader.uint rd) (* cur_round *);
+  ignore (Wire.Reader.list rd Wire.Reader.uint) (* pending *);
+  ignore (Wire.Reader.uint rd) (* segments *);
+  ignore (Wire.Reader.uint rd) (* skipped_anchors *);
+  Wire.Reader.uint rd
+
+let prune_ordered t ~below =
+  let n = t.cfg.committee.Committee.n in
+  let doomed =
+    Hashtbl.fold (fun key () acc -> if key / n < below then key :: acc else acc) t.ordered []
+  in
+  List.iter (fun k -> Hashtbl.remove t.ordered k) doomed;
+  if doomed <> [] then t.history_cache <- None;
+  List.length doomed
+
+let ordered_size t = Hashtbl.length t.ordered
+
 (* Emit the segment for a committed anchor position. Returns false when node
-   data is still missing (fetches have been requested). *)
-let output_segment t ~round ~author ~kind =
+   data is still missing (fetches have been requested; [finish] does not
+   run). On success [finish] runs after the ordered/reputation updates and
+   {e before} the segment is handed to [on_segment] — it applies the
+   caller's post-segment scheduling state (pending vector, skip accounting,
+   round advance), so a snapshot taken here captures exactly the state a
+   restored replica must resume from. [finish] returns a deferred closure
+   that is run {e after} [on_segment]/[request_gc]: trace emission for the
+   skip set stays in its pre-refactor position so event streams (and the
+   golden digests over them) are unchanged. *)
+let output_segment t ~round ~author ~kind ~finish =
   match t.hooks.cert_ref ~round ~author with
   | None ->
     fetch_position t ~round ~author;
@@ -309,9 +419,23 @@ let output_segment t ~round ~author ~kind =
       t.nodes_ordered <- t.nodes_ordered + List.length nodes;
       Obs.event t.obs ~time
         (Trace.Segment_committed { round; anchor = author; nodes = List.length nodes });
+      let deferred = finish () in
+      let resume =
+        if t.cfg.snapshot_every > 0 && t.segments mod t.cfg.snapshot_every = 0 then
+          Some (encode_snapshot t)
+        else None
+      in
       t.hooks.on_segment
-        { dag_id = t.cfg.dag_id; anchor = anchor_ref; kind; nodes; committed_at = t.hooks.now () };
+        {
+          dag_id = t.cfg.dag_id;
+          anchor = anchor_ref;
+          kind;
+          nodes;
+          committed_at = t.hooks.now ();
+          resume;
+        };
       if round - t.cfg.gc_depth > 0 then t.hooks.request_gc ~round:(round - t.cfg.gc_depth);
+      deferred ();
       true)
 
 let notify t =
@@ -332,12 +456,13 @@ let notify t =
         match resolve_candidate t ~round:t.cur_round ~author with
         | Undecided -> ()
         | Commit_self kind ->
-          if output_segment t ~round:t.cur_round ~author ~kind then begin
-            t.pending <- rest;
-            progress := true
-          end
+          if
+            output_segment t ~round:t.cur_round ~author ~kind ~finish:(fun () ->
+                t.pending <- rest;
+                ignore)
+          then progress := true
         | Skip_to { anchor_round; anchor_author } ->
-          if output_segment t ~round:anchor_round ~author:anchor_author ~kind:Indirect then begin
+          let finish () =
             (* §5.2 SKIP_TO: committing the target anchor elides every
                candidate that precedes it in the deterministic schedule —
                the rest of the current round's vector AND the prefix of
@@ -346,12 +471,13 @@ let notify t =
                Skip_to target and the deterministic vectors), so feeding it
                to reputation keeps the eligible vectors identical at every
                correct replica: repeatedly skipped (silent/withheld)
-               anchors drop out. *)
-            let time = t.hooks.now () in
+               anchors drop out. State updates happen now (pre-snapshot);
+               trace emission is deferred to keep the event stream order. *)
+            let skipped = ref [] in
             let skip ~round author =
               t.skipped_anchors <- t.skipped_anchors + 1;
               Obs.incr_c t.c_skipped;
-              Obs.event t.obs ~time (Trace.Anchor_skipped { round; anchor = author });
+              skipped := (round, author) :: !skipped;
               Reputation.observe_skip t.rep ~round ~author
             in
             List.iter (skip ~round:t.cur_round) (author :: rest);
@@ -374,8 +500,16 @@ let notify t =
               t.pending <- suffix
             | None -> t.pending <- vector);
             t.cur_round <- anchor_round;
-            progress := true
-          end)
+            let skipped = List.rev !skipped in
+            fun () ->
+              let time = t.hooks.now () in
+              List.iter
+                (fun (round, author) ->
+                  Obs.event t.obs ~time (Trace.Anchor_skipped { round; anchor = author }))
+                skipped
+          in
+          if output_segment t ~round:anchor_round ~author:anchor_author ~kind:Indirect ~finish
+          then progress := true)
     done;
     t.in_notify <- false
   end

@@ -41,6 +41,11 @@ type segment = {
   kind : kind;
   nodes : Shoalpp_dag.Types.certified_node list;
   committed_at : float;
+  resume : string option;
+      (** Opaque driver snapshot, present on every [snapshot_every]-th
+          segment (checkpointing enabled). A deterministic function of the
+          committed prefix: byte-identical at every correct replica emitting
+          the same segment, and accepted by {!restore}. *)
 }
 
 type config = {
@@ -57,6 +62,9 @@ type config = {
   reputation_window : int;
   staleness : int;
   gc_depth : int;  (** rounds of history kept below the committed anchor *)
+  snapshot_every : int;
+      (** emit a {!segment.resume} snapshot every this many segments
+          (0 = never; checkpointing off). *)
 }
 
 val default_config : committee:Shoalpp_dag.Committee.t -> config
@@ -111,3 +119,35 @@ type stats = {
 
 val stats : t -> stats
 val reputation : t -> Reputation.t
+
+(** {2 Checkpoint lifecycle}
+
+    Invariants:
+    - [restore (create cfg hooks ~store) blob] with a blob produced by a
+      driver with the same config reproduces the snapshotted ordering
+      state exactly: subsequent segments are identical to those a replica
+      that replayed the whole prefix would emit;
+    - [prune_ordered] only forgets ordered-set entries strictly below the
+      floor; membership queries at or above it are unaffected. *)
+
+val restore : t -> string -> int
+(** Load a {!segment.resume} snapshot into a freshly created driver.
+    Returns the store floor recorded in the snapshot: the caller must GC
+    its DAG instance to (at least) that round before resuming, since the
+    snapshot's ordered set only covers positions at or above it.
+    @raise Shoalpp_codec.Wire.Reader.Malformed on a corrupt blob. *)
+
+val snapshot_floor : string -> int
+(** The store floor recorded in a {!segment.resume} snapshot — the lowest
+    round a replica restoring from it can rebuild without peer help.
+    Replicas gate their own store pruning at the latest certified
+    checkpoint's floor so an adopter can always bridge from it to the live
+    rounds.
+    @raise Shoalpp_codec.Wire.Reader.Malformed on a corrupt blob. *)
+
+val prune_ordered : t -> below:int -> int
+(** Drop ordered-set entries for rounds below [below] (they can never be
+    re-ordered: GC already ignores those rounds). Returns entries dropped. *)
+
+val ordered_size : t -> int
+(** Live entries in the ordered set (memory-ceiling telemetry). *)

@@ -69,6 +69,38 @@ let is_active t ~round a =
   && (t.highest_anchor_round < 0 (* cold start: everyone active *)
      || t.last_support.(a) >= round - t.staleness)
 
+(* Checkpoint support: the whole state is a bounded window over the
+   committed prefix, so it serializes into a few int arrays. [dump]/[load]
+   move it through the consensus driver's opaque resume blob. *)
+type dump = {
+  d_scores : int list;
+  d_last_round : int list;
+  d_last_support : int list;
+  d_miss : int list;
+  d_recent : int list list;
+  d_highest_anchor_round : int;
+}
+
+let dump t =
+  {
+    d_scores = Array.to_list t.scores;
+    d_last_round = Array.to_list t.last_round;
+    d_last_support = Array.to_list t.last_support;
+    d_miss = Array.to_list t.miss;
+    d_recent = List.of_seq (Queue.to_seq t.recent);
+    d_highest_anchor_round = t.highest_anchor_round;
+  }
+
+let load t d =
+  let fill arr l = List.iteri (fun i v -> if i < Array.length arr then arr.(i) <- v) l in
+  fill t.scores d.d_scores;
+  fill t.last_round d.d_last_round;
+  fill t.last_support d.d_last_support;
+  fill t.miss d.d_miss;
+  Queue.clear t.recent;
+  List.iter (fun l -> Queue.push l t.recent) d.d_recent;
+  t.highest_anchor_round <- d.d_highest_anchor_round
+
 let rotate slot l =
   match l with
   | [] -> []

@@ -63,3 +63,20 @@ val score : t -> int -> int
 val is_active : t -> round:int -> int -> bool
 val last_ordered_round : t -> int -> int
 (** -1 if never ordered. *)
+
+type dump = {
+  d_scores : int list;
+  d_last_round : int list;
+  d_last_support : int list;
+  d_miss : int list;
+  d_recent : int list list;
+  d_highest_anchor_round : int;
+}
+(** Serializable image of the full reputation state (bounded: n-sized
+    arrays plus at most [window] supporter lists). *)
+
+val dump : t -> dump
+val load : t -> dump -> unit
+(** [load (create ...)] with matching [n]/[window] reproduces the dumped
+    state exactly, so a checkpoint-restored replica computes the same
+    eligible vectors as one that replayed the whole prefix. *)

@@ -18,6 +18,7 @@ type t = {
   wal_sync_ms : float;
   fetch_delay_ms : float;
   gc_depth : int;
+  checkpoint_interval : int;
   seed : int;
 }
 
@@ -37,8 +38,23 @@ let base ~committee ~name =
     wal_sync_ms = 1.0;
     fetch_delay_ms = 20.0;
     gc_depth = 12;
+    checkpoint_interval = 0;
     seed = 42;
   }
+
+(* The Alg. 3 merge consumes one segment per lane per k-step cycle, so a
+   boundary that every lane reaches simultaneously must be a multiple of the
+   lane count: round the requested interval up so "every C committed
+   anchors" is also "every C/k segments of each lane". *)
+let effective_checkpoint_interval t =
+  if t.checkpoint_interval <= 0 then 0
+  else
+    let k = t.num_dags in
+    (t.checkpoint_interval + k - 1) / k * k
+
+let with_checkpoint_interval t interval =
+  if interval < 0 then invalid_arg "Config.with_checkpoint_interval: need >= 0";
+  { t with checkpoint_interval = interval }
 
 let shoalpp ~committee = { (base ~committee ~name:"shoal++") with num_dags = 3 }
 
@@ -102,4 +118,7 @@ let driver_config t ~dag_id =
     reputation_window = 64;
     staleness = 8;
     gc_depth = t.gc_depth;
+    snapshot_every =
+      (let c = effective_checkpoint_interval t in
+       if c = 0 then 0 else c / t.num_dags);
   }

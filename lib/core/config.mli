@@ -33,6 +33,11 @@ type t = {
   wal_sync_ms : float;
   fetch_delay_ms : float;
   gc_depth : int;
+  checkpoint_interval : int;
+      (** commit-certified checkpoint every this many committed anchors in
+          the merged sequence (0 = checkpointing and pruning-to-checkpoint
+          off). Rounded up to a multiple of [num_dags] — see
+          {!effective_checkpoint_interval}. *)
   seed : int;
 }
 
@@ -54,6 +59,14 @@ val without_signature_checks : t -> t
 
 val round_timeout : t -> float -> t
 (** Replace the wait-policy timeout, keeping the policy's shape. *)
+
+val with_checkpoint_interval : t -> int -> t
+(** Enable checkpointing every [interval] committed anchors (0 disables). *)
+
+val effective_checkpoint_interval : t -> int
+(** The configured interval rounded up to a multiple of [num_dags], so a
+    checkpoint boundary in the merged (Alg. 3) sequence corresponds to a
+    whole number of segments in every lane. 0 when disabled. *)
 
 val instance_config : t -> replica:int -> dag_id:int -> Shoalpp_dag.Instance.config
 val driver_config : t -> dag_id:int -> Shoalpp_consensus.Driver.config

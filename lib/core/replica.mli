@@ -12,10 +12,23 @@
     - all effects (timers, sends, persistence waits) go through the injected
       {!Shoalpp_backend.Backend} — the replica itself never touches the OS;
     - re-delivering an envelope already processed is harmless (duplicate
-      votes/certificates are dropped, not double-counted). *)
+      votes/certificates are dropped, not double-counted);
+    - with [checkpoint_interval > 0] the commit sequence is byte-identical
+      to a run with checkpointing off: checkpoint votes travel the
+      out-of-band control plane (dag id {!control_dag_id}), which draws no
+      RNG and perturbs no protocol queue, and every checkpoint input is a
+      deterministic function of the committed prefix;
+    - pruning (WAL truncation, store GC below a checkpoint) happens only
+      under a certificate that passed
+      {!Shoalpp_storage.Checkpoint.verify} — never on local state alone. *)
 
 type envelope = { dag_id : int; payload : Shoalpp_dag.Types.message }
 (** What travels on the wire: one DAG instance's message, tagged. *)
+
+val control_dag_id : int
+(** 255 — the pseudo dag id of control-plane envelopes (checkpoint votes).
+    Routed by the replica itself, never handed to a DAG instance; the
+    multicore node must route it to the merge domain. *)
 
 val envelope_size : envelope -> int
 
@@ -52,6 +65,7 @@ val create :
   backend:envelope Shoalpp_backend.Backend.t ->
   mempool:Shoalpp_workload.Mempool.t ->
   ?on_ordered:(ordered -> unit) ->
+  ?on_caught_up:(unit -> unit) ->
   ?trace:Shoalpp_sim.Trace.t ->
   ?telemetry:Shoalpp_support.Telemetry.t ->
   ?byzantine:(float -> Shoalpp_sim.Faults.byz_kind option) ->
@@ -78,6 +92,16 @@ val create :
     [dag<k>.txns]/[dag<k>.latency] are recorded only at each transaction's
     origin replica, so each transaction is counted exactly once.
 
+    When [config]'s [checkpoint_interval] is positive the replica runs the
+    bounded-memory lifecycle: every effective-interval merged segments it
+    folds the commit stream into a digest, votes on the resulting
+    checkpoint candidate over the control plane, and on a quorum of
+    matching votes certifies it, persists it to a dedicated
+    always-retaining WAL device, and truncates the protocol WAL to the
+    last two checkpoint windows. [on_caught_up] fires each time a
+    {!recover} finishes — synchronously when recovery is purely local,
+    or once peer catch-up sync completes on every lane.
+
     With [lane_env] (multicore node) the replica does {e not} register a
     transport handler — the harness routes inbound messages through the
     verify pool to {!deliver} on the right lane's domain — and each lane
@@ -85,10 +109,14 @@ val create :
     [crash]/[recover] are not supported while lane domains are running. *)
 
 val deliver : t -> dag_id:int -> src:int -> Shoalpp_dag.Types.message -> unit
-(** Hand one inbound message to a DAG lane's instance (dropped when
-    crashed or the [dag_id] is out of range). Must be called on the domain
-    that owns the lane: the replica's own domain by default, or the lane's
-    executor under a [lane_env] — the multicore node posts exactly so. *)
+(** Hand one inbound envelope to the replica's dispatch (dropped when
+    crashed or the [dag_id] is neither a lane nor {!control_dag_id}):
+    checkpoint votes and sync traffic are consumed by the replica itself,
+    everything else goes to the lane's DAG instance. Must be called on the
+    domain that owns the target: the replica's own domain by default;
+    under a [lane_env], lane traffic on the lane's executor and
+    [control_dag_id] traffic on the merge domain — the multicore node
+    posts exactly so. *)
 
 val start : t -> unit
 (** Start DAG 0 now and DAG j at [j * stagger_ms]. *)
@@ -97,12 +125,42 @@ val crash : t -> unit
 (** Stop all lanes and drop the network handler's deliveries. Idempotent;
     counted under [fault.crashes] and traced. *)
 
-val recover : t -> unit
-(** Restart a crashed replica: rebuild all DAG lanes and replay the WAL's
-    synced entries through them (requires [retain_wal]). Replay rebuilds
-    the stores, the vote-once table and the committed prefix without
-    sending a byte; the replica then resumes proposing strictly above its
-    replayed state. No-op if not crashed. *)
+val recover : ?wipe:bool -> t -> unit
+(** Restart a crashed replica: rebuild all DAG lanes, rewind to the newest
+    locally durable certified checkpoint (when checkpointing is on), and
+    replay the retained WAL entries through the fresh instances (requires
+    [retain_wal]). Replay rebuilds the stores, the vote-once table and the
+    committed suffix without sending a byte. With checkpointing on and
+    peers present, the replica then pulls the history it missed through
+    the {!Shoalpp_sync.Sync} protocol — O(gap) messages per lane — and
+    resumes proposing lane-by-lane as catch-up completes; {!catching_up}
+    is true until every lane is live. [wipe] (default false) simulates
+    total disk loss: both WAL devices are cleared and the replica adopts a
+    peer's certified checkpoint (verified before trust) before syncing,
+    falling back to a full-history sync when no peer has one. No-op if
+    not crashed. *)
+
+val base_seq : t -> int
+(** First global sequence number of the post-recovery log: 0 normally, or
+    [checkpoint seq + 1] after a checkpoint-anchored recovery. Auditors
+    comparing pre-crash and post-recovery logs must offset by this. *)
+
+val catching_up : t -> bool
+(** True while peer catch-up sync is in flight on any lane. *)
+
+val latest_checkpoint : t -> Shoalpp_storage.Checkpoint.t option
+(** Newest certified checkpoint this replica holds, if any. *)
+
+val checkpoint_wal : t -> Shoalpp_storage.Wal.t option
+(** The dedicated certified-checkpoint WAL device ([Some] iff
+    checkpointing is on). *)
+
+val sync_stats : t -> int * int
+(** [(requests_sent, certs_ingested)] summed over every lane's catch-up
+    client, across all recoveries so far. *)
+
+val sync_requests_served : t -> int
+(** Peer catch-up requests this replica answered, summed over lanes. *)
 
 val replica_id : t -> int
 val config : t -> Config.t

@@ -570,6 +570,11 @@ let handle_message t ~src msg =
       handle_fetch_request t ~src:requester wanted;
       ignore src
     | Types.Fetch_response cn -> handle_fetch_response t cn
+    (* Control-plane traffic (checkpoint votes, catch-up sync) is routed by
+       the replica's checkpoint/sync managers before the instance sees it;
+       anything that slips through is dropped, not crashed on. *)
+    | Types.Checkpoint_vote _ | Types.Sync_request _ | Types.Sync_response _ ->
+      t.invalid_dropped <- t.invalid_dropped + 1
   end
 
 let start t =
@@ -595,11 +600,43 @@ let resume t =
 
 let timeout_backoff t = t.timeout_backoff
 
+let ingest_certified t cn = if t.alive then handle_fetch_response t cn
+
+let lowest_round t = t.lowest_round
+
+let set_retain_gate t ~round =
+  let swept = Store.set_retain_gate t.store ~round in
+  if swept > 0 then begin
+    let floor = Store.lowest_stored t.store in
+    let pruned_data =
+      Shoalpp_storage.Kvstore.prune t.data ~keep:(fun _ node -> node.Types.round >= floor)
+    in
+    Obs.incr ~by:swept t.obs "gc.pruned_vertices";
+    Obs.incr ~by:pruned_data t.obs "gc.pruned_data";
+    Obs.set t.obs "gc.retained_rounds"
+      (float_of_int (max 0 (Store.highest_round t.store - floor + 1)))
+  end
+
 let gc_upto t ~round =
   if round > t.lowest_round then begin
     t.lowest_round <- round;
     Obs.event t.obs ~time:(t.cb.now ()) (Trace.Gc_pruned { below = round });
-    ignore (Store.prune_below t.store ~round);
+    let pruned_vertices = Store.prune_below t.store ~round in
+    (* The proposal-data KV grows with every batch ever stored; it was the
+       one table this sweep forgot. Keyed by digest, so the round gate goes
+       through the stored node itself. Both it and the store delete at the
+       {e physical} floor — a checkpoint retain gate keeps rounds (with
+       their batches, which the sync server ships whole) serveable after
+       the logical floor has passed them. *)
+    let floor = Store.lowest_stored t.store in
+    let pruned_data =
+      Shoalpp_storage.Kvstore.prune t.data ~keep:(fun _ node -> node.Types.round >= floor)
+    in
+    Obs.incr ~by:pruned_vertices t.obs "gc.pruned_vertices";
+    Obs.incr ~by:pruned_data t.obs "gc.pruned_data";
+    Obs.set t.obs "gc.floor" (float_of_int round);
+    Obs.set t.obs "gc.retained_rounds"
+      (float_of_int (max 0 (Store.highest_round t.store - floor + 1)));
     let doomed =
       Hashtbl.fold (fun k _ acc -> if pos_round t k < round then k :: acc else acc) t.cert_meta []
     in

@@ -118,7 +118,28 @@ val fetch_missing : t -> Types.node_ref -> unit
 val certs_known_at : t -> round:int -> int
 
 val gc_upto : t -> round:int -> unit
-(** Drop instance and store state below [round]. *)
+(** Drop instance and store state below [round] — including the
+    proposal-data KV — and publish [gc.pruned_vertices] / [gc.pruned_data]
+    counters and [gc.floor] / [gc.retained_rounds] gauges. With a retain
+    gate installed ({!set_retain_gate}) the store and KV delete only below
+    the gate; ordering still ignores everything below the logical floor. *)
+
+val set_retain_gate : t -> round:int -> unit
+(** Checkpoint-anchored physical pruning: monotonically raise the store's
+    retain gate to [round] (the latest certified checkpoint's resume floor)
+    and sweep store rounds plus proposal data whose deletion the previous
+    gate deferred. Installing a gate of 0 at startup defers all physical
+    deletion until a first checkpoint certifies. *)
+
+val lowest_round : t -> int
+(** Current GC floor: rounds below it are pruned and their messages
+    ignored. *)
+
+val ingest_certified : t -> Types.certified_node -> unit
+(** Validate and insert a certified node obtained out of band (the catch-up
+    sync protocol). Identical to receiving a [Fetch_response]: full
+    structural + signature validation, store insertion, delivery of any
+    certificate that was awaiting the data. No-op on a crashed instance. *)
 
 (** Introspection counters for tests and reports. *)
 

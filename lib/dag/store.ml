@@ -12,11 +12,25 @@ type t = {
   genesis : Digest32.t;
   rounds : (int, round_slot) Hashtbl.t;
   mutable highest : int;
-  mutable lowest : int;
+  mutable lowest : int; (* logical GC floor: ordering ignores rounds below *)
+  mutable retain_gate : int option;
+      (* checkpoint-certified physical-deletion ceiling: [Some g] keeps
+         rounds in [min g lowest, lowest) in the tables — invisible to
+         ordering, still serveable to catching-up peers. [None] deletes at
+         the logical floor (pre-checkpoint behavior). *)
+  mutable stored : int; (* physical floor: lowest round still in the tables *)
 }
 
 let create ~n ~genesis_digest =
-  { n; genesis = genesis_digest; rounds = Hashtbl.create 64; highest = -1; lowest = 0 }
+  {
+    n;
+    genesis = genesis_digest;
+    rounds = Hashtbl.create 64;
+    highest = -1;
+    lowest = 0;
+    retain_gate = None;
+    stored = 0;
+  }
 
 let n t = t.n
 
@@ -174,9 +188,11 @@ let position_ancestor t ~round ~author ~of_ =
     search of_
   end
 
-let prune_below t ~round =
+(* Physically delete rounds below [below] (never above the logical floor). *)
+let sweep t ~below =
+  let below = min below t.lowest in
   let dropped = ref 0 in
-  let doomed = Hashtbl.fold (fun r _ acc -> if r < round then r :: acc else acc) t.rounds [] in
+  let doomed = Hashtbl.fold (fun r _ acc -> if r < below then r :: acc else acc) t.rounds [] in
   List.iter
     (fun r ->
       (match slot_opt t r with
@@ -185,7 +201,17 @@ let prune_below t ~round =
       | None -> ());
       Hashtbl.remove t.rounds r)
     doomed;
-  if round > t.lowest then t.lowest <- round;
+  if below > t.stored then t.stored <- below;
   !dropped
 
+let prune_below t ~round =
+  if round > t.lowest then t.lowest <- round;
+  sweep t ~below:(match t.retain_gate with None -> round | Some g -> min round g)
+
+let set_retain_gate t ~round =
+  let gate = match t.retain_gate with None -> round | Some g -> max g round in
+  t.retain_gate <- Some gate;
+  sweep t ~below:gate
+
 let lowest_retained t = t.lowest
+let lowest_stored t = min t.stored t.lowest

@@ -80,7 +80,23 @@ val position_ancestor : t -> round:int -> author:int -> of_:Types.node_ref -> bo
     position, so this is unambiguous. *)
 
 val prune_below : t -> round:int -> int
-(** Garbage-collect all state strictly below [round]; returns the number of
-    nodes dropped. *)
+(** Raise the logical GC floor to [round] — ordering and causal traversal
+    ignore everything below it from this point on — and physically delete
+    rounds below [min round gate] (below [round] when no retain gate is
+    set). Returns the number of nodes dropped. *)
+
+val set_retain_gate : t -> round:int -> int
+(** Install (or monotonically raise) the physical-deletion gate and sweep
+    any rounds whose deletion it had deferred; returns the nodes dropped.
+    With the bounded-memory lifecycle on, the gate tracks the latest
+    commit-certified checkpoint's resume floor, so rounds a catching-up
+    peer may still request stay serveable even after the logical floor has
+    passed them. Ordering never sees the gated window: determinism is a
+    function of the logical floor only. *)
 
 val lowest_retained : t -> int
+(** The logical GC floor ({!prune_below}'s high-water mark). *)
+
+val lowest_stored : t -> int
+(** The physical floor: the lowest round still present in the tables
+    (<= {!lowest_retained} when a retain gate defers deletion). *)

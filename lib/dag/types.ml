@@ -36,12 +36,43 @@ type certificate = { cert_ref : node_ref; multisig : Multisig.t }
 
 type certified_node = { cn_node : node; cn_cert : certificate }
 
+(* Catch-up sync protocol (checkpointed-lifecycle PR): a lagging or
+   recovering replica pulls certified history from peers instead of
+   replaying from genesis. Shapes follow the modal-sequencer DAG_SYNC
+   design: probe a peer's retained range, then page certificates. *)
+type sync_request =
+  | Get_highest_round
+  | Get_certificates_in_range of { sr_from : round; sr_to : round; sr_cursor : int }
+      (** Certified nodes with [sr_from <= round <= sr_to], paged from
+          [sr_cursor] (an opaque position the server handed back). *)
+  | Get_missing_certificates of { sm_from : round; sm_to : round; sm_known : node_ref list }
+      (** Range query minus refs the requester already holds. *)
+  | Get_checkpoint  (** The responder's latest certified checkpoint blob. *)
+
+type sync_response =
+  | Highest_round of { hr_highest : round; hr_lowest : round }
+      (** Responder's retained window: highest round seen, lowest retained
+          (certificates below it are pruned). *)
+  | Certificates of { sc_certs : certified_node list; sc_has_more : bool; sc_next : int }
+      (** One page; [sc_next] is the cursor to resume from iff
+          [sc_has_more]. *)
+  | Checkpoint_blob of { cb_blob : string option }
+      (** Wire-encoded {!Shoalpp_storage.Checkpoint.t}, if one exists. *)
+
 type message =
   | Proposal of node
   | Vote of vote
   | Certificate of certificate
   | Fetch_request of { wanted : node_ref; requester : replica }
   | Fetch_response of certified_node
+  | Checkpoint_vote of {
+      ck_seq : int;
+      ck_digest : Digest32.t;
+      ck_voter : replica;
+      ck_signature : Signer.signature;
+    }
+  | Sync_request of { sq_requester : replica; sq_req : sync_request }
+  | Sync_response of { sp_responder : replica; sp_resp : sync_response }
 
 let ref_of_node n = { ref_round = n.round; ref_author = n.author; ref_digest = n.digest }
 
@@ -150,6 +181,58 @@ let write_cert w (c : certificate) =
   Wire.Writer.uint w (Bitset.capacity signers);
   Wire.Writer.list w (Wire.Writer.uint w) (Bitset.to_list signers)
 
+let write_sync_request w = function
+  | Get_highest_round -> Wire.Writer.u8 w 1
+  | Get_certificates_in_range { sr_from; sr_to; sr_cursor } ->
+    Wire.Writer.u8 w 2;
+    Wire.Writer.uint w sr_from;
+    Wire.Writer.uint w sr_to;
+    Wire.Writer.uint w sr_cursor
+  | Get_missing_certificates { sm_from; sm_to; sm_known } ->
+    Wire.Writer.u8 w 3;
+    Wire.Writer.uint w sm_from;
+    Wire.Writer.uint w sm_to;
+    Wire.Writer.list w (write_ref w) sm_known
+  | Get_checkpoint -> Wire.Writer.u8 w 4
+
+let read_sync_request rd =
+  match Wire.Reader.u8 rd with
+  | 1 -> Get_highest_round
+  | 2 ->
+    let sr_from = Wire.Reader.uint rd in
+    let sr_to = Wire.Reader.uint rd in
+    let sr_cursor = Wire.Reader.uint rd in
+    Get_certificates_in_range { sr_from; sr_to; sr_cursor }
+  | 3 ->
+    let sm_from = Wire.Reader.uint rd in
+    let sm_to = Wire.Reader.uint rd in
+    let sm_known = Wire.Reader.list rd read_ref in
+    Get_missing_certificates { sm_from; sm_to; sm_known }
+  | 4 -> Get_checkpoint
+  | tag -> failwith (Printf.sprintf "unknown sync request tag %d" tag)
+
+let write_sync_response w = function
+  | Highest_round { hr_highest; hr_lowest } ->
+    Wire.Writer.u8 w 1;
+    Wire.Writer.uint w hr_highest;
+    Wire.Writer.uint w hr_lowest
+  | Certificates { sc_certs; sc_has_more; sc_next } ->
+    Wire.Writer.u8 w 2;
+    Wire.Writer.list w
+      (fun cn ->
+        write_node w cn.cn_node;
+        write_cert w cn.cn_cert)
+      sc_certs;
+    Wire.Writer.u8 w (if sc_has_more then 1 else 0);
+    Wire.Writer.uint w sc_next
+  | Checkpoint_blob { cb_blob } -> (
+    Wire.Writer.u8 w 3;
+    match cb_blob with
+    | None -> Wire.Writer.u8 w 0
+    | Some blob ->
+      Wire.Writer.u8 w 1;
+      Wire.Writer.bytes w blob)
+
 let encode_message msg =
   let w = Wire.Writer.create () in
   (match msg with
@@ -173,13 +256,62 @@ let encode_message msg =
   | Fetch_response cn ->
     Wire.Writer.u8 w 5;
     write_node w cn.cn_node;
-    write_cert w cn.cn_cert);
+    write_cert w cn.cn_cert
+  | Checkpoint_vote { ck_seq; ck_digest; ck_voter; ck_signature } ->
+    Wire.Writer.u8 w 6;
+    Wire.Writer.uint w ck_seq;
+    Wire.Writer.digest w ck_digest;
+    Wire.Writer.uint w ck_voter;
+    Wire.Writer.raw w (Signer.raw ck_signature)
+  | Sync_request { sq_requester; sq_req } ->
+    Wire.Writer.u8 w 7;
+    Wire.Writer.uint w sq_requester;
+    write_sync_request w sq_req
+  | Sync_response { sp_responder; sp_resp } ->
+    Wire.Writer.u8 w 8;
+    Wire.Writer.uint w sp_responder;
+    write_sync_response w sp_resp);
   Wire.Writer.contents w
 
 (* Decoding rebuilds signatures/multisigs through the registry: since the
    simulated schemes are deterministic given the cluster seed, a decoded
    message is bit-equivalent to the original if and only if it is
    authentic. Structural errors surface as [Error _]. *)
+let read_certified ~cluster_seed rd =
+  let cn_node = read_node rd in
+  let cert_ref = read_ref rd in
+  let cap = Wire.Reader.uint rd in
+  let signers = Wire.Reader.list rd Wire.Reader.uint in
+  let sigs =
+    List.map
+      (fun signer ->
+        let kp = Signer.keygen ~cluster_seed ~replica:signer in
+        ( signer,
+          Signer.sign kp
+            (vote_preimage ~round:cert_ref.ref_round ~author:cert_ref.ref_author
+               ~digest:cert_ref.ref_digest) ))
+      signers
+  in
+  { cn_node; cn_cert = { cert_ref; multisig = Multisig.aggregate ~n:cap sigs } }
+
+let read_sync_response ~cluster_seed rd =
+  match Wire.Reader.u8 rd with
+  | 1 ->
+    let hr_highest = Wire.Reader.uint rd in
+    let hr_lowest = Wire.Reader.uint rd in
+    Highest_round { hr_highest; hr_lowest }
+  | 2 ->
+    let sc_certs = Wire.Reader.list rd (read_certified ~cluster_seed) in
+    let sc_has_more = Wire.Reader.u8 rd = 1 in
+    let sc_next = Wire.Reader.uint rd in
+    Certificates { sc_certs; sc_has_more; sc_next }
+  | 3 ->
+    let cb_blob =
+      match Wire.Reader.u8 rd with 0 -> None | _ -> Some (Wire.Reader.bytes rd)
+    in
+    Checkpoint_blob { cb_blob }
+  | tag -> failwith (Printf.sprintf "unknown sync response tag %d" tag)
+
 let decode_message ~cluster_seed s =
   let rd = Wire.Reader.of_string s in
   try
@@ -212,22 +344,19 @@ let decode_message ~cluster_seed s =
         let wanted = read_ref rd in
         let requester = Wire.Reader.uint rd in
         Fetch_request { wanted; requester }
-      | 5 ->
-        let cn_node = read_node rd in
-        let cert_ref = read_ref rd in
-        let cap = Wire.Reader.uint rd in
-        let signers = Wire.Reader.list rd Wire.Reader.uint in
-        let sigs =
-          List.map
-            (fun signer ->
-              let kp = Signer.keygen ~cluster_seed ~replica:signer in
-              ( signer,
-                Signer.sign kp
-                  (vote_preimage ~round:cert_ref.ref_round ~author:cert_ref.ref_author
-                     ~digest:cert_ref.ref_digest) ))
-            signers
-        in
-        Fetch_response { cn_node; cn_cert = { cert_ref; multisig = Multisig.aggregate ~n:cap sigs } }
+      | 5 -> Fetch_response (read_certified ~cluster_seed rd)
+      | 6 ->
+        let ck_seq = Wire.Reader.uint rd in
+        let ck_digest = Wire.Reader.digest rd in
+        let ck_voter = Wire.Reader.uint rd in
+        let raw = Wire.Reader.raw rd 32 in
+        Checkpoint_vote { ck_seq; ck_digest; ck_voter; ck_signature = Signer.of_raw raw }
+      | 7 ->
+        let sq_requester = Wire.Reader.uint rd in
+        Sync_request { sq_requester; sq_req = read_sync_request rd }
+      | 8 ->
+        let sp_responder = Wire.Reader.uint rd in
+        Sync_response { sp_responder; sp_resp = read_sync_response ~cluster_seed rd }
       | tag -> failwith (Printf.sprintf "unknown message tag %d" tag)
     in
     Wire.Reader.expect_end rd;
@@ -250,9 +379,26 @@ let node_size (n : node) =
 
 let cert_size (c : certificate) = ref_size + Multisig.wire_size c.multisig
 
+let sync_request_size = function
+  | Get_highest_round -> 1
+  | Get_certificates_in_range _ -> 1 + 4 + 4 + 4
+  | Get_missing_certificates { sm_known; _ } -> 1 + 4 + 4 + 2 + (List.length sm_known * ref_size)
+  | Get_checkpoint -> 1
+
+let sync_response_size = function
+  | Highest_round _ -> 1 + 4 + 4
+  | Certificates { sc_certs; _ } ->
+    1 + 2 + 4
+    + List.fold_left (fun acc cn -> acc + node_size cn.cn_node + cert_size cn.cn_cert) 0 sc_certs
+  | Checkpoint_blob { cb_blob } -> (
+    1 + 1 + match cb_blob with None -> 0 | Some blob -> String.length blob)
+
 let message_size = function
   | Proposal n -> node_size n
   | Vote _ -> 1 + 4 + 2 + 32 + 2 + Signer.signature_size
   | Certificate c -> 1 + cert_size c
   | Fetch_request _ -> 1 + ref_size + 2
   | Fetch_response cn -> 1 + node_size cn.cn_node + cert_size cn.cn_cert
+  | Checkpoint_vote _ -> 1 + 4 + 32 + 2 + Signer.signature_size
+  | Sync_request { sq_req; _ } -> 1 + 2 + sync_request_size sq_req
+  | Sync_response { sp_resp; _ } -> 1 + 2 + sync_response_size sp_resp

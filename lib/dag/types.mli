@@ -48,15 +48,50 @@ type certificate = {
 
 type certified_node = { cn_node : node; cn_cert : certificate }
 
+(** Catch-up sync protocol: a lagging or recovering replica pulls certified
+    history from peers instead of replaying from genesis (modal-sequencer
+    DAG_SYNC shape). Serviced out of the DAG store's retained window. *)
+type sync_request =
+  | Get_highest_round
+  | Get_certificates_in_range of { sr_from : round; sr_to : round; sr_cursor : int }
+      (** Certified nodes with [sr_from <= round <= sr_to], paged from
+          [sr_cursor] (an opaque position the server handed back). *)
+  | Get_missing_certificates of { sm_from : round; sm_to : round; sm_known : node_ref list }
+      (** Range query minus refs the requester already holds. *)
+  | Get_checkpoint  (** The responder's latest certified checkpoint blob. *)
+
+type sync_response =
+  | Highest_round of { hr_highest : round; hr_lowest : round }
+      (** Responder's retained window: highest round seen, lowest retained
+          (certificates below it are pruned). *)
+  | Certificates of { sc_certs : certified_node list; sc_has_more : bool; sc_next : int }
+      (** One page; [sc_next] is the cursor to resume from iff
+          [sc_has_more]. *)
+  | Checkpoint_blob of { cb_blob : string option }
+      (** Wire-encoded {!Shoalpp_storage.Checkpoint.t}, if one exists. *)
+
 (** DAG protocol messages. [Proposal] and [Vote] and [Certificate] are the
     three reliable-broadcast steps; [Fetch_request]/[Fetch_response]
-    implement §7's off-critical-path node fetching. *)
+    implement §7's off-critical-path node fetching. [Checkpoint_vote] and
+    the sync pair ride the control plane (dag id 255 envelopes) and are
+    handled above the DAG instance, by the replica's checkpoint manager and
+    sync module. *)
 type message =
   | Proposal of node
   | Vote of vote
   | Certificate of certificate
   | Fetch_request of { wanted : node_ref; requester : replica }
   | Fetch_response of certified_node
+  | Checkpoint_vote of {
+      ck_seq : int;
+      ck_digest : Shoalpp_crypto.Digest32.t;
+      ck_voter : replica;
+      ck_signature : Shoalpp_crypto.Signer.signature;
+          (** voter's signature over
+              [Shoalpp_storage.Checkpoint.preimage_of_digest ck_digest] *)
+    }
+  | Sync_request of { sq_requester : replica; sq_req : sync_request }
+  | Sync_response of { sp_responder : replica; sp_resp : sync_response }
 
 val ref_of_node : node -> node_ref
 

@@ -131,6 +131,11 @@ let certificate_signature_ok ~committee (c : Types.certificate) =
   in
   Multisig.verify ~cluster_seed:committee.Committee.cluster_seed c.Types.multisig preimage
 
+let checkpoint_vote_signature_ok ~committee ~ck_digest ~ck_voter ~ck_signature =
+  Signer.verify ~cluster_seed:committee.Committee.cluster_seed ck_voter
+    (Shoalpp_storage.Checkpoint.preimage_of_digest ck_digest)
+    ck_signature
+
 let signatures_ok ~committee (msg : Types.message) =
   match msg with
   | Types.Proposal node -> proposal_signature_ok ~committee node
@@ -140,6 +145,16 @@ let signatures_ok ~committee (msg : Types.message) =
   | Types.Fetch_response cn ->
     proposal_signature_ok ~committee cn.Types.cn_node
     && certificate_signature_ok ~committee cn.Types.cn_cert
+  | Types.Checkpoint_vote { ck_digest; ck_voter; ck_signature; _ } ->
+    checkpoint_vote_signature_ok ~committee ~ck_digest ~ck_voter ~ck_signature
+  | Types.Sync_request _ -> true
+  | Types.Sync_response { sp_resp = Types.Certificates { sc_certs; _ }; _ } ->
+    List.for_all
+      (fun cn ->
+        proposal_signature_ok ~committee cn.Types.cn_node
+        && certificate_signature_ok ~committee cn.Types.cn_cert)
+      sc_certs
+  | Types.Sync_response _ -> true
 
 let validate_proposal ~committee ~verify_signatures (node : Types.node) =
   let* () = check (Committee.valid_replica committee node.Types.author) "author out of range" in

@@ -36,6 +36,16 @@ val validate_certified_node :
   committee:Committee.t -> verify_signatures:bool -> Types.certified_node -> (unit, string) result
 (** Node and certificate valid, and the certificate matches the node. *)
 
+val checkpoint_vote_signature_ok :
+  committee:Committee.t ->
+  ck_digest:Shoalpp_crypto.Digest32.t ->
+  ck_voter:int ->
+  ck_signature:Shoalpp_crypto.Signer.signature ->
+  bool
+(** The voter's signature over the checkpoint-digest preimage
+    ({!Shoalpp_storage.Checkpoint.preimage_of_digest}): a verifier needs
+    only the digest being voted on, never the full candidate. *)
+
 val signatures_ok : committee:Committee.t -> Types.message -> bool
 (** Just the cryptographic checks of a message — author signature for a
     proposal, voter signature for a vote, multisig for a certificate, both

@@ -59,9 +59,10 @@ type t = {
   logs : seg_id list ref array; (* newest first; only when track_logs *)
   ordered_seen : (int, unit) Hashtbl.t array; (* per-replica txn dedup *)
   recovering : bool array; (* WAL replay in progress: metrics/dedup muted *)
-  (* Pre-crash log snapshot per recovered replica: the rebuilt log must
-     extend it (crash-recovery safety audit). *)
-  pre_recovery : (int, seg_id list) Hashtbl.t;
+  (* Pre-crash (base seq, log snapshot) per recovered replica: the rebuilt
+     log must extend it above the restored checkpoint (crash-recovery
+     safety audit). *)
+  pre_recovery : (int, int * seg_id list) Hashtbl.t;
   next_id : int ref; (* shared client tx-id counter (survives restarts) *)
   mutable duplicate_orders : int;
   mutable started : bool;
@@ -164,7 +165,11 @@ let create setup =
         in
         Replica.create ~config:setup.protocol ~replica_id ~backend
           ~mempool:mempools.(replica_id)
-          ~on_ordered ?trace:setup.trace ~telemetry
+          ~on_ordered
+          (* Recovery completion is asynchronous once peer catch-up sync is
+             involved: metrics/dedup stay muted until every lane is live. *)
+          ~on_caught_up:(fun () -> recovering.(replica_id) <- false)
+          ?trace:setup.trace ~telemetry
           ~byzantine:(Faults.byzantine_for setup.scenario ~n ~replica:replica_id)
           ~retain_wal:(Faults.has_recovery setup.scenario)
           ());
@@ -202,14 +207,16 @@ let recover_now t i =
   let now = Backend.now t.backend in
   t.fault <- Fault_schedule.recover t.fault ~replica:i ~at:now;
   Backend_sim.set_fault t.world t.fault;
-  (* The rebuilt log must re-derive everything ordered before the crash:
-     snapshot it for the audit, then let replay repopulate from scratch. *)
-  Hashtbl.replace t.pre_recovery i !(t.logs.(i));
+  (* The rebuilt log must re-derive everything ordered before the crash
+     (above the restored checkpoint): snapshot it for the audit, then let
+     replay + catch-up repopulate. [recovering] clears in the replica's
+     on_caught_up callback — synchronously for a local-only recovery,
+     after peer sync completes otherwise. *)
+  Hashtbl.replace t.pre_recovery i (Replica.base_seq t.replicas.(i), !(t.logs.(i)));
   t.logs.(i) := [];
   Hashtbl.reset t.ordered_seen.(i);
   t.recovering.(i) <- true;
   Replica.recover t.replicas.(i);
-  t.recovering.(i) <- false;
   start_client t i
 
 let trace_partition t ~time kind =
@@ -275,37 +282,47 @@ type audit = {
 
 let audit t =
   let logs = Array.map (fun l -> Array.of_list (List.rev !l)) t.logs in
-  (* Crashed replicas stop early; audit only live-at-end replicas' pairwise
-     common prefixes plus crashed replicas' prefixes against replica 0. *)
-  let min_len = Array.fold_left (fun acc l -> min acc (Array.length l)) max_int logs in
+  (* A checkpoint-recovered replica's log starts at its base sequence, not
+     0, so every comparison runs in global-sequence coordinates: pairwise
+     agreement is checked over each pair's overlapping seq range. *)
+  let bases = Array.mapi (fun i _ -> Replica.base_seq t.replicas.(i)) logs in
+  let min_len =
+    Array.fold_left min max_int
+      (Array.mapi (fun i l -> bases.(i) + Array.length l) logs)
+  in
   let min_len = if min_len = max_int then 0 else min_len in
   let consistent = ref true in
-  Array.iter
-    (fun l ->
-      for i = 0 to min (Array.length l) min_len - 1 do
-        if l.(i) <> logs.(0).(i) then consistent := false
-      done)
-    logs;
-  (* Beyond the shortest log, compare every pair up to their common length. *)
   let n = Array.length logs in
   for a = 0 to n - 1 do
     for b = a + 1 to n - 1 do
-      let common = min (Array.length logs.(a)) (Array.length logs.(b)) in
-      for i = 0 to common - 1 do
-        if logs.(a).(i) <> logs.(b).(i) then consistent := false
+      let lo = max bases.(a) bases.(b) in
+      let hi =
+        min (bases.(a) + Array.length logs.(a)) (bases.(b) + Array.length logs.(b))
+      in
+      for seq = lo to hi - 1 do
+        if logs.(a).(seq - bases.(a)) <> logs.(b).(seq - bases.(b)) then consistent := false
       done
     done
   done;
   (* Each recovered replica's rebuilt log must extend what it had ordered
-     before the crash — WAL replay may not lose or reorder history. *)
+     before the crash — replay + catch-up may not lose or reorder history.
+     Both logs are compared in global-sequence coordinates: entries below
+     the post-recovery base were pruned under a certified checkpoint and
+     are vouched for by its digest, not by replay. *)
   let recovery_ok = ref true in
   Shoalpp_support.Sorted_tbl.iter ~cmp:Int.compare
-    (fun i snapshot ->
+    (fun i (pre_base, snapshot) ->
       let pre = Array.of_list (List.rev snapshot) in
       let post = logs.(i) in
-      if Array.length post < Array.length pre then recovery_ok := false
+      let post_base = Replica.base_seq t.replicas.(i) in
+      if post_base + Array.length post < pre_base + Array.length pre then
+        recovery_ok := false
       else
-        Array.iteri (fun k s -> if post.(k) <> s then recovery_ok := false) pre)
+        Array.iteri
+          (fun k s ->
+            let seq = pre_base + k in
+            if seq >= post_base && post.(seq - post_base) <> s then recovery_ok := false)
+          pre)
     t.pre_recovery;
   {
     consistent_prefixes = !consistent;

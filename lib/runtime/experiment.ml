@@ -53,6 +53,7 @@ type params = {
   verify_signatures : bool;
   tx_size : int;
   batch_cap : int;
+  checkpoint_interval : int;
   seed : int;
   trace : bool;
   trace_capacity : int;
@@ -75,6 +76,7 @@ let default_params =
     verify_signatures = true;
     tx_size = Transaction.default_size;
     batch_cap = 500;
+    checkpoint_interval = 0;
     seed = 1;
     trace = false;
     trace_capacity = 65536;
@@ -168,6 +170,7 @@ let dag_config system params =
     match params.stagger_ms with Some s -> s | None -> median_one_way topology
   in
   let base = { base with Config.stagger_ms = stagger } in
+  let base = Config.with_checkpoint_interval base params.checkpoint_interval in
   if params.verify_signatures then base else Config.without_signature_checks base
 
 (* ------------------------------------------------------------------ *)

@@ -59,6 +59,11 @@ type params = {
   verify_signatures : bool;
   tx_size : int;
   batch_cap : int;
+  checkpoint_interval : int;
+      (** certify a checkpoint (and prune below it) every this many
+          committed anchors; 0 (default) disables the bounded-memory
+          lifecycle. Rounded up to a multiple of the DAG count — see
+          {!Shoalpp_core.Config.effective_checkpoint_interval}. *)
   seed : int;
   trace : bool;  (** record a typed event trace (see {!outcome.events}) *)
   trace_capacity : int;  (** ring size; only the newest events are retained *)

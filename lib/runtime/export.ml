@@ -287,6 +287,11 @@ let event_of_json j =
         kvs
     | _ -> []
   in
+  (* Kinds that carry their own [replica] field (crash/recovery/sync
+     lifecycle events) serialize it on top of the meta key of the same
+     name — one JSON member serves both. Re-expose the meta value to the
+     field decoder or those kinds fail to round-trip and vanish. *)
+  let fields = ("replica", Trace.I replica) :: fields in
   let* kind = Trace.kind_of_fields ~tag fields in
   Some { Trace.time = ts; replica; instance; kind }
 
@@ -362,7 +367,8 @@ let category (e : Trace.event) =
     ->
     "dag"
   | Trace.Timeout_fired _ | Trace.Fetch_requested _ | Trace.Gc_pruned _
-  | Trace.Replica_crashed _ | Trace.Replica_recovered _ ->
+  | Trace.Replica_crashed _ | Trace.Replica_recovered _ | Trace.Checkpoint_certified _
+  | Trace.Sync_started _ | Trace.Sync_completed _ ->
     "recovery"
   | Trace.Partition_opened _ | Trace.Partition_healed _ | Trace.Equivocation_sent _
   | Trace.Anchor_withheld _ | Trace.Votes_delayed _ ->

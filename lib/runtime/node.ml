@@ -32,6 +32,7 @@ type setup = {
   trace : Trace.t option;
   domains : int;
   verify_delay_us : float;
+  retain_wal : bool;  (** keep synced WAL payloads so restart can replay *)
 }
 
 let default_setup ~protocol =
@@ -48,6 +49,7 @@ let default_setup ~protocol =
     trace = None;
     domains = 1;
     verify_delay_us = 0.0;
+    retain_wal = false;
   }
 
 (* Anchor identity of one ordered segment — what the consistency audit
@@ -83,6 +85,8 @@ type t = {
   ledger : Ledger.t;
   logs : seg_id list ref array;
   ordered_seen : (int, unit) Hashtbl.t array;
+  recovering : bool array; (* replay/catch-up in progress: metrics/dedup muted *)
+  next_id : int ref; (* shared client tx-id counter (survives restarts) *)
   mutable duplicate_orders : int;
   mutable started : bool;
 }
@@ -223,6 +227,7 @@ let create setup =
   let ledger = Ledger.create ~telemetry () in
   let logs = Array.init n (fun _ -> ref []) in
   let ordered_seen = Array.init n (fun _ -> Hashtbl.create 256) in
+  let recovering = Array.make n false in
   let t =
     {
       setup;
@@ -238,6 +243,8 @@ let create setup =
       ledger;
       logs;
       ordered_seen;
+      recovering;
+      next_id = ref 0;
       duplicate_orders = 0;
       started = false;
     }
@@ -263,13 +270,18 @@ let create setup =
               let batch = node.Types.batch in
               List.iter
                 (fun (tx : Transaction.t) ->
-                  if Hashtbl.mem ordered_seen.(replica_id) tx.Transaction.id then
-                    t.duplicate_orders <- t.duplicate_orders + 1
-                  else Hashtbl.replace ordered_seen.(replica_id) tx.Transaction.id ();
-                  Metrics.observe_commit metrics
-                    ~origin_ordered:(tx.Transaction.origin = replica_id)
-                    ~tx ~now:o.Replica.ordered_at;
-                  if tx.Transaction.origin = replica_id then
+                  (if Hashtbl.mem ordered_seen.(replica_id) tx.Transaction.id then begin
+                     (* Replay/catch-up re-orders history by design; only a
+                        repeat outside recovery is a safety violation. *)
+                     if not recovering.(replica_id) then
+                       t.duplicate_orders <- t.duplicate_orders + 1
+                   end
+                   else Hashtbl.replace ordered_seen.(replica_id) tx.Transaction.id ());
+                  if not recovering.(replica_id) then
+                    Metrics.observe_commit metrics
+                      ~origin_ordered:(tx.Transaction.origin = replica_id)
+                      ~tx ~now:o.Replica.ordered_at;
+                  if tx.Transaction.origin = replica_id && not recovering.(replica_id) then
                     Ledger.record ledger
                       {
                         Ledger.le_tx = tx.Transaction.id;
@@ -303,6 +315,7 @@ let create setup =
                         Backend.clock = Realtime.clock m.mc_lane_execs.(dag_id);
                         timers = Realtime.timers m.mc_lane_execs.(dag_id);
                         transport;
+                        control = None;
                       });
                   le_obs =
                     (fun dag_id ->
@@ -318,7 +331,9 @@ let create setup =
                 } )
         in
         Replica.create ~config ~replica_id ~backend ~mempool:mempools.(replica_id)
-          ~on_ordered ?trace:setup.trace ~telemetry ?lane_env ());
+          ~on_ordered
+          ~on_caught_up:(fun () -> recovering.(replica_id) <- false)
+          ?trace:setup.trace ~telemetry ~retain_wal:setup.retain_wal ?lane_env ());
   (* Multicore inbound routing: the transport delivers on the main domain;
      each message is verified on the pool (one pool lane per
      (replica, dag) so per-stream FIFO order survives the steal), and the
@@ -336,7 +351,13 @@ let create setup =
                {!Verify_pool.shutdown}, and a post-shutdown submit raises by
                contract. Handler and shutdown both run on the main domain,
                so the check cannot race. *)
-            if dag_id >= 0 && dag_id < k && not (Verify_pool.closed m.mc_pool) then begin
+            (* Control-plane envelopes (checkpoint votes) bypass the verify
+               pool and land on the merge domain, which owns the checkpoint
+               manager; their signature is checked inside the handler. *)
+            if dag_id = Replica.control_dag_id then
+              Realtime.post exec (fun () ->
+                  Replica.deliver replica ~dag_id ~src env.Replica.payload)
+            else if dag_id >= 0 && dag_id < k && not (Verify_pool.closed m.mc_pool) then begin
               let payload = env.Replica.payload in
               let pool_lane = (rid * k) + dag_id in
               Verify_pool.submit m.mc_pool ~lane:pool_lane
@@ -356,34 +377,33 @@ let create setup =
 
 let per_replica_tps t = t.setup.load_tps /. float_of_int (Array.length t.replicas)
 
+let start_client t i =
+  if per_replica_tps t > 0.0 then begin
+    let n = Array.length t.replicas in
+    (* Multicore: client [i]'s Poisson timers fire on lane executor
+       [i mod k] instead of the main loop — tens of thousands of
+       timer events per second move off the merge domain. Disjoint
+       stride-[n] id spaces replace the shared counter, which would
+       otherwise race across domains. *)
+    let clock, timers, next_id, stride =
+      match t.mc with
+      | None -> (t.backend.Backend.clock, t.backend.Backend.timers, t.next_id, 1)
+      | Some m ->
+        let e = m.mc_lane_execs.(i mod Array.length m.mc_lane_execs) in
+        (Realtime.clock e, Realtime.timers e, ref i, n)
+    in
+    t.clients.(i) <-
+      Some
+        (Client.start ~clock ~timers ~mempool:t.mempools.(i) ~origin:i
+           ~rate_tps:(per_replica_tps t) ~tx_size:t.setup.tx_size
+           ~seed:(t.setup.seed + i) ~next_id ~stride ())
+  end
+
 let start t =
   if not t.started then begin
     t.started <- true;
     Array.iter Replica.start t.replicas;
-    if per_replica_tps t > 0.0 then begin
-      let n = Array.length t.replicas in
-      let next_id = ref 0 in
-      Array.iteri
-        (fun i m ->
-          (* Multicore: client [i]'s Poisson timers fire on lane executor
-             [i mod k] instead of the main loop — tens of thousands of
-             timer events per second move off the merge domain. Disjoint
-             stride-[n] id spaces replace the shared counter, which would
-             otherwise race across domains. *)
-          let clock, timers, next_id, stride =
-            match t.mc with
-            | None -> (t.backend.Backend.clock, t.backend.Backend.timers, next_id, 1)
-            | Some m ->
-              let e = m.mc_lane_execs.(i mod Array.length m.mc_lane_execs) in
-              (Realtime.clock e, Realtime.timers e, ref i, n)
-          in
-          t.clients.(i) <-
-            Some
-              (Client.start ~clock ~timers ~mempool:m ~origin:i
-                 ~rate_tps:(per_replica_tps t) ~tx_size:t.setup.tx_size
-                 ~seed:(t.setup.seed + i) ~next_id ~stride ()))
-        t.mempools
-    end
+    Array.iteri (fun i _ -> start_client t i) t.mempools
   end
 
 let run t ~duration_ms =
@@ -408,6 +428,27 @@ let run t ~duration_ms =
     Realtime.run_for t.exec ~duration_ms:50.0
 
 let stop t = Realtime.stop t.exec
+
+(* Realtime crash/restart (single-domain only: lane executors cannot be
+   torn down mid-run). Restart mirrors the sim cluster's recovery path:
+   snapshot bookkeeping resets, WAL replay + checkpoint restore inside
+   {!Replica.recover}, peer catch-up sync when checkpointing is on, and
+   metrics/dedup muted until [on_caught_up] clears [recovering]. *)
+let crash_replica t i =
+  if Option.is_some t.mc then invalid_arg "Node.crash_replica: single-domain only";
+  Replica.crash t.replicas.(i);
+  (match t.clients.(i) with Some c -> Client.stop c | None -> ());
+  t.clients.(i) <- None
+
+let recover_replica ?wipe t i =
+  if Option.is_some t.mc then invalid_arg "Node.recover_replica: single-domain only";
+  t.logs.(i) := [];
+  Hashtbl.reset t.ordered_seen.(i);
+  t.recovering.(i) <- true;
+  Replica.recover ?wipe t.replicas.(i);
+  start_client t i
+
+let catching_up t i = t.recovering.(i) || Replica.catching_up t.replicas.(i)
 let executor t = t.exec
 let tcp_ports t = Option.map Tcp.ports t.tcp
 let tcp_net_stats t = Option.map Tcp.net_stats t.tcp
@@ -461,6 +502,7 @@ let arm_live_gauges ?(interval_ms = 250.0) t =
   let g_committed = Telemetry.gauge t.telemetry "live.committed" in
   let g_tps = Telemetry.gauge t.telemetry "live.commit_tps" in
   let g_dropped = Telemetry.gauge t.telemetry "live.trace_dropped" in
+  let g_heap = Telemetry.gauge t.telemetry "live.heap_words" in
   let last = ref (Backend.now t.backend, Metrics.committed t.metrics) in
   let rec tick () =
     let now = Backend.now t.backend in
@@ -473,6 +515,9 @@ let arm_live_gauges ?(interval_ms = 250.0) t =
     (match t.setup.trace with
     | Some tr -> Telemetry.set g_dropped (float_of_int (Trace.dropped tr))
     | None -> ());
+    (* Live words, not peak: the memory-ceiling smoke scrapes this to prove
+       checkpoint-anchored pruning holds long runs bounded. *)
+    Telemetry.set g_heap (float_of_int (Gc.quick_stat ()).Gc.heap_words);
     last := (now, committed);
     ignore (Backend.schedule t.backend ~after:interval_ms tick)
   in
@@ -493,15 +538,24 @@ let ordered_ids t ~replica =
 
 let audit t =
   let logs = Array.map (fun l -> Array.of_list (List.rev !l)) t.logs in
-  let min_len = Array.fold_left (fun acc l -> min acc (Array.length l)) max_int logs in
+  (* A checkpoint-recovered replica's log starts at its base sequence, not
+     0: compare pairwise agreement in global-sequence coordinates. *)
+  let bases = Array.mapi (fun i _ -> Replica.base_seq t.replicas.(i)) logs in
+  let min_len =
+    Array.fold_left min max_int
+      (Array.mapi (fun i l -> bases.(i) + Array.length l) logs)
+  in
   let min_len = if min_len = max_int then 0 else min_len in
   let consistent = ref true in
   let n = Array.length logs in
   for a = 0 to n - 1 do
     for b = a + 1 to n - 1 do
-      let common = min (Array.length logs.(a)) (Array.length logs.(b)) in
-      for i = 0 to common - 1 do
-        if logs.(a).(i) <> logs.(b).(i) then consistent := false
+      let lo = max bases.(a) bases.(b) in
+      let hi =
+        min (bases.(a) + Array.length logs.(a)) (bases.(b) + Array.length logs.(b))
+      in
+      for seq = lo to hi - 1 do
+        if logs.(a).(seq - bases.(a)) <> logs.(b).(seq - bases.(b)) then consistent := false
       done
     done
   done;

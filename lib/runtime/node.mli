@@ -66,6 +66,9 @@ type setup = {
           [domains > 1] — the same charge at every domain count, so
           throughput comparisons vary only where it is paid. Ignored when
           the protocol runs with signature checks off. *)
+  retain_wal : bool;
+      (** Keep synced WAL payloads in memory so {!recover_replica} can
+          replay them (default false). *)
 }
 
 val default_setup : protocol:Shoalpp_core.Config.t -> setup
@@ -94,6 +97,22 @@ val run : t -> duration_ms:float -> unit
 
 val stop : t -> unit
 (** Make a concurrent {!run} return after its current iteration. *)
+
+val crash_replica : t -> int -> unit
+(** Stop one replica and its client (realtime crash injection). Raises
+    [Invalid_argument] at [domains > 1] — lane executors cannot be torn
+    down mid-run. *)
+
+val recover_replica : ?wipe:bool -> t -> int -> unit
+(** Restart a crashed replica through {!Shoalpp_core.Replica.recover}:
+    checkpoint restore + WAL replay, then peer catch-up sync when
+    checkpointing is on. Requires [retain_wal]; metrics and the duplicate
+    audit stay muted until catch-up completes. [wipe] simulates total disk
+    loss (peer checkpoint adoption). Single-domain only, like
+    {!crash_replica}. *)
+
+val catching_up : t -> int -> bool
+(** True while replica [i]'s recovery (replay or peer sync) is in flight. *)
 
 val executor : t -> Shoalpp_backend.Backend_realtime.t
 

@@ -67,6 +67,8 @@ type 'msg t = {
   mutable dropped : int;
   mutable partitioned : int;
   mutable bytes : float;
+  mutable oob_sent : int;
+  mutable oob_blocked : int;
 }
 
 let base_delay t ~src ~dst =
@@ -112,6 +114,8 @@ let create ~engine ~topology ~assignment ~fault ~config ~seed () =
     dropped = 0;
     partitioned = 0;
     bytes = 0.0;
+    oob_sent = 0;
+    oob_blocked = 0;
   }
 
 (* Deterministic non-stationary slowness: replica [src]'s extra egress delay
@@ -325,7 +329,46 @@ let broadcast t ~src ~size ?(include_self = true) msg =
     done
   end
 
+(* Out-of-band control plane: checkpoint votes and catch-up sync traffic.
+
+   Deliberately bypasses the egress pipe, the jitter/drop RNG streams, and
+   the receiver CPU queue: an in-band control message would advance the
+   per-sender random stream and the egress/CPU cursors, shifting the timing
+   of every subsequent protocol message — and the golden-determinism
+   contract requires commit sequences byte-identical with checkpointing on
+   vs off. Control traffic still honors crash faults (both ends, crash
+   checked again at fire time) and partitions (a pure predicate), so fault
+   scenarios exercise it realistically; it is just invisible to the data
+   plane's queuing model. Real transports carry the same messages in-band —
+   there the OS scheduler, not a seeded RNG, owns timing. *)
+let oob_pad_ms = 0.25
+
+let send_oob t ~src ~dst msg =
+  let now = Engine.now t.engine in
+  if Fault_schedule.is_crashed t.fault ~replica:src ~time:now then ()
+  else if not (Fault_schedule.reachable t.fault ~src ~dst ~time:now) then
+    t.oob_blocked <- t.oob_blocked + 1
+  else begin
+    t.oob_sent <- t.oob_sent + 1;
+    let at = now +. base_delay t ~src ~dst +. oob_pad_ms in
+    ignore
+      (Engine.schedule_at t.engine ~at (fun () ->
+           if not (Fault_schedule.is_crashed t.fault ~replica:dst ~time:(Engine.now t.engine))
+           then begin
+             match t.handlers.(dst) with
+             | Some handler -> handler ~src msg
+             | None -> ()
+           end))
+  end
+
+let broadcast_oob t ~src ?(include_self = true) msg =
+  for dst = 0 to t.n - 1 do
+    if dst <> src || include_self then send_oob t ~src ~dst msg
+  done
+
 let messages_sent t = t.sent
 let messages_dropped t = t.dropped
 let messages_partitioned t = t.partitioned
 let bytes_sent t = t.bytes
+let oob_sent t = t.oob_sent
+let oob_blocked t = t.oob_blocked

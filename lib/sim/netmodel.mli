@@ -17,7 +17,10 @@
       perturbs the delays of unaffected messages;
     - per-replica delivery order is the engine's deterministic event order;
       a message is either delivered exactly once or counted in exactly one
-      of the drop counters ({!messages_dropped}, {!messages_partitioned}). *)
+      of the drop counters ({!messages_dropped}, {!messages_partitioned});
+    - out-of-band control traffic ({!send_oob}/{!broadcast_oob}) draws no
+      randomness and mutates no egress/CPU cursor — enabling it leaves the
+      data plane's delivery schedule byte-identical. *)
 
 type 'msg t
 
@@ -90,6 +93,17 @@ val base_delay_ms : 'msg t -> src:int -> dst:int -> float
 (** Propagation-only delay (no jitter/bandwidth), for distance ordering and
     latency probes. *)
 
+val send_oob : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Out-of-band control-plane delivery (checkpoint votes, catch-up sync):
+    propagation delay plus a fixed pad, no egress serialization, no jitter
+    or drop draws, no receiver CPU queueing — so control traffic cannot
+    perturb the data plane's random streams or timing. Crash faults are
+    honored at send and delivery time; partitions block (counted in
+    {!oob_blocked}). *)
+
+val broadcast_oob : 'msg t -> src:int -> ?include_self:bool -> 'msg -> unit
+(** {!send_oob} to every replica in id order ([include_self] default true). *)
+
 (** Counters for reporting. *)
 
 val messages_sent : _ t -> int
@@ -99,3 +113,9 @@ val messages_partitioned : _ t -> int
 (** Messages blocked by an active partition (distinct from random drops). *)
 
 val bytes_sent : _ t -> float
+
+val oob_sent : _ t -> int
+(** Control-plane messages delivered out of band. *)
+
+val oob_blocked : _ t -> int
+(** Control-plane messages blocked by an active partition. *)

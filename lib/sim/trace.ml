@@ -23,6 +23,9 @@ type kind =
   | Partition_healed of { groups : string }
   | Replica_crashed of { replica : int }
   | Replica_recovered of { replica : int; replayed : int }
+  | Checkpoint_certified of { seq : int; signers : int }
+  | Sync_started of { replica : int; from_round : int }
+  | Sync_completed of { replica : int; certs : int; requests : int }
   | Equivocation_sent of { round : int }
   | Anchor_withheld of { round : int }
   | Votes_delayed of { round : int; delay_ms : int }
@@ -46,6 +49,9 @@ let tag = function
   | Partition_healed _ -> "partition_healed"
   | Replica_crashed _ -> "replica_crashed"
   | Replica_recovered _ -> "replica_recovered"
+  | Checkpoint_certified _ -> "checkpoint_certified"
+  | Sync_started _ -> "sync_started"
+  | Sync_completed _ -> "sync_completed"
   | Equivocation_sent _ -> "equivocation_sent"
   | Anchor_withheld _ -> "anchor_withheld"
   | Votes_delayed _ -> "votes_delayed"
@@ -73,6 +79,11 @@ let fields = function
   | Replica_crashed { replica } -> [ ("replica", I replica) ]
   | Replica_recovered { replica; replayed } ->
     [ ("replica", I replica); ("replayed", I replayed) ]
+  | Checkpoint_certified { seq; signers } -> [ ("seq", I seq); ("signers", I signers) ]
+  | Sync_started { replica; from_round } ->
+    [ ("replica", I replica); ("from_round", I from_round) ]
+  | Sync_completed { replica; certs; requests } ->
+    [ ("replica", I replica); ("certs", I certs); ("requests", I requests) ]
   | Equivocation_sent { round } | Anchor_withheld { round } -> [ ("round", I round) ]
   | Votes_delayed { round; delay_ms } -> [ ("round", I round); ("delay_ms", I delay_ms) ]
   | Custom { detail; _ } -> [ ("detail", S detail) ]
@@ -134,6 +145,19 @@ let kind_of_fields ~tag:t fs =
     let* replica = int "replica" in
     let* replayed = int "replayed" in
     Some (Replica_recovered { replica; replayed })
+  | "checkpoint_certified" ->
+    let* seq = int "seq" in
+    let* signers = int "signers" in
+    Some (Checkpoint_certified { seq; signers })
+  | "sync_started" ->
+    let* replica = int "replica" in
+    let* from_round = int "from_round" in
+    Some (Sync_started { replica; from_round })
+  | "sync_completed" ->
+    let* replica = int "replica" in
+    let* certs = int "certs" in
+    let* requests = int "requests" in
+    Some (Sync_completed { replica; certs; requests })
   | "equivocation_sent" | "anchor_withheld" ->
     let* round = int "round" in
     Some

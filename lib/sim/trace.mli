@@ -44,6 +44,12 @@ type kind =
   | Replica_crashed of { replica : int }
   | Replica_recovered of { replica : int; replayed : int }
       (** restart finished; [replayed] WAL entries were re-applied *)
+  | Checkpoint_certified of { seq : int; signers : int }
+      (** a quorum certified the checkpoint ending at global seq [seq] *)
+  | Sync_started of { replica : int; from_round : int }
+      (** a recovering replica began pulling certified history from peers *)
+  | Sync_completed of { replica : int; certs : int; requests : int }
+      (** catch-up done: [certs] ingested across [requests] sync requests *)
   | Equivocation_sent of { round : int }
       (** a Byzantine replica sent conflicting proposals for [round] *)
   | Anchor_withheld of { round : int }

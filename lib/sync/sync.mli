@@ -1,0 +1,86 @@
+(** Peer catch-up sync: a lagging or restarted replica pulls certified
+    history from peers in O(gap) messages instead of replaying the whole
+    log from genesis.
+
+    Both halves are sans-I/O. {!Server} is a pure request -> response
+    function over a DAG store (plus a checkpoint provider); {!Client} is a
+    per-lane state machine driven entirely through injected callbacks
+    (send / ingest / schedule), so it runs identically under the
+    deterministic simulator and the realtime transports, and unit tests can
+    drive it synchronously.
+
+    Protocol (per DAG lane): probe one peer with [Get_highest_round], then
+    walk the returned window with paged [Get_certificates_in_range]
+    requests, handing every certificate to the instance's out-of-band
+    ingest (full validation applies); when the final page arrives the lane
+    is caught up. Message count: 1 probe + ceil(gap / page) range requests
+    (plus responses) — linear in the gap, independent of history length.
+
+    Invariants:
+    - the client sends at most one outstanding request; a response either
+      advances the state (next page / done) or is ignored as stale, and
+      every request is retried against a deterministically rotated peer
+      after [retry_ms] of silence, so one slow or pruned peer cannot wedge
+      catch-up;
+    - the server answers purely from the store's retained window and never
+      mutates it; pages are whole rounds and the cursor is a round number,
+      so pagination is valid across different responders;
+    - re-ingesting a certificate already held is harmless (store insertion
+      is idempotent), so duplicate or overlapping pages are safe. *)
+
+module Server : sig
+  type t
+
+  val create :
+    ?page:int ->
+    store:Shoalpp_dag.Store.t ->
+    checkpoint:(unit -> string option) ->
+    unit ->
+    t
+  (** [page] (default 128) caps certificates per response page; a single
+      round larger than the page is still served whole (progress). The
+      [checkpoint] thunk supplies the latest certified checkpoint,
+      wire-encoded, for [Get_checkpoint]. *)
+
+  val handle : t -> Shoalpp_dag.Types.sync_request -> Shoalpp_dag.Types.sync_response
+
+  val requests_served : t -> int
+  val certs_served : t -> int
+end
+
+module Client : sig
+  type hooks = {
+    send : dst:int -> Shoalpp_dag.Types.sync_request -> unit;
+    ingest : Shoalpp_dag.Types.certified_node -> unit;
+        (** deliver one fetched certificate to the DAG instance (validated
+            there; idempotent on duplicates) *)
+    schedule : after:float -> (unit -> unit) -> unit;
+    on_caught_up : unit -> unit;  (** fired exactly once, on completion *)
+  }
+
+  type fetching = { target : int; mutable cursor : int }
+  type phase = Idle | Probing | Fetching of fetching | Done
+
+  type t
+
+  val create : n:int -> self:int -> ?retry_ms:float -> hooks -> t
+  (** [retry_ms] (default 400) is the silence window before a request is
+      re-sent to the next peer in the deterministic rotation. *)
+
+  val start : t -> from:int -> unit
+  (** Begin catching up from round [from] (typically the restored
+      checkpoint floor, or the highest locally replayed round + 1).
+      Completes immediately when [n <= 1]. *)
+
+  val handle_response : t -> Shoalpp_dag.Types.sync_response -> unit
+
+  val phase : t -> phase
+  val finished : t -> bool
+
+  val requests_sent : t -> int
+  (** Total requests (including retries) — the O(gap) assertion input. *)
+
+  val responses_handled : t -> int
+  val certs_ingested : t -> int
+  val retries : t -> int
+end

@@ -196,6 +196,68 @@ grep -q 'commit sequence: consistent' "$out/tcp_report.txt" \
 grep -q 'audit: consistent logs, no duplicates' "$out/tcp10.out" \
   || { echo "check failed: tcp+gcp10 audit line missing" >&2; exit 1; }
 
+# Bounded-memory smoke: a longer checkpointed run must hold the live heap
+# under a fixed ceiling — scraped from /metrics MID-RUN, late in the run,
+# when unbounded retention would have accumulated (a checkpointed run
+# retains at most two checkpoint windows of store + WAL; BENCH_mem.json
+# records the retention curves). The ceiling is ~5x the measured steady
+# state, so real regressions trip it while GC noise cannot.
+./_build/default/bin/shoalpp_node.exe \
+  -n 4 --duration 12000 --load 500 --no-verify --admin-port 0 \
+  --checkpoint-interval 12 --metrics-out "$out/mem.metrics.json" \
+  > "$out/mem.out" 2>&1 &
+mem_pid=$!
+mem_port=""
+i=0
+while [ $i -lt 50 ]; do
+  mem_port=$(sed -n 's#^admin: http://127\.0\.0\.1:\([0-9]*\)/metrics.*#\1#p' "$out/mem.out")
+  [ -n "$mem_port" ] && break
+  i=$((i + 1)); sleep 0.1
+done
+[ -n "$mem_port" ] || { kill "$mem_pid" 2>/dev/null || true; echo "check failed: mem smoke admin endpoint missing" >&2; exit 1; }
+sleep 9
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$mem_port" <<'EOF' || { kill "$mem_pid" 2>/dev/null || true; echo "check failed: live heap over ceiling or gauges missing" >&2; exit 1; }
+import re, sys, urllib.request
+body = urllib.request.urlopen("http://127.0.0.1:%s/metrics" % sys.argv[1], timeout=10).read().decode()
+def gauge(name):
+    m = re.search(r'^%s (\S+)$' % re.escape(name), body, re.M)
+    return float(m.group(1)) if m else None
+heap = gauge("shoalpp_live_heap_words")
+assert heap is not None, "live heap gauge missing"
+CEILING = 64e6  # words; the checkpointed 12s/500tps run steadies near 11M
+assert heap < CEILING, f"live heap {heap:.0f} words >= ceiling {CEILING:.0f}"
+pruned = gauge("shoalpp_gc_pruned_vertices")
+assert pruned and pruned > 0, "checkpoint-anchored pruning never ran"
+print(f"mem smoke: live heap {heap/1e6:.1f}M words (< {CEILING/1e6:.0f}M), {pruned:.0f} vertices pruned")
+EOF
+else
+  echo "check: python3 not installed, skipping live heap ceiling"
+fi
+wait "$mem_pid" || { echo "check failed: mem smoke run failed" >&2; cat "$out/mem.out" >&2; exit 1; }
+grep -q 'audit: consistent logs, no duplicates' "$out/mem.out" \
+  || { echo "check failed: mem smoke audit line missing" >&2; exit 1; }
+
+# Lag-then-catch-up smoke: kill one replica mid-run, restart it, and
+# require that it rejoined from a certified checkpoint (base_seq > 0 — it
+# did NOT replay from genesis) with an O(gap) number of sync requests,
+# and that the cluster audit still passes (the binary's exit code).
+./_build/default/bin/shoalpp_node.exe \
+  -n 4 --duration 10000 --load 300 --no-verify \
+  --checkpoint-interval 12 --restart 3000,6000 > "$out/catchup.out" 2>&1 \
+  || { echo "check failed: restart run failed" >&2; cat "$out/catchup.out" >&2; exit 1; }
+grep -q 'audit: consistent logs, no duplicates' "$out/catchup.out" \
+  || { echo "check failed: restart audit line missing" >&2; exit 1; }
+restart_line=$(grep '^restart: replica' "$out/catchup.out") \
+  || { echo "check failed: restart summary line missing" >&2; cat "$out/catchup.out" >&2; exit 1; }
+base_seq=$(printf '%s' "$restart_line" | sed -n 's/^restart: replica [0-9]* base_seq \([0-9]*\),.*/\1/p')
+reqs=$(printf '%s' "$restart_line" | sed -n 's/.*catch-up \([0-9]*\) sync requests.*/\1/p')
+[ -n "$base_seq" ] && [ "$base_seq" -gt 0 ] \
+  || { echo "check failed: restarted replica replayed from genesis (base_seq=$base_seq)" >&2; exit 1; }
+[ -n "$reqs" ] && [ "$reqs" -ge 3 ] && [ "$reqs" -le 60 ] \
+  || { echo "check failed: catch-up sync requests not O(gap) ($reqs)" >&2; exit 1; }
+echo "catch-up smoke: $restart_line"
+
 # Node-bench guard: a short re-run of the domains sweep must keep every
 # machine-independent behaviour field clean (audit consistent, zero
 # duplicate orders, zero pool exceptions), and the committed

@@ -67,6 +67,10 @@ let default =
         "lib/sim/trace.ml";
         "lib/sim/obs.ml";
         "lib/codec/wire.ml";
+        (* checkpoint encodings are digest preimages; sync pages feed the
+           wire — both must iterate deterministically *)
+        "lib/storage/checkpoint.ml";
+        "lib/sync/sync.ml";
         (* socket emission: frame batches feed the wire, whose bytes the
            cross-transport golden test compares — iteration must be stable *)
         "lib/backend/tcp_transport.ml";
@@ -86,6 +90,10 @@ let default =
         "lib/consensus/driver.ml";
         "lib/consensus/anchors.ml";
         "lib/consensus/reputation.ml";
+        (* bounded-memory lifecycle: checkpoint digests and sync paging key
+           on protocol coordinates (rounds, refs, signer indices) *)
+        "lib/storage/checkpoint.ml";
+        "lib/sync/sync.ml";
       ];
     mli_required_under = [ "lib/" ];
     allowlist =

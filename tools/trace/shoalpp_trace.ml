@@ -85,7 +85,63 @@ type replica_log = {
   mutable rl_max_seq : int;
 }
 
-let analyze_events events =
+(* Recovery shadows. A replica that restarts from a checkpoint replays its
+   WAL and pulls missed history through the sync protocol: it re-decides
+   and re-orders, mid-history, anchors the live cluster settled long ago.
+   Those events carry the replay's rule tag and wall time, not the
+   protocol's, so comparing them against the live decisions manufactures
+   divergence and skew that never happened. Per replica we track
+   [crash .. catch-up complete] windows (catch-up completion is the
+   Sync_completed event; a recovery with no sync phase closes at
+   Replica_recovered; an unfinished recovery shadows to the end) and
+   exclude shadowed decide/order events from rule-conflict and skew
+   accounting. The global-log safety check deliberately keeps them:
+   re-ordered seqs are absolute coordinates and must still agree. *)
+let recovery_shadows events =
+  let closed : (int, (float * float) list) Hashtbl.t = Hashtbl.create 4 in
+  let open_at : (int, float) Hashtbl.t = Hashtbl.create 4 in
+  let tentative : (int, float) Hashtbl.t = Hashtbl.create 4 in
+  let recovered : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let close replica until =
+    match Hashtbl.find_opt open_at replica with
+    | None -> ()
+    | Some t0 ->
+      Hashtbl.remove open_at replica;
+      Hashtbl.remove tentative replica;
+      let prev = Option.value ~default:[] (Hashtbl.find_opt closed replica) in
+      Hashtbl.replace closed replica ((t0, until) :: prev)
+  in
+  List.iter
+    (fun (ev : Trace.event) ->
+      match ev.kind with
+      | Trace.Replica_crashed { replica } ->
+        if not (Hashtbl.mem open_at replica) then Hashtbl.replace open_at replica ev.time
+      | Trace.Replica_recovered { replica; _ } ->
+        (* catch-up may still follow; only a tentative close until we know *)
+        Hashtbl.replace recovered replica ();
+        if Hashtbl.mem open_at replica then Hashtbl.replace tentative replica ev.time
+      | Trace.Sync_started { replica; _ } -> Hashtbl.remove tentative replica
+      | Trace.Sync_completed { replica; _ } -> close replica ev.time
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun replica t0 ->
+      let until =
+        match Hashtbl.find_opt tentative replica with Some t -> t | None -> infinity
+      in
+      Hashtbl.remove open_at replica;
+      let prev = Option.value ~default:[] (Hashtbl.find_opt closed replica) in
+      Hashtbl.replace closed replica ((t0, until) :: prev))
+    (Hashtbl.copy open_at);
+  let shadowed ~replica ~time =
+    match Hashtbl.find_opt closed replica with
+    | None -> false
+    | Some ws -> List.exists (fun (a, b) -> time >= a && time <= b) ws
+  in
+  let has_recovered replica = Hashtbl.mem recovered replica in
+  (shadowed, has_recovered)
+
+let analyze_events ~shadowed events =
   let commits : (int * int * int, commit) Hashtbl.t = Hashtbl.create 1024 in
   let logs : (int, replica_log) Hashtbl.t = Hashtbl.create 8 in
   let get_commit instance round anchor =
@@ -140,18 +196,22 @@ let analyze_events events =
       | Trace.Anchor_direct_certified { round; anchor }
       | Trace.Anchor_indirect { round; anchor }
       | Trace.Anchor_skipped { round; anchor } ->
-        let tag = Option.get (decision_tag ev.kind) in
-        let c = get_commit ev.instance round anchor in
-        if String.equal c.c_rule "" then c.c_rule <- tag
-        else if not (String.equal c.c_rule tag) then c.c_rule_conflict <- true;
-        c.c_decide_first <- fmin c.c_decide_first ev.time;
-        c.c_decide_last <- fmax c.c_decide_last ev.time;
-        c.c_decide_n <- c.c_decide_n + 1
+        if not (shadowed ~replica:ev.replica ~time:ev.time) then begin
+          let tag = Option.get (decision_tag ev.kind) in
+          let c = get_commit ev.instance round anchor in
+          if String.equal c.c_rule "" then c.c_rule <- tag
+          else if not (String.equal c.c_rule tag) then c.c_rule_conflict <- true;
+          c.c_decide_first <- fmin c.c_decide_first ev.time;
+          c.c_decide_last <- fmax c.c_decide_last ev.time;
+          c.c_decide_n <- c.c_decide_n + 1
+        end
       | Trace.Segment_interleaved { global_seq; round; anchor; _ } ->
-        let c = get_commit ev.instance round anchor in
-        c.c_order_first <- fmin c.c_order_first ev.time;
-        c.c_order_last <- fmax c.c_order_last ev.time;
-        c.c_order_n <- c.c_order_n + 1;
+        if not (shadowed ~replica:ev.replica ~time:ev.time) then begin
+          let c = get_commit ev.instance round anchor in
+          c.c_order_first <- fmin c.c_order_first ev.time;
+          c.c_order_last <- fmax c.c_order_last ev.time;
+          c.c_order_n <- c.c_order_n + 1
+        end;
         let l = get_log ev.replica in
         Hashtbl.replace l.rl_entries global_seq (ev.instance, round, anchor);
         if global_seq < l.rl_min_seq then l.rl_min_seq <- global_seq;
@@ -296,9 +356,27 @@ let metrics_dropped path =
     | Some v -> Option.map int_of_float (Json.to_float_opt v)
     | None -> None)
 
-let inferred_truncation logs =
+(* A log that starts above seq 0 means either the trace ring evicted the
+   run's head (worth a warning — early commits silently missing) or the
+   replica legitimately joined mid-history after a checkpoint restart
+   (expected; the seqs below its base are vouched by the checkpoint
+   certificate, not replayed). Disambiguate by whether the replica ever
+   recovered. *)
+let inferred_truncation ~has_recovered logs =
   Hashtbl.fold
-    (fun _ l acc -> if l.rl_max_seq >= 0 && l.rl_min_seq > 0 then (l.rl_replica, l.rl_min_seq) :: acc else acc)
+    (fun _ l acc ->
+      if l.rl_max_seq >= 0 && l.rl_min_seq > 0 && not (has_recovered l.rl_replica) then
+        (l.rl_replica, l.rl_min_seq) :: acc
+      else acc)
+    logs []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let restart_bases ~has_recovered logs =
+  Hashtbl.fold
+    (fun _ l acc ->
+      if l.rl_max_seq >= 0 && l.rl_min_seq > 0 && has_recovered l.rl_replica then
+        (l.rl_replica, l.rl_min_seq) :: acc
+      else acc)
     logs []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
@@ -310,7 +388,7 @@ let f2 = Tablefmt.float_cell ~decimals:2
 
 let key_str (i, r, a) = Printf.sprintf "(dag=%d round=%d anchor=%d)" i r a
 
-let print_human ~chain ~commits ~logs ~divs ~stalls ~windows ~dropped ~truncated =
+let print_human ~chain ~commits ~logs ~divs ~stalls ~windows ~dropped ~truncated ~restarts =
   let n_replicas = Hashtbl.length logs in
   Printf.printf "shoalpp_trace: %d committed anchors joined across %d replica log(s)\n\n"
     (List.length chain) n_replicas;
@@ -425,9 +503,15 @@ let print_human ~chain ~commits ~logs ~divs ~stalls ~windows ~dropped ~truncated
       Printf.printf
         "WARNING: replica %d's log starts at seq %d — the trace ring evicted the run's head\n" r min_seq)
     truncated;
+  List.iter
+    (fun (r, min_seq) ->
+      Printf.printf
+        "replica %d rejoined at seq %d (checkpoint restart); earlier seqs are certificate-vouched, not replayed\n"
+        r min_seq)
+    restarts;
   ignore commits
 
-let json_output ~chain ~logs ~divs ~stalls ~windows ~dropped ~truncated =
+let json_output ~chain ~logs ~divs ~stalls ~windows ~dropped ~truncated ~restarts =
   let stage_objs =
     List.map
       (fun st ->
@@ -503,6 +587,9 @@ let json_output ~chain ~logs ~divs ~stalls ~windows ~dropped ~truncated =
       ( "truncated_replicas",
         Json.List
           (List.map (fun (r, s) -> Json.Obj [ ("replica", Json.Int r); ("min_seq", Json.Int s) ]) truncated) );
+      ( "restarted_replicas",
+        Json.List
+          (List.map (fun (r, s) -> Json.Obj [ ("replica", Json.Int r); ("base_seq", Json.Int s) ]) restarts) );
     ]
   |> Json.to_string
 
@@ -518,7 +605,8 @@ let run paths metrics format stall_factor windows_n =
     Printf.eprintf "shoalpp_trace: no parseable events in %s\n" (String.concat ", " paths);
     exit 2
   end;
-  let commits, logs = analyze_events events in
+  let shadowed, has_recovered = recovery_shadows events in
+  let commits, logs = analyze_events ~shadowed events in
   let chain = committed_chain commits in
   let divs = find_divergence logs in
   let stalls =
@@ -538,11 +626,14 @@ let run paths metrics format stall_factor windows_n =
   in
   let windows = rule_windows ~n:windows_n commits in
   let dropped = Option.bind metrics metrics_dropped in
-  let truncated = inferred_truncation logs in
+  let truncated = inferred_truncation ~has_recovered logs in
+  let restarts = restart_bases ~has_recovered logs in
   let has_conflict = List.exists (fun c -> c.c_rule_conflict) chain in
   (match format with
-  | `Table -> print_human ~chain ~commits ~logs ~divs ~stalls ~windows ~dropped ~truncated
-  | `Json -> print_endline (json_output ~chain ~logs ~divs ~stalls ~windows ~dropped ~truncated));
+  | `Table ->
+    print_human ~chain ~commits ~logs ~divs ~stalls ~windows ~dropped ~truncated ~restarts
+  | `Json ->
+    print_endline (json_output ~chain ~logs ~divs ~stalls ~windows ~dropped ~truncated ~restarts));
   if divs <> [] || has_conflict then exit 1
 
 let cmd =
