@@ -1,3 +1,9 @@
+(* Everything here runs on the executor's loop domain (accept/read/write
+   pollers); the floating attribute re-owns the module to that single role
+   for tools/lint's race pass, overriding the lib/backend/ "shared"
+   default. *)
+[@@@shoalpp.domain "main"]
+
 (* Minimal HTTP/1.0 admin endpoint on the real-time executor's poll loop.
 
    The server owns no content: callers inject routes as [path -> body]

@@ -1,18 +1,30 @@
 module Heap = Shoalpp_support.Heap
 module Wire = Shoalpp_codec.Wire
 
-type rt_timer = { at : float; seq : int; mutable action : (unit -> unit) option }
+(* [action] is written (cancelled) from posting domains and read by the
+   loop; both under [mu] — see the guarded_by declarations on [t]. *)
+type rt_timer = {
+  at : float;
+  seq : int;
+  mutable action : (unit -> unit) option; [@shoalpp.guarded_by "mu"]
+}
 
 let cmp a b =
   if a.at < b.at then -1 else if a.at > b.at then 1 else compare a.seq b.seq
 
+(* Concurrency map (machine-checked by tools/lint lock-discipline):
+   [heap]/[next_seq]/[mono] are guarded by [mu] — any domain may post or
+   cancel a timer. [fired], the poller tables and [loop_domain] belong to
+   the loop-owner domain only (docs/CONCURRENCY.md effect-confinement map)
+   and are deliberately *not* guarded; the Atomics carry every remaining
+   cross-domain bit. *)
 type t = {
   mu : Mutex.t;
-  heap : rt_timer Heap.t;
-  mutable next_seq : int;
+  heap : rt_timer Heap.t; [@shoalpp.guarded_by "mu"]
+  mutable next_seq : int; [@shoalpp.guarded_by "mu"]
   mutable fired : int;
   origin : float; (* Unix.gettimeofday at create, seconds *)
-  mutable mono : float; (* high-water clock reading, ms *)
+  mutable mono : float; [@shoalpp.guarded_by "mu"] (* high-water clock reading, ms *)
   stopping : bool Atomic.t;
   running : bool Atomic.t;
   max_tick_ms : float;
@@ -32,12 +44,18 @@ type t = {
    the default disposition would kill the whole process the first time a
    transport writes into a reset connection. Ignored once, process-wide, by
    the first executor — every realtime I/O path (UDS, TCP, admin) relies on
-   seeing the errno instead. *)
-let ignore_sigpipe =
-  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+   seeing the errno instead. The once-guard is an [Atomic.exchange], not a
+   [lazy]: forcing a shared lazy from two domains at once is a race (one
+   domain can observe the thunk mid-update and raise [Lazy.Undefined]),
+   whereas the exchange hands exactly one caller the [false]. *)
+let sigpipe_ignored = Atomic.make false
+
+let ignore_sigpipe () =
+  if not (Atomic.exchange sigpipe_ignored true) then
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
 
 let create ?(max_tick_ms = 50.0) ?origin_of () =
-  Lazy.force ignore_sigpipe;
+  ignore_sigpipe ();
   let wake_r, wake_w = Unix.pipe () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
@@ -180,6 +198,7 @@ let rec pop_due t ~now ~limit acc =
       ignore (Heap.pop t.heap);
       pop_due t ~now ~limit:(limit - 1) (tm :: acc)
     | _ -> List.rev acc
+[@@shoalpp.requires_lock "mu"]
 
 let rec next_deadline t =
   match Heap.peek t.heap with
@@ -188,6 +207,7 @@ let rec next_deadline t =
     next_deadline t
   | Some tm -> Some tm.at
   | None -> None
+[@@shoalpp.requires_lock "mu"]
 
 (* Fire each due timer, taking its action out atomically so a concurrent
    cancel can never race the invocation. If a callback raises, the popped

@@ -1,3 +1,12 @@
+(* The transport's state machines (per-peer coalescing buffers, reconnect
+   backoff, the connection table) run exclusively on the executor's loop
+   domain: every entry point is either a poller callback or posted via
+   Backend_realtime.post. The floating attribute re-owns the module for
+   tools/lint's race pass — overriding the lib/backend/ "shared" default —
+   so any future top-level mutable global here stays legal exactly as long
+   as this single-domain discipline holds. *)
+[@@@shoalpp.domain "main"]
+
 (* Length-prefixed TCP transport for the wall-clock executor.
 
    Same wire format as the UDS transport (Backend_realtime.Framing: 4-byte

@@ -20,25 +20,30 @@ type job = {
   j_k : bool -> unit;
 }
 
+(* Every mutable field below except [domains] is guarded by [mu] (the
+   [@shoalpp.guarded_by] declarations are machine-checked by tools/lint's
+   lock-discipline rule). [domains] is touched only by the owning thread
+   (create/shutdown/workers), never by workers or submitters. *)
 type lane = {
-  mutable l_next_seq : int; (* next sequence number to assign *)
-  mutable l_next_deliver : int; (* next sequence number to hand to a sink *)
-  l_ready : (int, bool * (bool -> unit)) Hashtbl.t; (* finished, undelivered *)
-  mutable l_delivering : bool; (* one worker at a time walks the lane *)
+  mutable l_next_seq : int; [@shoalpp.guarded_by "mu"] (* next sequence number to assign *)
+  mutable l_next_deliver : int; [@shoalpp.guarded_by "mu"] (* next to hand to a sink *)
+  l_ready : (int, bool * (bool -> unit)) Hashtbl.t; [@shoalpp.guarded_by "mu"]
+      (* finished, undelivered *)
+  mutable l_delivering : bool; [@shoalpp.guarded_by "mu"] (* one worker walks the lane *)
 }
 
 type t = {
   mu : Mutex.t;
   cond : Condition.t;
-  queues : job Queue.t array; (* one per worker *)
-  mutable rr : int; (* round-robin submission cursor *)
-  mutable closing : bool;
-  mutable inflight : int;
-  lanes : lane array;
-  mutable executed : int;
-  mutable stolen : int;
-  mutable work_exns : int;
-  mutable sink_exns : int;
+  queues : job Queue.t array; [@shoalpp.guarded_by "mu"] (* one per worker *)
+  mutable rr : int; [@shoalpp.guarded_by "mu"] (* round-robin submission cursor *)
+  mutable closing : bool; [@shoalpp.guarded_by "mu"]
+  mutable inflight : int; [@shoalpp.guarded_by "mu"]
+  lanes : lane array; [@shoalpp.guarded_by "mu"]
+  mutable executed : int; [@shoalpp.guarded_by "mu"]
+  mutable stolen : int; [@shoalpp.guarded_by "mu"]
+  mutable work_exns : int; [@shoalpp.guarded_by "mu"]
+  mutable sink_exns : int; [@shoalpp.guarded_by "mu"]
   mutable domains : unit Domain.t array;
 }
 
@@ -67,14 +72,21 @@ let deliver t ln =
         Hashtbl.remove ln.l_ready ln.l_next_deliver;
         ln.l_next_deliver <- ln.l_next_deliver + 1;
         Mutex.unlock t.mu;
-        (try k ok with _ -> t.sink_exns <- t.sink_exns + 1);
+        (* note the raise flag while unlocked, count it after relocking:
+           [sink_exns] is mutex-guarded state and another worker may be
+           counting its own sink failure concurrently *)
+        let sink_raised =
+          match k ok with () -> false | exception _ -> true
+        in
         Mutex.lock t.mu;
+        if sink_raised then t.sink_exns <- t.sink_exns + 1;
         walk ()
       | None -> ()
     in
     walk ();
     ln.l_delivering <- false
   end
+[@@shoalpp.requires_lock "mu"]
 
 let complete t j ~ok ~raised =
   with_mu t (fun () ->
@@ -107,6 +119,7 @@ let rec take t w =
       Condition.wait t.cond t.mu;
       take t w
     end
+[@@shoalpp.requires_lock "mu"]
 
 let worker t w () =
   let rec loop () =
@@ -170,21 +183,26 @@ let submit t ~lane ~work ~k =
     run_inline t ~work ~k
   end
   else begin
-    Mutex.lock t.mu;
-    if t.closing then begin
-      Mutex.unlock t.mu;
-      reject ()
-    end
-    else begin
-      let ln = t.lanes.(lane) in
-      let j = { j_lane = lane; j_seq = ln.l_next_seq; j_work = work; j_k = k } in
-      ln.l_next_seq <- ln.l_next_seq + 1;
-      Queue.add j t.queues.(t.rr);
-      t.rr <- (t.rr + 1) mod Array.length t.queues;
-      t.inflight <- t.inflight + 1;
-      Condition.signal t.cond;
-      Mutex.unlock t.mu
-    end
+    (* [t.lanes.(lane)] can raise on an out-of-range lane: the whole
+       critical section runs under [with_mu] so the mutex is released on
+       that path too (a raw lock/unlock pair here would deadlock every
+       subsequent submitter after one bad index). [reject] itself raises
+       outside the lock. *)
+    let accepted =
+      with_mu t (fun () ->
+          if t.closing then false
+          else begin
+            let ln = t.lanes.(lane) in
+            let j = { j_lane = lane; j_seq = ln.l_next_seq; j_work = work; j_k = k } in
+            ln.l_next_seq <- ln.l_next_seq + 1;
+            Queue.add j t.queues.(t.rr);
+            t.rr <- (t.rr + 1) mod Array.length t.queues;
+            t.inflight <- t.inflight + 1;
+            Condition.signal t.cond;
+            true
+          end)
+    in
+    if not accepted then reject ()
   end
 
 let shutdown t =

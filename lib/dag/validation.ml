@@ -73,25 +73,36 @@ let validate_weak_parents committee (node : Types.node) =
    the full recompute already produced — a forged node reusing a cached
    digest is a different value and takes the slow path. Only successful
    bindings are cached; the table is reset at a size cap to bound memory. *)
-let binding_cache : (Digest32.t, Types.node) Hashtbl.t = Hashtbl.create 1024
-let binding_cache_cap = 8192
-
 (* The memo stays a single process-wide table so the sim's allocation
    profile is unchanged, which means the multicore node's lane domains
    share it: the mutex makes lookup and insert atomic. The SHA-256
    recompute — the expensive part — runs outside the lock. *)
 let binding_mu = Mutex.create ()
 
+let binding_cache : (Digest32.t, Types.node) Hashtbl.t = Hashtbl.create 1024
+[@@shoalpp.guarded_by "binding_mu"]
+
+let binding_cache_cap = 8192
+
+(* Exception-safe critical section: [Hashtbl] operations on a corrupted
+   heap (or an async exception landing between lock and unlock) must not
+   leave [binding_mu] held forever for every other lane domain. *)
+let with_mu f =
+  Mutex.lock binding_mu;
+  match f () with
+  | v ->
+    Mutex.unlock binding_mu;
+    v
+  | exception e ->
+    Mutex.unlock binding_mu;
+    raise e
+
 let binding_holds (node : Types.node) =
   let hit =
-    Mutex.lock binding_mu;
-    let h =
-      match Hashtbl.find_opt binding_cache node.Types.digest with
-      | Some cached when cached == node -> true
-      | _ -> false
-    in
-    Mutex.unlock binding_mu;
-    h
+    with_mu (fun () ->
+        match Hashtbl.find_opt binding_cache node.Types.digest with
+        | Some cached when cached == node -> true
+        | _ -> false)
   in
   hit
   ||
@@ -101,12 +112,10 @@ let binding_holds (node : Types.node) =
       ~weak_parents:node.Types.weak_parents
   in
   let ok = Digest32.equal expected node.Types.digest in
-  if ok then begin
-    Mutex.lock binding_mu;
-    if Hashtbl.length binding_cache >= binding_cache_cap then Hashtbl.reset binding_cache;
-    Hashtbl.replace binding_cache node.Types.digest node;
-    Mutex.unlock binding_mu
-  end;
+  if ok then
+    with_mu (fun () ->
+        if Hashtbl.length binding_cache >= binding_cache_cap then Hashtbl.reset binding_cache;
+        Hashtbl.replace binding_cache node.Types.digest node);
   ok
 
 (* Shared by the inline validators below and by {!signatures_ok}, the

@@ -5,10 +5,10 @@
    users (the simulator) pay an uncontended lock. *)
 type t = {
   mu : Mutex.t;
-  q : Transaction.t Queue.t;
+  q : Transaction.t Queue.t; [@shoalpp.guarded_by "mu"]
   max_pending : int;
-  mutable submitted : int;
-  mutable rejected : int;
+  mutable submitted : int; [@shoalpp.guarded_by "mu"]
+  mutable rejected : int; [@shoalpp.guarded_by "mu"]
 }
 
 let with_mu t f =

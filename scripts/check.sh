@@ -6,11 +6,48 @@ cd "$(dirname "$0")/.."
 
 dune build
 
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
 # Determinism & layering lint (tools/lint): effect confinement to the
 # sans-I/O backend, sorted iteration on emission paths, monomorphic
 # comparisons on protocol keys, interface hygiene. Fail fast, before tests:
 # a seam violation invalidates what the tests claim to guarantee.
 dune build @lint
+
+# Race-pass gate: the domain-ownership rules of docs/CONCURRENCY.md must
+# hold with zero diagnostics, checked over the machine-readable output so
+# a malformed JSON emitter cannot hide a finding. (@lint already fails on
+# ANY diagnostic; this re-run pins the four concurrency rules and the
+# JSON field contract specifically.)
+./_build/default/tools/lint/shoalpp_lint.exe --format=json \
+  lib bin bench tools/trace > "$out/lint.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$out/lint.json" <<'EOF' || { echo "check failed: race-pass lint gate" >&2; cat "$out/lint.json" >&2; exit 1; }
+import json, sys
+diags = json.load(open(sys.argv[1]))
+assert isinstance(diags, list), "lint JSON is not an array"
+race_rules = {"domain-ownership", "shared-mutable-state", "lock-discipline", "cross-domain-effect"}
+for d in diags:
+    for field in ("file", "rule", "severity", "message"):
+        assert isinstance(d.get(field), str), f"diagnostic missing {field}: {d}"
+    for field in ("line", "col"):
+        assert isinstance(d.get(field), int), f"diagnostic missing {field}: {d}"
+race = [d for d in diags if d["rule"] in race_rules]
+assert not race, "race-pass diagnostics:\n" + "\n".join(
+    f"{d['file']}:{d['line']}:{d['col']}: [{d['rule']}] {d['message']}" for d in race)
+print(f"race gate: 0 concurrency diagnostics ({len(diags)} total) across lib/ bin/ bench/ tools/trace/")
+EOF
+else
+  grep -q '"rule":"\(domain-ownership\|shared-mutable-state\|lock-discipline\|cross-domain-effect\)"' \
+    "$out/lint.json" && { echo "check failed: race-pass diagnostics present" >&2; cat "$out/lint.json" >&2; exit 1; }
+  echo "check: python3 not installed, race gate checked by grep only"
+fi
+
+# Dynamic complement to the static race pass: under an OCaml 5.x TSan
+# switch this drives the --domains 4 node and fails on any data-race
+# report; on a non-TSan toolchain it skips with a notice.
+sh scripts/tsan.sh
 
 dune runtest
 
@@ -21,9 +58,6 @@ if command -v odoc >/dev/null 2>&1; then
 else
   echo "check: odoc not installed, skipping dune build @doc"
 fi
-
-out=$(mktemp -d)
-trap 'rm -rf "$out"' EXIT
 
 dune exec bin/shoalpp_sim.exe -- \
   -n 4 --topology clique:4,15 --load 200 --duration 4000 --warmup 500 \

@@ -1,0 +1,19 @@
+(* Fixture: lane-owned module. Three direct mutations of Mainmod (owned
+   by the disjoint {main} role set) must be flagged
+   [cross-domain-effect]; reading main state and going through an Atomic
+   in a shared module must not. *)
+
+(* flagged: ref assignment into a main-owned module *)
+let poke () = Mainmod.state := 1
+
+(* flagged: field write into a main-owned module *)
+let poke_cell () = Mainmod.cell.v <- 3
+
+(* flagged: mutating stdlib call on main-owned structure *)
+let poke_table () = Hashtbl.replace Mainmod.table "k" 1
+
+(* ok: reads do not cross the effect seam *)
+let read () = !Mainmod.state
+
+(* ok: Atomic is the sanctioned cross-domain mechanism *)
+let ok () = Atomic.incr Okshared.hits

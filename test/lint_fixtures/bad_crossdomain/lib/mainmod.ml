@@ -1,0 +1,10 @@
+(* Fixture: main-owned module whose state a lane-owned module mutates
+   directly. Its own globals are guarded so only the cross-domain
+   mutations in lanemod.ml are flagged. *)
+
+type cell = { mutable v : int }
+
+let mu = Mutex.create ()
+let state = ref 0 [@@shoalpp.guarded_by "mu"]
+let cell = { v = 0 } [@@shoalpp.guarded_by "mu"]
+let table : (string, int) Hashtbl.t = Hashtbl.create 8 [@@shoalpp.guarded_by "mu"]

@@ -1,0 +1,4 @@
+(* Fixture: a module owned by both roles whose only state is Atomic —
+   nothing here may be flagged. *)
+
+let hits = Atomic.make 0

@@ -1,0 +1,52 @@
+(* Fixture: lock discipline around a [@shoalpp.guarded_by] record field.
+   Four sites must be flagged [lock-discipline]: an unguarded read, a raw
+   Mutex.lock without exception-safe unlock plus the write it fails to
+   protect, and a call to a [@@shoalpp.requires_lock] function from
+   outside any span. The wrapper, blessed-match and Fun.protect shapes
+   must pass. *)
+
+type t = {
+  mu : Mutex.t;
+  mutable n : int; [@shoalpp.guarded_by "mu"]
+}
+
+let make () = { mu = Mutex.create (); n = 0 }
+
+(* ok: the canonical blessed shape — lock, match with an exception case,
+   unlock on every arm *)
+let with_mu t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
+
+(* flagged: guarded field read outside any acquire-release span *)
+let peek t = t.n
+
+(* flagged twice: raw Mutex.lock (a raise between lock and unlock leaks
+   the lock) and the guarded write it does not protect *)
+let bad_bump t =
+  Mutex.lock t.mu;
+  t.n <- 1;
+  Mutex.unlock t.mu
+
+(* ok: the body of a requires_lock function assumes the caller holds mu *)
+let locked_incr t = t.n <- t.n + 1 [@@shoalpp.requires_lock "mu"]
+
+(* flagged: calling a requires_lock function without the lock *)
+let bad_call t = locked_incr t
+
+(* ok: configured wrapper establishes the span *)
+let good_bump t = with_mu t (fun () -> t.n <- t.n + 1)
+
+(* ok: requires_lock callee invoked from inside a span *)
+let good_call t = with_mu t (fun () -> locked_incr t)
+
+(* ok: Fun.protect ~finally with the unlock is exception-safe *)
+let good_protect t =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) (fun () -> t.n)

@@ -1,0 +1,24 @@
+(* Fixture: malformed shoalpp.* annotations. Four sites must be flagged
+   [domain-ownership]: an unknown role string, a payload-less domain
+   attribute, a guarded_by naming no mutex, and a typoed attribute name.
+   The config owns lib/ with a single role, so the ref cells themselves
+   are confined and produce no shared-mutable-state noise. *)
+
+(* flagged: no such role *)
+[@@@shoalpp.domain "quantum"]
+
+(* flagged: payload required *)
+[@@@shoalpp.domain]
+
+let mu = Mutex.create ()
+
+(* flagged: names no Mutex.t of this module *)
+let n = ref 0 [@@shoalpp.guarded_by "nonexistent"]
+
+(* flagged: typo — unknown shoalpp attribute *)
+let m = ref 0 [@@shoalpp.gaurded_by "mu"]
+
+let use () =
+  ignore mu;
+  ignore !n;
+  ignore !m

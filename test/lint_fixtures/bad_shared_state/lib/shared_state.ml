@@ -1,0 +1,52 @@
+(* Fixture: top-level mutable state in a module the race config makes
+   reachable from both main and lane roles. Four shapes must be flagged
+   [shared-mutable-state]; the Atomic/Mutex/guarded/function-local/
+   immutable/single-role-section forms must not. *)
+
+(* flagged: process-global hash table *)
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+
+(* flagged: bare ref cell *)
+let counter = ref 0
+
+(* flagged: the ref is allocated OUTSIDE the closure, so every caller of
+   [bump] shares it — the lambda does not launder the allocation *)
+let bump =
+  let hits = ref 0 in
+  fun () ->
+    incr hits;
+    !hits
+
+(* flagged: array literal (mutable cells) *)
+let weights = [| 1; 2; 3 |]
+
+(* ok: Atomic is the sanctioned cross-domain cell *)
+let total = Atomic.make 0
+
+(* ok: a mutex is synchronisation, not shared data *)
+let mu = Mutex.create ()
+
+(* ok: declared guarded by [mu] above *)
+let cache : (int, string) Hashtbl.t = Hashtbl.create 8 [@@shoalpp.guarded_by "mu"]
+
+(* ok: allocation lives under the function — per-call state *)
+let fresh () = Hashtbl.create 4
+
+(* ok: immutable list *)
+let ks = [ 1; 2; 3 ]
+
+(* From here on the section is single-role, so a mutable global is
+   confined and legal. *)
+[@@@shoalpp.domain "main"]
+
+let main_only = ref 0
+
+let use_everything () =
+  ignore table;
+  ignore counter;
+  ignore (bump ());
+  ignore weights;
+  ignore (Atomic.get total);
+  ignore fresh;
+  ignore ks;
+  ignore main_only

@@ -162,6 +162,59 @@ let test_pool_zero_workers_inline () =
   | exception Invalid_argument _ -> ());
   checki "post-shutdown inline submit not executed" 5 (Verify_pool.executed pool)
 
+(* Randomized completion order: a seeded mix of service times, forced
+   steals (the first job pins a worker for ~50 ms while its queue backs
+   up) and raising jobs across a node-shaped lane count (4 replicas x 3
+   dags). Whatever order the workers finish in, each lane must deliver
+   exactly its submission order, every raising job must surface as
+   verdict [false], and nothing may be lost to a raising sink. *)
+let test_pool_randomized_completion_order () =
+  let rng = Shoalpp_support.Rng.create 0x5eed in
+  let lanes = 12 and jobs = 600 in
+  let pool = Verify_pool.create ~workers:4 ~lanes in
+  let log = log_create () in
+  let raising = Array.init jobs (fun _ -> Shoalpp_support.Rng.bernoulli rng 0.1) in
+  let expected_raises = Array.fold_left (fun n r -> if r then n + 1 else n) 0 raising in
+  let lane_of = Array.make jobs 0 in
+  for i = 0 to jobs - 1 do
+    let lane = Shoalpp_support.Rng.int rng lanes in
+    lane_of.(i) <- lane;
+    let delay_s =
+      if i = 0 then 0.05 else Shoalpp_support.Rng.float rng 1e-3
+    in
+    Verify_pool.submit pool ~lane
+      ~work:(fun () ->
+        Unix.sleepf delay_s;
+        if raising.(i) then failwith "randomized verification failure";
+        true)
+      ~k:(fun ok ->
+        if ok && raising.(i) then failwith "sink must never see a raised job as ok";
+        log_push log lane i ok)
+  done;
+  Verify_pool.shutdown pool;
+  checki "every job executed" jobs (Verify_pool.executed pool);
+  checki "raising jobs counted" expected_raises (Verify_pool.work_exceptions pool);
+  checki "no sink exceptions" 0 (Verify_pool.sink_exceptions pool);
+  checkb "steals occurred under the pinned worker" true (Verify_pool.stolen pool > 0);
+  let items = log_items log in
+  checki "every completion delivered" jobs (List.length items);
+  (* Each lane's delivery order must be exactly its submission order —
+     exact FIFO per lane, any interleave across lanes. *)
+  let submitted = Array.make lanes [] and delivered = Array.make lanes [] in
+  for i = jobs - 1 downto 0 do
+    submitted.(lane_of.(i)) <- i :: submitted.(lane_of.(i))
+  done;
+  List.iter (fun (lane, i, ok) ->
+      delivered.(lane) <- i :: delivered.(lane);
+      checkb (Printf.sprintf "job %d verdict matches its work" i) (not raising.(i)) ok)
+    items;
+  for lane = 0 to lanes - 1 do
+    checkb
+      (Printf.sprintf "lane %d delivered exactly its submission order" lane)
+      true
+      (List.rev delivered.(lane) = submitted.(lane))
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Golden determinism: the commit sequence is the same function of the
    seed at any --domains value. *)
@@ -260,6 +313,8 @@ let suite =
           test_pool_sink_exception_swallowed;
         Alcotest.test_case "pool: shutdown drains queue" `Quick test_pool_shutdown_drains_queue;
         Alcotest.test_case "pool: zero workers runs inline" `Quick test_pool_zero_workers_inline;
+        Alcotest.test_case "pool: randomized completion order" `Slow
+          test_pool_randomized_completion_order;
         Alcotest.test_case "golden: domains 1 vs 4, same commit sequence" `Slow
           test_golden_domains_1_vs_4;
         Alcotest.test_case "golden: crash fault, both domain counts safe" `Slow

@@ -13,6 +13,15 @@ type allow = {
   a_reason : string;  (** why this is sound — shows up in [--explain] output *)
 }
 
+type role = Main | Lane | Pool
+(** Domain roles of docs/CONCURRENCY.md: [Main] is the merge/commit domain
+    (plus the realtime executor and every process entrypoint), [Lane] is a
+    staggered-DAG lane domain, [Pool] is a verify-pool worker domain. A
+    module mapped to several roles has instances (or globals) touched from
+    all of them; the race rules treat that as the dangerous case. *)
+
+let role_name = function Main -> "main" | Lane -> "lane" | Pool -> "pool"
+
 type t = {
   effect_allowed : string list;
       (** Paths where ambient effects ([Unix], [Thread], [Mutex],
@@ -37,6 +46,30 @@ type t = {
       (** Documented per-(file, rule) suppressions. Entries that match no
           diagnostic are themselves reported ([stale-allowlist]), so the
           list cannot silently outlive the code it excuses. *)
+  ownership : (string * role list) list;
+      (** The checked-in domain-ownership map: which domain role(s) may
+          execute each module's code. Longest pattern wins (an exact file
+          entry overrides its directory prefix); a file-leading
+          [[@@@shoalpp.domain "..."]] floating attribute overrides both.
+          Empty list disables the race pass entirely (fixture configs for
+          the older rules use that). The map drives:
+          - [shared-mutable-state]: top-level mutable globals are flagged
+            in any module *reachable* from more than one role (ownership
+            union-propagated along the reference graph) unless Atomic,
+            [[@@shoalpp.guarded_by]]-declared, or allowlisted;
+          - [cross-domain-effect]: a module owned by role set A must not
+            directly mutate state of a module owned by a disjoint role
+            set B — such effects go through Backend.schedule/post;
+          - [domain-ownership]: annotation validity (unknown roles,
+            missing payloads, guarded_by naming no known mutex, typoed
+            shoalpp.* attributes). *)
+  lock_wrappers : string list;
+      (** Function names (matched on the last path component) whose call
+          arguments execute with the relevant mutex held: the blessed
+          acquire-release wrappers. [lock-discipline] treats their
+          argument expressions — plus bodies of [[@@shoalpp.requires_lock]]
+          bindings and the continuation of the canonical
+          lock/match-with-exception/unlock shape — as guarded spans. *)
 }
 
 let default =
@@ -81,6 +114,9 @@ let default =
         "bin/shoalpp_sim.ml";
         "bin/shoalpp_node.ml";
         "bench/main.ml";
+        (* trace analyzer: its report bytes are diffed in tests and by
+           operators comparing runs, so iteration order must be stable *)
+        "tools/trace/shoalpp_trace.ml";
       ];
     polycmp_modules =
       [
@@ -133,5 +169,52 @@ let default =
              the lock serializes exactly the interleavings a single domain \
              already produced, and the simulator pays one uncontended lock";
         };
+        {
+          a_path = "lib/crypto/sha256.ml";
+          a_rule = "shared-mutable-state";
+          a_reason =
+            "the FIPS 180-4 round-constant table: an int32 array built \
+             once at module init and written nowhere afterwards (the only \
+             Array.set in the file targets function-local state). Every \
+             domain only ever reads it, and immutable-after-init arrays \
+             are race-free under the OCaml 5 memory model";
+        };
       ];
+    (* Domain-ownership map (docs/CONCURRENCY.md, "Domain topology").
+       Longest pattern wins: the exact-file entries below refine their
+       directory defaults. Roles mean "which domain executes this code",
+       not "who may call it" — the propagation step widens reachability
+       along references, ownership itself stays as written here. *)
+    ownership =
+      [
+        (* main-domain-only surfaces: process entrypoints, the runtime
+           harness, observability, sim-only code, baselines, tooling *)
+        ("bin/", [ Main ]);
+        ("bench/", [ Main ]);
+        ("tools/trace/", [ Main ]);
+        ("lib/runtime/", [ Main ]);
+        ("lib/sim/", [ Main ]);
+        ("lib/baselines/", [ Main ]);
+        (* protocol code: sequential per lane, one instance per lane domain *)
+        ("lib/dag/", [ Lane ]);
+        ("lib/consensus/", [ Lane ]);
+        ("lib/core/", [ Lane ]);
+        ("lib/storage/", [ Lane ]);
+        ("lib/sync/", [ Lane ]);
+        ("lib/workload/", [ Lane ]);
+        (* signature checks run on verify-pool workers *)
+        ("lib/crypto/", [ Pool ]);
+        (* the seam itself plus leaf utility code: runs everywhere *)
+        ("lib/backend/", [ Main; Lane; Pool ]);
+        ("lib/support/", [ Main; Lane; Pool ]);
+        ("lib/codec/", [ Main; Lane; Pool ]);
+        (* refinements: the simulated backend is single-threaded main-domain
+           code (the deterministic sim never spawns domains) ... *)
+        ("lib/backend/backend_sim.ml", [ Main ]);
+        (* ... while these are single instances shared across roles by design *)
+        ("lib/workload/mempool.ml", [ Main; Lane ]);
+        ("lib/dag/validation.ml", [ Lane; Pool ]);
+        ("lib/core/replica.ml", [ Main; Lane ]);
+      ];
+    lock_wrappers = [ "with_mu"; "Mutex.protect" ];
   }

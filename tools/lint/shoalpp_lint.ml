@@ -1,23 +1,28 @@
 (* CLI for the determinism & layering linter.
 
-     shoalpp_lint [--root DIR] [--format=text|json] [--explain] [PATH ...]
+     shoalpp_lint [--root DIR] [--format=text|json] [--explain] [--no-cmt]
+                  [PATH ...]
 
-   PATHs (files or directories, default: lib bin bench) are taken relative
-   to --root (default: the current directory, which under `dune build @lint`
-   is the project root inside _build). Exit status: 0 clean, 1 diagnostics,
-   2 usage error. *)
+   PATHs (files or directories, default: lib bin bench tools/trace) are
+   taken relative to --root (default: the current directory, which under
+   `dune build @lint` is the project root inside _build). [--no-cmt]
+   restricts the race pass's ownership propagation to the syntactic
+   reference graph (no .cmt Typedtree reads) — the mode a cold tree gets.
+   Exit status: 0 clean, 1 diagnostics, 2 usage error. *)
 
 module Lint = Shoalpp_lint_core.Lint
 module Lint_config = Shoalpp_lint_core.Lint_config
 
 let usage () =
-  prerr_endline "usage: shoalpp_lint [--root DIR] [--format=text|json] [--explain] [PATH ...]";
+  prerr_endline
+    "usage: shoalpp_lint [--root DIR] [--format=text|json] [--explain] [--no-cmt] [PATH ...]";
   exit 2
 
 let () =
   let format = ref `Text in
   let root = ref "." in
   let explain = ref false in
+  let use_cmt = ref true in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
@@ -29,6 +34,9 @@ let () =
       parse rest
     | "--explain" :: rest ->
       explain := true;
+      parse rest
+    | "--no-cmt" :: rest ->
+      use_cmt := false;
       parse rest
     | "--root" :: dir :: rest ->
       root := dir;
@@ -43,13 +51,15 @@ let () =
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let paths = match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps in
+  let paths =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "bench"; "tools/trace" ] | ps -> ps
+  in
   let config = Lint_config.default in
   if !explain then
     List.iter
       (fun (a : Lint_config.allow) ->
         Printf.printf "allow %s [%s]: %s\n" a.a_path a.a_rule a.a_reason)
       config.allowlist;
-  let diags = Lint.run ~config ~root:!root ~paths in
+  let diags = Lint.run ~config ~use_cmt:!use_cmt ~root:!root ~paths () in
   (match !format with `Text -> Lint.pp_text stdout diags | `Json -> Lint.pp_json stdout diags);
   exit (if diags = [] then 0 else 1)

@@ -124,7 +124,7 @@ let recovery_shadows events =
       | Trace.Sync_completed { replica; _ } -> close replica ev.time
       | _ -> ())
     events;
-  Hashtbl.iter
+  Shoalpp_support.Sorted_tbl.iter ~cmp:Int.compare
     (fun replica t0 ->
       let until =
         match Hashtbl.find_opt tentative replica with Some t -> t | None -> infinity
@@ -132,7 +132,7 @@ let recovery_shadows events =
       Hashtbl.remove open_at replica;
       let prev = Option.value ~default:[] (Hashtbl.find_opt closed replica) in
       Hashtbl.replace closed replica ((t0, until) :: prev))
-    (Hashtbl.copy open_at);
+    open_at;
   let shadowed ~replica ~time =
     match Hashtbl.find_opt closed replica with
     | None -> false
@@ -220,9 +220,15 @@ let analyze_events ~shadowed events =
     events;
   (commits, logs)
 
+(* (instance, round, anchor) commit keys in lexicographic order. *)
+let key3_compare (a1, a2, a3) (b1, b2, b3) =
+  match Int.compare a1 b1 with
+  | 0 -> ( match Int.compare a2 b2 with 0 -> Int.compare a3 b3 | n -> n)
+  | n -> n
+
 (* Committed anchors with a full propose->order chain, deterministic order. *)
 let committed_chain commits =
-  Hashtbl.fold (fun _ c acc -> c :: acc) commits []
+  Shoalpp_support.Sorted_tbl.fold ~cmp:key3_compare (fun _ c acc -> c :: acc) commits []
   |> List.filter (fun c -> c.c_order_n > 0 && not (String.equal c.c_rule "skipped"))
   |> List.sort (fun a b ->
          match Int.compare a.c_round b.c_round with
@@ -279,7 +285,7 @@ type divergence = {
 
 let find_divergence logs =
   let rls =
-    Hashtbl.fold (fun _ l acc -> l :: acc) logs []
+    Shoalpp_support.Sorted_tbl.fold ~cmp:Int.compare (fun _ l acc -> l :: acc) logs []
     |> List.sort (fun a b -> Int.compare a.rl_replica b.rl_replica)
   in
   let divs = ref [] in
@@ -319,7 +325,9 @@ type window_mix = {
 
 let rule_windows ?(n = 8) commits =
   let decided =
-    Hashtbl.fold (fun _ c acc -> if c.c_decide_n > 0 then c :: acc else acc) commits []
+    Shoalpp_support.Sorted_tbl.fold ~cmp:key3_compare
+      (fun _ c acc -> if c.c_decide_n > 0 then c :: acc else acc)
+      commits []
   in
   match decided with
   | [] -> []
@@ -363,7 +371,7 @@ let metrics_dropped path =
    certificate, not replayed). Disambiguate by whether the replica ever
    recovered. *)
 let inferred_truncation ~has_recovered logs =
-  Hashtbl.fold
+  Shoalpp_support.Sorted_tbl.fold ~cmp:Int.compare
     (fun _ l acc ->
       if l.rl_max_seq >= 0 && l.rl_min_seq > 0 && not (has_recovered l.rl_replica) then
         (l.rl_replica, l.rl_min_seq) :: acc
@@ -372,7 +380,7 @@ let inferred_truncation ~has_recovered logs =
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let restart_bases ~has_recovered logs =
-  Hashtbl.fold
+  Shoalpp_support.Sorted_tbl.fold ~cmp:Int.compare
     (fun _ l acc ->
       if l.rl_max_seq >= 0 && l.rl_min_seq > 0 && has_recovered l.rl_replica then
         (l.rl_replica, l.rl_min_seq) :: acc
